@@ -1,0 +1,194 @@
+#include "bench_common.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/clustering_reduction.h"
+#include "baselines/regionalization.h"
+#include "baselines/sampling.h"
+
+#include "util/logging.h"
+#include "util/memory_tracker.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace srp {
+namespace bench {
+
+RepartitionOptions BenchRepartitionOptions(double threshold) {
+  RepartitionOptions options;
+  options.ifl_threshold = threshold;
+  options.min_variation_step = 2.5e-3;
+  options.max_iterations = 10'000;
+  return options;
+}
+
+GridDataset MakeBenchDataset(DatasetKind kind, const GridTier& tier,
+                             uint64_t seed) {
+  DatasetOptions options;
+  options.rows = tier.rows;
+  options.cols = tier.cols;
+  options.seed = seed;
+  auto grid = GenerateDataset(kind, options);
+  SRP_CHECK(grid.ok()) << grid.status().ToString();
+  return std::move(grid).value();
+}
+
+RepartitionResult MustRepartition(const GridDataset& grid, double threshold) {
+  auto result = Repartitioner(BenchRepartitionOptions(threshold)).Run(grid);
+  SRP_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+RunMeasurement MeasureRun(const std::function<void()>& fit,
+                          const std::function<std::vector<double>()>& predict) {
+  RunMeasurement out;
+  ScopedMemoryPeak peak;
+  WallTimer timer;
+  fit();
+  out.train_seconds = timer.ElapsedSeconds();
+  out.peak_train_bytes = MemoryTracker::Hooked() ? peak.PeakDeltaBytes() : 0;
+  out.predictions = predict();
+  return out;
+}
+
+std::vector<MethodDataset> ReducedVariants(const GridDataset& grid,
+                                           const std::string& target,
+                                           double theta, uint64_t seed) {
+  std::vector<MethodDataset> out;
+
+  // 1. Our framework.
+  const RepartitionResult repart = MustRepartition(grid, theta);
+  {
+    MethodDataset m;
+    m.method = "repartitioning";
+    auto data = PrepareFromPartition(grid, repart.partition, target);
+    SRP_CHECK_OK(data.status());
+    m.data = std::move(data).value();
+    m.unit_weights.resize(m.data.num_rows());
+    m.cell_to_unit.assign(grid.num_cells(), -1);
+    for (size_t i = 0; i < m.data.num_rows(); ++i) {
+      const auto g = static_cast<size_t>(m.data.unit_ids[i]);
+      const CellGroup& cg = repart.partition.groups[g];
+      m.unit_weights[i] = static_cast<double>(cg.NumCells());
+      for (size_t r = cg.r_beg; r <= cg.r_end; ++r) {
+        for (size_t c = cg.c_beg; c <= cg.c_end; ++c) {
+          m.cell_to_unit[r * grid.cols() + c] = static_cast<int32_t>(i);
+        }
+      }
+    }
+    out.push_back(std::move(m));
+  }
+  const size_t t = out.front().data.num_rows();
+
+  auto finish_baseline = [&](const char* name, const ReducedDataset& reduced) {
+    MethodDataset m;
+    m.method = name;
+    auto data = ReducedToMlDataset(grid, reduced, target);
+    SRP_CHECK_OK(data.status());
+    m.data = std::move(data).value();
+    m.cell_to_unit = reduced.cell_to_unit;
+    m.unit_weights.assign(m.data.num_rows(), 0.0);
+    for (int32_t unit : reduced.cell_to_unit) {
+      if (unit >= 0) m.unit_weights[static_cast<size_t>(unit)] += 1.0;
+    }
+    // Sampling's Voronoi map can assign every cell, including those far from
+    // the sample; weights stay >= 1 by construction since each unit owns at
+    // least itself.
+    out.push_back(std::move(m));
+  };
+
+  // 2. Spatial sampling (Guo et al.).
+  {
+    SpatialSamplingOptions options;
+    options.target_samples = t;
+    options.seed = seed;
+    auto reduced = SpatialSampling(grid, options);
+    SRP_CHECK_OK(reduced.status());
+    finish_baseline("sampling", *reduced);
+  }
+  // 3. Regionalization (Biswas et al.).
+  {
+    RegionalizationOptions options;
+    options.target_regions = t;
+    options.seed = seed;
+    auto reduced = Regionalize(grid, options);
+    SRP_CHECK_OK(reduced.status());
+    finish_baseline("regionalization", *reduced);
+  }
+  // 4. Spatially contiguous clustering (Kim et al.).
+  {
+    ClusteringReductionOptions options;
+    options.target_clusters = t;
+    auto reduced = ClusteringReduction(grid, options);
+    SRP_CHECK_OK(reduced.status());
+    finish_baseline("clustering", *reduced);
+  }
+  return out;
+}
+
+ResultTable::ResultTable(std::string title, std::vector<std::string> header)
+    : title_(std::move(title)) {
+  table_.header = std::move(header);
+}
+
+void ResultTable::AddRow(std::vector<std::string> row) {
+  SRP_CHECK(row.size() == table_.header.size()) << "row arity mismatch";
+  table_.rows.push_back(std::move(row));
+}
+
+void ResultTable::Print() const {
+  // Column widths.
+  std::vector<size_t> widths(table_.header.size());
+  for (size_t c = 0; c < table_.header.size(); ++c) {
+    widths[c] = table_.header[c].size();
+  }
+  for (const auto& row : table_.rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::printf("\n=== %s ===\n", title_.c_str());
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%s  ", PadRight(row[c], widths[c]).c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(table_.header);
+  size_t total = table_.header.size() + 2;
+  for (size_t w : widths) total += w;
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : table_.rows) print_row(row);
+  std::fflush(stdout);
+
+  const char* csv_dir = std::getenv("SRP_BENCH_CSV_DIR");
+  if (csv_dir != nullptr) {
+    std::string slug;
+    for (char ch : title_) {
+      slug += (std::isalnum(static_cast<unsigned char>(ch)) != 0)
+                  ? static_cast<char>(std::tolower(ch))
+                  : '_';
+    }
+    const Status status =
+        WriteCsv(table_, std::string(csv_dir) + "/" + slug + ".csv");
+    if (!status.ok()) {
+      SRP_LOG(Warning) << "CSV export failed: " << status.ToString();
+    }
+  }
+}
+
+std::string Percent(double fraction) {
+  return FormatDouble(100.0 * fraction, 1) + "%";
+}
+
+std::string Seconds(double seconds) { return FormatDouble(seconds, 3) + "s"; }
+
+std::string Mib(int64_t bytes) {
+  return FormatDouble(static_cast<double>(bytes) / (1024.0 * 1024.0), 1) +
+         "MiB";
+}
+
+}  // namespace bench
+}  // namespace srp

@@ -1,0 +1,106 @@
+#ifndef SRP_BENCH_BENCH_COMMON_H_
+#define SRP_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/repartitioner.h"
+#include "data/datasets.h"
+#include "ml/dataset.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace srp {
+namespace bench {
+
+/// Grid tiers standing in for the paper's ≈36k / 78k / 100k-cell grids at
+/// laptop scale (DESIGN.md §3). Reduction *percentages* and model orderings
+/// are size-stable; absolute times are not comparable with the paper's
+/// testbed by design.
+struct GridTier {
+  const char* label;
+  size_t rows;
+  size_t cols;
+};
+inline constexpr GridTier kTiers[] = {
+    {"small(~2.3k)", 48, 48},
+    {"medium(~4.1k)", 64, 64},
+    {"large(~6.4k)", 80, 80},
+};
+
+/// The IFL thresholds the paper sweeps (Section IV-B).
+inline constexpr double kThresholds[] = {0.05, 0.1, 0.15};
+
+/// Default options for bench re-partitioning runs: paper-faithful except
+/// for a small variation step that batches near-equal real-valued
+/// variations (see RepartitionOptions::min_variation_step).
+RepartitionOptions BenchRepartitionOptions(double threshold);
+
+/// Generates the bench instance of a dataset variant at a tier.
+GridDataset MakeBenchDataset(DatasetKind kind, const GridTier& tier,
+                             uint64_t seed = 2022);
+
+/// Repartitions or dies; benches treat failures as fatal.
+RepartitionResult MustRepartition(const GridDataset& grid, double threshold);
+
+/// One measured model run.
+struct RunMeasurement {
+  double train_seconds = 0.0;
+  int64_t peak_train_bytes = 0;  ///< 0 when the memtrack hooks are absent
+  std::vector<double> predictions;  ///< over the full evaluation set
+};
+
+/// Measures wall time and allocation peak of `fit`, then runs `predict`.
+RunMeasurement MeasureRun(const std::function<void()>& fit,
+                          const std::function<std::vector<double>()>& predict);
+
+/// One reduced dataset produced by the framework or a baseline, ready for
+/// model training and for cell-level label propagation.
+struct MethodDataset {
+  std::string method;  ///< "repartitioning", "sampling", ...
+  MlDataset data;
+  /// Cells represented by each unit (row) — Ward weights for clustering.
+  std::vector<double> unit_weights;
+  /// Row-major map grid cell -> unit row (-1 for null cells).
+  std::vector<int32_t> cell_to_unit;
+};
+
+/// Builds the paper's four reduced variants at threshold `theta`
+/// (Section IV-A3): our re-partitioning framework first, then the three
+/// baselines given the SAME target unit count t = #cell-groups, for the fair
+/// comparison the paper prescribes.
+std::vector<MethodDataset> ReducedVariants(const GridDataset& grid,
+                                           const std::string& target,
+                                           double theta, uint64_t seed = 99);
+
+/// Pretty console table with aligned columns; also persisted as CSV next to
+/// the binary when SRP_BENCH_CSV_DIR is set.
+class ResultTable {
+ public:
+  ResultTable(std::string title, std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Prints to stdout and (optionally) writes "<csv_dir>/<slug>.csv".
+  void Print() const;
+
+ private:
+  std::string title_;
+  CsvTable table_;
+};
+
+/// Formats a fraction as a percentage string with one decimal.
+std::string Percent(double fraction);
+
+/// Formats seconds with 3 decimals.
+std::string Seconds(double seconds);
+
+/// Formats bytes as MiB with 1 decimal.
+std::string Mib(int64_t bytes);
+
+}  // namespace bench
+}  // namespace srp
+
+#endif  // SRP_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,39 @@
+// Reproduces Fig. 6: cell-reduction (re-partitioning) time until
+// convergence across datasets, grid tiers and IFL thresholds.
+//
+// Paper shape to match: time grows with the threshold (more iterations) and
+// with the initial cell count; multivariate datasets cost more than
+// univariate ones (per-attribute statistics).
+
+#include "bench_common.h"
+
+namespace srp {
+namespace bench {
+namespace {
+
+void Run() {
+  ResultTable table("Fig6 cell reduction time",
+                    {"dataset", "tier", "theta", "iterations",
+                     "reduction_time"});
+  for (const auto& spec : AllDatasetSpecs()) {
+    for (const GridTier& tier : kTiers) {
+      const GridDataset grid = MakeBenchDataset(spec.kind, tier);
+      for (double theta : kThresholds) {
+        const RepartitionResult result = MustRepartition(grid, theta);
+        table.AddRow({spec.name, tier.label, FormatDouble(theta, 2),
+                      std::to_string(result.iterations),
+                      Seconds(result.elapsed_seconds)});
+      }
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace srp
+
+int main() {
+  srp::bench::Run();
+  return 0;
+}

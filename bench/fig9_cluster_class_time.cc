@@ -1,0 +1,86 @@
+// Reproduces Fig. 9: training time for (a) gradient-boosting classification,
+// (b) KNN classification (both on the multivariate datasets, 5-bin targets)
+// and (c) spatially constrained hierarchical clustering (all datasets),
+// original grid vs re-partitioned grids.
+//
+// Paper shape to match: consistent time reduction across both classifiers;
+// clustering savings in the 28-35% band at theta=0.05.
+
+#include "bench_common.h"
+#include "model_runs.h"
+#include "util/logging.h"
+
+namespace srp {
+namespace bench {
+namespace {
+
+constexpr GridTier kTier = kTiers[1];
+constexpr size_t kClusters = 10;
+
+void ClassificationPanel(ResultTable* table, bool use_gbt) {
+  const char* model = use_gbt ? "gradient_boosting" : "knn";
+  for (const auto& spec : AllDatasetSpecs()) {
+    if (!spec.multivariate) continue;
+    const GridDataset grid = MakeBenchDataset(spec.kind, kTier);
+    auto original = PrepareFromGrid(grid, spec.target_attribute);
+    SRP_CHECK_OK(original.status());
+    const ClassificationOutcome base =
+        RunClassificationModel(use_gbt, *original, 1);
+    table->AddRow({spec.name, model, "original", "-",
+                   Seconds(base.train_seconds), "-"});
+    for (double theta : kThresholds) {
+      const RepartitionResult repart = MustRepartition(grid, theta);
+      auto reduced =
+          PrepareFromPartition(grid, repart.partition, spec.target_attribute);
+      SRP_CHECK_OK(reduced.status());
+      const ClassificationOutcome run =
+          RunClassificationModel(use_gbt, *reduced, 1);
+      table->AddRow({spec.name, model, "repartitioned",
+                     FormatDouble(theta, 2), Seconds(run.train_seconds),
+                     Percent(1.0 - run.train_seconds /
+                                       std::max(base.train_seconds, 1e-9))});
+    }
+  }
+}
+
+void ClusteringPanel(ResultTable* table) {
+  for (const auto& spec : AllDatasetSpecs()) {
+    const GridDataset grid = MakeBenchDataset(spec.kind, kTier);
+    auto original = PrepareFromGrid(grid, spec.target_attribute);
+    SRP_CHECK_OK(original.status());
+    const ClusteringOutcome base = RunClustering(*original, kClusters);
+    table->AddRow({spec.name, "schc_clustering", "original", "-",
+                   Seconds(base.train_seconds), "-"});
+    for (double theta : kThresholds) {
+      const RepartitionResult repart = MustRepartition(grid, theta);
+      auto reduced =
+          PrepareFromPartition(grid, repart.partition, spec.target_attribute);
+      SRP_CHECK_OK(reduced.status());
+      const ClusteringOutcome run = RunClustering(*reduced, kClusters);
+      table->AddRow({spec.name, "schc_clustering", "repartitioned",
+                     FormatDouble(theta, 2), Seconds(run.train_seconds),
+                     Percent(1.0 - run.train_seconds /
+                                       std::max(base.train_seconds, 1e-9))});
+    }
+  }
+}
+
+void Run() {
+  ResultTable table(
+      "Fig9 clustering and classification training time",
+      {"dataset", "model", "variant", "theta", "train_time",
+       "time_reduction"});
+  ClassificationPanel(&table, /*use_gbt=*/true);
+  ClassificationPanel(&table, /*use_gbt=*/false);
+  ClusteringPanel(&table);
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace srp
+
+int main() {
+  srp::bench::Run();
+  return 0;
+}

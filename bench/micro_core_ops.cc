@@ -1,0 +1,115 @@
+// Micro benchmarks (google-benchmark) of the core re-partitioning operators:
+// normalization, pair-variation precomputation, heap construction, cell-group
+// extraction, feature allocation, IFL and adjacency-list construction.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/adjacency.h"
+#include "core/extractor.h"
+#include "core/feature_allocator.h"
+#include "core/information_loss.h"
+#include "core/variation.h"
+#include "core/variation_heap.h"
+#include "grid/normalize.h"
+
+namespace srp {
+namespace bench {
+namespace {
+
+GridDataset GridForSize(int64_t side) {
+  GridTier tier{"micro", static_cast<size_t>(side), static_cast<size_t>(side)};
+  return MakeBenchDataset(DatasetKind::kHomeSalesMulti, tier);
+}
+
+void BM_AttributeNormalize(benchmark::State& state) {
+  const GridDataset grid = GridForSize(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AttributeNormalized(grid));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(grid.num_cells()));
+}
+BENCHMARK(BM_AttributeNormalize)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_PairVariations(benchmark::State& state) {
+  const GridDataset norm = AttributeNormalized(GridForSize(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputePairVariations(norm));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(norm.num_cells()));
+}
+BENCHMARK(BM_PairVariations)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_HeapBuild(benchmark::State& state) {
+  const GridDataset norm = AttributeNormalized(GridForSize(state.range(0)));
+  const PairVariations variations = ComputePairVariations(norm);
+  for (auto _ : state) {
+    MinAdjacentVariationHeap heap;
+    heap.Build(variations, &norm);
+    benchmark::DoNotOptimize(heap.Size());
+  }
+}
+BENCHMARK(BM_HeapBuild)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_CellGroupExtraction(benchmark::State& state) {
+  const GridDataset norm = AttributeNormalized(GridForSize(state.range(0)));
+  const PairVariations variations = ComputePairVariations(norm);
+  const CellGroupExtractor extractor(variations);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.Extract(0.02));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(norm.num_cells()));
+}
+BENCHMARK(BM_CellGroupExtraction)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_FeatureAllocation(benchmark::State& state) {
+  const GridDataset grid = GridForSize(state.range(0));
+  const GridDataset norm = AttributeNormalized(grid);
+  const PairVariations variations = ComputePairVariations(norm);
+  const Partition base = CellGroupExtractor(variations).Extract(0.02);
+  for (auto _ : state) {
+    Partition p = base;
+    benchmark::DoNotOptimize(AllocateFeatures(grid, &p));
+  }
+}
+BENCHMARK(BM_FeatureAllocation)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_InformationLoss(benchmark::State& state) {
+  const GridDataset grid = GridForSize(state.range(0));
+  const GridDataset norm = AttributeNormalized(grid);
+  const PairVariations variations = ComputePairVariations(norm);
+  Partition p = CellGroupExtractor(variations).Extract(0.02);
+  (void)AllocateFeatures(grid, &p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InformationLoss(grid, p));
+  }
+}
+BENCHMARK(BM_InformationLoss)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_AdjacencyList(benchmark::State& state) {
+  const GridDataset grid = GridForSize(state.range(0));
+  const GridDataset norm = AttributeNormalized(grid);
+  const PairVariations variations = ComputePairVariations(norm);
+  const Partition p = CellGroupExtractor(variations).Extract(0.02);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildAdjacencyList(p));
+  }
+}
+BENCHMARK(BM_AdjacencyList)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_FullRepartition(benchmark::State& state) {
+  const GridDataset grid = GridForSize(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MustRepartition(grid, 0.1));
+  }
+}
+BENCHMARK(BM_FullRepartition)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace srp
+
+BENCHMARK_MAIN();

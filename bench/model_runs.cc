@@ -1,0 +1,346 @@
+#include "model_runs.h"
+
+#include "metrics/classification_metrics.h"
+#include "metrics/regression_metrics.h"
+#include "ml/gradient_boosting.h"
+#include "ml/gwr.h"
+#include "ml/knn.h"
+#include "ml/kriging.h"
+#include "ml/random_forest.h"
+#include "ml/schc.h"
+#include "ml/spatial_error.h"
+#include "ml/spatial_lag.h"
+#include "ml/svr.h"
+#include "util/logging.h"
+#include "util/memory_tracker.h"
+#include "util/timer.h"
+
+namespace srp {
+namespace bench {
+
+const char* RegressionModelName(RegressionModelKind kind) {
+  switch (kind) {
+    case RegressionModelKind::kSpatialLag:
+      return "spatial_lag";
+    case RegressionModelKind::kSpatialError:
+      return "spatial_error";
+    case RegressionModelKind::kGwr:
+      return "gwr";
+    case RegressionModelKind::kSvr:
+      return "svr";
+    case RegressionModelKind::kRandomForest:
+      return "random_forest";
+    case RegressionModelKind::kKriging:
+      return "kriging";
+  }
+  return "?";
+}
+
+std::vector<RegressionModelKind> MultivariateRegressionModels() {
+  return {RegressionModelKind::kSpatialLag, RegressionModelKind::kSpatialError,
+          RegressionModelKind::kGwr, RegressionModelKind::kSvr,
+          RegressionModelKind::kRandomForest};
+}
+
+namespace {
+
+struct SplitData {
+  MlDataset train;
+  std::vector<size_t> test_rows;
+};
+
+SplitData MakeSplit(const MlDataset& data, uint64_t seed) {
+  const TrainTestSplit split = SplitDataset(data.num_rows(), 0.8, seed);
+  return SplitData{SubsetRows(data, split.train), split.test};
+}
+
+RegressionOutcome Score(const MlDataset& data,
+                        const std::vector<size_t>& test_rows,
+                        const std::vector<double>& predictions_full,
+                        size_t num_params, double train_seconds,
+                        int64_t peak_bytes) {
+  std::vector<double> y;
+  std::vector<double> yhat;
+  y.reserve(test_rows.size());
+  for (size_t idx : test_rows) {
+    y.push_back(data.target[idx]);
+    yhat.push_back(predictions_full[idx]);
+  }
+  RegressionOutcome out;
+  out.train_seconds = train_seconds;
+  out.peak_train_bytes = peak_bytes;
+  out.mae = MeanAbsoluteError(y, yhat);
+  out.rmse = RootMeanSquareError(y, yhat);
+  out.standard_error = StandardErrorOfRegression(y, yhat, num_params);
+  out.pseudo_r2 = PseudoRSquared(y, yhat);
+  return out;
+}
+
+}  // namespace
+
+RegressionOutcome RunRegressionModel(RegressionModelKind kind,
+                                     const MlDataset& data,
+                                     uint64_t split_seed) {
+  const SplitData split = MakeSplit(data, split_seed);
+  const size_t p = data.features.cols();
+
+  ScopedMemoryPeak peak;
+  WallTimer timer;
+  std::vector<double> predictions;
+  size_t num_params = p + 1;
+
+  switch (kind) {
+    case RegressionModelKind::kSpatialLag: {
+      SpatialLagRegression model;
+      SRP_CHECK_OK(model.Fit(split.train));
+      const double fit_time = timer.ElapsedSeconds();
+      const int64_t bytes =
+          MemoryTracker::Hooked() ? peak.PeakDeltaBytes() : 0;
+      auto pred = model.Predict(data);
+      SRP_CHECK_OK(pred.status());
+      return Score(data, split.test_rows, *pred, p + 2, fit_time, bytes);
+    }
+    case RegressionModelKind::kSpatialError: {
+      SpatialErrorRegression model;
+      SRP_CHECK_OK(model.Fit(split.train));
+      const double fit_time = timer.ElapsedSeconds();
+      const int64_t bytes =
+          MemoryTracker::Hooked() ? peak.PeakDeltaBytes() : 0;
+      auto pred = model.Predict(data);
+      SRP_CHECK_OK(pred.status());
+      return Score(data, split.test_rows, *pred, p + 2, fit_time, bytes);
+    }
+    case RegressionModelKind::kGwr: {
+      GeographicallyWeightedRegression model;
+      SRP_CHECK_OK(model.Fit(split.train));
+      const double fit_time = timer.ElapsedSeconds();
+      const int64_t bytes =
+          MemoryTracker::Hooked() ? peak.PeakDeltaBytes() : 0;
+      auto pred = model.Predict(data);
+      SRP_CHECK_OK(pred.status());
+      return Score(data, split.test_rows, *pred, p + 1, fit_time, bytes);
+    }
+    case RegressionModelKind::kSvr: {
+      SvrRegression model;
+      SRP_CHECK_OK(model.Fit(split.train.features, split.train.target));
+      const double fit_time = timer.ElapsedSeconds();
+      const int64_t bytes =
+          MemoryTracker::Hooked() ? peak.PeakDeltaBytes() : 0;
+      predictions = model.Predict(data.features);
+      return Score(data, split.test_rows, predictions, num_params, fit_time,
+                   bytes);
+    }
+    case RegressionModelKind::kRandomForest: {
+      RandomForestRegression model;
+      SRP_CHECK_OK(model.Fit(split.train.features, split.train.target));
+      const double fit_time = timer.ElapsedSeconds();
+      const int64_t bytes =
+          MemoryTracker::Hooked() ? peak.PeakDeltaBytes() : 0;
+      predictions = model.Predict(data.features);
+      return Score(data, split.test_rows, predictions, num_params, fit_time,
+                   bytes);
+    }
+    case RegressionModelKind::kKriging: {
+      std::vector<Centroid> train_coords;
+      std::vector<double> train_values;
+      for (size_t i = 0; i < split.train.num_rows(); ++i) {
+        train_coords.push_back(split.train.coords[i]);
+        train_values.push_back(split.train.target[i]);
+      }
+      OrdinaryKriging::Options options;
+      options.search_radius = 0.02;
+      options.max_range = 0.32;
+      OrdinaryKriging model(options);
+      SRP_CHECK_OK(model.Fit(train_coords, train_values));
+      const double fit_time = timer.ElapsedSeconds();
+      const int64_t bytes =
+          MemoryTracker::Hooked() ? peak.PeakDeltaBytes() : 0;
+      auto pred = model.Predict(data.coords);
+      SRP_CHECK_OK(pred.status());
+      return Score(data, split.test_rows, *pred, 3, fit_time, bytes);
+    }
+  }
+  SRP_CHECK(false) << "unreachable";
+  return RegressionOutcome{};
+}
+
+RegressionOutcome RunRegressionAgainstOriginal(
+    RegressionModelKind kind, const MlDataset& train_units,
+    const MlDataset& eval, const std::vector<size_t>& test_rows) {
+  const size_t p = train_units.features.cols();
+  ScopedMemoryPeak peak;
+  WallTimer timer;
+
+  auto score_full = [&](const std::vector<double>& pred_full,
+                        size_t num_params, double fit_time, int64_t bytes) {
+    return Score(eval, test_rows, pred_full, num_params, fit_time, bytes);
+  };
+
+  switch (kind) {
+    case RegressionModelKind::kSpatialLag: {
+      SpatialLagRegression model;
+      SRP_CHECK_OK(model.Fit(train_units));
+      const double fit_time = timer.ElapsedSeconds();
+      const int64_t bytes = MemoryTracker::Hooked() ? peak.PeakDeltaBytes() : 0;
+      auto pred = model.Predict(eval);
+      SRP_CHECK_OK(pred.status());
+      return score_full(*pred, p + 2, fit_time, bytes);
+    }
+    case RegressionModelKind::kSpatialError: {
+      SpatialErrorRegression model;
+      SRP_CHECK_OK(model.Fit(train_units));
+      const double fit_time = timer.ElapsedSeconds();
+      const int64_t bytes = MemoryTracker::Hooked() ? peak.PeakDeltaBytes() : 0;
+      auto pred = model.Predict(eval);
+      SRP_CHECK_OK(pred.status());
+      return score_full(*pred, p + 2, fit_time, bytes);
+    }
+    case RegressionModelKind::kGwr: {
+      GeographicallyWeightedRegression model;
+      SRP_CHECK_OK(model.Fit(train_units));
+      const double fit_time = timer.ElapsedSeconds();
+      const int64_t bytes = MemoryTracker::Hooked() ? peak.PeakDeltaBytes() : 0;
+      auto pred = model.Predict(eval);
+      SRP_CHECK_OK(pred.status());
+      return score_full(*pred, p + 1, fit_time, bytes);
+    }
+    case RegressionModelKind::kSvr: {
+      SvrRegression model;
+      SRP_CHECK_OK(model.Fit(train_units.features, train_units.target));
+      const double fit_time = timer.ElapsedSeconds();
+      const int64_t bytes = MemoryTracker::Hooked() ? peak.PeakDeltaBytes() : 0;
+      return score_full(model.Predict(eval.features), p + 1, fit_time, bytes);
+    }
+    case RegressionModelKind::kRandomForest: {
+      RandomForestRegression model;
+      SRP_CHECK_OK(model.Fit(train_units.features, train_units.target));
+      const double fit_time = timer.ElapsedSeconds();
+      const int64_t bytes = MemoryTracker::Hooked() ? peak.PeakDeltaBytes() : 0;
+      return score_full(model.Predict(eval.features), p + 1, fit_time, bytes);
+    }
+    case RegressionModelKind::kKriging: {
+      OrdinaryKriging::Options options;
+      options.search_radius = 0.02;
+      options.max_range = 0.32;
+      OrdinaryKriging model(options);
+      SRP_CHECK_OK(model.Fit(train_units.coords, train_units.target));
+      const double fit_time = timer.ElapsedSeconds();
+      const int64_t bytes = MemoryTracker::Hooked() ? peak.PeakDeltaBytes() : 0;
+      auto pred = model.Predict(eval.coords);
+      SRP_CHECK_OK(pred.status());
+      return score_full(*pred, 3, fit_time, bytes);
+    }
+  }
+  SRP_CHECK(false) << "unreachable";
+  return RegressionOutcome{};
+}
+
+ClassificationOutcome RunClassificationAgainstOriginal(
+    bool use_gbt, const MlDataset& train_units, const MlDataset& eval,
+    const std::vector<size_t>& train_rows,
+    const std::vector<size_t>& test_rows) {
+  constexpr int kNumClasses = 5;
+  // Bin edges from the ORIGINAL training cells so every method predicts the
+  // same class boundaries.
+  std::vector<double> original_train_targets;
+  original_train_targets.reserve(train_rows.size());
+  for (size_t idx : train_rows) {
+    original_train_targets.push_back(eval.target[idx]);
+  }
+  const std::vector<double> edges =
+      QuantileBinEdges(original_train_targets, kNumClasses);
+  const std::vector<int> unit_labels = BinWithEdges(train_units.target, edges);
+  const std::vector<int> all_labels = BinWithEdges(eval.target, edges);
+
+  ClassificationOutcome out;
+  ScopedMemoryPeak peak;
+  WallTimer timer;
+  std::vector<int> predictions;
+  if (use_gbt) {
+    GradientBoostingClassifier model;
+    SRP_CHECK_OK(model.Fit(train_units.features, unit_labels, kNumClasses));
+    out.train_seconds = timer.ElapsedSeconds();
+    out.peak_train_bytes = MemoryTracker::Hooked() ? peak.PeakDeltaBytes() : 0;
+    predictions = model.Predict(eval.features);
+  } else {
+    KnnClassifier model;
+    SRP_CHECK_OK(model.Fit(train_units.features, unit_labels, kNumClasses));
+    out.train_seconds = timer.ElapsedSeconds();
+    out.peak_train_bytes = MemoryTracker::Hooked() ? peak.PeakDeltaBytes() : 0;
+    predictions = model.Predict(eval.features);
+  }
+  std::vector<int> y;
+  std::vector<int> yhat;
+  for (size_t idx : test_rows) {
+    y.push_back(all_labels[idx]);
+    yhat.push_back(predictions[idx]);
+  }
+  out.weighted_f1 = WeightedF1Score(y, yhat, kNumClasses);
+  return out;
+}
+
+ClassificationOutcome RunClassificationModel(bool use_gbt,
+                                             const MlDataset& data,
+                                             uint64_t split_seed) {
+  const SplitData split = MakeSplit(data, split_seed);
+  constexpr int kNumClasses = 5;
+  // Bin by training-set quantiles (low .. high classes, Section IV-C2).
+  const std::vector<double> edges =
+      QuantileBinEdges(split.train.target, kNumClasses);
+  const std::vector<int> train_labels =
+      BinWithEdges(split.train.target, edges);
+  const std::vector<int> all_labels = BinWithEdges(data.target, edges);
+
+  ClassificationOutcome out;
+  ScopedMemoryPeak peak;
+  WallTimer timer;
+  std::vector<int> predictions;
+  if (use_gbt) {
+    GradientBoostingClassifier model;
+    SRP_CHECK_OK(model.Fit(split.train.features, train_labels, kNumClasses));
+    out.train_seconds = timer.ElapsedSeconds();
+    out.peak_train_bytes =
+        MemoryTracker::Hooked() ? peak.PeakDeltaBytes() : 0;
+    predictions = model.Predict(data.features);
+  } else {
+    KnnClassifier model;
+    SRP_CHECK_OK(model.Fit(split.train.features, train_labels, kNumClasses));
+    out.train_seconds = timer.ElapsedSeconds();
+    out.peak_train_bytes =
+        MemoryTracker::Hooked() ? peak.PeakDeltaBytes() : 0;
+    predictions = model.Predict(data.features);
+  }
+  std::vector<int> y;
+  std::vector<int> yhat;
+  for (size_t idx : split.test_rows) {
+    y.push_back(all_labels[idx]);
+    yhat.push_back(predictions[idx]);
+  }
+  out.weighted_f1 = WeightedF1Score(y, yhat, kNumClasses);
+  return out;
+}
+
+ClusteringOutcome RunClustering(const MlDataset& data, size_t num_clusters,
+                                const std::vector<double>& weights) {
+  // Univariate datasets expose the attribute as target; use it as the
+  // clustering feature alongside any other features.
+  Matrix features = data.features;
+  if (features.cols() == 0) {
+    features = Matrix::ColumnVector(data.target);
+  }
+  SpatialHierarchicalClustering::Options options;
+  options.num_clusters = num_clusters;
+  SpatialHierarchicalClustering model(options);
+
+  ClusteringOutcome out;
+  ScopedMemoryPeak peak;
+  WallTimer timer;
+  SRP_CHECK_OK(model.Fit(features, data.neighbors, weights));
+  out.train_seconds = timer.ElapsedSeconds();
+  out.peak_train_bytes = MemoryTracker::Hooked() ? peak.PeakDeltaBytes() : 0;
+  out.labels = model.labels();
+  return out;
+}
+
+}  // namespace bench
+}  // namespace srp

@@ -1,0 +1,90 @@
+#ifndef SRP_BENCH_MODEL_RUNS_H_
+#define SRP_BENCH_MODEL_RUNS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "ml/dataset.h"
+
+namespace srp {
+namespace bench {
+
+/// The five spatial regression models of Fig. 7 / Table II plus kriging.
+enum class RegressionModelKind {
+  kSpatialLag,
+  kSpatialError,
+  kGwr,
+  kSvr,
+  kRandomForest,
+  kKriging,
+};
+
+const char* RegressionModelName(RegressionModelKind kind);
+
+/// All regression-style model kinds in the paper's reporting order.
+std::vector<RegressionModelKind> MultivariateRegressionModels();
+
+/// Outcome of one 80/20 train/evaluate run.
+struct RegressionOutcome {
+  double train_seconds = 0.0;
+  int64_t peak_train_bytes = 0;
+  double mae = 0.0;
+  double rmse = 0.0;
+  double standard_error = 0.0;
+  double pseudo_r2 = 0.0;
+};
+
+/// Fits `kind` on an 80% split of `data` (paper Section III-B) and scores
+/// the held-out 20%. Kriging uses coords+target only; the spatially
+/// explicit models use data.neighbors.
+RegressionOutcome RunRegressionModel(RegressionModelKind kind,
+                                     const MlDataset& data,
+                                     uint64_t split_seed);
+
+/// Outcome of a classification run (5-bin target, Section IV-C2).
+struct ClassificationOutcome {
+  double train_seconds = 0.0;
+  int64_t peak_train_bytes = 0;
+  double weighted_f1 = 0.0;
+};
+
+/// `use_gbt` true = gradient boosting, false = KNN. The continuous target is
+/// binned into 5 classes by training-set quantiles.
+ClassificationOutcome RunClassificationModel(bool use_gbt,
+                                             const MlDataset& data,
+                                             uint64_t split_seed);
+
+/// Table II/III protocol: the model trains on `train_units` (a reduced
+/// dataset — every unit — or the original training cells) and is scored
+/// against the ORIGINAL grid's held-out cells (`eval.target` at
+/// `test_rows`). Scoring every method against the same ground truth is what
+/// penalizes reductions that lose information: a baseline whose units drift
+/// far from the underlying cells trains a model that mispredicts reality,
+/// exactly the paper's argument for why re-partitioning wins.
+RegressionOutcome RunRegressionAgainstOriginal(
+    RegressionModelKind kind, const MlDataset& train_units,
+    const MlDataset& eval, const std::vector<size_t>& test_rows);
+
+/// Classification counterpart: bin edges come from the original training
+/// cells; the reduced units' targets are binned with those same edges.
+ClassificationOutcome RunClassificationAgainstOriginal(
+    bool use_gbt, const MlDataset& train_units, const MlDataset& eval,
+    const std::vector<size_t>& train_rows, const std::vector<size_t>& test_rows);
+
+/// Outcome of a spatially constrained clustering run.
+struct ClusteringOutcome {
+  double train_seconds = 0.0;
+  int64_t peak_train_bytes = 0;
+  std::vector<int> labels;
+};
+
+/// SCHC over the dataset's units; `weights` may carry per-unit cell counts.
+ClusteringOutcome RunClustering(const MlDataset& data, size_t num_clusters,
+                                const std::vector<double>& weights = {});
+
+}  // namespace bench
+}  // namespace srp
+
+#endif  // SRP_BENCH_MODEL_RUNS_H_

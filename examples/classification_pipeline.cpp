@@ -1,0 +1,119 @@
+// Multi-class classification on the earnings grid (Section IV-C2): the
+// #high-earning-jobs target is binned into five classes (low .. high), a
+// gradient-boosting classifier is trained on the original grid, on the
+// re-partitioned grid, and on all three data-reduction baselines at the same
+// unit count, and weighted F1-scores are compared — a miniature Table III.
+//
+//   ./classification_pipeline [theta]     (default theta = 0.1)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "baselines/clustering_reduction.h"
+#include "baselines/regionalization.h"
+#include "baselines/sampling.h"
+#include "core/repartitioner.h"
+#include "data/datasets.h"
+#include "metrics/classification_metrics.h"
+#include "ml/dataset.h"
+#include "ml/gradient_boosting.h"
+#include "util/timer.h"
+
+namespace {
+
+constexpr int kClasses = 5;
+
+double TrainAndScore(const srp::MlDataset& data, const char* label) {
+  using namespace srp;
+  const TrainTestSplit split = SplitDataset(data.num_rows(), 0.8, 23);
+  const MlDataset train = SubsetRows(data, split.train);
+  const std::vector<double> edges = QuantileBinEdges(train.target, kClasses);
+  const std::vector<int> train_labels = BinWithEdges(train.target, edges);
+  const std::vector<int> all_labels = BinWithEdges(data.target, edges);
+
+  GradientBoostingClassifier::Options options;
+  options.n_estimators = 60;  // keep the example snappy
+  GradientBoostingClassifier model(options);
+  WallTimer timer;
+  auto fit = model.Fit(train.features, train_labels, kClasses);
+  const double seconds = timer.ElapsedSeconds();
+  if (!fit.ok()) {
+    std::fprintf(stderr, "fit failed: %s\n", fit.ToString().c_str());
+    std::exit(1);
+  }
+  const std::vector<int> pred = model.Predict(data.features);
+  std::vector<int> y;
+  std::vector<int> yhat;
+  for (size_t idx : split.test) {
+    y.push_back(all_labels[idx]);
+    yhat.push_back(pred[idx]);
+  }
+  const double f1 = WeightedF1Score(y, yhat, kClasses);
+  std::printf("  %-16s units=%5zu  train=%6.3fs  weighted F1=%.3f\n", label,
+              data.num_rows(), seconds, f1);
+  return f1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace srp;
+  const double theta = argc > 1 ? std::atof(argv[1]) : 0.1;
+
+  DatasetOptions data_options;
+  data_options.rows = 48;
+  data_options.cols = 48;
+  data_options.seed = 2022;
+  auto grid = GenerateDataset(DatasetKind::kEarningsMulti, data_options);
+  if (!grid.ok()) return 1;
+  const std::string target = "jobs_high";
+  std::printf("earnings grid: %zux%zu, target '%s' binned into %d classes\n\n",
+              grid->rows(), grid->cols(), target.c_str(), kClasses);
+
+  auto original = PrepareFromGrid(*grid, target);
+  if (!original.ok()) return 1;
+  TrainAndScore(*original, "original");
+
+  RepartitionOptions options;
+  options.ifl_threshold = theta;
+  options.min_variation_step = 2.5e-3;
+  auto repart = Repartitioner(options).Run(*grid);
+  if (!repart.ok()) return 1;
+  auto reduced = PrepareFromPartition(*grid, repart->partition, target);
+  if (!reduced.ok()) return 1;
+  const size_t t = reduced->num_rows();
+  std::printf("(reduction at theta=%.2f: %zu -> %zu units, IFL %.4f)\n",
+              theta, original->num_rows(), t, repart->information_loss);
+  TrainAndScore(*reduced, "repartitioning");
+
+  // Baselines at the same target unit count (Section IV-A3).
+  {
+    SpatialSamplingOptions sopt;
+    sopt.target_samples = t;
+    auto sampled = SpatialSampling(*grid, sopt);
+    if (!sampled.ok()) return 1;
+    auto ml = ReducedToMlDataset(*grid, *sampled, target);
+    if (!ml.ok()) return 1;
+    TrainAndScore(*ml, "sampling");
+  }
+  {
+    RegionalizationOptions ropt;
+    ropt.target_regions = t;
+    auto regions = Regionalize(*grid, ropt);
+    if (!regions.ok()) return 1;
+    auto ml = ReducedToMlDataset(*grid, *regions, target);
+    if (!ml.ok()) return 1;
+    TrainAndScore(*ml, "regionalization");
+  }
+  {
+    ClusteringReductionOptions copt;
+    copt.target_clusters = t;
+    auto clusters = ClusteringReduction(*grid, copt);
+    if (!clusters.ok()) return 1;
+    auto ml = ReducedToMlDataset(*grid, *clusters, target);
+    if (!ml.ok()) return 1;
+    TrainAndScore(*ml, "clustering");
+  }
+  return 0;
+}

@@ -1,0 +1,24 @@
+#ifndef SRP_BASELINES_CLUSTERING_REDUCTION_H_
+#define SRP_BASELINES_CLUSTERING_REDUCTION_H_
+
+#include "baselines/reduced_dataset.h"
+#include "grid/grid_dataset.h"
+#include "util/status.h"
+
+namespace srp {
+
+/// Spatially contiguous clustering baseline (Kim et al. [15]): reduces the
+/// grid to `t` units by contiguity-constrained hierarchical (Ward)
+/// clustering of the valid cells on their normalized attributes, then
+/// aggregating each cluster like a region. Disconnected valid components
+/// can leave slightly more than t clusters.
+struct ClusteringReductionOptions {
+  size_t target_clusters = 0;  ///< t; must be in [1, #valid cells]
+};
+
+Result<ReducedDataset> ClusteringReduction(
+    const GridDataset& grid, const ClusteringReductionOptions& options);
+
+}  // namespace srp
+
+#endif  // SRP_BASELINES_CLUSTERING_REDUCTION_H_

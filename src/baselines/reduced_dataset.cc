@@ -1,0 +1,86 @@
+#include "baselines/reduced_dataset.h"
+
+#include "util/logging.h"
+
+namespace srp {
+
+Result<MlDataset> ReducedToMlDataset(const GridDataset& grid,
+                                     const ReducedDataset& reduced,
+                                     const std::string& target_attribute) {
+  int target_index = -1;
+  if (!target_attribute.empty()) {
+    target_index = grid.AttributeIndex(target_attribute);
+    if (target_index < 0) {
+      return Status::NotFound("target attribute '" + target_attribute +
+                              "' not in grid");
+    }
+  }
+  const bool self_target = grid.num_attributes() == 1 && target_index < 0;
+
+  MlDataset out;
+  for (size_t k = 0; k < grid.num_attributes(); ++k) {
+    if (static_cast<int>(k) == target_index) continue;
+    out.feature_names.push_back(grid.attributes()[k].name);
+  }
+  out.target_name = target_index >= 0
+                        ? grid.attributes()[static_cast<size_t>(target_index)].name
+                        : (self_target ? grid.attributes()[0].name : "");
+
+  const size_t t = reduced.num_units();
+  out.features = Matrix(t, out.feature_names.size());
+  out.target.resize(t, 0.0);
+  out.coords = reduced.coords;
+  out.neighbors = reduced.neighbors;
+  out.unit_ids.resize(t);
+  for (size_t u = 0; u < t; ++u) {
+    size_t fcol = 0;
+    for (size_t k = 0; k < grid.num_attributes(); ++k) {
+      const double v = reduced.attributes(u, k);
+      if (static_cast<int>(k) == target_index) {
+        out.target[u] = v;
+      } else {
+        out.features(u, fcol++) = v;
+      }
+    }
+    if (self_target) out.target[u] = reduced.attributes(u, 0);
+    out.unit_ids[u] = static_cast<int32_t>(u);
+  }
+  return out;
+}
+
+void AggregateUnitAttributes(const GridDataset& grid,
+                             const std::vector<std::vector<int32_t>>& unit_cells,
+                             ReducedDataset* out) {
+  const size_t t = unit_cells.size();
+  const size_t p = grid.num_attributes();
+  out->attributes = Matrix(t, p);
+  out->coords.assign(t, Centroid{});
+  const size_t cols = grid.cols();
+  for (size_t u = 0; u < t; ++u) {
+    SRP_CHECK(!unit_cells[u].empty()) << "unit " << u << " has no cells";
+    double lat = 0.0;
+    double lon = 0.0;
+    for (size_t k = 0; k < p; ++k) {
+      double sum = 0.0;
+      for (int32_t cell : unit_cells[u]) {
+        sum += grid.AtIndex(static_cast<size_t>(cell), k);
+      }
+      // Per-cell scale for both aggregation types: averages take the mean,
+      // and summed quantities are spread back over the member cells, keeping
+      // unit feature vectors comparable with raw cells (matching
+      // PrepareFromPartition's convention).
+      out->attributes(u, k) = sum / static_cast<double>(unit_cells[u].size());
+    }
+    for (int32_t cell : unit_cells[u]) {
+      const size_t r = static_cast<size_t>(cell) / cols;
+      const size_t c = static_cast<size_t>(cell) % cols;
+      const Centroid cc = grid.CellCentroid(r, c);
+      lat += cc.lat;
+      lon += cc.lon;
+    }
+    out->coords[u].lat = lat / static_cast<double>(unit_cells[u].size());
+    out->coords[u].lon = lon / static_cast<double>(unit_cells[u].size());
+  }
+}
+
+}  // namespace srp

@@ -1,0 +1,51 @@
+#ifndef SRP_BASELINES_REDUCED_DATASET_H_
+#define SRP_BASELINES_REDUCED_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grid/grid_dataset.h"
+#include "linalg/matrix.h"
+#include "ml/dataset.h"
+#include "util/status.h"
+
+namespace srp {
+
+/// Output shared by the three data-reduction baselines of Section IV-A3:
+/// t reduced units (samples, regions, or clusters) with aggregated attribute
+/// vectors, centroids, an adjacency list among units (empty lists where the
+/// method cannot provide one — the sampling baseline approximates adjacency
+/// with nearest-sample links), and a map from every valid grid cell to its
+/// unit (used by Table IV's clustering-correctness protocol and Section
+/// III-C-style reconstruction).
+struct ReducedDataset {
+  Matrix attributes;  ///< t x p, full attribute table in grid schema order
+  std::vector<Centroid> coords;
+  std::vector<std::vector<int32_t>> neighbors;
+  /// Row-major over grid cells; -1 for null cells.
+  std::vector<int32_t> cell_to_unit;
+
+  size_t num_units() const { return attributes.rows(); }
+};
+
+/// Converts a ReducedDataset into the MlDataset shape the model zoo
+/// consumes, splitting off `target_attribute` exactly like PrepareFromGrid
+/// (empty target on univariate data exposes the single attribute as both
+/// feature and target).
+Result<MlDataset> ReducedToMlDataset(const GridDataset& grid,
+                                     const ReducedDataset& reduced,
+                                     const std::string& target_attribute);
+
+/// Aggregates the attribute vector of one unit from its member cells at
+/// per-cell scale (mean over member cells for both aggregation types, i.e.
+/// summed quantities are spread back over the cells), matching
+/// PrepareFromPartition's convention. Shared by the regionalization and
+/// clustering baselines.
+void AggregateUnitAttributes(const GridDataset& grid,
+                             const std::vector<std::vector<int32_t>>& unit_cells,
+                             ReducedDataset* out);
+
+}  // namespace srp
+
+#endif  // SRP_BASELINES_REDUCED_DATASET_H_

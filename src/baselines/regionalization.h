@@ -1,0 +1,35 @@
+#ifndef SRP_BASELINES_REGIONALIZATION_H_
+#define SRP_BASELINES_REGIONALIZATION_H_
+
+#include <cstdint>
+
+#include "baselines/reduced_dataset.h"
+#include "grid/grid_dataset.h"
+#include "util/status.h"
+
+namespace srp {
+
+/// Regionalization baseline (Biswas et al. [13]): clusters the valid cells
+/// into `t` spatially contiguous regions of arbitrary shape by the classic
+/// two-phase scheme the paper describes — seed initialization followed by
+/// region growing — plus a boundary-reassignment local-search pass (the
+/// memetic refinement), all on attribute-normalized values.
+///
+/// Growth order is most-similar-first: the unassigned cell whose attributes
+/// are closest to an adjacent region's running mean joins next, so regions
+/// stay internally homogeneous. The local search moves boundary cells to a
+/// better-fitting adjacent region when that strictly lowers total
+/// within-region dissimilarity and provably keeps the source region
+/// connected.
+struct RegionalizationOptions {
+  size_t target_regions = 0;  ///< t; must be in [1, #valid cells]
+  size_t local_search_passes = 2;
+  uint64_t seed = 23;
+};
+
+Result<ReducedDataset> Regionalize(const GridDataset& grid,
+                                   const RegionalizationOptions& options);
+
+}  // namespace srp
+
+#endif  // SRP_BASELINES_REGIONALIZATION_H_

@@ -1,0 +1,36 @@
+#ifndef SRP_BASELINES_SAMPLING_H_
+#define SRP_BASELINES_SAMPLING_H_
+
+#include <cstdint>
+
+#include "baselines/reduced_dataset.h"
+#include "grid/grid_dataset.h"
+#include "util/status.h"
+
+namespace srp {
+
+/// Spatial sampling baseline (Guo et al. [9]): greedily selects `t` valid
+/// cells that are spatially spread out (farthest-point selection, the
+/// proximity/representativeness trade-off of map sampling), keeping each
+/// sample's own feature vector. Every valid cell is then assigned to its
+/// nearest sample (a Voronoi partition) so clustering labels and predictions
+/// can be propagated back to cells.
+///
+/// Sampling breaks spatial adjacency — the paper's core criticism: "the
+/// sampling technique might pick the cell without picking most of its
+/// adjacent cells, affecting the adjacency information in the adjacency
+/// matrix". Accordingly the adjacency list keeps only the original grid
+/// edges whose BOTH endpoints were sampled; most samples end up with
+/// partial or empty neighbor lists, which is what degrades the spatially
+/// explicit models downstream.
+struct SpatialSamplingOptions {
+  size_t target_samples = 0;  ///< t; must be >= 1 and <= #valid cells
+  uint64_t seed = 17;
+};
+
+Result<ReducedDataset> SpatialSampling(const GridDataset& grid,
+                                       const SpatialSamplingOptions& options);
+
+}  // namespace srp
+
+#endif  // SRP_BASELINES_SAMPLING_H_

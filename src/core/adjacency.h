@@ -1,0 +1,29 @@
+#ifndef SRP_CORE_ADJACENCY_H_
+#define SRP_CORE_ADJACENCY_H_
+
+#include <cstddef>
+
+#include <vector>
+
+#include "core/partition.h"
+
+namespace srp {
+
+/// Binary adjacency list over cell-groups (paper Section III-B,
+/// Algorithm 3): neighbors[g] holds the ids of every cell-group sharing an
+/// edge with g's rectangle, discovered by walking the cells just outside its
+/// four boundaries. Lists are deduplicated, sorted ascending, and never
+/// contain g itself. Weight is implicitly 1 for every listed neighbor.
+///
+/// This is the neighborhood structure spatial ML models consume (spatial
+/// lag/error weights, contiguity-constrained clustering), and preserving it
+/// is what makes the framework "ML-aware" relative to sampling.
+std::vector<std::vector<int32_t>> BuildAdjacencyList(const Partition& partition);
+
+/// Convenience: binary adjacency list of the raw grid cells themselves
+/// (rook contiguity), used when training on the original dataset.
+std::vector<std::vector<int32_t>> GridCellAdjacency(size_t rows, size_t cols);
+
+}  // namespace srp
+
+#endif  // SRP_CORE_ADJACENCY_H_

@@ -1,0 +1,113 @@
+#include "core/extractor.h"
+
+#include <algorithm>
+
+namespace srp {
+namespace {
+
+/// Growth state for one seed cell: a candidate rectangle anchored at (i, j).
+struct Rect {
+  size_t height = 1;
+  size_t width = 1;
+};
+
+}  // namespace
+
+Partition CellGroupExtractor::Extract(double t) const {
+  const size_t rows = var_.rows;
+  const size_t cols = var_.cols;
+  Partition p;
+  p.rows = rows;
+  p.cols = cols;
+  p.cell_to_group.assign(rows * cols, -1);
+  std::vector<uint8_t> visited(rows * cols, 0);
+
+  auto is_free = [&](size_t r, size_t c) { return visited[r * cols + c] == 0; };
+
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      if (!is_free(i, j)) continue;
+
+      // vCount: maximal unvisited vertical strip below (i, j).
+      size_t v_count = 1;
+      while (i + v_count < rows && is_free(i + v_count, j) &&
+             var_.Down(i + v_count - 1, j) <= t) {
+        ++v_count;
+      }
+
+      // hCount: maximal unvisited horizontal strip right of (i, j).
+      size_t h_count = 1;
+      while (j + h_count < cols && is_free(i, j + h_count) &&
+             var_.Right(i, j + h_count - 1) <= t) {
+        ++h_count;
+      }
+
+      // rCount: greedy rectangle growth. A new column/row is admitted only
+      // when every adjacent pair it introduces respects the bound and all its
+      // cells are unvisited.
+      Rect rect;
+      auto can_add_column = [&](const Rect& r) {
+        const size_t new_c = j + r.width;
+        if (new_c >= cols) return false;
+        for (size_t rr = i; rr < i + r.height; ++rr) {
+          if (!is_free(rr, new_c)) return false;
+          if (var_.Right(rr, new_c - 1) > t) return false;
+          if (rr > i && var_.Down(rr - 1, new_c) > t) return false;
+        }
+        return true;
+      };
+      auto can_add_row = [&](const Rect& r) {
+        const size_t new_r = i + r.height;
+        if (new_r >= rows) return false;
+        for (size_t cc = j; cc < j + r.width; ++cc) {
+          if (!is_free(new_r, cc)) return false;
+          if (var_.Down(new_r - 1, cc) > t) return false;
+          if (cc > j && var_.Right(new_r, cc - 1) > t) return false;
+        }
+        return true;
+      };
+      for (;;) {
+        bool grew = false;
+        if (can_add_column(rect)) {
+          ++rect.width;
+          grew = true;
+        }
+        if (can_add_row(rect)) {
+          ++rect.height;
+          grew = true;
+        }
+        if (!grew) break;
+      }
+      const size_t r_count = rect.height * rect.width;
+
+      // maxCount = max(vCount, hCount, rCount); ties prefer the rectangle,
+      // then the horizontal strip (both arbitrary in the paper).
+      CellGroup group;
+      group.r_beg = static_cast<uint32_t>(i);
+      group.c_beg = static_cast<uint32_t>(j);
+      const size_t max_count = std::max({v_count, h_count, r_count});
+      if (r_count == max_count) {
+        group.r_end = static_cast<uint32_t>(i + rect.height - 1);
+        group.c_end = static_cast<uint32_t>(j + rect.width - 1);
+      } else if (h_count == max_count) {
+        group.r_end = static_cast<uint32_t>(i);
+        group.c_end = static_cast<uint32_t>(j + h_count - 1);
+      } else {
+        group.r_end = static_cast<uint32_t>(i + v_count - 1);
+        group.c_end = static_cast<uint32_t>(j);
+      }
+
+      const auto id = static_cast<int32_t>(p.groups.size());
+      for (size_t rr = group.r_beg; rr <= group.r_end; ++rr) {
+        for (size_t cc = group.c_beg; cc <= group.c_end; ++cc) {
+          visited[rr * cols + cc] = 1;
+          p.cell_to_group[rr * cols + cc] = id;
+        }
+      }
+      p.groups.push_back(group);
+    }
+  }
+  return p;
+}
+
+}  // namespace srp

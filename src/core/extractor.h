@@ -1,0 +1,41 @@
+#ifndef SRP_CORE_EXTRACTOR_H_
+#define SRP_CORE_EXTRACTOR_H_
+
+#include "core/partition.h"
+#include "core/variation.h"
+
+namespace srp {
+
+/// Cell-Group Extractor (paper Section III-A2, Algorithm 1).
+///
+/// Greedy heuristic: scanning the grid row-major from the top-left corner,
+/// each unvisited cell grows the largest of
+///   - vCount: a maximal vertical strip of unvisited cells whose consecutive
+///     pair variations are <= minAdjacentVariation,
+///   - hCount: the analogous horizontal strip,
+///   - rCount: a rectangle grown greedily by alternating row/column expansion
+///     in which *every* adjacent pair (horizontal and vertical) respects the
+///     bound,
+/// and the winning shape becomes one cell-group (ties prefer the rectangle,
+/// then the horizontal strip). A cell with no mergeable neighbor forms a
+/// singleton group. Null cells only merge with adjacent null cells (their
+/// pair variation is 0; null/valid pairs are +infinity).
+///
+/// The returned Partition has groups (gIndex) and cell_to_group (cIndex)
+/// filled; features are allocated separately (feature_allocator.h).
+class CellGroupExtractor {
+ public:
+  /// `variations` must come from ComputePairVariations over the
+  /// attribute-normalized grid.
+  explicit CellGroupExtractor(const PairVariations& variations)
+      : var_(variations) {}
+
+  Partition Extract(double min_adjacent_variation) const;
+
+ private:
+  const PairVariations& var_;
+};
+
+}  // namespace srp
+
+#endif  // SRP_CORE_EXTRACTOR_H_

@@ -1,0 +1,90 @@
+#include "core/feature_allocator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace srp {
+
+double LocalLoss(const std::vector<double>& cell_values,
+                 double representative) {
+  if (cell_values.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : cell_values) acc += std::fabs(v - representative);
+  return acc / static_cast<double>(cell_values.size());
+}
+
+namespace {
+
+/// Most frequent value; ties resolved toward the smaller value so the result
+/// is deterministic regardless of cell order.
+double ModeOf(const std::vector<double>& values) {
+  std::map<double, size_t> counts;
+  for (double v : values) ++counts[v];
+  double best_value = values.front();
+  size_t best_count = 0;
+  for (const auto& [value, count] : counts) {
+    if (count > best_count) {
+      best_count = count;
+      best_value = value;
+    }
+  }
+  return best_value;
+}
+
+}  // namespace
+
+Status AllocateFeatures(const GridDataset& grid, Partition* partition) {
+  if (partition->rows != grid.rows() || partition->cols != grid.cols()) {
+    return Status::InvalidArgument("partition/grid dimension mismatch");
+  }
+  const size_t p = grid.num_attributes();
+  partition->features.assign(partition->num_groups(),
+                             std::vector<double>(p, 0.0));
+  partition->group_null.assign(partition->num_groups(), 0);
+  partition->group_valid_count.assign(partition->num_groups(), 0);
+
+  std::vector<double> values;
+  for (size_t g = 0; g < partition->num_groups(); ++g) {
+    const CellGroup& group = partition->groups[g];
+    // The extractor never mixes null and valid cells, so group nullness can
+    // be read off the first cell.
+    if (grid.IsNull(group.r_beg, group.c_beg)) {
+      partition->group_null[g] = 1;
+      continue;
+    }
+    partition->group_valid_count[g] = static_cast<uint32_t>(group.NumCells());
+    for (size_t k = 0; k < p; ++k) {
+      const AttributeSpec& attr = grid.attributes()[k];
+      values.clear();
+      values.reserve(group.NumCells());
+      double sum = 0.0;
+      for (size_t r = group.r_beg; r <= group.r_end; ++r) {
+        for (size_t c = group.c_beg; c <= group.c_end; ++c) {
+          const double v = grid.At(r, c, k);
+          values.push_back(v);
+          sum += v;
+        }
+      }
+      if (attr.is_categorical) {
+        // The mean of category ids is meaningless; the mode is the only
+        // sensible representative.
+        partition->features[g][k] = ModeOf(values);
+        continue;
+      }
+      if (attr.agg_type == AggType::kSum) {
+        partition->features[g][k] = sum;
+        continue;
+      }
+      double mean = sum / static_cast<double>(values.size());
+      if (attr.is_integer) mean = std::round(mean);
+      const double mode = ModeOf(values);
+      const double loss_mean = LocalLoss(values, mean);
+      const double loss_mode = LocalLoss(values, mode);
+      partition->features[g][k] = loss_mean <= loss_mode ? mean : mode;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace srp

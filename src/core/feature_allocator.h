@@ -1,0 +1,31 @@
+#ifndef SRP_CORE_FEATURE_ALLOCATOR_H_
+#define SRP_CORE_FEATURE_ALLOCATOR_H_
+
+#include <vector>
+
+#include "core/partition.h"
+#include "grid/grid_dataset.h"
+#include "util/status.h"
+
+namespace srp {
+
+/// Local loss of a candidate representative value for one attribute of a
+/// cell-group (paper Eq. 2): the mean absolute deviation of the group's cell
+/// values from `representative`.
+double LocalLoss(const std::vector<double>& cell_values, double representative);
+
+/// Feature Allocator (paper Section III-A3, Algorithm 2).
+///
+/// Fills `partition->features` / `partition->group_null` from the ORIGINAL
+/// (un-normalized) grid:
+///  - summation-aggregated attributes take the sum of the constituent cells;
+///  - average-aggregated attributes take whichever of (a) the mean (rounded
+///    to the nearest integer for integer-typed attributes) or (b) the most
+///    frequent value minimizes the local loss (Eq. 2), with the mean winning
+///    ties (Example 4);
+///  - groups of null cells get a null feature vector.
+Status AllocateFeatures(const GridDataset& grid, Partition* partition);
+
+}  // namespace srp
+
+#endif  // SRP_CORE_FEATURE_ALLOCATOR_H_

@@ -1,0 +1,137 @@
+#include "core/homogeneous.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "core/feature_allocator.h"
+#include "core/information_loss.h"
+
+namespace srp {
+namespace {
+
+/// Allocates features for a homogeneous partition whose groups may mix null
+/// and valid cells: summation sums the valid cells, average picks the better
+/// of mean/mode over the valid cells (mirroring Algorithm 2).
+void AllocateHomogeneousFeatures(const GridDataset& grid, Partition* p) {
+  const size_t num_attrs = grid.num_attributes();
+  p->features.assign(p->num_groups(), std::vector<double>(num_attrs, 0.0));
+  p->group_null.assign(p->num_groups(), 0);
+  p->group_valid_count.assign(p->num_groups(), 0);
+
+  std::vector<double> values;
+  for (size_t g = 0; g < p->num_groups(); ++g) {
+    const CellGroup& cg = p->groups[g];
+    size_t valid = 0;
+    for (size_t r = cg.r_beg; r <= cg.r_end; ++r) {
+      for (size_t c = cg.c_beg; c <= cg.c_end; ++c) {
+        if (!grid.IsNull(r, c)) ++valid;
+      }
+    }
+    p->group_valid_count[g] = static_cast<uint32_t>(valid);
+    if (valid == 0) {
+      p->group_null[g] = 1;
+      continue;
+    }
+    for (size_t k = 0; k < num_attrs; ++k) {
+      const AttributeSpec& attr = grid.attributes()[k];
+      values.clear();
+      double sum = 0.0;
+      for (size_t r = cg.r_beg; r <= cg.r_end; ++r) {
+        for (size_t c = cg.c_beg; c <= cg.c_end; ++c) {
+          if (grid.IsNull(r, c)) continue;
+          const double v = grid.At(r, c, k);
+          values.push_back(v);
+          sum += v;
+        }
+      }
+      std::map<double, size_t> counts;
+      for (double v : values) ++counts[v];
+      double mode = values.front();
+      size_t best = 0;
+      for (const auto& [value, count] : counts) {
+        if (count > best) {
+          best = count;
+          mode = value;
+        }
+      }
+      if (attr.is_categorical) {
+        p->features[g][k] = mode;  // category means are meaningless
+        continue;
+      }
+      if (attr.agg_type == AggType::kSum) {
+        p->features[g][k] = sum;
+        continue;
+      }
+      double mean = sum / static_cast<double>(values.size());
+      if (attr.is_integer) mean = std::round(mean);
+      p->features[g][k] =
+          LocalLoss(values, mean) <= LocalLoss(values, mode) ? mean : mode;
+    }
+  }
+}
+
+}  // namespace
+
+Result<Partition> HomogeneousMerge(const GridDataset& grid, size_t row_factor,
+                                   size_t col_factor) {
+  SRP_RETURN_IF_ERROR(grid.Validate());
+  if (row_factor == 0 || col_factor == 0) {
+    return Status::InvalidArgument("merge factors must be >= 1");
+  }
+  Partition p;
+  p.rows = grid.rows();
+  p.cols = grid.cols();
+  p.cell_to_group.assign(p.rows * p.cols, -1);
+
+  for (size_t r0 = 0; r0 < p.rows; r0 += row_factor) {
+    const size_t r1 = std::min(r0 + row_factor, p.rows) - 1;
+    for (size_t c0 = 0; c0 < p.cols; c0 += col_factor) {
+      const size_t c1 = std::min(c0 + col_factor, p.cols) - 1;
+      const auto id = static_cast<int32_t>(p.groups.size());
+      p.groups.push_back(CellGroup{
+          static_cast<uint32_t>(r0), static_cast<uint32_t>(r1),
+          static_cast<uint32_t>(c0), static_cast<uint32_t>(c1)});
+      for (size_t r = r0; r <= r1; ++r) {
+        for (size_t c = c0; c <= c1; ++c) p.cell_to_group[r * p.cols + c] = id;
+      }
+    }
+  }
+  AllocateHomogeneousFeatures(grid, &p);
+  return p;
+}
+
+Result<double> HomogeneousMergeLoss(const GridDataset& grid,
+                                    size_t row_factor, size_t col_factor) {
+  SRP_ASSIGN_OR_RETURN(Partition p,
+                       HomogeneousMerge(grid, row_factor, col_factor));
+  return InformationLoss(grid, p);
+}
+
+Result<HomogeneousResult> HomogeneousRepartition(const GridDataset& grid,
+                                                 double ifl_threshold) {
+  if (ifl_threshold < 0.0 || ifl_threshold > 1.0) {
+    return Status::InvalidArgument("ifl_threshold must lie in [0, 1]");
+  }
+  HomogeneousResult result;
+  result.partition = TrivialPartition(grid);
+  result.merge_factor = 1;
+
+  // "We start with the least possible granularity of merging two adjacent
+  // rows and columns … and incrementally increase … as long as the
+  // information loss does not exceed the pre-specified threshold."
+  for (size_t factor = 2; factor <= std::max(grid.rows(), grid.cols());
+       ++factor) {
+    SRP_ASSIGN_OR_RETURN(Partition candidate,
+                         HomogeneousMerge(grid, factor, factor));
+    const double ifl = InformationLoss(grid, candidate);
+    if (ifl > ifl_threshold) break;
+    result.partition = std::move(candidate);
+    result.information_loss = ifl;
+    result.merge_factor = factor;
+  }
+  return result;
+}
+
+}  // namespace srp

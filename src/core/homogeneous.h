@@ -1,0 +1,42 @@
+#ifndef SRP_CORE_HOMOGENEOUS_H_
+#define SRP_CORE_HOMOGENEOUS_H_
+
+#include <cstddef>
+
+#include "core/partition.h"
+#include "grid/grid_dataset.h"
+#include "util/status.h"
+
+namespace srp {
+
+/// The naive homogeneous re-partitioning variant (paper Section III-D):
+/// merges every `row_factor` adjacent rows and `col_factor` adjacent columns
+/// into uniformly sized rectangular cell-groups, regardless of attribute
+/// similarity. Groups at the bottom/right borders may be smaller when the
+/// grid dimensions are not divisible by the factors.
+///
+/// Unlike the ML-aware extractor this can mix null and valid cells inside a
+/// group; a group is null only when ALL its cells are null, and feature
+/// aggregation skips null cells (average) or treats them as 0 (sum).
+Result<Partition> HomogeneousMerge(const GridDataset& grid, size_t row_factor,
+                                   size_t col_factor);
+
+/// The IFL incurred by a single homogeneous merge — the quantity Table V
+/// reports for (2 rows), (2 columns) and (2 rows & 2 columns).
+Result<double> HomogeneousMergeLoss(const GridDataset& grid,
+                                    size_t row_factor, size_t col_factor);
+
+/// Iterative driver: increases the merge factor 2, 3, 4, … while the IFL
+/// stays within `ifl_threshold`, returning the last feasible partition
+/// (the trivial partition when even factor 2 violates the threshold).
+struct HomogeneousResult {
+  Partition partition;
+  double information_loss = 0.0;
+  size_t merge_factor = 1;  // 1 = no merging was feasible
+};
+Result<HomogeneousResult> HomogeneousRepartition(const GridDataset& grid,
+                                                 double ifl_threshold);
+
+}  // namespace srp
+
+#endif  // SRP_CORE_HOMOGENEOUS_H_

@@ -1,0 +1,51 @@
+#include "core/information_loss.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace srp {
+
+double RepresentativeValue(const GridDataset& grid, const Partition& partition,
+                           size_t r, size_t c, size_t k) {
+  const int32_t g = partition.GroupOf(r, c);
+  SRP_CHECK(g >= 0) << "cell not assigned to any group";
+  const auto group_id = static_cast<size_t>(g);
+  double value = partition.features[group_id][k];
+  if (grid.attributes()[k].agg_type == AggType::kSum) {
+    value /= partition.SumDivisor(group_id);
+  }
+  return value;
+}
+
+double InformationLoss(const GridDataset& grid, const Partition& partition) {
+  SRP_CHECK(!partition.features.empty())
+      << "InformationLoss requires allocated features";
+  double total = 0.0;
+  size_t terms = 0;
+  for (size_t r = 0; r < grid.rows(); ++r) {
+    for (size_t c = 0; c < grid.cols(); ++c) {
+      if (grid.IsNull(r, c)) continue;
+      for (size_t k = 0; k < grid.num_attributes(); ++k) {
+        const double original = grid.At(r, c, k);
+        if (grid.attributes()[k].is_categorical) {
+          // Categorical extension: a 0/1 mismatch against the group's mode.
+          total += (partition.features[static_cast<size_t>(
+                        partition.GroupOf(r, c))][k] == original)
+                       ? 0.0
+                       : 1.0;
+          ++terms;
+          continue;
+        }
+        if (original == 0.0) continue;  // relative error undefined
+        const double representative =
+            RepresentativeValue(grid, partition, r, c, k);
+        total += std::fabs(original - representative) / std::fabs(original);
+        ++terms;
+      }
+    }
+  }
+  return terms == 0 ? 0.0 : total / static_cast<double>(terms);
+}
+
+}  // namespace srp

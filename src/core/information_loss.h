@@ -1,0 +1,28 @@
+#ifndef SRP_CORE_INFORMATION_LOSS_H_
+#define SRP_CORE_INFORMATION_LOSS_H_
+
+#include <cstddef>
+
+#include "core/partition.h"
+#include "grid/grid_dataset.h"
+
+namespace srp {
+
+/// The representative value of attribute `k` for the original cell at
+/// (r, c) under `partition` (paper Section III-A4): the group's allocated
+/// feature, divided by the group's cell count when the attribute aggregates
+/// by summation (so a cell's share of a summed quantity is compared against
+/// its own value).
+double RepresentativeValue(const GridDataset& grid, const Partition& partition,
+                           size_t r, size_t c, size_t k);
+
+/// Information loss IFL(d, d̄) between the original grid and its
+/// re-partitioned form (paper Eq. 3): mean absolute percentage error over
+/// every valid (non-null) cell and attribute. Terms whose original value is
+/// 0 are skipped — the relative error is undefined there — and excluded from
+/// the averaging count. Requires `partition.features` to be allocated.
+double InformationLoss(const GridDataset& grid, const Partition& partition);
+
+}  // namespace srp
+
+#endif  // SRP_CORE_INFORMATION_LOSS_H_

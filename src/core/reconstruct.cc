@@ -1,0 +1,56 @@
+#include "core/reconstruct.h"
+
+#include "util/logging.h"
+
+namespace srp {
+
+std::vector<double> ReconstructCells(const Partition& partition,
+                                     const std::vector<double>& group_values,
+                                     AggType agg_type) {
+  SRP_CHECK(group_values.size() == partition.num_groups())
+      << "one value per cell-group required";
+  std::vector<double> out(partition.rows * partition.cols, 0.0);
+  for (size_t g = 0; g < partition.num_groups(); ++g) {
+    if (!partition.group_null.empty() && partition.group_null[g] != 0) {
+      continue;
+    }
+    const CellGroup& cg = partition.groups[g];
+    double value = group_values[g];
+    if (agg_type == AggType::kSum) {
+      value /= partition.SumDivisor(g);
+    }
+    for (size_t r = cg.r_beg; r <= cg.r_end; ++r) {
+      for (size_t c = cg.c_beg; c <= cg.c_end; ++c) {
+        out[r * partition.cols + c] = value;
+      }
+    }
+  }
+  return out;
+}
+
+GridDataset ReconstructGrid(const GridDataset& grid,
+                            const Partition& partition) {
+  SRP_CHECK(!partition.features.empty())
+      << "ReconstructGrid requires allocated features";
+  GridDataset out(grid.rows(), grid.cols(),
+                  std::vector<AttributeSpec>(grid.attributes().begin(),
+                                             grid.attributes().end()),
+                  grid.extent());
+  for (size_t k = 0; k < grid.num_attributes(); ++k) {
+    std::vector<double> group_values(partition.num_groups());
+    for (size_t g = 0; g < partition.num_groups(); ++g) {
+      group_values[g] = partition.features[g][k];
+    }
+    const std::vector<double> cells = ReconstructCells(
+        partition, group_values, grid.attributes()[k].agg_type);
+    for (size_t r = 0; r < grid.rows(); ++r) {
+      for (size_t c = 0; c < grid.cols(); ++c) {
+        if (grid.IsNull(r, c)) continue;  // null cells stay null
+        out.Set(r, c, k, cells[r * grid.cols() + c]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace srp

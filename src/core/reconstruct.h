@@ -1,0 +1,30 @@
+#ifndef SRP_CORE_RECONSTRUCT_H_
+#define SRP_CORE_RECONSTRUCT_H_
+
+#include <vector>
+
+#include "core/partition.h"
+#include "grid/grid_dataset.h"
+
+namespace srp {
+
+/// Maps per-cell-group values back to the constituent cells (paper Section
+/// III-C): average-aggregated attributes copy the group value to each cell;
+/// summation-aggregated attributes divide it evenly by the group's cell
+/// count (Example 7: a 2-cell group worth 54 reconstructs to 27 per cell).
+///
+/// `group_values` is any per-group quantity of the given aggregation
+/// semantics — typically a model's predictions over cell-groups. Returns a
+/// flat row-major vector of per-cell values; cells of null groups get 0.
+std::vector<double> ReconstructCells(const Partition& partition,
+                                     const std::vector<double>& group_values,
+                                     AggType agg_type);
+
+/// Reconstructs a full grid from the partition's allocated features, using
+/// each attribute's own aggregation type. The result has the same schema and
+/// null mask as `grid` and is the d̄ of Eq. 3 materialized cell-wise.
+GridDataset ReconstructGrid(const GridDataset& grid, const Partition& partition);
+
+}  // namespace srp
+
+#endif  // SRP_CORE_RECONSTRUCT_H_

@@ -1,0 +1,64 @@
+#include "core/repartitioner.h"
+
+#include <utility>
+
+#include "core/extractor.h"
+#include "core/feature_allocator.h"
+#include "core/information_loss.h"
+#include "core/variation.h"
+#include "core/variation_heap.h"
+#include "grid/normalize.h"
+#include "util/timer.h"
+
+namespace srp {
+
+Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid) const {
+  SRP_RETURN_IF_ERROR(grid.Validate());
+  if (options_.ifl_threshold < 0.0 || options_.ifl_threshold > 1.0) {
+    return Status::InvalidArgument("ifl_threshold must lie in [0, 1]");
+  }
+  if (options_.min_variation_step < 0.0) {
+    return Status::InvalidArgument("min_variation_step must be >= 0");
+  }
+
+  WallTimer timer;
+  RepartitionResult result;
+
+  // Pre-computation (done exactly once): normalized grid, adjacent-pair
+  // variations, and the min-adjacent-variation heap.
+  const GridDataset normalized = AttributeNormalized(grid);
+  const PairVariations variations = ComputePairVariations(normalized);
+  MinAdjacentVariationHeap heap;
+  heap.Build(variations, &normalized);
+  const CellGroupExtractor extractor(variations);
+
+  // Iteration 0: the original grid itself (IFL = 0) is always feasible.
+  result.partition = TrivialPartition(grid);
+  result.information_loss = 0.0;
+
+  double previous_variation = -1.0;
+  while (result.iterations < options_.max_iterations) {
+    double variation = 0.0;
+    if (!heap.PopNextGreater(previous_variation + options_.min_variation_step,
+                             &variation)) {
+      break;  // heap drained: no coarser partition exists
+    }
+    previous_variation = variation;
+
+    Partition candidate = extractor.Extract(variation);
+    SRP_RETURN_IF_ERROR(AllocateFeatures(grid, &candidate));
+    const double ifl = InformationLoss(grid, candidate);
+    if (ifl > options_.ifl_threshold) {
+      break;  // exceeded θ: keep the previous partition and exit (Fig. 2)
+    }
+    result.partition = std::move(candidate);
+    result.information_loss = ifl;
+    result.final_min_adjacent_variation = variation;
+    ++result.iterations;
+  }
+
+  result.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace srp

@@ -1,0 +1,50 @@
+#include "core/variation.h"
+
+#include <cmath>
+#include <limits>
+
+namespace srp {
+
+double AttributeVariation(const GridDataset& grid, size_t r1, size_t c1,
+                          size_t r2, size_t c2) {
+  const bool null1 = grid.IsNull(r1, c1);
+  const bool null2 = grid.IsNull(r2, c2);
+  if (null1 && null2) return 0.0;
+  if (null1 != null2) return std::numeric_limits<double>::infinity();
+  const size_t p = grid.num_attributes();
+  double acc = 0.0;
+  for (size_t k = 0; k < p; ++k) {
+    const double a = grid.At(r1, c1, k);
+    const double b = grid.At(r2, c2, k);
+    if (grid.attributes()[k].is_categorical) {
+      acc += (a == b) ? 0.0 : 1.0;  // category mismatch indicator
+    } else {
+      acc += std::fabs(a - b);
+    }
+  }
+  return acc / static_cast<double>(p);
+}
+
+PairVariations ComputePairVariations(const GridDataset& normalized) {
+  PairVariations out;
+  out.rows = normalized.rows();
+  out.cols = normalized.cols();
+  const double inf = std::numeric_limits<double>::infinity();
+  out.right.assign(out.rows * out.cols, inf);
+  out.down.assign(out.rows * out.cols, inf);
+  for (size_t r = 0; r < out.rows; ++r) {
+    for (size_t c = 0; c < out.cols; ++c) {
+      if (c + 1 < out.cols) {
+        out.right[r * out.cols + c] =
+            AttributeVariation(normalized, r, c, r, c + 1);
+      }
+      if (r + 1 < out.rows) {
+        out.down[r * out.cols + c] =
+            AttributeVariation(normalized, r, c, r + 1, c);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace srp

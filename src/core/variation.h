@@ -1,0 +1,44 @@
+#ifndef SRP_CORE_VARIATION_H_
+#define SRP_CORE_VARIATION_H_
+
+#include <cstddef>
+
+#include <vector>
+
+#include "grid/grid_dataset.h"
+
+namespace srp {
+
+/// Attribute variation between two cells (paper Eq. 1): the pair-wise
+/// absolute attribute difference averaged over the #attributes. Nullness is
+/// encoded in the result: two null cells have variation 0 (they may merge),
+/// a null/non-null pair has +infinity (they may never merge; Section IV-A2).
+double AttributeVariation(const GridDataset& grid, size_t r1, size_t c1,
+                          size_t r2, size_t c2);
+
+/// Precomputed Eq. 1 variations for every horizontally and vertically
+/// adjacent cell pair of a (normalized) grid. `right[cell]` is the variation
+/// between (r, c) and (r, c+1) — +infinity in the last column; `down[cell]`
+/// analogously for (r+1, c).
+///
+/// The min-adjacent-variation heap is built from these values, and the
+/// cell-group extractor consults them in O(1) per pair, so the per-iteration
+/// extraction cost is linear in the number of cells.
+struct PairVariations {
+  size_t rows = 0;
+  size_t cols = 0;
+  std::vector<double> right;
+  std::vector<double> down;
+
+  double Right(size_t r, size_t c) const { return right[r * cols + c]; }
+  double Down(size_t r, size_t c) const { return down[r * cols + c]; }
+};
+
+/// Computes PairVariations over `normalized` (the attribute-normalized form
+/// of the input; Section III-A1 computes variations on normalized data so no
+/// attribute dominates).
+PairVariations ComputePairVariations(const GridDataset& normalized);
+
+}  // namespace srp
+
+#endif  // SRP_CORE_VARIATION_H_

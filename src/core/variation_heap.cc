@@ -1,0 +1,89 @@
+#include "core/variation_heap.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace srp {
+
+void MinAdjacentVariationHeap::Build(const PairVariations& variations,
+                                     const GridDataset* normalized) {
+  heap_.clear();
+  const size_t rows = variations.rows;
+  const size_t cols = variations.cols;
+  auto pair_ok = [&](size_t r1, size_t c1, size_t r2, size_t c2) {
+    return normalized == nullptr ||
+           (!normalized->IsNull(r1, c1) && !normalized->IsNull(r2, c2));
+  };
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols && std::isfinite(variations.Right(r, c)) &&
+          pair_ok(r, c, r, c + 1)) {
+        heap_.push_back(variations.Right(r, c));
+      }
+      if (r + 1 < rows && std::isfinite(variations.Down(r, c)) &&
+          pair_ok(r, c, r + 1, c)) {
+        heap_.push_back(variations.Down(r, c));
+      }
+    }
+  }
+  // Floyd heap construction: O(n).
+  if (heap_.empty()) return;
+  for (size_t i = heap_.size() / 2; i-- > 0;) SiftDown(i);
+}
+
+void MinAdjacentVariationHeap::Push(double value) {
+  heap_.push_back(value);
+  SiftUp(heap_.size() - 1);
+}
+
+double MinAdjacentVariationHeap::PeekMin() const {
+  SRP_CHECK(!heap_.empty()) << "PeekMin on empty heap";
+  return heap_.front();
+}
+
+double MinAdjacentVariationHeap::PopMin() {
+  SRP_CHECK(!heap_.empty()) << "PopMin on empty heap";
+  const double top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDown(0);
+  return top;
+}
+
+bool MinAdjacentVariationHeap::PopNextGreater(double previous, double* value) {
+  while (!heap_.empty()) {
+    const double v = PopMin();
+    if (v > previous) {
+      *value = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+void MinAdjacentVariationHeap::SiftUp(size_t i) {
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (heap_[parent] <= heap_[i]) break;
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+void MinAdjacentVariationHeap::SiftDown(size_t i) {
+  const size_t n = heap_.size();
+  for (;;) {
+    const size_t left = 2 * i + 1;
+    const size_t right = left + 1;
+    size_t smallest = i;
+    if (left < n && heap_[left] < heap_[smallest]) smallest = left;
+    if (right < n && heap_[right] < heap_[smallest]) smallest = right;
+    if (smallest == i) return;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace srp

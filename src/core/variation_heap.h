@@ -1,0 +1,61 @@
+#ifndef SRP_CORE_VARIATION_HEAP_H_
+#define SRP_CORE_VARIATION_HEAP_H_
+
+#include <cstddef>
+
+#include <vector>
+
+#include "core/variation.h"
+
+namespace srp {
+
+/// The min-adjacent-variation heap of Section III-A1.
+///
+/// Built exactly once from the variations between all pairs of adjacent
+/// *valid* cells (pairs involving null cells carry no attribute information
+/// and are excluded; null-null merging is always permitted during extraction
+/// because its variation is 0). Each re-partitioning iteration pops the root
+/// and uses it as the updated min-adjacent variation.
+///
+/// Implemented as an explicit binary min-heap rather than std::priority_queue
+/// to expose PopMin()/PeekMin() and to keep the structure unit-testable.
+class MinAdjacentVariationHeap {
+ public:
+  MinAdjacentVariationHeap() = default;
+
+  /// Fills the heap from precomputed adjacent-pair variations. When
+  /// `normalized` is provided, pairs touching a null cell are excluded (their
+  /// 0 / +inf variations encode mergeability, not attribute similarity).
+  void Build(const PairVariations& variations,
+             const GridDataset* normalized = nullptr);
+
+  /// Inserts a single variation value (mainly for tests).
+  void Push(double value);
+
+  bool Empty() const { return heap_.empty(); }
+  size_t Size() const { return heap_.size(); }
+
+  /// Smallest stored variation. Precondition: !Empty().
+  double PeekMin() const;
+
+  /// Removes and returns the smallest stored variation. Precondition:
+  /// !Empty().
+  double PopMin();
+
+  /// Pops until a value strictly greater than `previous` surfaces and
+  /// returns it; returns false when the heap drains first. This is how the
+  /// Repartitioner obtains "a different min-adjacent variation that is
+  /// higher than the variation … in the previous iteration" when duplicates
+  /// exist.
+  bool PopNextGreater(double previous, double* value);
+
+ private:
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+
+  std::vector<double> heap_;
+};
+
+}  // namespace srp
+
+#endif  // SRP_CORE_VARIATION_HEAP_H_

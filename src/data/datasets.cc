@@ -1,0 +1,372 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/gaussian_field.h"
+#include "grid/grid_builder.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace srp {
+namespace {
+
+constexpr double kLatMin = 40.0;
+constexpr double kLatMax = 41.0;
+constexpr double kLonMin = -74.5;
+constexpr double kLonMax = -73.5;
+
+GeoExtent DefaultExtent() {
+  return GeoExtent{kLatMin, kLatMax, kLonMin, kLonMax};
+}
+
+/// Shared spatial scaffolding of a simulated city: a density surface that
+/// drives record counts and marks empty fringes, plus two independent smooth
+/// "quality" surfaces that attribute values depend on.
+struct CityFields {
+  size_t rows = 0;
+  size_t cols = 0;
+  std::vector<double> density;   // [0,1], record intensity
+  std::vector<double> quality;   // [0,1], primary value driver
+  std::vector<double> secondary; // [0,1], secondary value driver
+  std::vector<uint8_t> empty;    // 1 = cell generates no records
+};
+
+CityFields MakeCityFields(const DatasetOptions& opts, uint64_t seed_offset) {
+  CityFields f;
+  f.rows = opts.rows;
+  f.cols = opts.cols;
+  FieldOptions fo;
+  fo.rows = opts.rows;
+  fo.cols = opts.cols;
+  fo.base_scale = static_cast<double>(std::max<size_t>(opts.rows, 8)) / 5.0;
+  fo.octaves = 3;
+  fo.seed = opts.seed * 1315423911ULL + seed_offset;
+  f.density = GenerateAutocorrelatedField(fo);
+  fo.seed += 101;
+  f.quality = GenerateAutocorrelatedField(fo);
+  fo.seed += 101;
+  f.secondary = GenerateAutocorrelatedField(fo);
+
+  // Empty cells: the lowest-density fringe of the city. Thresholding the
+  // smooth surface yields contiguous empty regions, like the water/parkland
+  // gaps of the real grids.
+  std::vector<double> sorted = f.density;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t cut = static_cast<size_t>(
+      opts.empty_fraction * static_cast<double>(sorted.size()));
+  const double threshold = sorted[std::min(cut, sorted.size() - 1)];
+  f.empty.resize(f.density.size());
+  for (size_t i = 0; i < f.density.size(); ++i) {
+    f.empty[i] = f.density[i] <= threshold ? 1 : 0;
+  }
+  return f;
+}
+
+/// Uniform position within cell (r, c) of the default extent.
+void RandomPositionInCell(const CityFields& f, size_t r, size_t c, Rng* rng,
+                          double* lat, double* lon) {
+  const double lat_step = (kLatMax - kLatMin) / static_cast<double>(f.rows);
+  const double lon_step = (kLonMax - kLonMin) / static_cast<double>(f.cols);
+  *lat = kLatMin + (static_cast<double>(r) + rng->Uniform01()) * lat_step;
+  *lon = kLonMin + (static_cast<double>(c) + rng->Uniform01()) * lon_step;
+}
+
+int RecordCount(const CityFields& f, size_t cell, const DatasetOptions& opts,
+                Rng* rng) {
+  if (f.empty[cell]) return 0;
+  // Squaring the density surface sharpens the hotspot contrast so the count
+  // attributes (pickups, jobs, requests) carry a strong spatial signal.
+  const double d = f.density[cell];
+  const double lambda = opts.records_per_cell * (0.15 + 2.5 * d * d);
+  return std::max(1, rng->Poisson(lambda));
+}
+
+// ---------------------------------------------------------------------------
+// NYC taxi trips: fields = {passengers, distance, fare}.
+// ---------------------------------------------------------------------------
+
+std::vector<PointRecord> SimulateTaxiRecords(const CityFields& f,
+                                             const DatasetOptions& opts,
+                                             Rng* rng) {
+  std::vector<PointRecord> records;
+  for (size_t r = 0; r < f.rows; ++r) {
+    for (size_t c = 0; c < f.cols; ++c) {
+      const size_t cell = r * f.cols + c;
+      const int n = RecordCount(f, cell, opts, rng);
+      for (int i = 0; i < n; ++i) {
+        PointRecord rec;
+        RandomPositionInCell(f, r, c, rng, &rec.lat, &rec.lon);
+        const double passengers =
+            1.0 + static_cast<double>(std::min(5, rng->Poisson(0.6)));
+        // Trips from low-quality (peripheral) areas are longer on average.
+        const double distance = (0.6 + 7.0 * (1.0 - f.quality[cell])) *
+                                (0.7 + 0.6 * rng->Uniform01());
+        // Fares carry a strong location surcharge (zone pricing, tolls) on
+        // top of the metered distance, plus ride-level noise — so spatially
+        // aware models have an edge over pure feature regressions.
+        const double fare = 2.5 + 1.6 * distance +
+                            14.0 * f.secondary[cell] +
+                            rng->Normal(0.0, 2.5);
+        rec.fields = {passengers, distance, std::max(2.5, fare)};
+        records.push_back(std::move(rec));
+      }
+    }
+  }
+  return records;
+}
+
+std::vector<GridAttributeDef> TaxiMultiDefs() {
+  using Source = GridAttributeDef::Source;
+  return {
+      {"pickups", Source::kCount, -1, AggType::kSum, true},
+      {"passengers", Source::kSum, 0, AggType::kSum, true},
+      {"total_distance", Source::kSum, 1, AggType::kSum, false},
+      {"total_fare", Source::kSum, 2, AggType::kSum, false},
+  };
+}
+
+std::vector<GridAttributeDef> TaxiUniDefs() {
+  using Source = GridAttributeDef::Source;
+  return {{"pickups", Source::kCount, -1, AggType::kSum, true}};
+}
+
+// ---------------------------------------------------------------------------
+// King County home sales: fields =
+// {price, bedrooms, bathrooms, living, lot, built, renovated}.
+// ---------------------------------------------------------------------------
+
+std::vector<PointRecord> SimulateHomeSaleRecords(const CityFields& f,
+                                                 const DatasetOptions& options,
+                                                 Rng* rng) {
+  // Home sales are sparse events: only a handful per cell per year, so the
+  // cell-level averages stay noisy (as in the King County data) rather than
+  // being smoothed by dozens of records.
+  DatasetOptions opts = options;
+  opts.records_per_cell = std::max(2.0, options.records_per_cell * 0.2);
+  std::vector<PointRecord> records;
+  for (size_t r = 0; r < f.rows; ++r) {
+    for (size_t c = 0; c < f.cols; ++c) {
+      const size_t cell = r * f.cols + c;
+      const int n = RecordCount(f, cell, opts, rng);
+      for (int i = 0; i < n; ++i) {
+        PointRecord rec;
+        RandomPositionInCell(f, r, c, rng, &rec.lat, &rec.lon);
+        // Individual homes vary a lot even within one neighborhood; the
+        // wide multiplicative terms keep cell averages of a few sales noisy.
+        const double living =
+            600.0 + 3400.0 * f.secondary[cell] * (0.3 + 1.4 * rng->Uniform01());
+        const double bedrooms = std::clamp(
+            std::round(1.0 + living / 900.0 + rng->Normal(0.0, 0.8)), 1.0,
+            6.0);
+        const double bathrooms = std::clamp(
+            std::round(bedrooms * 0.6 + rng->Normal(0.0, 0.6)), 1.0, 4.0);
+        const double lot = living * (1.0 + 5.0 * rng->Uniform01());
+        const double built =
+            std::clamp(std::round(1900.0 + 115.0 * f.density[cell] +
+                                  rng->Normal(0.0, 8.0)),
+                       1900.0, 2015.0);
+        const double renovated =
+            rng->Bernoulli(0.3)
+                ? std::clamp(built + 10.0 + 40.0 * rng->Uniform01(), built,
+                             2015.0)
+                : built;
+        // Location premium is what makes the price surface spatially
+        // structured (the "locality" a competent spatial model must learn).
+        const double price = 50000.0 + 180.0 * living + 30000.0 * bathrooms +
+                             12000.0 * bedrooms + 400.0 * (built - 1900.0) +
+                             350000.0 * f.quality[cell] +
+                             rng->Normal(0.0, 45000.0);
+        rec.fields = {std::max(30000.0, price), bedrooms, bathrooms,
+                      living,  lot,             built,    renovated};
+        records.push_back(std::move(rec));
+      }
+    }
+  }
+  return records;
+}
+
+std::vector<GridAttributeDef> HomeSalesDefs() {
+  using Source = GridAttributeDef::Source;
+  return {
+      {"price", Source::kAverage, 0, AggType::kAverage, false},
+      {"bedrooms", Source::kAverage, 1, AggType::kAverage, false},
+      {"bathrooms", Source::kAverage, 2, AggType::kAverage, false},
+      {"living_area", Source::kAverage, 3, AggType::kAverage, false},
+      {"lot_area", Source::kAverage, 4, AggType::kAverage, false},
+      {"build_year", Source::kAverage, 5, AggType::kAverage, true},
+      {"renovation_year", Source::kAverage, 6, AggType::kAverage, true},
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Chicago abandoned vehicles: a univariate count of service requests.
+// ---------------------------------------------------------------------------
+
+std::vector<PointRecord> SimulateVehicleRecords(const CityFields& f,
+                                                const DatasetOptions& opts,
+                                                Rng* rng) {
+  std::vector<PointRecord> records;
+  for (size_t r = 0; r < f.rows; ++r) {
+    for (size_t c = 0; c < f.cols; ++c) {
+      const size_t cell = r * f.cols + c;
+      if (f.empty[cell]) continue;
+      // Abandonment is concentrated in dense, low-quality areas; squaring
+      // sharpens the spatial contrast of the count surface.
+      const double q = 1.0 - f.quality[cell];
+      const double lambda = opts.records_per_cell *
+                            (0.1 + 2.0 * q * q) * (0.3 + f.density[cell]);
+      const int n = std::max(1, rng->Poisson(lambda));
+      for (int i = 0; i < n; ++i) {
+        PointRecord rec;
+        RandomPositionInCell(f, r, c, rng, &rec.lat, &rec.lon);
+        records.push_back(std::move(rec));
+      }
+    }
+  }
+  return records;
+}
+
+std::vector<GridAttributeDef> VehiclesDefs() {
+  using Source = GridAttributeDef::Source;
+  return {{"service_requests", Source::kCount, -1, AggType::kSum, true}};
+}
+
+// ---------------------------------------------------------------------------
+// NYC block-level earnings: census-block records with land/water area and
+// jobs in three monthly-earning bands.
+// ---------------------------------------------------------------------------
+
+std::vector<PointRecord> SimulateEarningsRecords(const CityFields& f,
+                                                 const DatasetOptions& opts,
+                                                 Rng* rng) {
+  std::vector<PointRecord> records;
+  for (size_t r = 0; r < f.rows; ++r) {
+    for (size_t c = 0; c < f.cols; ++c) {
+      const size_t cell = r * f.cols + c;
+      if (f.empty[cell]) continue;
+      // A handful of census blocks per cell.
+      const int blocks =
+          std::max(1, rng->Poisson(0.5 * opts.records_per_cell));
+      // A cell's total land area is (nearly) fixed terrain; the blocks
+      // partition it, so per-block land is the cell total split across the
+      // blocks with mild jitter. The summed attribute then stays a smooth
+      // surface regardless of how many blocks a cell happens to have.
+      const double cell_land = (80000.0 + 160000.0 * f.secondary[cell]) *
+                               (0.95 + 0.1 * rng->Uniform01());
+      for (int b = 0; b < blocks; ++b) {
+        PointRecord rec;
+        RandomPositionInCell(f, r, c, rng, &rec.lat, &rec.lon);
+        const double land = cell_land / static_cast<double>(blocks) *
+                            (0.9 + 0.2 * rng->Uniform01());
+        const double water = rng->Bernoulli(0.15)
+                                 ? 2000.0 + 18000.0 * rng->Uniform01()
+                                 : 0.0;
+        const double jobs_base = 12.0 * f.density[cell] * f.density[cell] *
+                                 (0.8 + 0.4 * rng->Uniform01());
+        const double jobs_low =
+            rng->Poisson(jobs_base * (1.4 - f.quality[cell]));
+        const double jobs_mid = rng->Poisson(jobs_base);
+        const double jobs_high =
+            rng->Poisson(jobs_base * (0.4 + 1.6 * f.quality[cell]));
+        rec.fields = {land, water, jobs_low, jobs_mid, jobs_high};
+        records.push_back(std::move(rec));
+      }
+    }
+  }
+  return records;
+}
+
+std::vector<GridAttributeDef> EarningsMultiDefs() {
+  using Source = GridAttributeDef::Source;
+  return {
+      {"land_area", Source::kSum, 0, AggType::kSum, false},
+      {"water_area", Source::kSum, 1, AggType::kSum, false},
+      {"jobs_low", Source::kSum, 2, AggType::kSum, true},
+      {"jobs_mid", Source::kSum, 3, AggType::kSum, true},
+      {"jobs_high", Source::kSum, 4, AggType::kSum, true},
+  };
+}
+
+/// Univariate earnings: total #jobs per cell = sum over the three bands.
+std::vector<PointRecord> ProjectTotalJobs(std::vector<PointRecord> records) {
+  for (auto& rec : records) {
+    const double total = rec.fields[2] + rec.fields[3] + rec.fields[4];
+    rec.fields = {total};
+  }
+  return records;
+}
+
+std::vector<GridAttributeDef> EarningsUniDefs() {
+  using Source = GridAttributeDef::Source;
+  return {{"total_jobs", Source::kSum, 0, AggType::kSum, true}};
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& AllDatasetSpecs() {
+  static const std::vector<DatasetSpec>* const kSpecs =
+      new std::vector<DatasetSpec>{
+          {DatasetKind::kTaxiTripMulti, "taxi_trip_multivariate", true,
+           "total_fare"},
+          {DatasetKind::kHomeSalesMulti, "home_sales_multivariate", true,
+           "price"},
+          {DatasetKind::kEarningsMulti, "earnings_multivariate", true,
+           "jobs_high"},
+          {DatasetKind::kTaxiTripUni, "taxi_trip_univariate", false, ""},
+          {DatasetKind::kVehiclesUni, "vehicles_univariate", false, ""},
+          {DatasetKind::kEarningsUni, "earnings_univariate", false, ""},
+      };
+  return *kSpecs;
+}
+
+const DatasetSpec& SpecFor(DatasetKind kind) {
+  for (const auto& spec : AllDatasetSpecs()) {
+    if (spec.kind == kind) return spec;
+  }
+  SRP_CHECK(false) << "unknown DatasetKind";
+  return AllDatasetSpecs().front();  // unreachable
+}
+
+Result<GridDataset> GenerateDataset(DatasetKind kind,
+                                    const DatasetOptions& options) {
+  if (options.rows == 0 || options.cols == 0) {
+    return Status::InvalidArgument("dataset grid must be non-empty");
+  }
+  Rng rng(options.seed * 2654435761ULL + static_cast<uint64_t>(kind));
+  const CityFields fields =
+      MakeCityFields(options, static_cast<uint64_t>(kind) * 7919ULL);
+
+  std::vector<PointRecord> records;
+  std::vector<GridAttributeDef> defs;
+  switch (kind) {
+    case DatasetKind::kTaxiTripMulti:
+      records = SimulateTaxiRecords(fields, options, &rng);
+      defs = TaxiMultiDefs();
+      break;
+    case DatasetKind::kTaxiTripUni:
+      records = SimulateTaxiRecords(fields, options, &rng);
+      defs = TaxiUniDefs();
+      break;
+    case DatasetKind::kHomeSalesMulti:
+      records = SimulateHomeSaleRecords(fields, options, &rng);
+      defs = HomeSalesDefs();
+      break;
+    case DatasetKind::kVehiclesUni:
+      records = SimulateVehicleRecords(fields, options, &rng);
+      defs = VehiclesDefs();
+      break;
+    case DatasetKind::kEarningsMulti:
+      records = SimulateEarningsRecords(fields, options, &rng);
+      defs = EarningsMultiDefs();
+      break;
+    case DatasetKind::kEarningsUni:
+      records = ProjectTotalJobs(SimulateEarningsRecords(fields, options, &rng));
+      defs = EarningsUniDefs();
+      break;
+  }
+  return BuildGridFromPoints(records, options.rows, options.cols,
+                             DefaultExtent(), defs);
+}
+
+}  // namespace srp

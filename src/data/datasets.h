@@ -1,0 +1,69 @@
+#ifndef SRP_DATA_DATASETS_H_
+#define SRP_DATA_DATASETS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grid/grid_dataset.h"
+#include "util/status.h"
+
+namespace srp {
+
+/// The six dataset variants of the paper's evaluation (Section IV-A2).
+///
+/// The paper aggregates four public datasets into grids; here each variant
+/// is a seeded synthetic simulator whose gridded output matches the paper's
+/// schema (attribute set, aggregation types, uni/multivariate split) and
+/// spatial character (smooth hotspot structure, empty regions -> null
+/// cells). See DESIGN.md §3 for the substitution rationale.
+enum class DatasetKind {
+  kTaxiTripMulti,    ///< NYC taxi: #pickups, #passengers, Σdistance, Σfare
+  kTaxiTripUni,      ///< NYC taxi: #pickups only
+  kHomeSalesMulti,   ///< King County: price, beds, baths, living, lot, built, renovated
+  kVehiclesUni,      ///< Chicago abandoned vehicles: #service requests
+  kEarningsMulti,    ///< NYC LEHD: land, water, jobs in 3 earning bands
+  kEarningsUni,      ///< NYC LEHD: total #jobs
+};
+
+/// Descriptor used by the benchmark harnesses to sweep the paper's grids.
+struct DatasetSpec {
+  DatasetKind kind;
+  std::string name;         ///< e.g. "taxi_trip_multivariate"
+  bool multivariate;
+  /// The attribute predicted in the regression/classification experiments
+  /// (Section IV-C1: taxi fare, home price, #high-earning jobs); empty for
+  /// univariate datasets, whose single attribute is the kriging target.
+  std::string target_attribute;
+};
+
+/// All six variants in the paper's reporting order.
+const std::vector<DatasetSpec>& AllDatasetSpecs();
+
+/// Spec lookup by kind.
+const DatasetSpec& SpecFor(DatasetKind kind);
+
+/// Generation knobs shared by all simulators.
+struct DatasetOptions {
+  size_t rows = 96;
+  size_t cols = 96;
+  uint64_t seed = 7;
+  /// Mean #records simulated per non-empty cell (record-level simulators
+  /// draw Poisson counts around this). Higher values reduce the Poisson
+  /// shot noise of count attributes relative to their smooth spatial
+  /// intensity, i.e. raise the grids' Moran's I.
+  double records_per_cell = 10.0;
+  /// Approximate fraction of cells left empty (null feature vectors).
+  double empty_fraction = 0.12;
+};
+
+/// Simulates the raw records for `kind` and aggregates them into a grid
+/// (mirroring the paper's dataset-preparation step). Deterministic in
+/// (kind, options).
+Result<GridDataset> GenerateDataset(DatasetKind kind,
+                                    const DatasetOptions& options);
+
+}  // namespace srp
+
+#endif  // SRP_DATA_DATASETS_H_

@@ -1,0 +1,90 @@
+#include "data/gaussian_field.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace srp {
+namespace {
+
+/// One value-noise octave: a coarse random lattice sampled with bilinear
+/// interpolation and a cosine ease curve.
+class NoiseOctave {
+ public:
+  NoiseOctave(size_t lattice_rows, size_t lattice_cols, Rng* rng)
+      : rows_(lattice_rows), cols_(lattice_cols), values_(rows_ * cols_) {
+    for (double& v : values_) v = rng->Uniform01();
+  }
+
+  double Sample(double r, double c) const {
+    const size_t r0 = std::min(static_cast<size_t>(r), rows_ - 1);
+    const size_t c0 = std::min(static_cast<size_t>(c), cols_ - 1);
+    const size_t r1 = std::min(r0 + 1, rows_ - 1);
+    const size_t c1 = std::min(c0 + 1, cols_ - 1);
+    const double fr = Ease(r - static_cast<double>(r0));
+    const double fc = Ease(c - static_cast<double>(c0));
+    const double top = Lerp(At(r0, c0), At(r0, c1), fc);
+    const double bottom = Lerp(At(r1, c0), At(r1, c1), fc);
+    return Lerp(top, bottom, fr);
+  }
+
+ private:
+  static double Lerp(double a, double b, double t) { return a + (b - a) * t; }
+  static double Ease(double t) { return 0.5 * (1.0 - std::cos(M_PI * t)); }
+  double At(size_t r, size_t c) const { return values_[r * cols_ + c]; }
+
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> values_;
+};
+
+}  // namespace
+
+std::vector<double> GenerateAutocorrelatedField(const FieldOptions& options) {
+  SRP_CHECK(options.rows > 0 && options.cols > 0) << "empty field";
+  SRP_CHECK(options.base_scale >= 1.0) << "base_scale must be >= 1";
+  SRP_CHECK(options.octaves >= 1) << "need at least one octave";
+
+  Rng rng(options.seed);
+  std::vector<double> field(options.rows * options.cols, 0.0);
+  double amplitude = 1.0;
+  double scale = options.base_scale;
+
+  for (int o = 0; o < options.octaves; ++o) {
+    const size_t lattice_rows =
+        std::max<size_t>(2, static_cast<size_t>(
+                                std::ceil(static_cast<double>(options.rows) /
+                                          scale)) +
+                                1);
+    const size_t lattice_cols =
+        std::max<size_t>(2, static_cast<size_t>(
+                                std::ceil(static_cast<double>(options.cols) /
+                                          scale)) +
+                                1);
+    NoiseOctave octave(lattice_rows, lattice_cols, &rng);
+    for (size_t r = 0; r < options.rows; ++r) {
+      for (size_t c = 0; c < options.cols; ++c) {
+        field[r * options.cols + c] +=
+            amplitude * octave.Sample(static_cast<double>(r) / scale,
+                                      static_cast<double>(c) / scale);
+      }
+    }
+    amplitude *= options.persistence;
+    scale = std::max(1.0, scale * 0.5);
+  }
+
+  // Normalize to [0, 1].
+  const auto [min_it, max_it] = std::minmax_element(field.begin(), field.end());
+  const double lo = *min_it;
+  const double span = *max_it - lo;
+  if (span > 0.0) {
+    for (double& v : field) v = (v - lo) / span;
+  } else {
+    std::fill(field.begin(), field.end(), 0.5);
+  }
+  return field;
+}
+
+}  // namespace srp

@@ -1,0 +1,37 @@
+#ifndef SRP_DATA_GAUSSIAN_FIELD_H_
+#define SRP_DATA_GAUSSIAN_FIELD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace srp {
+
+/// Options for the spatially autocorrelated scalar field generator.
+struct FieldOptions {
+  size_t rows = 64;
+  size_t cols = 64;
+  /// Lattice spacing (in cells) of the coarsest noise octave; larger values
+  /// give smoother, more strongly autocorrelated fields.
+  double base_scale = 16.0;
+  /// Number of value-noise octaves summed together.
+  int octaves = 3;
+  /// Amplitude decay per octave.
+  double persistence = 0.5;
+  uint64_t seed = 1;
+};
+
+/// Generates a smooth random field over a rows x cols grid, normalized into
+/// [0, 1], via multi-octave value noise (bilinear interpolation of random
+/// lattices).
+///
+/// This is the synthetic substitute for the spatial structure of the paper's
+/// real datasets: nearby cells receive similar values, so the generated
+/// grids exhibit the positive spatial autocorrelation (Moran's I >> 0) that
+/// the re-partitioning framework and the spatial ML models rely on. The
+/// output is deterministic in (options, seed).
+std::vector<double> GenerateAutocorrelatedField(const FieldOptions& options);
+
+}  // namespace srp
+
+#endif  // SRP_DATA_GAUSSIAN_FIELD_H_

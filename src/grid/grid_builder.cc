@@ -1,0 +1,94 @@
+#include "grid/grid_builder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace srp {
+
+Result<GridDataset> BuildGridFromPoints(
+    const std::vector<PointRecord>& records, size_t rows, size_t cols,
+    const GeoExtent& extent, const std::vector<GridAttributeDef>& defs,
+    size_t* dropped) {
+  if (rows == 0 || cols == 0) {
+    return Status::InvalidArgument("grid dimensions must be positive");
+  }
+  if (defs.empty()) {
+    return Status::InvalidArgument("at least one attribute definition needed");
+  }
+  for (const auto& def : defs) {
+    if (def.source != GridAttributeDef::Source::kCount &&
+        def.field_index < 0) {
+      return Status::InvalidArgument("attribute '" + def.name +
+                                     "' needs a field_index");
+    }
+  }
+
+  std::vector<AttributeSpec> attrs;
+  attrs.reserve(defs.size());
+  for (const auto& def : defs) {
+    attrs.push_back(AttributeSpec{def.name, def.agg_type, def.is_integer});
+  }
+  GridDataset grid(rows, cols, std::move(attrs), extent);
+
+  const size_t cells = rows * cols;
+  std::vector<size_t> counts(cells, 0);
+  std::vector<std::vector<double>> sums(defs.size(),
+                                        std::vector<double>(cells, 0.0));
+  const double lat_span = extent.lat_max - extent.lat_min;
+  const double lon_span = extent.lon_max - extent.lon_min;
+  size_t dropped_count = 0;
+
+  for (const auto& rec : records) {
+    if (rec.lat < extent.lat_min || rec.lat > extent.lat_max ||
+        rec.lon < extent.lon_min || rec.lon > extent.lon_max) {
+      ++dropped_count;
+      continue;
+    }
+    size_t r = static_cast<size_t>((rec.lat - extent.lat_min) / lat_span *
+                                   static_cast<double>(rows));
+    size_t c = static_cast<size_t>((rec.lon - extent.lon_min) / lon_span *
+                                   static_cast<double>(cols));
+    r = std::min(r, rows - 1);  // points on the max boundary land inside
+    c = std::min(c, cols - 1);
+    const size_t cell = r * cols + c;
+    ++counts[cell];
+    for (size_t k = 0; k < defs.size(); ++k) {
+      const auto& def = defs[k];
+      if (def.source == GridAttributeDef::Source::kCount) continue;
+      const size_t fi = static_cast<size_t>(def.field_index);
+      if (fi >= rec.fields.size()) {
+        return Status::InvalidArgument("record has too few fields for '" +
+                                       def.name + "'");
+      }
+      sums[k][cell] += rec.fields[fi];
+    }
+  }
+
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      const size_t cell = r * cols + c;
+      if (counts[cell] == 0) continue;  // stays null
+      for (size_t k = 0; k < defs.size(); ++k) {
+        const auto& def = defs[k];
+        double v = 0.0;
+        switch (def.source) {
+          case GridAttributeDef::Source::kCount:
+            v = static_cast<double>(counts[cell]);
+            break;
+          case GridAttributeDef::Source::kSum:
+            v = sums[k][cell];
+            break;
+          case GridAttributeDef::Source::kAverage:
+            v = sums[k][cell] / static_cast<double>(counts[cell]);
+            break;
+        }
+        if (def.is_integer) v = std::round(v);
+        grid.Set(r, c, k, v);
+      }
+    }
+  }
+  if (dropped != nullptr) *dropped = dropped_count;
+  return grid;
+}
+
+}  // namespace srp

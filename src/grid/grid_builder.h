@@ -1,0 +1,54 @@
+#ifndef SRP_GRID_GRID_BUILDER_H_
+#define SRP_GRID_GRID_BUILDER_H_
+
+#include <cstddef>
+
+#include <string>
+#include <vector>
+
+#include "grid/grid_dataset.h"
+#include "util/status.h"
+
+namespace srp {
+
+/// One raw data instance (e.g. a taxi ride or a home sale): a geographic
+/// point plus numeric payload fields.
+struct PointRecord {
+  double lat = 0.0;
+  double lon = 0.0;
+  std::vector<double> fields;
+};
+
+/// How one grid attribute is derived from the records that fall into a cell
+/// (paper Section IV-A2: "#pickups in each cell", "averaging all sales
+/// records in each cell", ...).
+struct GridAttributeDef {
+  std::string name;
+
+  enum class Source {
+    kCount,    ///< number of records in the cell (field_index ignored)
+    kSum,      ///< sum of fields[field_index] over the cell's records
+    kAverage,  ///< mean of fields[field_index] over the cell's records
+  };
+  Source source = Source::kCount;
+  int field_index = -1;
+
+  /// Aggregation semantics carried into re-partitioning (Algorithm 2).
+  AggType agg_type = AggType::kSum;
+  bool is_integer = false;
+};
+
+/// Aggregates point records into an m x n GridDataset over `extent`
+/// (Section III-B: "all data objects that map to a cell are aggregated to
+/// produce the feature vector of the corresponding cell"). Cells that receive
+/// no records stay null. Records outside the extent are dropped; the count of
+/// dropped records is returned through `dropped` when non-null.
+Result<GridDataset> BuildGridFromPoints(const std::vector<PointRecord>& records,
+                                        size_t rows, size_t cols,
+                                        const GeoExtent& extent,
+                                        const std::vector<GridAttributeDef>& defs,
+                                        size_t* dropped = nullptr);
+
+}  // namespace srp
+
+#endif  // SRP_GRID_GRID_BUILDER_H_

@@ -1,0 +1,76 @@
+#include "grid/grid_dataset.h"
+
+#include "util/logging.h"
+
+namespace srp {
+
+GridDataset::GridDataset(size_t rows, size_t cols,
+                         std::vector<AttributeSpec> attrs, GeoExtent extent)
+    : rows_(rows),
+      cols_(cols),
+      attrs_(std::move(attrs)),
+      extent_(extent),
+      values_(attrs_.size(), std::vector<double>(rows * cols, 0.0)),
+      null_(rows * cols, 1) {}
+
+size_t GridDataset::NumValidCells() const {
+  size_t count = 0;
+  for (uint8_t n : null_) count += (n == 0);
+  return count;
+}
+
+void GridDataset::Set(size_t r, size_t c, size_t k, double value) {
+  SRP_CHECK(r < rows_ && c < cols_ && k < attrs_.size())
+      << "Set out of range: (" << r << "," << c << "," << k << ")";
+  values_[k][CellIndex(r, c)] = value;
+  null_[CellIndex(r, c)] = 0;
+}
+
+void GridDataset::SetFeatureVector(size_t r, size_t c,
+                                   const std::vector<double>& fv) {
+  SRP_CHECK(fv.size() == attrs_.size()) << "feature vector arity mismatch";
+  for (size_t k = 0; k < fv.size(); ++k) values_[k][CellIndex(r, c)] = fv[k];
+  null_[CellIndex(r, c)] = 0;
+}
+
+int GridDataset::AttributeIndex(const std::string& name) const {
+  for (size_t k = 0; k < attrs_.size(); ++k) {
+    if (attrs_[k].name == name) return static_cast<int>(k);
+  }
+  return -1;
+}
+
+Centroid GridDataset::CellCentroid(size_t r, size_t c) const {
+  Centroid out;
+  const double lat_step = (extent_.lat_max - extent_.lat_min) /
+                          static_cast<double>(rows_ == 0 ? 1 : rows_);
+  const double lon_step = (extent_.lon_max - extent_.lon_min) /
+                          static_cast<double>(cols_ == 0 ? 1 : cols_);
+  out.lat = extent_.lat_min + (static_cast<double>(r) + 0.5) * lat_step;
+  out.lon = extent_.lon_min + (static_cast<double>(c) + 0.5) * lon_step;
+  return out;
+}
+
+Status GridDataset::Validate() const {
+  if (attrs_.empty()) {
+    return Status::InvalidArgument("grid has no attributes");
+  }
+  if (rows_ == 0 || cols_ == 0) {
+    return Status::InvalidArgument("grid has zero rows or columns");
+  }
+  for (const auto& column : values_) {
+    if (column.size() != num_cells()) {
+      return Status::Internal("attribute storage size mismatch");
+    }
+  }
+  if (null_.size() != num_cells()) {
+    return Status::Internal("null mask size mismatch");
+  }
+  if (extent_.lat_max <= extent_.lat_min ||
+      extent_.lon_max <= extent_.lon_min) {
+    return Status::InvalidArgument("degenerate geographic extent");
+  }
+  return Status::OK();
+}
+
+}  // namespace srp

@@ -1,0 +1,121 @@
+#ifndef SRP_GRID_GRID_DATASET_H_
+#define SRP_GRID_GRID_DATASET_H_
+
+#include <cstddef>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace srp {
+
+/// How an attribute aggregates when cells merge into a cell-group
+/// (paper Section III-A3, Algorithm 2): counts sum, intensive quantities
+/// (prices, averages) average.
+enum class AggType { kSum, kAverage };
+
+/// Schema entry for one attribute of a grid dataset.
+struct AttributeSpec {
+  std::string name;
+  AggType agg_type = AggType::kAverage;
+  /// Integer-typed attributes have their average-aggregated values rounded
+  /// to the nearest integer (paper Example 4: 23.67 -> 24).
+  bool is_integer = false;
+  /// Categorical attributes (an extension the paper lists as future work,
+  /// Section VI) store category ids as doubles. They contribute a 0/1
+  /// mismatch to the attribute variation (Eq. 1), are represented by their
+  /// mode during feature allocation (the mean is meaningless), stay
+  /// unscaled by normalization, and contribute a 0/1 mismatch term to the
+  /// information loss (Eq. 3).
+  bool is_categorical = false;
+};
+
+/// Geographic bounding box of the gridded region. Latitudes map to rows and
+/// longitudes to columns, following the paper's (lat_i, lon_j) cell naming.
+struct GeoExtent {
+  double lat_min = 0.0;
+  double lat_max = 1.0;
+  double lon_min = 0.0;
+  double lon_max = 1.0;
+};
+
+/// Centroid coordinates of a cell or cell-group, used as features by
+/// geographically weighted regression and kriging.
+struct Centroid {
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+/// An m x n spatial grid dataset (paper Section II).
+///
+/// Each cell holds a p-dimensional feature vector, one dimension per
+/// attribute; a cell with no mapped data instances is "null" (empty feature
+/// vector). Values are stored per attribute in row-major cell order so that
+/// attribute-wise scans (normalization, variation, IFL) are contiguous.
+class GridDataset {
+ public:
+  GridDataset() : rows_(0), cols_(0) {}
+
+  /// Creates an all-null grid with the given schema.
+  GridDataset(size_t rows, size_t cols, std::vector<AttributeSpec> attrs,
+              GeoExtent extent = GeoExtent());
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t num_cells() const { return rows_ * cols_; }
+  size_t num_attributes() const { return attrs_.size(); }
+  const std::vector<AttributeSpec>& attributes() const { return attrs_; }
+  const GeoExtent& extent() const { return extent_; }
+
+  /// Flat index of cell (r, c) in row-major order.
+  size_t CellIndex(size_t r, size_t c) const { return r * cols_ + c; }
+
+  bool IsNull(size_t r, size_t c) const { return null_[CellIndex(r, c)] != 0; }
+  bool IsNullIndex(size_t cell) const { return null_[cell] != 0; }
+  void SetNull(size_t r, size_t c) { null_[CellIndex(r, c)] = 1; }
+
+  /// Number of cells with a valid (non-null) feature vector.
+  size_t NumValidCells() const;
+
+  /// Value of attribute k at cell (r, c). Reading a null cell returns the
+  /// stored placeholder (0); callers must consult IsNull first where it
+  /// matters.
+  double At(size_t r, size_t c, size_t k) const {
+    return values_[k][CellIndex(r, c)];
+  }
+  double AtIndex(size_t cell, size_t k) const { return values_[k][cell]; }
+
+  /// Sets attribute k at (r, c) and marks the cell valid.
+  void Set(size_t r, size_t c, size_t k, double value);
+
+  /// Sets the entire feature vector at (r, c) and marks the cell valid.
+  void SetFeatureVector(size_t r, size_t c, const std::vector<double>& fv);
+
+  /// Flat storage for attribute k (row-major cells).
+  const std::vector<double>& AttributeValues(size_t k) const {
+    return values_[k];
+  }
+
+  /// Attribute index by name; -1 when absent.
+  int AttributeIndex(const std::string& name) const;
+
+  /// Geographic centroid of cell (r, c).
+  Centroid CellCentroid(size_t r, size_t c) const;
+
+  /// Sanity checks (consistent sizes, at least one attribute).
+  Status Validate() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<AttributeSpec> attrs_;
+  GeoExtent extent_;
+  std::vector<std::vector<double>> values_;  // [attribute][cell]
+  std::vector<uint8_t> null_;                // [cell], 1 = null FV
+};
+
+}  // namespace srp
+
+#endif  // SRP_GRID_GRID_DATASET_H_

@@ -1,0 +1,49 @@
+#include "grid/normalize.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace srp {
+
+GridDataset AttributeNormalized(const GridDataset& grid) {
+  GridDataset out(grid.rows(), grid.cols(),
+                  std::vector<AttributeSpec>(grid.attributes().begin(),
+                                             grid.attributes().end()),
+                  grid.extent());
+  const size_t cells = grid.num_cells();
+  for (size_t k = 0; k < grid.num_attributes(); ++k) {
+    if (grid.attributes()[k].is_categorical) {
+      // Category ids carry no magnitude; copy them through unscaled so the
+      // variation's 0/1 mismatch semantics stay intact.
+      for (size_t r = 0; r < grid.rows(); ++r) {
+        for (size_t c = 0; c < grid.cols(); ++c) {
+          if (!grid.IsNull(r, c)) out.Set(r, c, k, grid.At(r, c, k));
+        }
+      }
+      continue;
+    }
+    double min_v = std::numeric_limits<double>::infinity();
+    double max_v = -std::numeric_limits<double>::infinity();
+    for (size_t cell = 0; cell < cells; ++cell) {
+      if (grid.IsNullIndex(cell)) continue;
+      const double v = grid.AtIndex(cell, k);
+      min_v = std::min(min_v, v);
+      max_v = std::max(max_v, v);
+    }
+    if (min_v > max_v) continue;  // attribute entirely null
+    // Match the paper's divide-by-max convention for non-negative data;
+    // shift first when negatives are present.
+    const double shift = min_v < 0.0 ? min_v : 0.0;
+    const double scale = max_v - shift;
+    for (size_t r = 0; r < grid.rows(); ++r) {
+      for (size_t c = 0; c < grid.cols(); ++c) {
+        if (grid.IsNull(r, c)) continue;
+        const double v = grid.At(r, c, k) - shift;
+        out.Set(r, c, k, scale > 0.0 ? v / scale : 0.0);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace srp

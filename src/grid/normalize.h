@@ -1,0 +1,22 @@
+#ifndef SRP_GRID_NORMALIZE_H_
+#define SRP_GRID_NORMALIZE_H_
+
+#include "grid/grid_dataset.h"
+
+namespace srp {
+
+/// Produces the attribute-normalized form of `grid` (paper Background):
+/// every attribute is scaled into [0, 1]. The paper's worked example divides
+/// by the attribute maximum ((10,20,30) -> (0.33, 0.67, 1.0)); we match that
+/// for non-negative data and first shift attributes with negative values so
+/// their minimum becomes 0. Null cells are ignored when computing the scale
+/// and stay null.
+///
+/// The normalized grid is what the min-adjacent-variation calculator and the
+/// cell-group extractor consume (Sections III-A1 and III-A2); the feature
+/// allocator works on the original values.
+GridDataset AttributeNormalized(const GridDataset& grid);
+
+}  // namespace srp
+
+#endif  // SRP_GRID_NORMALIZE_H_

@@ -1,0 +1,69 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace srp {
+
+Result<Cholesky> Cholesky::Factorize(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::FailedPrecondition(
+          "matrix is not positive definite (pivot " + std::to_string(j) + ")");
+    }
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      l(i, j) = acc / ljj;
+    }
+  }
+  return Cholesky(std::move(l));
+}
+
+std::vector<double> Cholesky::Solve(const std::vector<double>& b) const {
+  const size_t n = l_.rows();
+  SRP_CHECK(b.size() == n) << "Cholesky::Solve size mismatch";
+  // Forward substitution: L y = b.
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (size_t k = 0; k < i; ++k) acc -= l_(i, k) * y[k];
+    y[i] = acc / l_(i, i);
+  }
+  // Back substitution: L^T x = y.
+  std::vector<double> x(n);
+  for (size_t ii = n; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    double acc = y[i];
+    for (size_t k = i + 1; k < n; ++k) acc -= l_(k, i) * x[k];
+    x[i] = acc / l_(i, i);
+  }
+  return x;
+}
+
+Matrix Cholesky::SolveMatrix(const Matrix& b) const {
+  SRP_CHECK(b.rows() == l_.rows()) << "SolveMatrix shape mismatch";
+  Matrix x(b.rows(), b.cols());
+  for (size_t c = 0; c < b.cols(); ++c) {
+    x.SetColumn(c, Solve(b.Column(c)));
+  }
+  return x;
+}
+
+double Cholesky::LogDeterminant() const {
+  double acc = 0.0;
+  for (size_t i = 0; i < l_.rows(); ++i) acc += std::log(l_(i, i));
+  return 2.0 * acc;
+}
+
+}  // namespace srp

@@ -1,0 +1,38 @@
+#ifndef SRP_LINALG_CHOLESKY_H_
+#define SRP_LINALG_CHOLESKY_H_
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace srp {
+
+/// Cholesky factorization A = L L^T of a symmetric positive-definite matrix.
+///
+/// Used to solve the normal equations in OLS/GWR/FGLS and the kriging
+/// systems. Fails with InvalidArgument when A is not square and with
+/// FailedPrecondition when a non-positive pivot is encountered (matrix not
+/// SPD within tolerance).
+class Cholesky {
+ public:
+  /// Factorizes `a`. O(n^3/3).
+  static Result<Cholesky> Factorize(const Matrix& a);
+
+  /// Solves A x = b using the stored factor. b must have length n.
+  std::vector<double> Solve(const std::vector<double>& b) const;
+
+  /// Solves A X = B column-wise.
+  Matrix SolveMatrix(const Matrix& b) const;
+
+  /// log(det(A)) = 2 * sum log(L_ii); useful for likelihoods.
+  double LogDeterminant() const;
+
+  const Matrix& lower() const { return l_; }
+
+ private:
+  explicit Cholesky(Matrix l) : l_(std::move(l)) {}
+  Matrix l_;
+};
+
+}  // namespace srp
+
+#endif  // SRP_LINALG_CHOLESKY_H_

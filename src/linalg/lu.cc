@@ -1,0 +1,83 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace srp {
+
+Result<Lu> Lu::Factorize(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("LU requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix lu = a;
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  int sign = 1;
+
+  for (size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest magnitude in column k.
+    size_t pivot = k;
+    double best = std::fabs(lu(k, k));
+    for (size_t i = k + 1; i < n; ++i) {
+      double v = std::fabs(lu(i, k));
+      if (v > best) {
+        best = v;
+        pivot = i;
+      }
+    }
+    if (best < 1e-14) {
+      return Status::FailedPrecondition("matrix is singular (column " +
+                                        std::to_string(k) + ")");
+    }
+    if (pivot != k) {
+      for (size_t c = 0; c < n; ++c) std::swap(lu(k, c), lu(pivot, c));
+      std::swap(perm[k], perm[pivot]);
+      sign = -sign;
+    }
+    const double pivot_value = lu(k, k);
+    for (size_t i = k + 1; i < n; ++i) {
+      lu(i, k) /= pivot_value;
+      const double factor = lu(i, k);
+      if (factor == 0.0) continue;
+      for (size_t c = k + 1; c < n; ++c) lu(i, c) -= factor * lu(k, c);
+    }
+  }
+  return Lu(std::move(lu), std::move(perm), sign);
+}
+
+std::vector<double> Lu::Solve(const std::vector<double>& b) const {
+  const size_t n = lu_.rows();
+  SRP_CHECK(b.size() == n) << "Lu::Solve size mismatch";
+  // Apply the permutation, then forward/back substitution.
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = b[perm_[i]];
+    for (size_t k = 0; k < i; ++k) acc -= lu_(i, k) * y[k];
+    y[i] = acc;
+  }
+  std::vector<double> x(n);
+  for (size_t ii = n; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    double acc = y[i];
+    for (size_t k = i + 1; k < n; ++k) acc -= lu_(i, k) * x[k];
+    x[i] = acc / lu_(i, i);
+  }
+  return x;
+}
+
+Matrix Lu::SolveMatrix(const Matrix& b) const {
+  SRP_CHECK(b.rows() == lu_.rows()) << "SolveMatrix shape mismatch";
+  Matrix x(b.rows(), b.cols());
+  for (size_t c = 0; c < b.cols(); ++c) x.SetColumn(c, Solve(b.Column(c)));
+  return x;
+}
+
+double Lu::Determinant() const {
+  double det = sign_;
+  for (size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+}  // namespace srp

@@ -1,0 +1,37 @@
+#ifndef SRP_LINALG_LU_H_
+#define SRP_LINALG_LU_H_
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace srp {
+
+/// LU factorization with partial pivoting (PA = LU) for general square
+/// systems, used where symmetry is unavailable (e.g. the spatial-lag reduced
+/// form and GM moment equations).
+class Lu {
+ public:
+  /// Factorizes `a`; fails when `a` is singular within tolerance.
+  static Result<Lu> Factorize(const Matrix& a);
+
+  /// Solves A x = b.
+  std::vector<double> Solve(const std::vector<double>& b) const;
+
+  /// Solves A X = B column-wise.
+  Matrix SolveMatrix(const Matrix& b) const;
+
+  /// Determinant of A.
+  double Determinant() const;
+
+ private:
+  Lu(Matrix lu, std::vector<size_t> perm, int sign)
+      : lu_(std::move(lu)), perm_(std::move(perm)), sign_(sign) {}
+
+  Matrix lu_;                 // packed L (unit diagonal) and U
+  std::vector<size_t> perm_;  // row permutation
+  int sign_;                  // permutation parity for Determinant()
+};
+
+}  // namespace srp
+
+#endif  // SRP_LINALG_LU_H_

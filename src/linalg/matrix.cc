@@ -1,0 +1,148 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace srp {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> values) {
+  rows_ = values.size();
+  cols_ = rows_ == 0 ? 0 : values.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : values) {
+    SRP_CHECK(row.size() == cols_) << "ragged initializer list";
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::ColumnVector(const std::vector<double>& values) {
+  Matrix m(values.size(), 1);
+  for (size_t i = 0; i < values.size(); ++i) m(i, 0) = values[i];
+  return m;
+}
+
+std::vector<double> Matrix::Column(size_t c) const {
+  SRP_CHECK(c < cols_) << "column out of range";
+  std::vector<double> out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+std::vector<double> Matrix::Row(size_t r) const {
+  SRP_CHECK(r < rows_) << "row out of range";
+  return std::vector<double>(data_.begin() + r * cols_,
+                             data_.begin() + (r + 1) * cols_);
+}
+
+void Matrix::SetColumn(size_t c, const std::vector<double>& values) {
+  SRP_CHECK(c < cols_ && values.size() == rows_) << "SetColumn shape mismatch";
+  for (size_t r = 0; r < rows_; ++r) (*this)(r, c) = values[r];
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  SRP_CHECK(cols_ == other.rows_) << "Multiply shape mismatch: " << rows_
+                                  << "x" << cols_ << " * " << other.rows_
+                                  << "x" << other.cols_;
+  Matrix out(rows_, other.cols_, 0.0);
+  // i-k-j loop order keeps the inner loop contiguous in both operands.
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      const double* brow = &other.data_[k * other.cols_];
+      double* orow = &out.data_[i * other.cols_];
+      for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::TransposeMultiply(const Matrix& other) const {
+  SRP_CHECK(rows_ == other.rows_) << "TransposeMultiply shape mismatch";
+  Matrix out(cols_, other.cols_, 0.0);
+  for (size_t k = 0; k < rows_; ++k) {
+    const double* arow = &data_[k * cols_];
+    const double* brow = &other.data_[k * other.cols_];
+    for (size_t i = 0; i < cols_; ++i) {
+      const double a = arow[i];
+      if (a == 0.0) continue;
+      double* orow = &out.data_[i * other.cols_];
+      for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::MultiplyVector(const std::vector<double>& v) const {
+  SRP_CHECK(cols_ == v.size()) << "MultiplyVector shape mismatch";
+  std::vector<double> out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += row[c] * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  SRP_CHECK(SameShape(other)) << "operator+ shape mismatch";
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  SRP_CHECK(SameShape(other)) << "operator- shape mismatch";
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator*(double scalar) const {
+  Matrix out = *this;
+  for (double& v : out.data_) v *= scalar;
+  return out;
+}
+
+Matrix Matrix::HStack(const Matrix& right) const {
+  SRP_CHECK(rows_ == right.rows_) << "HStack row mismatch";
+  Matrix out(rows_, cols_ + right.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out(r, c) = (*this)(r, c);
+    for (size_t c = 0; c < right.cols_; ++c) out(r, cols_ + c) = right(r, c);
+  }
+  return out;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  SRP_CHECK(a.size() == b.size()) << "Dot size mismatch";
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm2(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
+
+}  // namespace srp

@@ -1,0 +1,90 @@
+#ifndef SRP_LINALG_MATRIX_H_
+#define SRP_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "util/status.h"
+
+namespace srp {
+
+/// Dense row-major matrix of doubles.
+///
+/// This is the only matrix representation in the library; the spatial ML
+/// models are written against it. It intentionally stays small: construction,
+/// element access, arithmetic, transpose and products. Factorizations live in
+/// cholesky.h / lu.h, and linear solvers in solve.h.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer lists; all rows must be equally long.
+  Matrix(std::initializer_list<std::initializer_list<double>> values);
+
+  static Matrix Identity(size_t n);
+
+  /// Column vector (n x 1) from values.
+  static Matrix ColumnVector(const std::vector<double>& values);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& mutable_data() { return data_; }
+
+  /// Extracts column c as a flat vector.
+  std::vector<double> Column(size_t c) const;
+
+  /// Extracts row r as a flat vector.
+  std::vector<double> Row(size_t r) const;
+
+  void SetColumn(size_t c, const std::vector<double>& values);
+
+  Matrix Transpose() const;
+
+  /// Matrix product; dimensions must agree (checked).
+  Matrix Multiply(const Matrix& other) const;
+
+  /// this^T * other, avoiding an explicit transpose.
+  Matrix TransposeMultiply(const Matrix& other) const;
+
+  /// Matrix-vector product.
+  std::vector<double> MultiplyVector(const std::vector<double>& v) const;
+
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+  Matrix operator*(double scalar) const;
+
+  /// Appends the columns of `right` to this matrix (row counts must match).
+  Matrix HStack(const Matrix& right) const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Dot product of equally sized vectors.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean norm.
+double Norm2(const std::vector<double>& v);
+
+}  // namespace srp
+
+#endif  // SRP_LINALG_MATRIX_H_

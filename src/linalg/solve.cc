@@ -1,0 +1,79 @@
+#include "linalg/solve.h"
+
+#include "linalg/cholesky.h"
+#include "linalg/lu.h"
+#include "util/logging.h"
+
+namespace srp {
+namespace {
+
+Result<std::vector<double>> SolveNormalEquations(const Matrix& xtx,
+                                                 const std::vector<double>& xty,
+                                                 double jitter) {
+  auto chol = Cholesky::Factorize(xtx);
+  if (chol.ok()) return chol->Solve(xty);
+  // Ridge fallback: add jitter * mean(diag) to the diagonal.
+  double mean_diag = 0.0;
+  for (size_t i = 0; i < xtx.rows(); ++i) mean_diag += xtx(i, i);
+  mean_diag /= static_cast<double>(xtx.rows());
+  const double ridge = jitter * (mean_diag > 0 ? mean_diag : 1.0);
+  Matrix regularized = xtx;
+  for (size_t i = 0; i < xtx.rows(); ++i) regularized(i, i) += ridge;
+  auto chol2 = Cholesky::Factorize(regularized);
+  if (!chol2.ok()) return chol2.status();
+  return chol2->Solve(xty);
+}
+
+}  // namespace
+
+Result<std::vector<double>> SolveLinearSystem(const Matrix& a,
+                                              const std::vector<double>& b) {
+  SRP_ASSIGN_OR_RETURN(Lu lu, Lu::Factorize(a));
+  return lu.Solve(b);
+}
+
+Result<std::vector<double>> LeastSquares(const Matrix& x,
+                                         const std::vector<double>& y,
+                                         double jitter) {
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("LeastSquares: X rows != y size");
+  }
+  if (x.rows() < x.cols()) {
+    return Status::InvalidArgument(
+        "LeastSquares: underdetermined system (rows < cols)");
+  }
+  const Matrix xtx = x.TransposeMultiply(x);
+  const std::vector<double> xty =
+      x.Transpose().MultiplyVector(y);
+  return SolveNormalEquations(xtx, xty, jitter);
+}
+
+Result<std::vector<double>> WeightedLeastSquares(const Matrix& x,
+                                                 const std::vector<double>& y,
+                                                 const std::vector<double>& w,
+                                                 double jitter) {
+  if (x.rows() != y.size() || x.rows() != w.size()) {
+    return Status::InvalidArgument("WeightedLeastSquares: size mismatch");
+  }
+  const size_t n = x.rows();
+  const size_t p = x.cols();
+  Matrix xtx(p, p, 0.0);
+  std::vector<double> xty(p, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double wi = w[i];
+    if (wi == 0.0) continue;
+    for (size_t a = 0; a < p; ++a) {
+      const double xa = x(i, a);
+      if (xa == 0.0) continue;
+      const double wxa = wi * xa;
+      for (size_t b = a; b < p; ++b) xtx(a, b) += wxa * x(i, b);
+      xty[a] += wxa * y[i];
+    }
+  }
+  for (size_t a = 0; a < p; ++a) {
+    for (size_t b = 0; b < a; ++b) xtx(a, b) = xtx(b, a);
+  }
+  return SolveNormalEquations(xtx, xty, jitter);
+}
+
+}  // namespace srp

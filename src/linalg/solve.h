@@ -1,0 +1,32 @@
+#ifndef SRP_LINALG_SOLVE_H_
+#define SRP_LINALG_SOLVE_H_
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace srp {
+
+/// Solves the linear system A x = b for a general square A (LU with partial
+/// pivoting).
+Result<std::vector<double>> SolveLinearSystem(const Matrix& a,
+                                              const std::vector<double>& b);
+
+/// Least-squares fit: argmin_beta ||X beta - y||^2 via the normal equations
+/// X^T X beta = X^T y solved with Cholesky. When X^T X is (near-)singular a
+/// small ridge `jitter` is added to the diagonal and the solve retried, which
+/// keeps degenerate design matrices (constant columns, collinear features)
+/// from aborting an experiment.
+Result<std::vector<double>> LeastSquares(const Matrix& x,
+                                         const std::vector<double>& y,
+                                         double jitter = 1e-8);
+
+/// Weighted least squares with per-row weights w_i >= 0:
+/// argmin_beta sum_i w_i (x_i beta - y_i)^2.
+Result<std::vector<double>> WeightedLeastSquares(const Matrix& x,
+                                                 const std::vector<double>& y,
+                                                 const std::vector<double>& w,
+                                                 double jitter = 1e-8);
+
+}  // namespace srp
+
+#endif  // SRP_LINALG_SOLVE_H_

@@ -1,0 +1,73 @@
+#include "linalg/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace srp {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+double Variance(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  const double m = Mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(v.size());
+}
+
+double SampleStdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = Mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size() - 1));
+}
+
+double Min(const std::vector<double>& v) {
+  SRP_CHECK(!v.empty()) << "Min of empty vector";
+  return *std::min_element(v.begin(), v.end());
+}
+
+double Max(const std::vector<double>& v) {
+  SRP_CHECK(!v.empty()) << "Max of empty vector";
+  return *std::max_element(v.begin(), v.end());
+}
+
+double Median(std::vector<double> v) {
+  SRP_CHECK(!v.empty()) << "Median of empty vector";
+  const size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  double lo = *std::max_element(v.begin(), v.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+double Quantile(std::vector<double> v, double q) {
+  SRP_CHECK(!v.empty()) << "Quantile of empty vector";
+  SRP_CHECK(q >= 0.0 && q <= 1.0) << "Quantile q out of [0,1]";
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+Standardization StandardizeInPlace(std::vector<double>* v) {
+  Standardization s;
+  s.mean = Mean(*v);
+  s.stddev = SampleStdDev(*v);
+  if (s.stddev <= 0.0) s.stddev = 1.0;
+  for (double& x : *v) x = (x - s.mean) / s.stddev;
+  return s;
+}
+
+}  // namespace srp

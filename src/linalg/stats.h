@@ -1,0 +1,39 @@
+#ifndef SRP_LINALG_STATS_H_
+#define SRP_LINALG_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace srp {
+
+/// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& v);
+
+/// Population variance (divides by n); 0 for n < 1.
+double Variance(const std::vector<double>& v);
+
+/// Sample standard deviation (divides by n-1); 0 for n < 2.
+double SampleStdDev(const std::vector<double>& v);
+
+/// Minimum / maximum; caller must pass a non-empty vector.
+double Min(const std::vector<double>& v);
+double Max(const std::vector<double>& v);
+
+/// Median (averages middle pair for even n); caller must pass non-empty.
+double Median(std::vector<double> v);
+
+/// q-th quantile in [0,1] by linear interpolation; non-empty input.
+double Quantile(std::vector<double> v, double q);
+
+/// Standardizes in place to zero mean / unit sample stddev; returns the
+/// (mean, stddev) used so the transform can be applied to new data. Constant
+/// vectors get stddev 1 to stay finite.
+struct Standardization {
+  double mean = 0.0;
+  double stddev = 1.0;
+};
+Standardization StandardizeInPlace(std::vector<double>* v);
+
+}  // namespace srp
+
+#endif  // SRP_LINALG_STATS_H_

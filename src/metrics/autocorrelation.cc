@@ -1,0 +1,61 @@
+#include "metrics/autocorrelation.h"
+
+#include "util/logging.h"
+
+namespace srp {
+namespace {
+
+struct Moments {
+  double mean = 0.0;
+  double ss = 0.0;  // sum of squared deviations
+  double total_weight = 0.0;
+};
+
+Moments ComputeMoments(const std::vector<double>& x,
+                       const std::vector<std::vector<int32_t>>& neighbors) {
+  SRP_CHECK(x.size() == neighbors.size())
+      << "x and adjacency list must be equally sized";
+  Moments m;
+  for (double v : x) m.mean += v;
+  m.mean /= static_cast<double>(x.size());
+  for (double v : x) m.ss += (v - m.mean) * (v - m.mean);
+  for (const auto& n_list : neighbors) {
+    m.total_weight += static_cast<double>(n_list.size());
+  }
+  return m;
+}
+
+}  // namespace
+
+double MoransI(const std::vector<double>& x,
+               const std::vector<std::vector<int32_t>>& neighbors) {
+  if (x.empty()) return 0.0;
+  const Moments m = ComputeMoments(x, neighbors);
+  if (m.ss == 0.0 || m.total_weight == 0.0) return 0.0;
+  double cross = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    for (int32_t j : neighbors[i]) {
+      cross += (x[i] - m.mean) * (x[static_cast<size_t>(j)] - m.mean);
+    }
+  }
+  const double n = static_cast<double>(x.size());
+  return (n / m.total_weight) * (cross / m.ss);
+}
+
+double GearysC(const std::vector<double>& x,
+               const std::vector<std::vector<int32_t>>& neighbors) {
+  if (x.empty()) return 1.0;
+  const Moments m = ComputeMoments(x, neighbors);
+  if (m.ss == 0.0 || m.total_weight == 0.0) return 1.0;
+  double diff = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    for (int32_t j : neighbors[i]) {
+      const double d = x[i] - x[static_cast<size_t>(j)];
+      diff += d * d;
+    }
+  }
+  const double n = static_cast<double>(x.size());
+  return ((n - 1.0) * diff) / (2.0 * m.total_weight * m.ss);
+}
+
+}  // namespace srp

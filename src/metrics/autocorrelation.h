@@ -1,0 +1,23 @@
+#ifndef SRP_METRICS_AUTOCORRELATION_H_
+#define SRP_METRICS_AUTOCORRELATION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace srp {
+
+/// Moran's I spatial autocorrelation statistic (paper Eq. 4) of attribute
+/// values `x` under a binary adjacency list: +1-ish for smooth surfaces,
+/// ~0 for random fields, negative for checkerboards. Returns 0 when x is
+/// constant or there are no adjacency links.
+double MoransI(const std::vector<double>& x,
+               const std::vector<std::vector<int32_t>>& neighbors);
+
+/// Geary's C contiguity ratio: values < 1 indicate positive autocorrelation,
+/// > 1 negative. Returns 1 when x is constant or there are no links.
+double GearysC(const std::vector<double>& x,
+               const std::vector<std::vector<int32_t>>& neighbors);
+
+}  // namespace srp
+
+#endif  // SRP_METRICS_AUTOCORRELATION_H_

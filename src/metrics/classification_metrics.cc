@@ -1,0 +1,88 @@
+#include "metrics/classification_metrics.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace srp {
+
+double Accuracy(const std::vector<int>& y, const std::vector<int>& yhat) {
+  SRP_CHECK(y.size() == yhat.size() && !y.empty()) << "size mismatch";
+  size_t hits = 0;
+  for (size_t i = 0; i < y.size(); ++i) hits += (y[i] == yhat[i]);
+  return static_cast<double>(hits) / static_cast<double>(y.size());
+}
+
+std::vector<double> PerClassF1(const std::vector<int>& y,
+                               const std::vector<int>& yhat, int num_classes) {
+  SRP_CHECK(y.size() == yhat.size() && !y.empty()) << "size mismatch";
+  SRP_CHECK(num_classes > 0) << "num_classes must be positive";
+  std::vector<size_t> tp(num_classes, 0);
+  std::vector<size_t> fp(num_classes, 0);
+  std::vector<size_t> fn(num_classes, 0);
+  for (size_t i = 0; i < y.size(); ++i) {
+    SRP_CHECK(y[i] >= 0 && y[i] < num_classes) << "label out of range";
+    SRP_CHECK(yhat[i] >= 0 && yhat[i] < num_classes) << "pred out of range";
+    if (y[i] == yhat[i]) {
+      ++tp[y[i]];
+    } else {
+      ++fn[y[i]];
+      ++fp[yhat[i]];
+    }
+  }
+  std::vector<double> f1(num_classes, 0.0);
+  for (int k = 0; k < num_classes; ++k) {
+    const double denom = static_cast<double>(2 * tp[k] + fp[k] + fn[k]);
+    f1[k] = denom == 0.0 ? 0.0 : 2.0 * static_cast<double>(tp[k]) / denom;
+  }
+  return f1;
+}
+
+double WeightedF1Score(const std::vector<int>& y, const std::vector<int>& yhat,
+                       int num_classes) {
+  const std::vector<double> f1 = PerClassF1(y, yhat, num_classes);
+  std::vector<size_t> support(num_classes, 0);
+  for (int label : y) ++support[label];
+  double weighted = 0.0;
+  for (int k = 0; k < num_classes; ++k) {
+    weighted += f1[k] * static_cast<double>(support[k]);
+  }
+  return weighted / static_cast<double>(y.size());
+}
+
+std::vector<double> QuantileBinEdges(const std::vector<double>& values,
+                                     int num_bins) {
+  SRP_CHECK(num_bins >= 2) << "need at least two bins";
+  SRP_CHECK(!values.empty()) << "empty values";
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> edges;
+  edges.reserve(num_bins - 1);
+  for (int b = 1; b < num_bins; ++b) {
+    const double pos = static_cast<double>(b) /
+                       static_cast<double>(num_bins) *
+                       static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    edges.push_back(sorted[lo] * (1.0 - frac) + sorted[hi] * frac);
+  }
+  return edges;
+}
+
+std::vector<int> BinWithEdges(const std::vector<double>& values,
+                              const std::vector<double>& edges) {
+  std::vector<int> out(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    const auto it = std::upper_bound(edges.begin(), edges.end(), values[i]);
+    out[i] = static_cast<int>(it - edges.begin());
+  }
+  return out;
+}
+
+std::vector<int> BinIntoClasses(const std::vector<double>& values,
+                                int num_bins) {
+  return BinWithEdges(values, QuantileBinEdges(values, num_bins));
+}
+
+}  // namespace srp

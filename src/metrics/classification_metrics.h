@@ -1,0 +1,38 @@
+#ifndef SRP_METRICS_CLASSIFICATION_METRICS_H_
+#define SRP_METRICS_CLASSIFICATION_METRICS_H_
+
+#include <vector>
+
+namespace srp {
+
+/// Fraction of predictions equal to the ground truth.
+double Accuracy(const std::vector<int>& y, const std::vector<int>& yhat);
+
+/// Per-class F1 = 2 * precision * recall / (precision + recall); classes
+/// absent from both y and yhat get F1 = 0.
+std::vector<double> PerClassF1(const std::vector<int>& y,
+                               const std::vector<int>& yhat, int num_classes);
+
+/// Weighted F1-score (paper Section IV-A1): the class-wise F1 averaged with
+/// weights equal to the class support fractions in the ground truth.
+double WeightedF1Score(const std::vector<int>& y, const std::vector<int>& yhat,
+                       int num_classes);
+
+/// Bins a continuous target into `num_bins` equi-probable classes (the paper
+/// maps regression targets into five range bins: low … high). Bin edges are
+/// the training quantiles; returns per-value class ids in [0, num_bins).
+std::vector<int> BinIntoClasses(const std::vector<double>& values,
+                                int num_bins);
+
+/// Same binning but with caller-provided edges (e.g. reuse training-set
+/// edges on the test set). `edges` has num_bins-1 ascending cut points.
+std::vector<int> BinWithEdges(const std::vector<double>& values,
+                              const std::vector<double>& edges);
+
+/// Computes the num_bins-1 quantile cut points used by BinIntoClasses.
+std::vector<double> QuantileBinEdges(const std::vector<double>& values,
+                                     int num_bins);
+
+}  // namespace srp
+
+#endif  // SRP_METRICS_CLASSIFICATION_METRICS_H_

@@ -1,0 +1,80 @@
+#include "metrics/clustering_agreement.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "util/logging.h"
+
+namespace srp {
+
+double ClusteringCorrectnessPercent(const std::vector<int>& original_labels,
+                                    const std::vector<int>& reduced_labels) {
+  SRP_CHECK(original_labels.size() == reduced_labels.size() &&
+            !original_labels.empty())
+      << "labelings must cover the same non-empty cell universe";
+
+  // Contingency counts: (reduced label, original label) -> #cells.
+  std::map<std::pair<int, int>, size_t> overlap;
+  for (size_t i = 0; i < original_labels.size(); ++i) {
+    SRP_CHECK(original_labels[i] >= 0 && reduced_labels[i] >= 0)
+        << "labels must be non-negative";
+    ++overlap[{reduced_labels[i], original_labels[i]}];
+  }
+
+  // Greedy one-to-one matching by decreasing overlap.
+  std::vector<std::tuple<size_t, int, int>> cells;  // (count, reduced, orig)
+  cells.reserve(overlap.size());
+  for (const auto& [key, count] : overlap) {
+    cells.emplace_back(count, key.first, key.second);
+  }
+  std::sort(cells.begin(), cells.end(), [](const auto& a, const auto& b) {
+    if (std::get<0>(a) != std::get<0>(b)) return std::get<0>(a) > std::get<0>(b);
+    if (std::get<1>(a) != std::get<1>(b)) return std::get<1>(a) < std::get<1>(b);
+    return std::get<2>(a) < std::get<2>(b);
+  });
+
+  std::map<int, int> reduced_to_original;
+  std::map<int, bool> original_taken;
+  size_t agreed = 0;
+  for (const auto& [count, reduced, original] : cells) {
+    if (reduced_to_original.count(reduced) != 0) continue;
+    if (original_taken[original]) continue;
+    reduced_to_original[reduced] = original;
+    original_taken[original] = true;
+    agreed += count;
+  }
+  return 100.0 * static_cast<double>(agreed) /
+         static_cast<double>(original_labels.size());
+}
+
+double RandIndex(const std::vector<int>& labels_a,
+                 const std::vector<int>& labels_b) {
+  SRP_CHECK(labels_a.size() == labels_b.size() && labels_a.size() >= 2)
+      << "need two equally sized labelings with >= 2 items";
+  // Pair counting via contingency sums: O(n log n) instead of O(n^2).
+  std::map<std::pair<int, int>, size_t> joint;
+  std::map<int, size_t> count_a;
+  std::map<int, size_t> count_b;
+  for (size_t i = 0; i < labels_a.size(); ++i) {
+    ++joint[{labels_a[i], labels_b[i]}];
+    ++count_a[labels_a[i]];
+    ++count_b[labels_b[i]];
+  }
+  auto choose2 = [](size_t n) {
+    return static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  };
+  double sum_joint = 0.0;
+  for (const auto& [key, c] : joint) sum_joint += choose2(c);
+  double sum_a = 0.0;
+  for (const auto& [label, c] : count_a) sum_a += choose2(c);
+  double sum_b = 0.0;
+  for (const auto& [label, c] : count_b) sum_b += choose2(c);
+  const double total = choose2(labels_a.size());
+  // RI = (#agree-together + #agree-apart) / #pairs.
+  const double agree_together = sum_joint;
+  const double agree_apart = total - sum_a - sum_b + sum_joint;
+  return (agree_together + agree_apart) / total;
+}
+
+}  // namespace srp

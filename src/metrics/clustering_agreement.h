@@ -1,0 +1,29 @@
+#ifndef SRP_METRICS_CLUSTERING_AGREEMENT_H_
+#define SRP_METRICS_CLUSTERING_AGREEMENT_H_
+
+#include <vector>
+
+namespace srp {
+
+/// Clustering correctness as reported in the paper's Table IV: the percent
+/// of cells assigned to "the same" cluster when clustering runs on the
+/// original grid and on a reduced grid. Cluster ids are arbitrary, so the
+/// reduced clustering's labels are first matched to the original's with a
+/// greedy maximum-overlap assignment, then per-cell agreement is counted.
+///
+/// Both labelings are over the SAME universe of cells (reduce-side cluster
+/// ids must already be propagated back to cells). Labels must be
+/// non-negative. Returns a percentage in [0, 100].
+double ClusteringCorrectnessPercent(const std::vector<int>& original_labels,
+                                    const std::vector<int>& reduced_labels);
+
+/// Pairwise co-clustering agreement (Rand index, as a fraction in [0, 1]):
+/// the probability that a random pair of cells is treated consistently
+/// (together in both clusterings or separated in both). Label-permutation
+/// invariant; used as a secondary, matching-free check.
+double RandIndex(const std::vector<int>& labels_a,
+                 const std::vector<int>& labels_b);
+
+}  // namespace srp
+
+#endif  // SRP_METRICS_CLUSTERING_AGREEMENT_H_

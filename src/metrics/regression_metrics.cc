@@ -1,0 +1,78 @@
+#include "metrics/regression_metrics.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace srp {
+namespace {
+
+void CheckSizes(const std::vector<double>& y, const std::vector<double>& yhat) {
+  SRP_CHECK(y.size() == yhat.size() && !y.empty())
+      << "metric inputs must be equally sized and non-empty";
+}
+
+}  // namespace
+
+double MeanAbsoluteError(const std::vector<double>& y,
+                         const std::vector<double>& yhat) {
+  CheckSizes(y, yhat);
+  double acc = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) acc += std::fabs(y[i] - yhat[i]);
+  return acc / static_cast<double>(y.size());
+}
+
+double RootMeanSquareError(const std::vector<double>& y,
+                           const std::vector<double>& yhat) {
+  CheckSizes(y, yhat);
+  double acc = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    const double d = y[i] - yhat[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(y.size()));
+}
+
+double MeanAbsolutePercentageError(const std::vector<double>& y,
+                                   const std::vector<double>& yhat) {
+  CheckSizes(y, yhat);
+  double acc = 0.0;
+  size_t terms = 0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    if (y[i] == 0.0) continue;
+    acc += std::fabs(y[i] - yhat[i]) / std::fabs(y[i]);
+    ++terms;
+  }
+  return terms == 0 ? 0.0 : acc / static_cast<double>(terms);
+}
+
+double PseudoRSquared(const std::vector<double>& y,
+                      const std::vector<double>& yhat) {
+  CheckSizes(y, yhat);
+  double mean = 0.0;
+  for (double v : y) mean += v;
+  mean /= static_cast<double>(y.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    ss_res += (y[i] - yhat[i]) * (y[i] - yhat[i]);
+    ss_tot += (y[i] - mean) * (y[i] - mean);
+  }
+  if (ss_tot == 0.0) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double StandardErrorOfRegression(const std::vector<double>& y,
+                                 const std::vector<double>& yhat,
+                                 size_t num_params) {
+  CheckSizes(y, yhat);
+  double ss_res = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    ss_res += (y[i] - yhat[i]) * (y[i] - yhat[i]);
+  }
+  const size_t n = y.size();
+  const size_t dof = n > num_params ? n - num_params : 1;
+  return std::sqrt(ss_res / static_cast<double>(dof));
+}
+
+}  // namespace srp

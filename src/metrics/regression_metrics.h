@@ -1,0 +1,37 @@
+#ifndef SRP_METRICS_REGRESSION_METRICS_H_
+#define SRP_METRICS_REGRESSION_METRICS_H_
+
+#include <cstddef>
+
+#include <vector>
+
+namespace srp {
+
+/// Mean absolute error between ground truth `y` and predictions `yhat`.
+double MeanAbsoluteError(const std::vector<double>& y,
+                         const std::vector<double>& yhat);
+
+/// Root mean square error.
+double RootMeanSquareError(const std::vector<double>& y,
+                           const std::vector<double>& yhat);
+
+/// Mean absolute percentage error; terms with y_i == 0 are skipped.
+double MeanAbsolutePercentageError(const std::vector<double>& y,
+                                   const std::vector<double>& yhat);
+
+/// Pseudo r-squared (paper Eq. 5): 1 - SS_res / SS_tot. Returns 0 when the
+/// observations are constant (SS_tot == 0).
+double PseudoRSquared(const std::vector<double>& y,
+                      const std::vector<double>& yhat);
+
+/// Standard error of the regression (residual standard error): the average
+/// distance of the ground truth from the regression line,
+/// sqrt(SS_res / (n - p)) with `num_params` fitted parameters p (clamped so
+/// the denominator stays >= 1).
+double StandardErrorOfRegression(const std::vector<double>& y,
+                                 const std::vector<double>& yhat,
+                                 size_t num_params);
+
+}  // namespace srp
+
+#endif  // SRP_METRICS_REGRESSION_METRICS_H_

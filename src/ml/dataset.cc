@@ -1,0 +1,207 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+
+#include "core/adjacency.h"
+#include "util/random.h"
+
+namespace srp {
+namespace {
+
+/// Restricts a full adjacency list to the units kept in `new_index`
+/// (old id -> new id, or -1 when dropped) and re-indexes it.
+std::vector<std::vector<int32_t>> ReindexAdjacency(
+    const std::vector<std::vector<int32_t>>& full,
+    const std::vector<int32_t>& new_index, size_t kept) {
+  std::vector<std::vector<int32_t>> out(kept);
+  for (size_t old_id = 0; old_id < full.size(); ++old_id) {
+    const int32_t id = new_index[old_id];
+    if (id < 0) continue;
+    for (int32_t old_neighbor : full[old_id]) {
+      const int32_t neighbor = new_index[static_cast<size_t>(old_neighbor)];
+      if (neighbor >= 0) out[static_cast<size_t>(id)].push_back(neighbor);
+    }
+  }
+  return out;
+}
+
+Status ResolveTarget(const GridDataset& grid, const std::string& target,
+                     int* target_index) {
+  *target_index = -1;
+  if (target.empty()) return Status::OK();
+  *target_index = grid.AttributeIndex(target);
+  if (*target_index < 0) {
+    return Status::NotFound("target attribute '" + target + "' not in grid");
+  }
+  return Status::OK();
+}
+
+void FillNamesAndTarget(const GridDataset& grid, int target_index,
+                        MlDataset* out) {
+  const bool univariate_self_target =
+      grid.num_attributes() == 1 && target_index < 0;
+  for (size_t k = 0; k < grid.num_attributes(); ++k) {
+    if (static_cast<int>(k) == target_index) continue;
+    out->feature_names.push_back(grid.attributes()[k].name);
+  }
+  if (target_index >= 0) {
+    out->target_name = grid.attributes()[static_cast<size_t>(target_index)].name;
+  } else if (univariate_self_target) {
+    out->target_name = grid.attributes()[0].name;
+  }
+}
+
+}  // namespace
+
+Result<MlDataset> PrepareFromGrid(const GridDataset& grid,
+                                  const std::string& target_attribute) {
+  SRP_RETURN_IF_ERROR(grid.Validate());
+  int target_index = -1;
+  SRP_RETURN_IF_ERROR(ResolveTarget(grid, target_attribute, &target_index));
+
+  MlDataset out;
+  FillNamesAndTarget(grid, target_index, &out);
+  const bool self_target = grid.num_attributes() == 1 && target_index < 0;
+
+  // Map valid cells to consecutive row ids.
+  std::vector<int32_t> new_index(grid.num_cells(), -1);
+  size_t kept = 0;
+  for (size_t cell = 0; cell < grid.num_cells(); ++cell) {
+    if (!grid.IsNullIndex(cell)) new_index[cell] = static_cast<int32_t>(kept++);
+  }
+  if (kept == 0) return Status::FailedPrecondition("grid has no valid cells");
+
+  const size_t p = out.feature_names.size();
+  out.features = Matrix(kept, p);
+  out.target.resize(kept, 0.0);
+  out.coords.resize(kept);
+  out.unit_ids.resize(kept);
+
+  for (size_t r = 0; r < grid.rows(); ++r) {
+    for (size_t c = 0; c < grid.cols(); ++c) {
+      const size_t cell = grid.CellIndex(r, c);
+      const int32_t row = new_index[cell];
+      if (row < 0) continue;
+      size_t fcol = 0;
+      for (size_t k = 0; k < grid.num_attributes(); ++k) {
+        const double v = grid.At(r, c, k);
+        if (static_cast<int>(k) == target_index) {
+          out.target[static_cast<size_t>(row)] = v;
+        } else {
+          out.features(static_cast<size_t>(row), fcol++) = v;
+        }
+      }
+      if (self_target) out.target[static_cast<size_t>(row)] = grid.At(r, c, 0);
+      out.coords[static_cast<size_t>(row)] = grid.CellCentroid(r, c);
+      out.unit_ids[static_cast<size_t>(row)] = static_cast<int32_t>(cell);
+    }
+  }
+  out.neighbors = ReindexAdjacency(GridCellAdjacency(grid.rows(), grid.cols()),
+                                   new_index, kept);
+  return out;
+}
+
+Result<MlDataset> PrepareFromPartition(const GridDataset& grid,
+                                       const Partition& partition,
+                                       const std::string& target_attribute,
+                                       bool spread_sum_aggregates) {
+  SRP_RETURN_IF_ERROR(partition.Validate(grid));
+  if (partition.features.empty()) {
+    return Status::FailedPrecondition(
+        "partition features not allocated; run AllocateFeatures first");
+  }
+  int target_index = -1;
+  SRP_RETURN_IF_ERROR(ResolveTarget(grid, target_attribute, &target_index));
+
+  MlDataset out;
+  FillNamesAndTarget(grid, target_index, &out);
+  const bool self_target = grid.num_attributes() == 1 && target_index < 0;
+
+  std::vector<int32_t> new_index(partition.num_groups(), -1);
+  size_t kept = 0;
+  for (size_t g = 0; g < partition.num_groups(); ++g) {
+    if (partition.group_null[g] == 0) {
+      new_index[g] = static_cast<int32_t>(kept++);
+    }
+  }
+  if (kept == 0) {
+    return Status::FailedPrecondition("partition has no valid groups");
+  }
+
+  const size_t p = out.feature_names.size();
+  out.features = Matrix(kept, p);
+  out.target.resize(kept, 0.0);
+  out.coords.resize(kept);
+  out.unit_ids.resize(kept);
+
+  for (size_t g = 0; g < partition.num_groups(); ++g) {
+    const int32_t row = new_index[g];
+    if (row < 0) continue;
+    size_t fcol = 0;
+    for (size_t k = 0; k < grid.num_attributes(); ++k) {
+      double v = partition.features[g][k];
+      if (spread_sum_aggregates &&
+          grid.attributes()[k].agg_type == AggType::kSum) {
+        v /= partition.SumDivisor(g);
+      }
+      if (static_cast<int>(k) == target_index) {
+        out.target[static_cast<size_t>(row)] = v;
+      } else {
+        out.features(static_cast<size_t>(row), fcol++) = v;
+      }
+      if (self_target && k == 0) out.target[static_cast<size_t>(row)] = v;
+    }
+    out.coords[static_cast<size_t>(row)] = partition.GroupCentroid(grid, g);
+    out.unit_ids[static_cast<size_t>(row)] = static_cast<int32_t>(g);
+  }
+  out.neighbors =
+      ReindexAdjacency(BuildAdjacencyList(partition), new_index, kept);
+  return out;
+}
+
+TrainTestSplit SplitDataset(size_t num_rows, double train_fraction,
+                            uint64_t seed) {
+  std::vector<size_t> order(num_rows);
+  for (size_t i = 0; i < num_rows; ++i) order[i] = i;
+  Rng rng(seed);
+  rng.Shuffle(&order);
+  const size_t train_size =
+      static_cast<size_t>(train_fraction * static_cast<double>(num_rows));
+  TrainTestSplit split;
+  split.train.assign(order.begin(), order.begin() + train_size);
+  split.test.assign(order.begin() + train_size, order.end());
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.test.begin(), split.test.end());
+  return split;
+}
+
+MlDataset SubsetRows(const MlDataset& data, const std::vector<size_t>& rows) {
+  MlDataset out;
+  out.feature_names = data.feature_names;
+  out.target_name = data.target_name;
+  const size_t p = data.features.cols();
+  out.features = Matrix(rows.size(), p);
+  out.target.resize(rows.size());
+  out.coords.resize(rows.size());
+  out.unit_ids.resize(rows.size());
+
+  std::vector<int32_t> new_index(data.num_rows(), -1);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const size_t r = rows[i];
+    new_index[r] = static_cast<int32_t>(i);
+    for (size_t c = 0; c < p; ++c) out.features(i, c) = data.features(r, c);
+    out.target[i] = data.target[r];
+    out.coords[i] = data.coords[r];
+    out.unit_ids[i] = data.unit_ids[r];
+  }
+  out.neighbors.resize(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (int32_t n : data.neighbors[rows[i]]) {
+      const int32_t mapped = new_index[static_cast<size_t>(n)];
+      if (mapped >= 0) out.neighbors[i].push_back(mapped);
+    }
+  }
+  return out;
+}
+
+}  // namespace srp

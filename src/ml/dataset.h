@@ -1,0 +1,72 @@
+#ifndef SRP_ML_DATASET_H_
+#define SRP_ML_DATASET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/partition.h"
+#include "grid/grid_dataset.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace srp {
+
+/// Training-data-preparation product (paper Section III-B): one row per
+/// valid spatial unit (cell, or cell-group after re-partitioning), with the
+/// non-target attributes as features, the target attribute as label, unit
+/// centroids for geographic models, and the binary adjacency list among the
+/// units for spatially explicit models.
+struct MlDataset {
+  Matrix features;                              ///< n x p, no intercept column
+  std::vector<double> target;                   ///< n labels
+  std::vector<Centroid> coords;                 ///< n unit centroids
+  std::vector<std::vector<int32_t>> neighbors;  ///< adjacency among the units
+  std::vector<std::string> feature_names;
+  std::string target_name;
+  /// Original unit ids (cell index, or cell-group id) per row, so
+  /// predictions can be mapped back (Section III-C).
+  std::vector<int32_t> unit_ids;
+
+  size_t num_rows() const { return target.size(); }
+};
+
+/// Builds an MlDataset directly from the original grid: every valid cell is
+/// one training instance. `target_attribute` empty means "no target": all
+/// attributes become features (clustering) — for univariate grids the single
+/// attribute is then exposed as BOTH the one feature column and the target,
+/// which is what kriging consumes.
+Result<MlDataset> PrepareFromGrid(const GridDataset& grid,
+                                  const std::string& target_attribute);
+
+/// Builds an MlDataset from a re-partitioned grid: every valid cell-group is
+/// one training instance, with the adjacency list of Algorithm 3 re-indexed
+/// over valid groups.
+///
+/// Summation-aggregated attributes are exposed at PER-CELL scale (the
+/// group's sum divided by its cell count — the representative value of
+/// Section III-C). This keeps cell-group feature vectors on the same value
+/// scale as raw cells, so models trained on the reduced grid produce errors
+/// directly comparable to the original-grid pipeline, as in the paper's
+/// Table II. Pass spread_sum_aggregates = false for raw group sums.
+Result<MlDataset> PrepareFromPartition(const GridDataset& grid,
+                                       const Partition& partition,
+                                       const std::string& target_attribute,
+                                       bool spread_sum_aggregates = true);
+
+/// 80/20-style split by shuffled unit indices (paper Section III-B).
+struct TrainTestSplit {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+TrainTestSplit SplitDataset(size_t num_rows, double train_fraction,
+                            uint64_t seed);
+
+/// Row-subsets an MlDataset; adjacency is restricted to the kept rows (edges
+/// to dropped rows vanish).
+MlDataset SubsetRows(const MlDataset& data, const std::vector<size_t>& rows);
+
+}  // namespace srp
+
+#endif  // SRP_ML_DATASET_H_

@@ -1,0 +1,148 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace srp {
+
+Status RegressionTree::Fit(const Matrix& x, const std::vector<double>& y,
+                           const std::vector<size_t>& sample, Rng* rng) {
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("tree: X/y size mismatch");
+  }
+  if (sample.empty()) {
+    return Status::InvalidArgument("tree: empty training sample");
+  }
+  if (options_.max_features > 0 && rng == nullptr) {
+    return Status::InvalidArgument("tree: feature subsampling needs an Rng");
+  }
+  nodes_.clear();
+  std::vector<size_t> indices = sample;
+  Build(x, y, &indices, 0, indices.size(), 0, rng);
+  return Status::OK();
+}
+
+Status RegressionTree::Fit(const Matrix& x, const std::vector<double>& y,
+                           Rng* rng) {
+  std::vector<size_t> all(x.rows());
+  std::iota(all.begin(), all.end(), 0);
+  return Fit(x, y, all, rng);
+}
+
+int32_t RegressionTree::Build(const Matrix& x, const std::vector<double>& y,
+                              std::vector<size_t>* indices, size_t begin,
+                              size_t end, size_t depth, Rng* rng) {
+  const size_t n = end - begin;
+  double sum = 0.0;
+  for (size_t i = begin; i < end; ++i) sum += y[(*indices)[i]];
+  const double mean = sum / static_cast<double>(n);
+
+  const auto node_id = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[node_id].value = mean;
+
+  if (depth >= options_.max_depth || n < 2 * options_.min_samples_leaf) {
+    return node_id;
+  }
+
+  // Candidate features: all, or a random subset of size max_features.
+  const size_t p = x.cols();
+  std::vector<size_t> feature_order(p);
+  std::iota(feature_order.begin(), feature_order.end(), 0);
+  size_t num_candidates = p;
+  if (options_.max_features > 0 && options_.max_features < p) {
+    rng->Shuffle(&feature_order);
+    num_candidates = options_.max_features;
+  }
+
+  // Best split by variance reduction: minimize the summed SSE of the two
+  // children, scanning sorted feature values with prefix sums.
+  double best_score = std::numeric_limits<double>::infinity();
+  size_t best_feature = 0;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, double>> sorted;  // (feature value, y)
+  sorted.reserve(n);
+  for (size_t f = 0; f < num_candidates; ++f) {
+    const size_t feature = feature_order[f];
+    sorted.clear();
+    for (size_t i = begin; i < end; ++i) {
+      const size_t row = (*indices)[i];
+      sorted.emplace_back(x(row, feature), y[row]);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front().first == sorted.back().first) continue;
+
+    double left_sum = 0.0;
+    double left_sq = 0.0;
+    double total_sq = 0.0;
+    for (const auto& [v, yy] : sorted) total_sq += yy * yy;
+    double total_sum = 0.0;
+    for (const auto& [v, yy] : sorted) total_sum += yy;
+
+    for (size_t i = 0; i + 1 < n; ++i) {
+      left_sum += sorted[i].second;
+      left_sq += sorted[i].second * sorted[i].second;
+      if (sorted[i].first == sorted[i + 1].first) continue;  // no cut here
+      const size_t left_n = i + 1;
+      const size_t right_n = n - left_n;
+      if (left_n < options_.min_samples_leaf ||
+          right_n < options_.min_samples_leaf) {
+        continue;
+      }
+      const double right_sum = total_sum - left_sum;
+      const double right_sq = total_sq - left_sq;
+      const double sse_left =
+          left_sq - left_sum * left_sum / static_cast<double>(left_n);
+      const double sse_right =
+          right_sq - right_sum * right_sum / static_cast<double>(right_n);
+      const double score = sse_left + sse_right;
+      if (score < best_score) {
+        best_score = score;
+        best_feature = feature;
+        best_threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+      }
+    }
+  }
+  if (!std::isfinite(best_score)) return node_id;  // no valid split
+
+  // Partition indices in place around the threshold.
+  const auto mid_it = std::partition(
+      indices->begin() + static_cast<std::ptrdiff_t>(begin),
+      indices->begin() + static_cast<std::ptrdiff_t>(end),
+      [&](size_t row) { return x(row, best_feature) <= best_threshold; });
+  const size_t mid =
+      static_cast<size_t>(mid_it - indices->begin());
+  if (mid == begin || mid == end) return node_id;  // degenerate partition
+
+  nodes_[node_id].feature = static_cast<int32_t>(best_feature);
+  nodes_[node_id].threshold = best_threshold;
+  const int32_t left = Build(x, y, indices, begin, mid, depth + 1, rng);
+  const int32_t right = Build(x, y, indices, mid, end, depth + 1, rng);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double RegressionTree::PredictRow(const Matrix& x, size_t row) const {
+  SRP_CHECK(fitted()) << "Predict before Fit";
+  int32_t node = 0;
+  for (;;) {
+    const Node& nd = nodes_[static_cast<size_t>(node)];
+    if (nd.left < 0) return nd.value;
+    node = x(row, static_cast<size_t>(nd.feature)) <= nd.threshold ? nd.left
+                                                                   : nd.right;
+  }
+}
+
+std::vector<double> RegressionTree::Predict(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) out[r] = PredictRow(x, r);
+  return out;
+}
+
+}  // namespace srp

@@ -1,0 +1,63 @@
+#ifndef SRP_ML_DECISION_TREE_H_
+#define SRP_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace srp {
+
+/// CART regression tree with the MSE (variance-reduction) criterion — the
+/// shared weak learner of the random forest (Table I: criterion mse) and of
+/// the gradient-boosting classifier (which fits regression trees to softmax
+/// pseudo-residuals, i.e. the deviance loss).
+class RegressionTree {
+ public:
+  struct Options {
+    size_t max_depth = 7;
+    size_t min_samples_leaf = 20;
+    /// Features considered per split; 0 means all (random forests pass p/3).
+    size_t max_features = 0;
+  };
+
+  RegressionTree() : RegressionTree(Options{}) {}
+  explicit RegressionTree(Options options) : options_(options) {}
+
+  /// Fits on the rows of `x` listed in `sample` (bootstrap indices may
+  /// repeat). `rng` drives feature subsampling; required when
+  /// max_features > 0.
+  Status Fit(const Matrix& x, const std::vector<double>& y,
+             const std::vector<size_t>& sample, Rng* rng = nullptr);
+
+  /// Convenience overload over all rows.
+  Status Fit(const Matrix& x, const std::vector<double>& y, Rng* rng = nullptr);
+
+  double PredictRow(const Matrix& x, size_t row) const;
+  std::vector<double> Predict(const Matrix& x) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  bool fitted() const { return !nodes_.empty(); }
+
+ private:
+  struct Node {
+    int32_t left = -1;    // -1 = leaf
+    int32_t right = -1;
+    int32_t feature = -1;
+    double threshold = 0.0;
+    double value = 0.0;   // leaf prediction (mean of samples)
+  };
+
+  int32_t Build(const Matrix& x, const std::vector<double>& y,
+                std::vector<size_t>* indices, size_t begin, size_t end,
+                size_t depth, Rng* rng);
+
+  Options options_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace srp
+
+#endif  // SRP_ML_DECISION_TREE_H_

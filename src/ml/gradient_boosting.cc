@@ -1,0 +1,121 @@
+#include "ml/gradient_boosting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace srp {
+namespace {
+
+void Softmax(std::vector<double>* scores) {
+  const double max_score = *std::max_element(scores->begin(), scores->end());
+  double sum = 0.0;
+  for (double& s : *scores) {
+    s = std::exp(s - max_score);
+    sum += s;
+  }
+  for (double& s : *scores) s /= sum;
+}
+
+}  // namespace
+
+Status GradientBoostingClassifier::Fit(const Matrix& x,
+                                       const std::vector<int>& labels,
+                                       int num_classes) {
+  const size_t n = x.rows();
+  if (n != labels.size() || n == 0) {
+    return Status::InvalidArgument("gbt: X/labels size mismatch or empty");
+  }
+  if (num_classes < 2) {
+    return Status::InvalidArgument("gbt: need at least two classes");
+  }
+  for (int label : labels) {
+    if (label < 0 || label >= num_classes) {
+      return Status::InvalidArgument("gbt: label out of range");
+    }
+  }
+  num_classes_ = num_classes;
+  trees_.clear();
+
+  // Base scores: log priors.
+  std::vector<double> prior(num_classes, 0.0);
+  for (int label : labels) prior[label] += 1.0;
+  base_scores_.resize(num_classes);
+  for (int k = 0; k < num_classes; ++k) {
+    base_scores_[k] =
+        std::log(std::max(prior[k], 1.0) / static_cast<double>(n));
+  }
+
+  // Raw scores per sample/class, updated as rounds accumulate.
+  std::vector<std::vector<double>> scores(n);
+  for (size_t i = 0; i < n; ++i) scores[i] = base_scores_;
+
+  RegressionTree::Options tree_options;
+  tree_options.max_depth = options_.max_depth;
+  tree_options.min_samples_leaf = options_.min_samples_leaf;
+
+  Rng rng(options_.seed);
+  std::vector<double> residual(n);
+  std::vector<double> probs(num_classes);
+
+  for (size_t round = 0; round < options_.n_estimators; ++round) {
+    trees_.emplace_back();
+    trees_.back().reserve(num_classes);
+    // Pseudo-residuals: one-hot(label) - softmax(scores).
+    std::vector<std::vector<double>> residuals(
+        num_classes, std::vector<double>(n, 0.0));
+    for (size_t i = 0; i < n; ++i) {
+      probs = scores[i];
+      Softmax(&probs);
+      for (int k = 0; k < num_classes; ++k) {
+        residuals[k][i] = (labels[i] == k ? 1.0 : 0.0) - probs[k];
+      }
+    }
+    for (int k = 0; k < num_classes; ++k) {
+      RegressionTree tree(tree_options);
+      SRP_RETURN_IF_ERROR(tree.Fit(x, residuals[k], &rng));
+      for (size_t i = 0; i < n; ++i) {
+        scores[i][k] += options_.learning_rate * tree.PredictRow(x, i);
+      }
+      trees_.back().push_back(std::move(tree));
+    }
+  }
+  return Status::OK();
+}
+
+void GradientBoostingClassifier::Scores(const Matrix& x, size_t row,
+                                        std::vector<double>* scores) const {
+  *scores = base_scores_;
+  for (const auto& round : trees_) {
+    for (int k = 0; k < num_classes_; ++k) {
+      (*scores)[k] +=
+          options_.learning_rate * round[static_cast<size_t>(k)].PredictRow(x, row);
+    }
+  }
+}
+
+std::vector<int> GradientBoostingClassifier::Predict(const Matrix& x) const {
+  SRP_CHECK(fitted()) << "Predict before Fit";
+  std::vector<int> out(x.rows());
+  std::vector<double> scores;
+  for (size_t r = 0; r < x.rows(); ++r) {
+    Scores(x, r, &scores);
+    out[r] = static_cast<int>(
+        std::max_element(scores.begin(), scores.end()) - scores.begin());
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> GradientBoostingClassifier::PredictProba(
+    const Matrix& x) const {
+  SRP_CHECK(fitted()) << "Predict before Fit";
+  std::vector<std::vector<double>> out(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    Scores(x, r, &out[r]);
+    Softmax(&out[r]);
+  }
+  return out;
+}
+
+}  // namespace srp

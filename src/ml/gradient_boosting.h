@@ -1,0 +1,50 @@
+#ifndef SRP_ML_GRADIENT_BOOSTING_H_
+#define SRP_ML_GRADIENT_BOOSTING_H_
+
+#include <vector>
+
+#include "ml/decision_tree.h"
+#include "util/status.h"
+
+namespace srp {
+
+/// Multi-class gradient boosting classifier with the deviance (multinomial
+/// softmax) loss: each boosting round fits one regression tree per class to
+/// the softmax pseudo-residuals. Table I defaults: n_estimators 200,
+/// max_depth 5, min_samples_leaf 12, loss deviance.
+class GradientBoostingClassifier {
+ public:
+  struct Options {
+    size_t n_estimators = 200;
+    size_t max_depth = 5;
+    size_t min_samples_leaf = 12;
+    double learning_rate = 0.1;
+    uint64_t seed = 29;
+  };
+
+  GradientBoostingClassifier() : GradientBoostingClassifier(Options{}) {}
+  explicit GradientBoostingClassifier(Options options) : options_(options) {}
+
+  /// Labels must be in [0, num_classes).
+  Status Fit(const Matrix& x, const std::vector<int>& labels, int num_classes);
+
+  std::vector<int> Predict(const Matrix& x) const;
+
+  /// Per-class probabilities (softmax of the boosted scores), row-major
+  /// [row][class].
+  std::vector<std::vector<double>> PredictProba(const Matrix& x) const;
+
+  bool fitted() const { return num_classes_ > 0; }
+
+ private:
+  void Scores(const Matrix& x, size_t row, std::vector<double>* scores) const;
+
+  Options options_;
+  int num_classes_ = 0;
+  std::vector<double> base_scores_;                 // log class priors
+  std::vector<std::vector<RegressionTree>> trees_;  // [round][class]
+};
+
+}  // namespace srp
+
+#endif  // SRP_ML_GRADIENT_BOOSTING_H_

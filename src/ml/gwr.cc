@@ -1,0 +1,180 @@
+#include "ml/gwr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/cholesky.h"
+#include "linalg/matrix.h"
+#include "ml/ols.h"
+#include "util/logging.h"
+
+namespace srp {
+namespace {
+
+double SquaredDistance(const Centroid& a, const Centroid& b) {
+  const double dlat = a.lat - b.lat;
+  const double dlon = a.lon - b.lon;
+  return dlat * dlat + dlon * dlon;
+}
+
+}  // namespace
+
+Status GeographicallyWeightedRegression::Fit(const MlDataset& train) {
+  const size_t n = train.num_rows();
+  const size_t p = train.features.cols();
+  if (n < p + 5) {
+    return Status::InvalidArgument("too few training rows for GWR");
+  }
+  train_x_ = train.features;
+  train_y_ = train.target;
+  train_coords_ = train.coords;
+  fitted_ = true;
+
+  // Golden-section search for the adaptive neighbor count k minimizing AICc.
+  const double n_d = static_cast<double>(n);
+  double lo = std::max(static_cast<double>(p) + 2.0,
+                       options_.min_neighbor_fraction * n_d);
+  double hi = std::max(lo + 1.0, options_.max_neighbor_fraction * n_d);
+  constexpr double kGolden = 0.381966011250105;
+  double best_k = hi;
+  double best_aicc = std::numeric_limits<double>::infinity();
+  for (size_t it = 0; it < options_.bandwidth_search_iterations; ++it) {
+    const double a = lo + kGolden * (hi - lo);
+    const double b = hi - kGolden * (hi - lo);
+    const double fa = EvaluateAicc(static_cast<size_t>(a));
+    const double fb = EvaluateAicc(static_cast<size_t>(b));
+    if (fa < fb) {
+      hi = b;
+      if (fa < best_aicc) {
+        best_aicc = fa;
+        best_k = a;
+      }
+    } else {
+      lo = a;
+      if (fb < best_aicc) {
+        best_aicc = fb;
+        best_k = b;
+      }
+    }
+  }
+  bandwidth_k_ = static_cast<size_t>(best_k);
+  aicc_ = best_aicc;
+  return Status::OK();
+}
+
+double GeographicallyWeightedRegression::EvaluateAicc(size_t k) const {
+  const size_t n = train_y_.size();
+  k = std::clamp<size_t>(k, train_x_.cols() + 2, n);
+  // Leave-one-in AICc over a sample of locations: residual variance plus the
+  // effective-parameters penalty from the hat-matrix trace.
+  const size_t sample = options_.aicc_sample == 0
+                            ? n
+                            : std::min(options_.aicc_sample, n);
+  const size_t stride = std::max<size_t>(1, n / sample);
+  double rss = 0.0;
+  double trace_s = 0.0;
+  size_t used = 0;
+  std::vector<double> x_row(train_x_.cols());
+  for (size_t i = 0; i < n; i += stride) {
+    for (size_t c = 0; c < train_x_.cols(); ++c) x_row[c] = train_x_(i, c);
+    double hat = 0.0;
+    const double pred =
+        LocalPredict(train_coords_[i].lat, train_coords_[i].lon, x_row, k,
+                     static_cast<int>(i), &hat);
+    const double r = train_y_[i] - pred;
+    rss += r * r;
+    trace_s += hat;
+    ++used;
+  }
+  const double n_d = static_cast<double>(used);
+  // Scale the hat trace from the sample to the full set.
+  const double sigma2 = rss / n_d;
+  if (sigma2 <= 0.0) return -std::numeric_limits<double>::infinity();
+  const double tr = trace_s;  // trace over the sampled rows
+  const double denom = n_d - 2.0 - tr;
+  const double penalty =
+      denom > 1.0 ? n_d * (n_d + tr) / denom : std::numeric_limits<double>::max();
+  return n_d * std::log(sigma2) + n_d * std::log(2.0 * M_PI) + penalty;
+}
+
+double GeographicallyWeightedRegression::LocalPredict(
+    double lat, double lon, const std::vector<double>& x_row, size_t k,
+    int self_index, double* hat) const {
+  const size_t n = train_y_.size();
+  const size_t p = train_x_.cols();
+  const Centroid here{lat, lon};
+
+  // Adaptive bandwidth: distance to the k-th nearest training point.
+  std::vector<double> d2(n);
+  for (size_t j = 0; j < n; ++j) d2[j] = SquaredDistance(here, train_coords_[j]);
+  std::vector<double> d2_sorted = d2;
+  const size_t kth = std::min(k, n) - 1;
+  std::nth_element(d2_sorted.begin(), d2_sorted.begin() + kth,
+                   d2_sorted.end());
+  const double bw2 = std::max(d2_sorted[kth], 1e-12);
+
+  // Weighted normal equations with intercept.
+  Matrix xtx(p + 1, p + 1, 0.0);
+  std::vector<double> xty(p + 1, 0.0);
+  std::vector<double> xj(p + 1);
+  for (size_t j = 0; j < n; ++j) {
+    const double wj = std::exp(-0.5 * d2[j] / bw2);
+    if (wj < 1e-10) continue;
+    xj[0] = 1.0;
+    for (size_t c = 0; c < p; ++c) xj[c + 1] = train_x_(j, c);
+    for (size_t a = 0; a <= p; ++a) {
+      const double wxa = wj * xj[a];
+      for (size_t b = a; b <= p; ++b) xtx(a, b) += wxa * xj[b];
+      xty[a] += wxa * train_y_[j];
+    }
+  }
+  for (size_t a = 0; a <= p; ++a) {
+    for (size_t b = 0; b < a; ++b) xtx(a, b) = xtx(b, a);
+  }
+  // Small ridge keeps degenerate local designs solvable.
+  for (size_t a = 0; a <= p; ++a) xtx(a, a) += 1e-8 * (xtx(a, a) + 1.0);
+
+  auto chol = Cholesky::Factorize(xtx);
+  if (!chol.ok()) {
+    // Fall back to the global mean if the local system is hopeless.
+    double mean = 0.0;
+    for (double y : train_y_) mean += y;
+    if (hat != nullptr) *hat = 0.0;
+    return mean / static_cast<double>(n);
+  }
+  const std::vector<double> beta = chol->Solve(xty);
+  double pred = beta[0];
+  for (size_t c = 0; c < p; ++c) pred += beta[c + 1] * x_row[c];
+
+  if (hat != nullptr && self_index >= 0) {
+    // s_ii = w_i * x_i' (X'WX)^{-1} x_i  (weight of observation i in its own
+    // local fit).
+    xj[0] = 1.0;
+    for (size_t c = 0; c < p; ++c) xj[c + 1] = train_x_(self_index, c);
+    const std::vector<double> solved = chol->Solve(xj);
+    double quad = 0.0;
+    for (size_t a = 0; a <= p; ++a) quad += xj[a] * solved[a];
+    const double w_self = std::exp(-0.5 * d2[self_index] / bw2);
+    *hat = w_self * quad;
+  }
+  return pred;
+}
+
+Result<std::vector<double>> GeographicallyWeightedRegression::Predict(
+    const MlDataset& data) const {
+  if (!fitted_) return Status::FailedPrecondition("Predict before Fit");
+  if (data.features.cols() != train_x_.cols()) {
+    return Status::InvalidArgument("feature arity mismatch");
+  }
+  std::vector<double> out(data.num_rows());
+  std::vector<double> x_row(train_x_.cols());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    for (size_t c = 0; c < train_x_.cols(); ++c) x_row[c] = data.features(i, c);
+    out[i] = LocalPredict(data.coords[i].lat, data.coords[i].lon, x_row,
+                          bandwidth_k_, /*self_index=*/-1, /*hat=*/nullptr);
+  }
+  return out;
+}
+
+}  // namespace srp

@@ -1,0 +1,70 @@
+#ifndef SRP_ML_GWR_H_
+#define SRP_ML_GWR_H_
+
+#include <vector>
+
+#include "ml/dataset.h"
+#include "util/status.h"
+
+namespace srp {
+
+/// Geographically weighted regression with a Gaussian kernel and adaptive
+/// (k-nearest-neighbor) bandwidth chosen by corrected AIC — the paper's
+/// Table I configuration (kernel: gaussian, criterion: AICc, fixed: False).
+///
+/// A separate weighted least squares is solved at every location; the local
+/// kernel weight of training point j at location i is
+/// exp(-0.5 (d_ij / b_i)^2), with b_i the distance to the `k`-th nearest
+/// training neighbor of i. AICc selects k by golden-section search over the
+/// neighbor fraction.
+class GeographicallyWeightedRegression {
+ public:
+  struct Options {
+    /// Bounds of the adaptive-bandwidth search, as fractions of the training
+    /// size (k = fraction * n).
+    double min_neighbor_fraction = 0.05;
+    double max_neighbor_fraction = 0.75;
+    size_t bandwidth_search_iterations = 12;
+    /// Locations sampled when evaluating AICc during the bandwidth search
+    /// (0 = all; sampling keeps the search O(sample * n) per candidate).
+    size_t aicc_sample = 300;
+  };
+
+  GeographicallyWeightedRegression() : GeographicallyWeightedRegression(Options{}) {}
+  explicit GeographicallyWeightedRegression(Options options) : options_(options) {}
+
+  /// Fits on the training units: "geographically weighted regression takes
+  /// the centroids of cell-groups as part of the feature vectors"
+  /// (Section III-B) — train.coords supplies them.
+  Status Fit(const MlDataset& train);
+
+  /// Local prediction at each row of `data`, using its coordinates and
+  /// features.
+  Result<std::vector<double>> Predict(const MlDataset& data) const;
+
+  /// Selected adaptive bandwidth, as a neighbor count.
+  size_t bandwidth_neighbors() const { return bandwidth_k_; }
+  double aicc() const { return aicc_; }
+  bool fitted() const { return fitted_; }
+
+ private:
+  double EvaluateAicc(size_t k) const;
+  /// Local WLS prediction at (lat, lon) for feature row `x_row`; also
+  /// returns the hat-matrix diagonal element when `hat` is non-null and the
+  /// location coincides with training point `self_index` (>= 0).
+  double LocalPredict(double lat, double lon, const std::vector<double>& x_row,
+                      size_t k, int self_index, double* hat) const;
+
+  Options options_;
+  bool fitted_ = false;
+  size_t bandwidth_k_ = 0;
+  double aicc_ = 0.0;
+  // Retained training data (GWR is memory-light but prediction needs it).
+  Matrix train_x_;
+  std::vector<double> train_y_;
+  std::vector<Centroid> train_coords_;
+};
+
+}  // namespace srp
+
+#endif  // SRP_ML_GWR_H_

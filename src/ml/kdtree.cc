@@ -1,0 +1,124 @@
+#include "ml/kdtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace srp {
+namespace {
+
+/// Max-heap ordering on (distance, index) pairs.
+struct HeapCompare {
+  bool operator()(const std::pair<double, size_t>& a,
+                  const std::pair<double, size_t>& b) const {
+    return a.first < b.first;
+  }
+};
+
+}  // namespace
+
+KdTree::KdTree(const Matrix& points, size_t leaf_size)
+    : points_(points), leaf_size_(std::max<size_t>(1, leaf_size)) {
+  order_.resize(points_.rows());
+  std::iota(order_.begin(), order_.end(), 0);
+  if (!order_.empty()) Build(0, order_.size(), 0);
+}
+
+int32_t KdTree::Build(size_t begin, size_t end, size_t depth) {
+  const auto node_id = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  if (end - begin <= leaf_size_) {
+    nodes_[node_id].begin = static_cast<uint32_t>(begin);
+    nodes_[node_id].end = static_cast<uint32_t>(end);
+    return node_id;
+  }
+  const size_t axis = depth % points_.cols();
+  const size_t mid = begin + (end - begin) / 2;
+  std::nth_element(order_.begin() + static_cast<std::ptrdiff_t>(begin),
+                   order_.begin() + static_cast<std::ptrdiff_t>(mid),
+                   order_.begin() + static_cast<std::ptrdiff_t>(end),
+                   [&](size_t a, size_t b) {
+                     return points_(a, axis) < points_(b, axis);
+                   });
+  nodes_[node_id].axis = static_cast<int32_t>(axis);
+  nodes_[node_id].split = points_(order_[mid], axis);
+  const int32_t left = Build(begin, mid, depth + 1);
+  const int32_t right = Build(mid, end, depth + 1);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double KdTree::RowDistance2(size_t row, const std::vector<double>& query) const {
+  double d2 = 0.0;
+  for (size_t c = 0; c < points_.cols(); ++c) {
+    const double d = points_(row, c) - query[c];
+    d2 += d * d;
+  }
+  return d2;
+}
+
+void KdTree::Search(int32_t node_id, const std::vector<double>& query,
+                    size_t k,
+                    std::vector<std::pair<double, size_t>>* heap) const {
+  const Node& node = nodes_[static_cast<size_t>(node_id)];
+  if (node.axis < 0) {
+    for (uint32_t i = node.begin; i < node.end; ++i) {
+      const size_t row = order_[i];
+      const double d2 = RowDistance2(row, query);
+      if (heap->size() < k) {
+        heap->emplace_back(d2, row);
+        std::push_heap(heap->begin(), heap->end(), HeapCompare());
+      } else if (d2 < heap->front().first) {
+        std::pop_heap(heap->begin(), heap->end(), HeapCompare());
+        heap->back() = {d2, row};
+        std::push_heap(heap->begin(), heap->end(), HeapCompare());
+      }
+    }
+    return;
+  }
+  const double diff = query[static_cast<size_t>(node.axis)] - node.split;
+  const int32_t near = diff <= 0.0 ? node.left : node.right;
+  const int32_t far = diff <= 0.0 ? node.right : node.left;
+  Search(near, query, k, heap);
+  // Prune the far side unless the splitting plane is closer than the current
+  // k-th best.
+  if (heap->size() < k || diff * diff < heap->front().first) {
+    Search(far, query, k, heap);
+  }
+}
+
+std::vector<size_t> KdTree::NearestNeighbors(const std::vector<double>& query,
+                                             size_t k) const {
+  SRP_CHECK(query.size() == points_.cols()) << "query arity mismatch";
+  std::vector<std::pair<double, size_t>> heap;
+  if (k == 0 || nodes_.empty()) return {};
+  heap.reserve(k + 1);
+  Search(0, query, k, &heap);
+  std::sort_heap(heap.begin(), heap.end(), HeapCompare());
+  std::vector<size_t> out;
+  out.reserve(heap.size());
+  for (const auto& [d2, row] : heap) out.push_back(row);
+  return out;
+}
+
+std::vector<size_t> KdTree::NearestNeighborsBruteForce(
+    const std::vector<double>& query, size_t k) const {
+  SRP_CHECK(query.size() == points_.cols()) << "query arity mismatch";
+  std::vector<std::pair<double, size_t>> all;
+  all.reserve(points_.rows());
+  for (size_t row = 0; row < points_.rows(); ++row) {
+    all.emplace_back(RowDistance2(row, query), row);
+  }
+  const size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(take),
+                    all.end());
+  std::vector<size_t> out;
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) out.push_back(all[i].second);
+  return out;
+}
+
+}  // namespace srp

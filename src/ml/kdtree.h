@@ -1,0 +1,54 @@
+#ifndef SRP_ML_KDTREE_H_
+#define SRP_ML_KDTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace srp {
+
+/// k-d tree over the rows of a feature matrix, with bucket leaves
+/// (leaf_size), used by the KNN classifier and by kriging's neighbor search.
+class KdTree {
+ public:
+  /// Builds over all rows of `points`. `leaf_size` is the maximum number of
+  /// points stored in a leaf bucket (Table I: leaf_size 18).
+  KdTree(const Matrix& points, size_t leaf_size = 18);
+
+  /// Indices of the k nearest rows to `query` (Euclidean), nearest first.
+  /// Returns fewer than k when the tree holds fewer points.
+  std::vector<size_t> NearestNeighbors(const std::vector<double>& query,
+                                       size_t k) const;
+
+  /// Brute-force variant for cross-checking (O(n) per query).
+  std::vector<size_t> NearestNeighborsBruteForce(
+      const std::vector<double>& query, size_t k) const;
+
+  size_t size() const { return points_.rows(); }
+
+ private:
+  struct Node {
+    int32_t left = -1;
+    int32_t right = -1;
+    int32_t axis = -1;        // -1 = leaf
+    double split = 0.0;
+    uint32_t begin = 0;       // leaf: range into order_
+    uint32_t end = 0;
+  };
+
+  int32_t Build(size_t begin, size_t end, size_t depth);
+  void Search(int32_t node, const std::vector<double>& query, size_t k,
+              std::vector<std::pair<double, size_t>>* heap) const;
+
+  double RowDistance2(size_t row, const std::vector<double>& query) const;
+
+  const Matrix points_;  // copy keeps the tree self-contained
+  size_t leaf_size_;
+  std::vector<size_t> order_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace srp
+
+#endif  // SRP_ML_KDTREE_H_

@@ -1,0 +1,74 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+
+#include "linalg/stats.h"
+#include "util/logging.h"
+
+namespace srp {
+
+Status KnnClassifier::Fit(const Matrix& x, const std::vector<int>& labels,
+                          int num_classes) {
+  if (x.rows() != labels.size() || x.rows() == 0) {
+    return Status::InvalidArgument("knn: X/labels size mismatch or empty");
+  }
+  if (num_classes < 2) {
+    return Status::InvalidArgument("knn: need at least two classes");
+  }
+  for (int label : labels) {
+    if (label < 0 || label >= num_classes) {
+      return Status::InvalidArgument("knn: label out of range");
+    }
+  }
+  num_classes_ = num_classes;
+  labels_ = labels;
+
+  Matrix standardized = x;
+  feature_mean_.assign(x.cols(), 0.0);
+  feature_scale_.assign(x.cols(), 1.0);
+  for (size_t c = 0; c < x.cols(); ++c) {
+    std::vector<double> col = x.Column(c);
+    const Standardization s = StandardizeInPlace(&col);
+    feature_mean_[c] = s.mean;
+    feature_scale_[c] = s.stddev;
+    standardized.SetColumn(c, col);
+  }
+  tree_ = std::make_unique<KdTree>(standardized, options_.leaf_size);
+  return Status::OK();
+}
+
+std::vector<double> KnnClassifier::StandardizeRow(const Matrix& x,
+                                                  size_t row) const {
+  std::vector<double> out(x.cols());
+  for (size_t c = 0; c < x.cols(); ++c) {
+    out[c] = (x(row, c) - feature_mean_[c]) / feature_scale_[c];
+  }
+  return out;
+}
+
+std::vector<int> KnnClassifier::Predict(const Matrix& x) const {
+  SRP_CHECK(fitted()) << "Predict before Fit";
+  SRP_CHECK(x.cols() == feature_mean_.size()) << "feature arity mismatch";
+  std::vector<int> out(x.rows());
+  std::vector<int> votes(num_classes_);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const std::vector<double> query = StandardizeRow(x, r);
+    const std::vector<size_t> nn =
+        tree_->NearestNeighbors(query, options_.n_neighbors);
+    std::fill(votes.begin(), votes.end(), 0);
+    for (size_t idx : nn) ++votes[labels_[idx]];
+    // Majority vote; ties go to the nearest neighbor among tied classes.
+    int best_class = labels_[nn.front()];
+    int best_votes = votes[best_class];
+    for (int k = 0; k < num_classes_; ++k) {
+      if (votes[k] > best_votes) {
+        best_votes = votes[k];
+        best_class = k;
+      }
+    }
+    out[r] = best_class;
+  }
+  return out;
+}
+
+}  // namespace srp

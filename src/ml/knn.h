@@ -1,0 +1,45 @@
+#ifndef SRP_ML_KNN_H_
+#define SRP_ML_KNN_H_
+
+#include <memory>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "ml/kdtree.h"
+#include "util/status.h"
+
+namespace srp {
+
+/// k-nearest-neighbor classifier over standardized features, backed by a
+/// k-d tree. Table I defaults: leaf_size 18, n_neighbors 7. Majority vote;
+/// ties resolved toward the nearest neighbor's class.
+class KnnClassifier {
+ public:
+  struct Options {
+    size_t n_neighbors = 7;
+    size_t leaf_size = 18;
+  };
+
+  KnnClassifier() : KnnClassifier(Options{}) {}
+  explicit KnnClassifier(Options options) : options_(options) {}
+
+  Status Fit(const Matrix& x, const std::vector<int>& labels, int num_classes);
+
+  std::vector<int> Predict(const Matrix& x) const;
+
+  bool fitted() const { return tree_ != nullptr; }
+
+ private:
+  std::vector<double> StandardizeRow(const Matrix& x, size_t row) const;
+
+  Options options_;
+  std::unique_ptr<KdTree> tree_;
+  std::vector<int> labels_;
+  int num_classes_ = 0;
+  std::vector<double> feature_mean_;
+  std::vector<double> feature_scale_;
+};
+
+}  // namespace srp
+
+#endif  // SRP_ML_KNN_H_

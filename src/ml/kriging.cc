@@ -1,0 +1,90 @@
+#include "ml/kriging.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/lu.h"
+#include "linalg/matrix.h"
+
+namespace srp {
+namespace {
+
+double Distance(const Centroid& a, const Centroid& b) {
+  const double dlat = a.lat - b.lat;
+  const double dlon = a.lon - b.lon;
+  return std::sqrt(dlat * dlat + dlon * dlon);
+}
+
+Matrix CoordsToMatrix(const std::vector<Centroid>& coords) {
+  Matrix m(coords.size(), 2);
+  for (size_t i = 0; i < coords.size(); ++i) {
+    m(i, 0) = coords[i].lat;
+    m(i, 1) = coords[i].lon;
+  }
+  return m;
+}
+
+}  // namespace
+
+Status OrdinaryKriging::Fit(const std::vector<Centroid>& coords,
+                            const std::vector<double>& values) {
+  if (coords.size() != values.size() || coords.size() < 3) {
+    return Status::InvalidArgument("kriging needs >= 3 matched observations");
+  }
+  SRP_ASSIGN_OR_RETURN(
+      EmpiricalVariogram empirical,
+      ComputeVariogram(coords, values, options_.search_radius,
+                       options_.max_range, options_.variogram_max_points));
+  SRP_ASSIGN_OR_RETURN(model_, FitSphericalModel(empirical));
+  train_coords_ = coords;
+  train_values_ = values;
+  tree_ = std::make_unique<KdTree>(CoordsToMatrix(coords), /*leaf_size=*/16);
+  return Status::OK();
+}
+
+Result<std::vector<double>> OrdinaryKriging::Predict(
+    const std::vector<Centroid>& coords) const {
+  if (!fitted()) return Status::FailedPrecondition("Predict before Fit");
+  std::vector<double> out(coords.size(), 0.0);
+
+  const size_t k =
+      std::min(options_.number_of_neighbors, train_coords_.size());
+  for (size_t q = 0; q < coords.size(); ++q) {
+    const std::vector<size_t> nn =
+        tree_->NearestNeighbors({coords[q].lat, coords[q].lon}, k);
+    const size_t m = nn.size();
+
+    // Ordinary-kriging system with Lagrange multiplier:
+    // [ C  1 ] [w]   [c0]
+    // [ 1' 0 ] [mu] = [1 ]
+    Matrix a(m + 1, m + 1, 0.0);
+    std::vector<double> b(m + 1, 0.0);
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < m; ++j) {
+        a(i, j) = model_.Covariance(
+            Distance(train_coords_[nn[i]], train_coords_[nn[j]]));
+      }
+      a(i, i) += 1e-9;  // numerical stability for coincident points
+      a(i, m) = 1.0;
+      a(m, i) = 1.0;
+      b[i] = model_.Covariance(Distance(train_coords_[nn[i]], coords[q]));
+    }
+    b[m] = 1.0;
+
+    auto lu = Lu::Factorize(a);
+    if (!lu.ok()) {
+      // Degenerate neighborhood: fall back to the neighbor mean.
+      double mean = 0.0;
+      for (size_t idx : nn) mean += train_values_[idx];
+      out[q] = mean / static_cast<double>(m);
+      continue;
+    }
+    const std::vector<double> w = lu->Solve(b);
+    double pred = 0.0;
+    for (size_t i = 0; i < m; ++i) pred += w[i] * train_values_[nn[i]];
+    out[q] = pred;
+  }
+  return out;
+}
+
+}  // namespace srp

@@ -1,0 +1,55 @@
+#ifndef SRP_ML_KRIGING_H_
+#define SRP_ML_KRIGING_H_
+
+#include <memory>
+#include <vector>
+
+#include "grid/grid_dataset.h"
+#include "ml/kdtree.h"
+#include "ml/variogram.h"
+#include "util/status.h"
+
+namespace srp {
+
+/// Ordinary kriging: estimates the value of a variable at an unobserved
+/// location from nearby observations, weighting them by the fitted
+/// variogram structure (paper Section IV-C3). Table I defaults:
+/// search_radius 0.01 (the variogram lag width), max_range 0.32,
+/// number_of_neighbors 8.
+class OrdinaryKriging {
+ public:
+  struct Options {
+    double search_radius = 0.01;
+    double max_range = 0.32;
+    size_t number_of_neighbors = 8;
+    /// Subsample cap for the O(n^2) empirical-variogram pair scan.
+    size_t variogram_max_points = 2000;
+  };
+
+  OrdinaryKriging() : OrdinaryKriging(Options{}) {}
+  explicit OrdinaryKriging(Options options) : options_(options) {}
+
+  /// Fits the variogram on observations at `coords` and indexes them for
+  /// neighbor search.
+  Status Fit(const std::vector<Centroid>& coords,
+             const std::vector<double>& values);
+
+  /// Kriged estimates at query locations: each solves the ordinary-kriging
+  /// system over the `number_of_neighbors` nearest observations (with a
+  /// Lagrange multiplier enforcing unbiasedness).
+  Result<std::vector<double>> Predict(const std::vector<Centroid>& coords) const;
+
+  const SphericalModel& model() const { return model_; }
+  bool fitted() const { return tree_ != nullptr; }
+
+ private:
+  Options options_;
+  SphericalModel model_;
+  std::unique_ptr<KdTree> tree_;
+  std::vector<Centroid> train_coords_;
+  std::vector<double> train_values_;
+};
+
+}  // namespace srp
+
+#endif  // SRP_ML_KRIGING_H_

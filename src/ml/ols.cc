@@ -1,0 +1,33 @@
+#include "ml/ols.h"
+
+#include "linalg/solve.h"
+#include "util/logging.h"
+
+namespace srp {
+
+Matrix WithIntercept(const Matrix& x) {
+  Matrix out(x.rows(), x.cols() + 1);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    out(r, 0) = 1.0;
+    for (size_t c = 0; c < x.cols(); ++c) out(r, c + 1) = x(r, c);
+  }
+  return out;
+}
+
+Status OlsRegression::Fit(const Matrix& x, const std::vector<double>& y) {
+  const Matrix design = WithIntercept(x);
+  SRP_ASSIGN_OR_RETURN(coef_, LeastSquares(design, y));
+  return Status::OK();
+}
+
+std::vector<double> OlsRegression::Predict(const Matrix& x) const {
+  SRP_CHECK(fitted()) << "Predict before Fit";
+  SRP_CHECK(x.cols() + 1 == coef_.size()) << "feature arity mismatch";
+  std::vector<double> out(x.rows(), coef_[0]);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    for (size_t c = 0; c < x.cols(); ++c) out[r] += coef_[c + 1] * x(r, c);
+  }
+  return out;
+}
+
+}  // namespace srp

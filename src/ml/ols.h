@@ -1,0 +1,35 @@
+#ifndef SRP_ML_OLS_H_
+#define SRP_ML_OLS_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace srp {
+
+/// Ordinary least squares with an intercept, the building block of the
+/// spatial lag / error / GWR estimators.
+class OlsRegression {
+ public:
+  /// Fits y ~ 1 + X. X must not contain an intercept column.
+  Status Fit(const Matrix& x, const std::vector<double>& y);
+
+  /// Predictions for new rows (same column layout as the fitted X).
+  std::vector<double> Predict(const Matrix& x) const;
+
+  /// [intercept, beta_1, ..., beta_p].
+  const std::vector<double>& coefficients() const { return coef_; }
+
+  bool fitted() const { return !coef_.empty(); }
+
+ private:
+  std::vector<double> coef_;
+};
+
+/// Prepends a column of ones to X.
+Matrix WithIntercept(const Matrix& x);
+
+}  // namespace srp
+
+#endif  // SRP_ML_OLS_H_

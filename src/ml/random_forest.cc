@@ -1,0 +1,47 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+
+namespace srp {
+
+Status RandomForestRegression::Fit(const Matrix& x,
+                                   const std::vector<double>& y) {
+  if (x.rows() != y.size() || x.rows() == 0) {
+    return Status::InvalidArgument("forest: X/y size mismatch or empty");
+  }
+  trees_.clear();
+  trees_.reserve(options_.n_estimators);
+  Rng rng(options_.seed);
+
+  RegressionTree::Options tree_options;
+  tree_options.max_depth = options_.max_depth;
+  tree_options.min_samples_leaf = options_.min_samples_leaf;
+  tree_options.max_features =
+      options_.max_features > 0
+          ? options_.max_features
+          : std::max<size_t>(1, x.cols() / 3);
+
+  const size_t n = x.rows();
+  std::vector<size_t> bootstrap(n);
+  for (size_t t = 0; t < options_.n_estimators; ++t) {
+    for (size_t i = 0; i < n; ++i) {
+      bootstrap[i] = static_cast<size_t>(rng.NextBounded(n));
+    }
+    RegressionTree tree(tree_options);
+    SRP_RETURN_IF_ERROR(tree.Fit(x, y, bootstrap, &rng));
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+std::vector<double> RandomForestRegression::Predict(const Matrix& x) const {
+  std::vector<double> out(x.rows(), 0.0);
+  for (const auto& tree : trees_) {
+    for (size_t r = 0; r < x.rows(); ++r) out[r] += tree.PredictRow(x, r);
+  }
+  const double inv = 1.0 / static_cast<double>(trees_.size());
+  for (double& v : out) v *= inv;
+  return out;
+}
+
+}  // namespace srp

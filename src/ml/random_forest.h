@@ -1,0 +1,42 @@
+#ifndef SRP_ML_RANDOM_FOREST_H_
+#define SRP_ML_RANDOM_FOREST_H_
+
+#include <vector>
+
+#include "ml/decision_tree.h"
+#include "util/status.h"
+
+namespace srp {
+
+/// Random forest regression: bagged CART trees with per-split feature
+/// subsampling. Table I defaults: n_estimators 225, max_depth 7,
+/// min_samples_leaf 20, criterion mse.
+class RandomForestRegression {
+ public:
+  struct Options {
+    size_t n_estimators = 225;
+    size_t max_depth = 7;
+    size_t min_samples_leaf = 20;
+    /// Features tried per split; 0 = p/3 (the regression-forest convention).
+    size_t max_features = 0;
+    uint64_t seed = 13;
+  };
+
+  RandomForestRegression() : RandomForestRegression(Options{}) {}
+  explicit RandomForestRegression(Options options) : options_(options) {}
+
+  Status Fit(const Matrix& x, const std::vector<double>& y);
+
+  std::vector<double> Predict(const Matrix& x) const;
+
+  size_t num_trees() const { return trees_.size(); }
+  bool fitted() const { return !trees_.empty(); }
+
+ private:
+  Options options_;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace srp
+
+#endif  // SRP_ML_RANDOM_FOREST_H_

@@ -1,0 +1,183 @@
+#include "ml/schc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+#include "linalg/stats.h"
+#include "util/logging.h"
+
+namespace srp {
+namespace {
+
+/// Ward linkage between clusters summarized by (size, centroid):
+/// d(A,B) = |A||B| / (|A|+|B|) * ||mu_A - mu_B||^2 — the increase in total
+/// within-cluster ESS caused by merging A and B.
+double WardDistance(double size_a, const std::vector<double>& mu_a,
+                    double size_b, const std::vector<double>& mu_b) {
+  double d2 = 0.0;
+  for (size_t c = 0; c < mu_a.size(); ++c) {
+    const double d = mu_a[c] - mu_b[c];
+    d2 += d * d;
+  }
+  return (size_a * size_b) / (size_a + size_b) * d2;
+}
+
+struct Candidate {
+  double distance;
+  int32_t a;
+  int32_t b;
+  uint64_t version;  // lazy invalidation stamp (max of the two clusters')
+
+  bool operator>(const Candidate& other) const {
+    return distance > other.distance;
+  }
+};
+
+}  // namespace
+
+Status SpatialHierarchicalClustering::Fit(
+    const Matrix& x, const std::vector<std::vector<int32_t>>& neighbors,
+    const std::vector<double>& weights) {
+  const size_t n = x.rows();
+  if (n == 0) return Status::InvalidArgument("schc: empty input");
+  if (neighbors.size() != n) {
+    return Status::InvalidArgument("schc: adjacency size mismatch");
+  }
+  if (options_.num_clusters == 0) {
+    return Status::InvalidArgument("schc: num_clusters must be >= 1");
+  }
+  if (!weights.empty() && weights.size() != n) {
+    return Status::InvalidArgument("schc: weights size mismatch");
+  }
+  for (double w : weights) {
+    if (w <= 0.0) return Status::InvalidArgument("schc: weights must be > 0");
+  }
+  const size_t p = x.cols();
+
+  // Standardized feature copy. With weights, the moments are weighted so
+  // that a unit representing w cells influences the scale like w cells —
+  // keeping the geometry aligned with clustering the underlying cells.
+  Matrix features = x;
+  if (options_.standardize) {
+    for (size_t c = 0; c < p; ++c) {
+      std::vector<double> col = x.Column(c);
+      if (weights.empty()) {
+        StandardizeInPlace(&col);
+      } else {
+        double wsum = 0.0;
+        double mean = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+          wsum += weights[i];
+          mean += weights[i] * col[i];
+        }
+        mean /= wsum;
+        double var = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+          var += weights[i] * (col[i] - mean) * (col[i] - mean);
+        }
+        double stddev = wsum > 1.0 ? std::sqrt(var / (wsum - 1.0)) : 1.0;
+        if (stddev <= 0.0) stddev = 1.0;
+        for (double& v : col) v = (v - mean) / stddev;
+      }
+      features.SetColumn(c, col);
+    }
+  }
+
+  // Cluster state: union-find root, size, centroid, neighbor set, version.
+  std::vector<int32_t> parent(n);
+  std::vector<double> size(n, 1.0);
+  std::vector<std::vector<double>> centroid(n, std::vector<double>(p));
+  std::vector<std::unordered_set<int32_t>> adjacent(n);
+  std::vector<uint64_t> version(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    parent[i] = static_cast<int32_t>(i);
+    if (!weights.empty()) size[i] = weights[i];
+    for (size_t c = 0; c < p; ++c) centroid[i][c] = features(i, c);
+    for (int32_t j : neighbors[i]) {
+      if (static_cast<size_t>(j) != i) adjacent[i].insert(j);
+    }
+  }
+  auto find = [&](int32_t i) {
+    while (parent[i] != i) {
+      parent[i] = parent[parent[i]];
+      i = parent[i];
+    }
+    return i;
+  };
+
+  std::priority_queue<Candidate, std::vector<Candidate>,
+                      std::greater<Candidate>>
+      heap;
+  auto push_pair = [&](int32_t a, int32_t b) {
+    if (a == b) return;
+    const double d =
+        options_.linkage == Linkage::kWard
+            ? WardDistance(size[a], centroid[a], size[b], centroid[b])
+            : WardDistance(1.0, centroid[a], 1.0, centroid[b]) * 2.0;
+    heap.push(Candidate{d, a, b, std::max(version[a], version[b])});
+  };
+  for (size_t i = 0; i < n; ++i) {
+    for (int32_t j : adjacent[i]) {
+      if (static_cast<int32_t>(i) < j) push_pair(static_cast<int32_t>(i), j);
+    }
+  }
+
+  size_t active = n;
+  uint64_t clock = 0;
+  while (active > options_.num_clusters && !heap.empty()) {
+    const Candidate top = heap.top();
+    heap.pop();
+    const int32_t ra = find(top.a);
+    const int32_t rb = find(top.b);
+    if (ra == rb) continue;  // already merged
+    // Stale candidate: one of the endpoints changed since this entry was
+    // pushed (merged away or re-centroided).
+    if (top.a != ra || top.b != rb ||
+        top.version != std::max(version[ra], version[rb])) {
+      continue;
+    }
+
+    // Merge rb into ra.
+    ++clock;
+    const double merged_size = size[ra] + size[rb];
+    for (size_t c = 0; c < p; ++c) {
+      centroid[ra][c] = (size[ra] * centroid[ra][c] +
+                         size[rb] * centroid[rb][c]) /
+                        merged_size;
+    }
+    size[ra] = merged_size;
+    parent[rb] = ra;
+    version[ra] = clock;
+    // Union the neighbor sets (dropping internal references).
+    for (int32_t nb : adjacent[rb]) {
+      const int32_t root = find(nb);
+      if (root != ra) adjacent[ra].insert(root);
+    }
+    adjacent[rb].clear();
+    // Re-resolve the set to current roots and refresh candidates.
+    std::unordered_set<int32_t> resolved;
+    for (int32_t nb : adjacent[ra]) {
+      const int32_t root = find(nb);
+      if (root != ra) resolved.insert(root);
+    }
+    adjacent[ra] = std::move(resolved);
+    for (int32_t nb : adjacent[ra]) push_pair(ra, nb);
+    --active;
+  }
+
+  // Compact labels.
+  labels_.assign(n, -1);
+  std::vector<int32_t> root_label(n, -1);
+  int next = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const int32_t root = find(static_cast<int32_t>(i));
+    if (root_label[root] < 0) root_label[root] = next++;
+    labels_[i] = root_label[root];
+  }
+  num_found_ = static_cast<size_t>(next);
+  return Status::OK();
+}
+
+}  // namespace srp

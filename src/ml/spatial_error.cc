@@ -1,0 +1,157 @@
+#include "ml/spatial_error.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "linalg/matrix.h"
+#include "linalg/solve.h"
+#include "ml/ols.h"
+#include "ml/spatial_weights.h"
+#include "util/logging.h"
+
+namespace srp {
+namespace {
+
+/// Squared norm of the Kelejian–Prucha moment residuals at a given lambda.
+/// With e the OLS residuals, f = We, g = W^2 e and sigma2 profiled out of the
+/// first equation, the remaining two moment conditions measure how well
+/// lambda whitens the error process.
+double MomentObjective(double lambda, double ee, double ef, double eg,
+                       double ff, double fg, double gg, double trace_ratio) {
+  // sigma2 implied by moment 1: (1/n)(e - lambda f)'(e - lambda f).
+  const double m1 = ee - 2.0 * lambda * ef + lambda * lambda * ff;
+  // Moment 2: (1/n)(f - lambda g)'(f - lambda g) = sigma2 * tr(W'W)/n.
+  const double m2 = ff - 2.0 * lambda * fg + lambda * lambda * gg;
+  // Moment 3: (1/n)(e - lambda f)'(f - lambda g) = 0.
+  const double m3 =
+      ef - lambda * (eg + ff) + lambda * lambda * fg;
+  const double r2 = m2 - trace_ratio * m1;
+  return r2 * r2 + m3 * m3;
+}
+
+}  // namespace
+
+Status SpatialErrorRegression::Fit(const MlDataset& train) {
+  const size_t n = train.num_rows();
+  const size_t p = train.features.cols();
+  if (n < p + 3) {
+    return Status::InvalidArgument("too few training rows for spatial error");
+  }
+  const SpatialWeights w(train.neighbors);
+
+  // Step 1: OLS residuals.
+  OlsRegression ols;
+  SRP_RETURN_IF_ERROR(ols.Fit(train.features, train.target));
+  const std::vector<double> yhat0 = ols.Predict(train.features);
+  std::vector<double> e(n);
+  for (size_t i = 0; i < n; ++i) e[i] = train.target[i] - yhat0[i];
+
+  // Step 2: GM search for lambda.
+  const std::vector<double> f = w.Lag(e);
+  const std::vector<double> g = w.Lag(f);
+  const double ee = Dot(e, e) / static_cast<double>(n);
+  const double ef = Dot(e, f) / static_cast<double>(n);
+  const double eg = Dot(e, g) / static_cast<double>(n);
+  const double ff = Dot(f, f) / static_cast<double>(n);
+  const double fg = Dot(f, g) / static_cast<double>(n);
+  const double gg = Dot(g, g) / static_cast<double>(n);
+  // tr(W'W)/n for row-standardized W equals sum_i sum_j w_ij^2 / n.
+  double trww = 0.0;
+  for (const auto& row : w.weights()) {
+    for (double wij : row) trww += wij * wij;
+  }
+  const double trace_ratio = trww / static_cast<double>(n);
+
+  auto objective = [&](double lambda) {
+    return MomentObjective(lambda, ee, ef, eg, ff, fg, gg, trace_ratio);
+  };
+  const double bound = options_.lambda_bound;
+  double best_lambda = 0.0;
+  double best_value = objective(0.0);
+  for (size_t i = 0; i < options_.coarse_grid; ++i) {
+    const double lambda =
+        -bound + 2.0 * bound * static_cast<double>(i) /
+                     static_cast<double>(options_.coarse_grid - 1);
+    const double value = objective(lambda);
+    if (value < best_value) {
+      best_value = value;
+      best_lambda = lambda;
+    }
+  }
+  // Golden-section refinement around the best grid point.
+  const double step = 2.0 * bound / static_cast<double>(options_.coarse_grid);
+  double lo = std::max(-bound, best_lambda - step);
+  double hi = std::min(bound, best_lambda + step);
+  constexpr double kGolden = 0.381966011250105;
+  for (size_t i = 0; i < options_.refine_iterations; ++i) {
+    const double a = lo + kGolden * (hi - lo);
+    const double b = hi - kGolden * (hi - lo);
+    if (objective(a) < objective(b)) {
+      hi = b;
+    } else {
+      lo = a;
+    }
+  }
+  lambda_ = 0.5 * (lo + hi);
+
+  // Step 3: FGLS on spatially filtered variables.
+  const std::vector<double> wy = w.Lag(train.target);
+  std::vector<double> y_star(n);
+  for (size_t i = 0; i < n; ++i) y_star[i] = train.target[i] - lambda_ * wy[i];
+  const Matrix wx = w.LagMatrix(train.features);
+  Matrix x_star(n, p + 1);
+  for (size_t i = 0; i < n; ++i) {
+    // Filtered intercept: 1 - lambda * (row sum of W) = 1 - lambda for
+    // units with neighbors; isolated units keep 1.
+    x_star(i, 0) = train.neighbors[i].empty() ? 1.0 : 1.0 - lambda_;
+    for (size_t c = 0; c < p; ++c) {
+      x_star(i, c + 1) = train.features(i, c) - lambda_ * wx(i, c);
+    }
+  }
+  SRP_ASSIGN_OR_RETURN(beta_, LeastSquares(x_star, y_star));
+
+  // Residual signal for the smoothing predictor.
+  train_unit_ids_ = train.unit_ids;
+  train_residuals_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    double trend = beta_[0];
+    for (size_t c = 0; c < p; ++c) trend += beta_[c + 1] * train.features(i, c);
+    train_residuals_[i] = train.target[i] - trend;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> SpatialErrorRegression::Predict(
+    const MlDataset& data) const {
+  if (!fitted()) return Status::FailedPrecondition("Predict before Fit");
+  if (data.features.cols() + 1 != beta_.size()) {
+    return Status::InvalidArgument("feature arity mismatch");
+  }
+  const size_t n = data.num_rows();
+  std::vector<double> trend(n, beta_[0]);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < data.features.cols(); ++c) {
+      trend[i] += beta_[c + 1] * data.features(i, c);
+    }
+  }
+  // Spatial smoothing: lambda * W e over the residual signal known on
+  // training units (zero elsewhere).
+  std::unordered_map<int32_t, double> residual_by_unit;
+  residual_by_unit.reserve(train_unit_ids_.size());
+  for (size_t i = 0; i < train_unit_ids_.size(); ++i) {
+    residual_by_unit.emplace(train_unit_ids_[i], train_residuals_[i]);
+  }
+  std::vector<double> signal(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const auto it = residual_by_unit.find(data.unit_ids[i]);
+    if (it != residual_by_unit.end()) signal[i] = it->second;
+  }
+  const SpatialWeights w(data.neighbors);
+  const std::vector<double> smoothed = w.Lag(signal);
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = trend[i] + lambda_ * smoothed[i];
+  return out;
+}
+
+}  // namespace srp

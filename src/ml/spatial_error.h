@@ -1,0 +1,53 @@
+#ifndef SRP_ML_SPATIAL_ERROR_H_
+#define SRP_ML_SPATIAL_ERROR_H_
+
+#include <vector>
+
+#include "ml/dataset.h"
+#include "util/status.h"
+
+namespace srp {
+
+/// Spatial error regression y = X beta + u, u = lambda W u + eps, estimated
+/// with the Kelejian–Prucha generalized-moments procedure:
+///   1. OLS residuals e;
+///   2. lambda from the GM moment conditions (scalar search over the moment
+///      objective);
+///   3. feasible GLS on the spatially filtered variables
+///      (y - lambda W y) ~ (X - lambda W X).
+class SpatialErrorRegression {
+ public:
+  struct Options {
+    /// Search grid resolution for lambda in (-bound, bound).
+    double lambda_bound = 0.98;
+    size_t coarse_grid = 199;
+    size_t refine_iterations = 40;
+  };
+
+  SpatialErrorRegression() : SpatialErrorRegression(Options{}) {}
+  explicit SpatialErrorRegression(Options options) : options_(options) {}
+
+  Status Fit(const MlDataset& train);
+
+  /// Predicts over `data`: the trend X beta plus the spatial smoothing
+  /// lambda * W e of the known residual signal (residuals are observable on
+  /// training units and zero elsewhere, identified by matching unit_ids).
+  Result<std::vector<double>> Predict(const MlDataset& data) const;
+
+  double lambda() const { return lambda_; }
+  /// [intercept, beta_1, ..., beta_p] from the FGLS stage.
+  const std::vector<double>& beta() const { return beta_; }
+  bool fitted() const { return !beta_.empty(); }
+
+ private:
+  Options options_;
+  double lambda_ = 0.0;
+  std::vector<double> beta_;
+  /// Training residuals keyed by unit id, for the smoothing predictor.
+  std::vector<int32_t> train_unit_ids_;
+  std::vector<double> train_residuals_;
+};
+
+}  // namespace srp
+
+#endif  // SRP_ML_SPATIAL_ERROR_H_

@@ -1,0 +1,82 @@
+#include "ml/spatial_lag.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/solve.h"
+#include "ml/ols.h"
+#include "util/logging.h"
+
+namespace srp {
+
+Status SpatialLagRegression::Fit(const MlDataset& train) {
+  const size_t n = train.num_rows();
+  const size_t p = train.features.cols();
+  if (n < p + 3) {
+    return Status::InvalidArgument("too few training rows for spatial lag");
+  }
+  const SpatialWeights w(train.neighbors);
+
+  // Design Z = [1, X, Wy]; instruments H = [1, X, WX, W^2 X].
+  const Matrix x_int = WithIntercept(train.features);      // n x (p+1)
+  const std::vector<double> wy = w.Lag(train.target);
+  const Matrix wx = w.LagMatrix(train.features);           // n x p
+  const Matrix wwx = w.LagMatrix(wx);                      // n x p
+  const Matrix z = x_int.HStack(Matrix::ColumnVector(wy)); // n x (p+2)
+  const Matrix h = x_int.HStack(wx).HStack(wwx);           // n x (3p+1)
+
+  // First stage: regress each Z column on the instruments H (ridge-guarded
+  // least squares — degenerate weight structures, e.g. a sampling baseline
+  // with broken adjacency, can make H'H singular), then do OLS of y on
+  // Z_hat = H (H'H)^{-1} H'Z.
+  Matrix first_stage(h.cols(), z.cols());
+  for (size_t c = 0; c < z.cols(); ++c) {
+    SRP_ASSIGN_OR_RETURN(std::vector<double> gamma,
+                         LeastSquares(h, z.Column(c), /*jitter=*/1e-8));
+    first_stage.SetColumn(c, gamma);
+  }
+  const Matrix z_hat = h.Multiply(first_stage);  // n x (p+2)
+
+  SRP_ASSIGN_OR_RETURN(std::vector<double> delta,
+                       LeastSquares(z_hat, train.target, /*jitter=*/1e-10));
+
+  rho_ = std::clamp(delta.back(), -options_.rho_clamp, options_.rho_clamp);
+  beta_.assign(delta.begin(), delta.end() - 1);
+  return Status::OK();
+}
+
+Result<std::vector<double>> SpatialLagRegression::Predict(
+    const MlDataset& data) const {
+  if (!fitted()) return Status::FailedPrecondition("Predict before Fit");
+  if (data.features.cols() + 1 != beta_.size()) {
+    return Status::InvalidArgument("feature arity mismatch");
+  }
+  const size_t n = data.num_rows();
+  const SpatialWeights w(data.neighbors);
+
+  // Exogenous part X beta.
+  std::vector<double> xb(n, beta_[0]);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < data.features.cols(); ++c) {
+      xb[i] += beta_[c + 1] * data.features(i, c);
+    }
+  }
+
+  // Reduced form by fixed point: yhat <- X beta + rho W yhat. Converges
+  // geometrically because the row-standardized W has spectral radius <= 1
+  // and |rho| < 1.
+  std::vector<double> yhat = xb;
+  for (size_t it = 0; it < options_.max_predict_iterations; ++it) {
+    const std::vector<double> lag = w.Lag(yhat);
+    double max_delta = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double next = xb[i] + rho_ * lag[i];
+      max_delta = std::max(max_delta, std::fabs(next - yhat[i]));
+      yhat[i] = next;
+    }
+    if (max_delta < options_.predict_tolerance) break;
+  }
+  return yhat;
+}
+
+}  // namespace srp

@@ -1,0 +1,53 @@
+#ifndef SRP_ML_SPATIAL_LAG_H_
+#define SRP_ML_SPATIAL_LAG_H_
+
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/spatial_weights.h"
+#include "util/status.h"
+
+namespace srp {
+
+/// Spatial lag regression y = rho * W y + X beta + eps, estimated by spatial
+/// two-stage least squares (the GM_Lag estimator of PySAL): W y is
+/// instrumented with [X, WX, W^2 X]. Table I's hyperparameters (binary
+/// adjacency-list weights) correspond to the row-standardized contiguity
+/// weights built from the prepared dataset's neighbor lists.
+class SpatialLagRegression {
+ public:
+  struct Options {
+    /// Fixed-point iterations for the reduced-form prediction
+    /// yhat = (I - rho W)^{-1} X beta.
+    size_t max_predict_iterations = 200;
+    double predict_tolerance = 1e-9;
+    /// |rho| is clamped below this to keep I - rho W invertible.
+    double rho_clamp = 0.98;
+  };
+
+  SpatialLagRegression() : SpatialLagRegression(Options{}) {}
+  explicit SpatialLagRegression(Options options) : options_(options) {}
+
+  /// Fits on the training units; `train.neighbors` supplies W.
+  Status Fit(const MlDataset& train);
+
+  /// Predicts over a (possibly larger) dataset via the reduced form, using
+  /// that dataset's own spatial structure. The standard way to score held-out
+  /// units: the full grid's W is known everywhere even though only training
+  /// rows informed the fit.
+  Result<std::vector<double>> Predict(const MlDataset& data) const;
+
+  double rho() const { return rho_; }
+  /// [intercept, beta_1, ..., beta_p].
+  const std::vector<double>& beta() const { return beta_; }
+  bool fitted() const { return !beta_.empty(); }
+
+ private:
+  Options options_;
+  double rho_ = 0.0;
+  std::vector<double> beta_;
+};
+
+}  // namespace srp
+
+#endif  // SRP_ML_SPATIAL_LAG_H_

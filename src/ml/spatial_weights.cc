@@ -1,0 +1,44 @@
+#include "ml/spatial_weights.h"
+
+#include "util/logging.h"
+
+namespace srp {
+
+SpatialWeights::SpatialWeights(
+    const std::vector<std::vector<int32_t>>& neighbors, bool row_standardize)
+    : neighbors_(neighbors), weights_(neighbors.size()) {
+  for (size_t i = 0; i < neighbors_.size(); ++i) {
+    const size_t degree = neighbors_[i].size();
+    const double w =
+        row_standardize && degree > 0 ? 1.0 / static_cast<double>(degree) : 1.0;
+    weights_[i].assign(degree, w);
+  }
+}
+
+std::vector<double> SpatialWeights::Lag(const std::vector<double>& v) const {
+  SRP_CHECK(v.size() == neighbors_.size()) << "Lag size mismatch";
+  std::vector<double> out(v.size(), 0.0);
+  for (size_t i = 0; i < neighbors_.size(); ++i) {
+    double acc = 0.0;
+    for (size_t k = 0; k < neighbors_[i].size(); ++k) {
+      acc += weights_[i][k] * v[static_cast<size_t>(neighbors_[i][k])];
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+Matrix SpatialWeights::LagMatrix(const Matrix& x) const {
+  SRP_CHECK(x.rows() == neighbors_.size()) << "LagMatrix size mismatch";
+  Matrix out(x.rows(), x.cols(), 0.0);
+  for (size_t i = 0; i < neighbors_.size(); ++i) {
+    for (size_t k = 0; k < neighbors_[i].size(); ++k) {
+      const auto j = static_cast<size_t>(neighbors_[i][k]);
+      const double w = weights_[i][k];
+      for (size_t c = 0; c < x.cols(); ++c) out(i, c) += w * x(j, c);
+    }
+  }
+  return out;
+}
+
+}  // namespace srp

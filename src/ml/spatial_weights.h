@@ -1,0 +1,43 @@
+#ifndef SRP_ML_SPATIAL_WEIGHTS_H_
+#define SRP_ML_SPATIAL_WEIGHTS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace srp {
+
+/// Sparse spatial weight matrix W built from a binary adjacency list
+/// (paper Section III-B: PySAL-style neighbor lists with binary weights).
+/// Row standardization divides each row by its neighbor count so that the
+/// spatial lag Wy is a neighborhood average — the convention the lag/error
+/// regressions assume (|rho| < 1 keeps I - rho W invertible).
+class SpatialWeights {
+ public:
+  /// `row_standardize` true divides each unit's weights by its degree.
+  SpatialWeights(const std::vector<std::vector<int32_t>>& neighbors,
+                 bool row_standardize = true);
+
+  size_t size() const { return neighbors_.size(); }
+
+  /// Spatial lag: (W v)_i = sum_j w_ij v_j.
+  std::vector<double> Lag(const std::vector<double>& v) const;
+
+  /// Column-wise lag of a matrix: W X.
+  Matrix LagMatrix(const Matrix& x) const;
+
+  const std::vector<std::vector<int32_t>>& neighbors() const {
+    return neighbors_;
+  }
+  const std::vector<std::vector<double>>& weights() const { return weights_; }
+
+ private:
+  std::vector<std::vector<int32_t>> neighbors_;
+  std::vector<std::vector<double>> weights_;
+};
+
+}  // namespace srp
+
+#endif  // SRP_ML_SPATIAL_WEIGHTS_H_

@@ -1,0 +1,138 @@
+#include "ml/svr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/stats.h"
+#include "util/logging.h"
+
+namespace srp {
+namespace {
+
+double RbfKernelRows(const Matrix& a, size_t i, const Matrix& b, size_t j,
+                     double gamma) {
+  double d2 = 0.0;
+  for (size_t c = 0; c < a.cols(); ++c) {
+    const double d = a(i, c) - b(j, c);
+    d2 += d * d;
+  }
+  // +1 absorbs the bias term into the kernel.
+  return std::exp(-gamma * d2) + 1.0;
+}
+
+}  // namespace
+
+double SvrRegression::Kernel(const Matrix& a, size_t i, const Matrix& b,
+                             size_t j) const {
+  return RbfKernelRows(a, i, b, j, options_.gamma);
+}
+
+Status SvrRegression::Fit(const Matrix& x, const std::vector<double>& y) {
+  const size_t n = x.rows();
+  const size_t p = x.cols();
+  if (n != y.size() || n == 0) {
+    return Status::InvalidArgument("SVR: X/y size mismatch or empty");
+  }
+
+  // Standardize features column-wise.
+  feature_mean_.assign(p, 0.0);
+  feature_scale_.assign(p, 1.0);
+  support_x_ = x;
+  for (size_t c = 0; c < p; ++c) {
+    std::vector<double> col = x.Column(c);
+    const Standardization s = StandardizeInPlace(&col);
+    feature_mean_[c] = s.mean;
+    feature_scale_[c] = s.stddev;
+    support_x_.SetColumn(c, col);
+  }
+  std::vector<double> target = y;
+  target_mean_ = 0.0;
+  target_scale_ = 1.0;
+  if (options_.standardize_target) {
+    const Standardization s = StandardizeInPlace(&target);
+    target_mean_ = s.mean;
+    target_scale_ = s.stddev;
+  }
+
+  // Dual coordinate descent on
+  //   min_beta 1/2 beta' K beta - beta' y + eps * ||beta||_1,
+  //   -C <= beta_i <= C,
+  // maintaining f_i = (K beta)_i incrementally. No kernel matrix is stored:
+  // each coordinate update touches one kernel row computed on the fly, which
+  // keeps memory O(n) at the cost of the O(n^2 p) per-pass time that makes
+  // SVR the slowest model in the zoo (as in the paper's Fig. 7).
+  dual_coef_.assign(n, 0.0);
+  std::vector<double> f(n, 0.0);  // current predictions K beta
+  std::vector<double> k_row(n);
+  const double c_bound = options_.c;
+  const double eps = options_.epsilon;
+
+  for (size_t pass = 0; pass < options_.max_passes; ++pass) {
+    double max_delta = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double k_ii = 2.0;  // exp(0) + 1
+      // Residual excluding i's own contribution along K_ii.
+      const double g = f[i] - dual_coef_[i] * k_ii;
+      const double r = target[i] - g;
+      // Soft-threshold closed form for the epsilon-insensitive term.
+      double beta_new = 0.0;
+      if (r > eps) {
+        beta_new = (r - eps) / k_ii;
+      } else if (r < -eps) {
+        beta_new = (r + eps) / k_ii;
+      }
+      beta_new = std::clamp(beta_new, -c_bound, c_bound);
+      const double delta = beta_new - dual_coef_[i];
+      if (std::fabs(delta) < 1e-12) continue;
+      dual_coef_[i] = beta_new;
+      for (size_t j = 0; j < n; ++j) {
+        k_row[j] = Kernel(support_x_, i, support_x_, j);
+      }
+      for (size_t j = 0; j < n; ++j) f[j] += delta * k_row[j];
+      max_delta = std::max(max_delta, std::fabs(delta));
+    }
+    if (max_delta < options_.tolerance) break;
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<double> SvrRegression::StandardizeRow(const Matrix& x,
+                                                  size_t row) const {
+  std::vector<double> out(x.cols());
+  for (size_t c = 0; c < x.cols(); ++c) {
+    out[c] = (x(row, c) - feature_mean_[c]) / feature_scale_[c];
+  }
+  return out;
+}
+
+std::vector<double> SvrRegression::Predict(const Matrix& x) const {
+  SRP_CHECK(fitted_) << "Predict before Fit";
+  SRP_CHECK(x.cols() == support_x_.cols()) << "feature arity mismatch";
+  const size_t n = support_x_.rows();
+  std::vector<double> out(x.rows(), 0.0);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const std::vector<double> row = StandardizeRow(x, i);
+    double acc = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      const double beta = dual_coef_[j];
+      if (beta == 0.0) continue;
+      double d2 = 0.0;
+      for (size_t c = 0; c < row.size(); ++c) {
+        const double d = row[c] - support_x_(j, c);
+        d2 += d * d;
+      }
+      acc += beta * (std::exp(-options_.gamma * d2) + 1.0);
+    }
+    out[i] = acc * target_scale_ + target_mean_;
+  }
+  return out;
+}
+
+size_t SvrRegression::NumSupportVectors() const {
+  size_t count = 0;
+  for (double b : dual_coef_) count += (b != 0.0);
+  return count;
+}
+
+}  // namespace srp

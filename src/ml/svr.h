@@ -1,0 +1,60 @@
+#ifndef SRP_ML_SVR_H_
+#define SRP_ML_SVR_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace srp {
+
+/// Epsilon-insensitive support vector regression with an RBF kernel, solved
+/// by dual coordinate descent (the bias is absorbed by the K+1 kernel trick,
+/// which removes the equality constraint and gives each dual coordinate a
+/// closed-form soft-threshold update).
+///
+/// Table I defaults: kernel rbf, C = 15, gamma = 0.5, epsilon = 0.01.
+/// Features are standardized internally, so gamma operates on comparable
+/// scales regardless of the dataset's units.
+class SvrRegression {
+ public:
+  struct Options {
+    double c = 15.0;
+    double gamma = 0.5;
+    double epsilon = 0.01;
+    size_t max_passes = 60;
+    double tolerance = 1e-4;
+    /// Standardize the target too (epsilon then acts on z-scores); the
+    /// inverse transform is applied at prediction time.
+    bool standardize_target = true;
+  };
+
+  SvrRegression() : SvrRegression(Options{}) {}
+  explicit SvrRegression(Options options) : options_(options) {}
+
+  Status Fit(const Matrix& x, const std::vector<double>& y);
+
+  std::vector<double> Predict(const Matrix& x) const;
+
+  /// Number of support vectors (non-zero dual coefficients).
+  size_t NumSupportVectors() const;
+
+  bool fitted() const { return fitted_; }
+
+ private:
+  double Kernel(const Matrix& a, size_t i, const Matrix& b, size_t j) const;
+  std::vector<double> StandardizeRow(const Matrix& x, size_t row) const;
+
+  Options options_;
+  bool fitted_ = false;
+  Matrix support_x_;                // standardized training features
+  std::vector<double> dual_coef_;   // beta_i = alpha_i - alpha_i^*
+  std::vector<double> feature_mean_;
+  std::vector<double> feature_scale_;
+  double target_mean_ = 0.0;
+  double target_scale_ = 1.0;
+};
+
+}  // namespace srp
+
+#endif  // SRP_ML_SVR_H_

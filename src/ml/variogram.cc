@@ -1,0 +1,118 @@
+#include "ml/variogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace srp {
+
+double SphericalModel::operator()(double h) const {
+  if (h <= 0.0) return 0.0;
+  if (h >= range) return nugget + psill;
+  const double ratio = h / range;
+  return nugget + psill * (1.5 * ratio - 0.5 * ratio * ratio * ratio);
+}
+
+double SphericalModel::Covariance(double h) const {
+  return (nugget + psill) - (*this)(h);
+}
+
+Result<EmpiricalVariogram> ComputeVariogram(const std::vector<Centroid>& coords,
+                                            const std::vector<double>& values,
+                                            double lag_width, double max_range,
+                                            size_t max_points) {
+  if (coords.size() != values.size() || coords.size() < 2) {
+    return Status::InvalidArgument("variogram needs >= 2 matched points");
+  }
+  if (lag_width <= 0.0 || max_range <= lag_width) {
+    return Status::InvalidArgument("need 0 < lag_width < max_range");
+  }
+  const size_t stride =
+      std::max<size_t>(1, coords.size() / std::max<size_t>(1, max_points));
+
+  const size_t num_bins = static_cast<size_t>(std::ceil(max_range / lag_width));
+  std::vector<double> sums(num_bins, 0.0);
+  std::vector<size_t> counts(num_bins, 0);
+
+  for (size_t i = 0; i < coords.size(); i += stride) {
+    for (size_t j = i + stride; j < coords.size(); j += stride) {
+      const double dlat = coords[i].lat - coords[j].lat;
+      const double dlon = coords[i].lon - coords[j].lon;
+      const double h = std::sqrt(dlat * dlat + dlon * dlon);
+      if (h >= max_range) continue;
+      const size_t bin = static_cast<size_t>(h / lag_width);
+      const double d = values[i] - values[j];
+      sums[bin] += 0.5 * d * d;
+      ++counts[bin];
+    }
+  }
+
+  EmpiricalVariogram out;
+  for (size_t b = 0; b < num_bins; ++b) {
+    if (counts[b] == 0) continue;
+    out.lag_centers.push_back((static_cast<double>(b) + 0.5) * lag_width);
+    out.semivariance.push_back(sums[b] / static_cast<double>(counts[b]));
+    out.pair_counts.push_back(counts[b]);
+  }
+  if (out.lag_centers.size() < 2) {
+    return Status::FailedPrecondition(
+        "too few populated variogram bins; increase max_range");
+  }
+  return out;
+}
+
+Result<SphericalModel> FitSphericalModel(const EmpiricalVariogram& empirical) {
+  const size_t m = empirical.lag_centers.size();
+  if (m < 2) return Status::InvalidArgument("need >= 2 variogram bins");
+
+  // For each candidate range, (nugget, psill) solve a 2x2 weighted LS; pick
+  // the candidate with the lowest weighted SSE.
+  const double h_max = empirical.lag_centers.back();
+  SphericalModel best;
+  double best_sse = std::numeric_limits<double>::infinity();
+
+  for (int step = 2; step <= 40; ++step) {
+    const double range = h_max * static_cast<double>(step) / 40.0;
+    // Basis: gamma(h) = a + b * s(h), s(h) the unit spherical shape.
+    double sw = 0.0;
+    double ss = 0.0;
+    double ss2 = 0.0;
+    double sy = 0.0;
+    double ssy = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      const double h = empirical.lag_centers[i];
+      const double ratio = std::min(1.0, h / range);
+      const double s = 1.5 * ratio - 0.5 * ratio * ratio * ratio;
+      const double w = static_cast<double>(empirical.pair_counts[i]);
+      const double y = empirical.semivariance[i];
+      sw += w;
+      ss += w * s;
+      ss2 += w * s * s;
+      sy += w * y;
+      ssy += w * s * y;
+    }
+    const double det = sw * ss2 - ss * ss;
+    if (std::fabs(det) < 1e-12) continue;
+    double nugget = (ss2 * sy - ss * ssy) / det;
+    double psill = (sw * ssy - ss * sy) / det;
+    nugget = std::max(0.0, nugget);
+    psill = std::max(1e-12, psill);
+    double sse = 0.0;
+    SphericalModel candidate{nugget, psill, range};
+    for (size_t i = 0; i < m; ++i) {
+      const double r =
+          empirical.semivariance[i] - candidate(empirical.lag_centers[i]);
+      sse += static_cast<double>(empirical.pair_counts[i]) * r * r;
+    }
+    if (sse < best_sse) {
+      best_sse = sse;
+      best = candidate;
+    }
+  }
+  if (!std::isfinite(best_sse)) {
+    return Status::FailedPrecondition("variogram fit failed");
+  }
+  return best;
+}
+
+}  // namespace srp

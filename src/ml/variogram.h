@@ -1,0 +1,49 @@
+#ifndef SRP_ML_VARIOGRAM_H_
+#define SRP_ML_VARIOGRAM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "grid/grid_dataset.h"
+#include "util/status.h"
+
+namespace srp {
+
+/// Empirical semivariogram: half the mean squared difference of values at
+/// point pairs, binned by separation distance.
+struct EmpiricalVariogram {
+  std::vector<double> lag_centers;   ///< bin center distances
+  std::vector<double> semivariance;  ///< gamma(h) per bin
+  std::vector<size_t> pair_counts;   ///< #pairs per bin
+};
+
+/// Computes the empirical semivariogram of `values` at `coords`, with bins
+/// of width `lag_width` (the paper's search_radius, 0.01) up to `max_range`
+/// (0.32). Bins with no pairs are dropped. To bound the O(n^2) pair scan,
+/// at most `max_points` points are used (uniform stride subsample).
+Result<EmpiricalVariogram> ComputeVariogram(const std::vector<Centroid>& coords,
+                                            const std::vector<double>& values,
+                                            double lag_width, double max_range,
+                                            size_t max_points = 2000);
+
+/// Fitted spherical variogram model
+///   gamma(h) = nugget + psill * (1.5 h/r - 0.5 (h/r)^3) for h < r,
+///   nugget + psill otherwise.
+struct SphericalModel {
+  double nugget = 0.0;
+  double psill = 1.0;  ///< partial sill (sill - nugget)
+  double range = 1.0;
+
+  double operator()(double h) const;
+
+  /// Covariance form used by the kriging system: C(h) = sill - gamma(h).
+  double Covariance(double h) const;
+};
+
+/// Weighted least-squares fit of a spherical model to an empirical
+/// variogram (weights = pair counts), searching range over the lag span.
+Result<SphericalModel> FitSphericalModel(const EmpiricalVariogram& empirical);
+
+}  // namespace srp
+
+#endif  // SRP_ML_VARIOGRAM_H_

@@ -1,0 +1,152 @@
+#include "st/st_repartitioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "core/extractor.h"
+#include "core/feature_allocator.h"
+#include "core/information_loss.h"
+#include "core/variation.h"
+#include "core/variation_heap.h"
+#include "grid/normalize.h"
+#include "util/timer.h"
+
+namespace srp {
+namespace {
+
+/// Combines per-slice pair variations (max or mean across slices). Pairs
+/// whose endpoints differ in null profile stay +infinity because at least
+/// one slice reports infinity there; null-null-everywhere pairs stay 0.
+PairVariations CombineVariations(const std::vector<PairVariations>& slices,
+                                 TemporalAggregation aggregation) {
+  PairVariations out = slices.front();
+  const size_t n = out.right.size();
+  if (aggregation == TemporalAggregation::kMax) {
+    for (size_t t = 1; t < slices.size(); ++t) {
+      for (size_t i = 0; i < n; ++i) {
+        out.right[i] = std::max(out.right[i], slices[t].right[i]);
+        out.down[i] = std::max(out.down[i], slices[t].down[i]);
+      }
+    }
+    return out;
+  }
+  for (size_t t = 1; t < slices.size(); ++t) {
+    for (size_t i = 0; i < n; ++i) {
+      out.right[i] += slices[t].right[i];
+      out.down[i] += slices[t].down[i];
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(slices.size());
+  for (size_t i = 0; i < n; ++i) {
+    out.right[i] *= inv;
+    out.down[i] *= inv;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<StRepartitionResult> StRepartitioner::Run(
+    const TemporalGridSeries& series) const {
+  if (series.empty()) {
+    return Status::InvalidArgument("empty temporal series");
+  }
+  if (options_.ifl_threshold < 0.0 || options_.ifl_threshold > 1.0) {
+    return Status::InvalidArgument("ifl_threshold must lie in [0, 1]");
+  }
+  WallTimer timer;
+  const size_t num_slices = series.num_slices();
+
+  // Per-slice normalized variations, combined across time.
+  std::vector<PairVariations> slice_variations;
+  slice_variations.reserve(num_slices);
+  std::vector<GridDataset> normalized;
+  normalized.reserve(num_slices);
+  for (size_t t = 0; t < num_slices; ++t) {
+    normalized.push_back(AttributeNormalized(series.slice(t)));
+    slice_variations.push_back(ComputePairVariations(normalized.back()));
+  }
+  const PairVariations combined =
+      CombineVariations(slice_variations, options_.aggregation);
+
+  // Heap over pairs that are valid (non-always-null, matching profiles) —
+  // finite combined variations where neither endpoint is always-null.
+  MinAdjacentVariationHeap heap;
+  {
+    PairVariations heap_input = combined;
+    const double inf = std::numeric_limits<double>::infinity();
+    for (size_t r = 0; r < series.rows(); ++r) {
+      for (size_t c = 0; c < series.cols(); ++c) {
+        const size_t i = r * series.cols() + c;
+        if (series.IsAlwaysNull(r, c)) {
+          heap_input.right[i] = inf;
+          heap_input.down[i] = inf;
+          if (c > 0) heap_input.right[i - 1] = inf;
+          if (r > 0) heap_input.down[i - series.cols()] = inf;
+        }
+      }
+    }
+    heap.Build(heap_input);
+  }
+  const CellGroupExtractor extractor(combined);
+
+  // Helper: allocate features per slice and compute the mean IFL.
+  auto evaluate = [&](const Partition& base, StRepartitionResult* result,
+                      double* mean_loss) -> Status {
+    result->slice_features.clear();
+    result->slice_group_null.clear();
+    result->per_slice_loss.clear();
+    double total = 0.0;
+    for (size_t t = 0; t < num_slices; ++t) {
+      Partition per_slice = base;
+      SRP_RETURN_IF_ERROR(AllocateFeatures(series.slice(t), &per_slice));
+      const double loss = InformationLoss(series.slice(t), per_slice);
+      result->per_slice_loss.push_back(loss);
+      total += loss;
+      result->slice_features.push_back(std::move(per_slice.features));
+      result->slice_group_null.push_back(std::move(per_slice.group_null));
+      if (t == 0) {
+        // Keep slice 0's allocation on the shared partition for convenience.
+        result->partition = base;
+        result->partition.features = result->slice_features[0];
+        result->partition.group_null = result->slice_group_null[0];
+        result->partition.group_valid_count = per_slice.group_valid_count;
+      }
+    }
+    *mean_loss = total / static_cast<double>(num_slices);
+    return Status::OK();
+  };
+
+  StRepartitionResult best;
+  double best_loss = 0.0;
+  SRP_RETURN_IF_ERROR(
+      evaluate(TrivialPartition(series.slice(0)), &best, &best_loss));
+  best.information_loss = best_loss;
+
+  double previous_variation = -1.0;
+  size_t iterations = 0;
+  while (iterations < options_.max_iterations) {
+    double variation = 0.0;
+    if (!heap.PopNextGreater(previous_variation + options_.min_variation_step,
+                             &variation)) {
+      break;
+    }
+    previous_variation = variation;
+
+    const Partition candidate = extractor.Extract(variation);
+    StRepartitionResult evaluated;
+    double loss = 0.0;
+    SRP_RETURN_IF_ERROR(evaluate(candidate, &evaluated, &loss));
+    if (loss > options_.ifl_threshold) break;
+    best = std::move(evaluated);
+    best.information_loss = loss;
+    ++iterations;
+  }
+  best.iterations = iterations;
+  best.elapsed_seconds = timer.ElapsedSeconds();
+  return best;
+}
+
+}  // namespace srp

@@ -1,0 +1,43 @@
+#include "st/temporal_grid.h"
+
+namespace srp {
+
+Status TemporalGridSeries::AddSlice(GridDataset slice) {
+  SRP_RETURN_IF_ERROR(slice.Validate());
+  if (!slices_.empty()) {
+    const GridDataset& first = slices_.front();
+    if (slice.rows() != first.rows() || slice.cols() != first.cols()) {
+      return Status::InvalidArgument("slice dimensions differ from series");
+    }
+    if (slice.num_attributes() != first.num_attributes()) {
+      return Status::InvalidArgument("slice schema differs from series");
+    }
+    for (size_t k = 0; k < slice.num_attributes(); ++k) {
+      if (slice.attributes()[k].name != first.attributes()[k].name ||
+          slice.attributes()[k].agg_type != first.attributes()[k].agg_type) {
+        return Status::InvalidArgument("slice attribute '" +
+                                       slice.attributes()[k].name +
+                                       "' differs from series schema");
+      }
+    }
+  }
+  slices_.push_back(std::move(slice));
+  return Status::OK();
+}
+
+bool TemporalGridSeries::IsAlwaysNull(size_t r, size_t c) const {
+  for (const GridDataset& slice : slices_) {
+    if (!slice.IsNull(r, c)) return false;
+  }
+  return true;
+}
+
+bool TemporalGridSeries::SameNullProfile(size_t r1, size_t c1, size_t r2,
+                                         size_t c2) const {
+  for (const GridDataset& slice : slices_) {
+    if (slice.IsNull(r1, c1) != slice.IsNull(r2, c2)) return false;
+  }
+  return true;
+}
+
+}  // namespace srp

@@ -1,0 +1,48 @@
+#ifndef SRP_ST_TEMPORAL_GRID_H_
+#define SRP_ST_TEMPORAL_GRID_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "grid/grid_dataset.h"
+#include "util/status.h"
+
+namespace srp {
+
+/// A spatio-temporal grid dataset: T time slices over the same m x n grid
+/// and attribute schema (the paper's Section VI extension; cf. 2D-STR [27]).
+///
+/// Slices must agree on dimensions, schema, and extent; their null masks may
+/// differ (a cell can be empty at some time steps).
+class TemporalGridSeries {
+ public:
+  TemporalGridSeries() = default;
+
+  /// Appends a slice; the first slice fixes the expected shape/schema.
+  Status AddSlice(GridDataset slice);
+
+  size_t num_slices() const { return slices_.size(); }
+  bool empty() const { return slices_.empty(); }
+  const GridDataset& slice(size_t t) const { return slices_[t]; }
+
+  size_t rows() const { return slices_.empty() ? 0 : slices_[0].rows(); }
+  size_t cols() const { return slices_.empty() ? 0 : slices_[0].cols(); }
+  size_t num_attributes() const {
+    return slices_.empty() ? 0 : slices_[0].num_attributes();
+  }
+
+  /// True when the cell is null in EVERY slice (it carries no information
+  /// at all and is excluded from the variation heap).
+  bool IsAlwaysNull(size_t r, size_t c) const;
+
+  /// True when two cells have identical per-slice null profiles — the
+  /// precondition for them to ever share a cell-group.
+  bool SameNullProfile(size_t r1, size_t c1, size_t r2, size_t c2) const;
+
+ private:
+  std::vector<GridDataset> slices_;
+};
+
+}  // namespace srp
+
+#endif  // SRP_ST_TEMPORAL_GRID_H_

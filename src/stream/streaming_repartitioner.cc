@@ -1,0 +1,141 @@
+#include "stream/streaming_repartitioner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/information_loss.h"
+
+namespace srp {
+
+StreamingRepartitioner::StreamingRepartitioner(
+    size_t rows, size_t cols, GeoExtent extent,
+    std::vector<GridAttributeDef> defs, Options options)
+    : options_(options), defs_(std::move(defs)) {
+  std::vector<AttributeSpec> attrs;
+  attrs.reserve(defs_.size());
+  for (const auto& def : defs_) {
+    attrs.push_back(AttributeSpec{def.name, def.agg_type, def.is_integer});
+  }
+  grid_ = GridDataset(rows, cols, std::move(attrs), extent);
+  counts_.assign(rows * cols, 0);
+  sums_.assign(defs_.size(), std::vector<double>(rows * cols, 0.0));
+}
+
+Status StreamingRepartitioner::Ingest(const std::vector<PointRecord>& batch) {
+  const GeoExtent& e = grid_.extent();
+  const double lat_span = e.lat_max - e.lat_min;
+  const double lon_span = e.lon_max - e.lon_min;
+  const size_t rows = grid_.rows();
+  const size_t cols = grid_.cols();
+
+  for (const auto& rec : batch) {
+    if (rec.lat < e.lat_min || rec.lat > e.lat_max || rec.lon < e.lon_min ||
+        rec.lon > e.lon_max) {
+      ++dropped_;
+      continue;
+    }
+    size_t r = static_cast<size_t>((rec.lat - e.lat_min) / lat_span *
+                                   static_cast<double>(rows));
+    size_t c = static_cast<size_t>((rec.lon - e.lon_min) / lon_span *
+                                   static_cast<double>(cols));
+    r = std::min(r, rows - 1);
+    c = std::min(c, cols - 1);
+    const size_t cell = r * cols + c;
+    ++counts_[cell];
+    ++ingested_;
+    for (size_t k = 0; k < defs_.size(); ++k) {
+      const auto& def = defs_[k];
+      if (def.source == GridAttributeDef::Source::kCount) continue;
+      const auto fi = static_cast<size_t>(def.field_index);
+      if (fi >= rec.fields.size()) {
+        return Status::InvalidArgument("record has too few fields for '" +
+                                       def.name + "'");
+      }
+      sums_[k][cell] += rec.fields[fi];
+    }
+  }
+  RebuildGridFromAccumulators();
+  return Status::OK();
+}
+
+void StreamingRepartitioner::RebuildGridFromAccumulators() {
+  for (size_t r = 0; r < grid_.rows(); ++r) {
+    for (size_t c = 0; c < grid_.cols(); ++c) {
+      const size_t cell = r * grid_.cols() + c;
+      if (counts_[cell] == 0) continue;  // stays null
+      for (size_t k = 0; k < defs_.size(); ++k) {
+        const auto& def = defs_[k];
+        double v = 0.0;
+        switch (def.source) {
+          case GridAttributeDef::Source::kCount:
+            v = static_cast<double>(counts_[cell]);
+            break;
+          case GridAttributeDef::Source::kSum:
+            v = sums_[k][cell];
+            break;
+          case GridAttributeDef::Source::kAverage:
+            v = sums_[k][cell] / static_cast<double>(counts_[cell]);
+            break;
+        }
+        if (def.is_integer) v = std::round(v);
+        grid_.Set(r, c, k, v);
+      }
+    }
+  }
+}
+
+double StreamingRepartitioner::CurrentDrift() const {
+  if (!has_partition()) return 0.0;
+  // A cell that became valid after the last refresh belongs to a group that
+  // was allocated as null; measuring Eq. 3 requires group membership for
+  // every valid cell, which the maintained partition still provides
+  // (rectangles cover the whole grid), so IFL is directly computable — new
+  // cells inside null groups contribute their full relative error.
+  double total = 0.0;
+  size_t terms = 0;
+  for (size_t r = 0; r < grid_.rows(); ++r) {
+    for (size_t c = 0; c < grid_.cols(); ++c) {
+      if (grid_.IsNull(r, c)) continue;
+      const auto g = static_cast<size_t>(partition_.GroupOf(r, c));
+      for (size_t k = 0; k < grid_.num_attributes(); ++k) {
+        const double original = grid_.At(r, c, k);
+        if (original == 0.0) continue;
+        double representative = 0.0;
+        if (partition_.group_null[g] == 0) {
+          representative = partition_.features[g][k];
+          if (grid_.attributes()[k].agg_type == AggType::kSum) {
+            representative /= partition_.SumDivisor(g);
+          }
+        }
+        total += std::fabs(original - representative) / std::fabs(original);
+        ++terms;
+      }
+    }
+  }
+  return terms == 0 ? 0.0 : total / static_cast<double>(terms);
+}
+
+bool StreamingRepartitioner::NeedsRefresh() const {
+  if (!has_partition()) return grid_.NumValidCells() > 0;
+  return CurrentDrift() >
+         options_.refresh_slack * options_.repartition.ifl_threshold;
+}
+
+Status StreamingRepartitioner::Refresh() {
+  if (grid_.NumValidCells() == 0) {
+    return Status::FailedPrecondition("no data ingested yet");
+  }
+  auto result = Repartitioner(options_.repartition).Run(grid_);
+  SRP_RETURN_IF_ERROR(result.status());
+  partition_ = std::move(result->partition);
+  ++refreshes_;
+  return Status::OK();
+}
+
+Result<bool> StreamingRepartitioner::MaybeRefresh() {
+  if (!NeedsRefresh()) return false;
+  SRP_RETURN_IF_ERROR(Refresh());
+  return true;
+}
+
+}  // namespace srp

@@ -1,0 +1,89 @@
+#ifndef SRP_STREAM_STREAMING_REPARTITIONER_H_
+#define SRP_STREAM_STREAMING_REPARTITIONER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/partition.h"
+#include "core/repartitioner.h"
+#include "grid/grid_builder.h"
+#include "grid/grid_dataset.h"
+#include "util/status.h"
+
+namespace srp {
+
+/// Streaming extension of the re-partitioning framework (the paper's
+/// Section VI future work): data instances arrive in batches, the grid's
+/// cell aggregates are updated incrementally, and the maintained partition
+/// is refreshed lazily — only when the drift (the IFL of the CURRENT
+/// partition measured against the UPDATED grid) exceeds the threshold, i.e.
+/// when the coarse grid no longer represents the data within the user's
+/// loss budget.
+///
+/// Counts/sums accumulate across batches; average-aggregated attributes
+/// maintain running means via per-cell record counts. Cells touched by
+/// records become valid; untouched cells stay null.
+class StreamingRepartitioner {
+ public:
+  struct Options {
+    RepartitionOptions repartition;
+    /// Refresh when the maintained partition's IFL on the updated grid
+    /// exceeds refresh_slack * ifl_threshold (1.0 = exactly the budget).
+    double refresh_slack = 1.0;
+  };
+
+  /// The streamed grid's geometry and schema are fixed up front; attribute
+  /// derivations follow the batch records like BuildGridFromPoints.
+  StreamingRepartitioner(size_t rows, size_t cols, GeoExtent extent,
+                         std::vector<GridAttributeDef> defs, Options options);
+
+  /// Ingests one batch of records, updating the cell aggregates. Records
+  /// outside the extent are dropped (counted in dropped_records()). Does NOT
+  /// re-partition; call MaybeRefresh() (or Refresh()) afterwards.
+  Status Ingest(const std::vector<PointRecord>& batch);
+
+  /// IFL of the current partition measured against the current grid — the
+  /// drift signal. 0 before the first refresh when no partition exists.
+  double CurrentDrift() const;
+
+  /// True when a refresh is due: no partition yet, or drift beyond budget.
+  bool NeedsRefresh() const;
+
+  /// Re-runs the full re-partitioning on the current grid.
+  Status Refresh();
+
+  /// Refreshes only when NeedsRefresh(); returns whether a refresh ran.
+  Result<bool> MaybeRefresh();
+
+  /// Current grid snapshot (aggregates of everything ingested so far).
+  const GridDataset& grid() const { return grid_; }
+
+  /// Latest accepted partition (empty before the first Refresh()).
+  const Partition& partition() const { return partition_; }
+  bool has_partition() const { return !partition_.groups.empty(); }
+
+  size_t ingested_records() const { return ingested_; }
+  size_t dropped_records() const { return dropped_; }
+  size_t refresh_count() const { return refreshes_; }
+
+ private:
+  void RebuildGridFromAccumulators();
+
+  Options options_;
+  std::vector<GridAttributeDef> defs_;
+  GridDataset grid_;
+
+  // Per-cell accumulators: record counts and per-attribute field sums.
+  std::vector<size_t> counts_;
+  std::vector<std::vector<double>> sums_;  // [attribute][cell]
+
+  Partition partition_;
+  size_t ingested_ = 0;
+  size_t dropped_ = 0;
+  size_t refreshes_ = 0;
+};
+
+}  // namespace srp
+
+#endif  // SRP_STREAM_STREAMING_REPARTITIONER_H_

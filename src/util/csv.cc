@@ -1,0 +1,101 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace srp {
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void WriteRow(std::ostream& os, const std::vector<std::string>& row) {
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) os << ',';
+    os << QuoteField(row[i]);
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+int CsvTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status WriteCsv(const CsvTable& table, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return Status::IOError("cannot open for writing: " + path);
+  WriteRow(os, table.header);
+  for (const auto& row : table.rows) WriteRow(os, row);
+  os.flush();
+  if (!os) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+std::vector<std::string> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Result<CsvTable> ReadCsv(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return Status::IOError("cannot open for reading: " + path);
+  CsvTable table;
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    auto fields = ParseCsvLine(line);
+    if (first) {
+      table.header = std::move(fields);
+      first = false;
+    } else {
+      table.rows.push_back(std::move(fields));
+    }
+  }
+  if (first) return Status::IOError("empty CSV file: " + path);
+  return table;
+}
+
+}  // namespace srp

@@ -1,0 +1,35 @@
+#ifndef SRP_UTIL_CSV_H_
+#define SRP_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace srp {
+
+/// In-memory CSV table: a header row plus string-valued records. The bench
+/// harnesses use this to persist result tables next to the console output.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  size_t num_rows() const { return rows.size(); }
+  size_t num_cols() const { return header.size(); }
+
+  /// Column index by name, or -1 when absent.
+  int ColumnIndex(const std::string& name) const;
+};
+
+/// Writes `table` to `path`, quoting fields that contain separators.
+Status WriteCsv(const CsvTable& table, const std::string& path);
+
+/// Reads a CSV file written by WriteCsv (quoted fields, '\n' rows).
+Result<CsvTable> ReadCsv(const std::string& path);
+
+/// Parses one CSV line honoring double-quote escaping.
+std::vector<std::string> ParseCsvLine(const std::string& line);
+
+}  // namespace srp
+
+#endif  // SRP_UTIL_CSV_H_

@@ -1,0 +1,58 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace srp {
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
+    : level_(level), fatal_(fatal) {
+  enabled_ =
+      fatal || static_cast<int>(level) >=
+                   g_min_level.load(std::memory_order_relaxed);
+  if (enabled_) {
+    stream_ << "[" << LevelName(level_) << " " << file << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::fputs(stream_.str().c_str(), stderr);
+    std::fputc('\n', stderr);
+    std::fflush(stderr);
+  }
+  if (fatal_) std::abort();
+}
+
+}  // namespace internal
+}  // namespace srp

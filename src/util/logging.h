@@ -1,0 +1,61 @@
+#ifndef SRP_UTIL_LOGGING_H_
+#define SRP_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace srp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink: emits on destruction. `fatal` aborts the process,
+/// which is how SRP_CHECK reports programming errors (we do not use
+/// exceptions, per the style guide).
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace srp
+
+#define SRP_LOG(level)                                                   \
+  ::srp::internal::LogMessage(::srp::LogLevel::k##level, __FILE__,       \
+                              __LINE__)                                  \
+      .stream()
+
+/// Invariant check for programmer errors; aborts with a message on failure.
+#define SRP_CHECK(cond)                                                  \
+  if (!(cond))                                                           \
+  ::srp::internal::LogMessage(::srp::LogLevel::kError, __FILE__,         \
+                              __LINE__, /*fatal=*/true)                  \
+      .stream()                                                          \
+      << "Check failed: " #cond " "
+
+#define SRP_CHECK_OK(status_expr)                                        \
+  do {                                                                   \
+    const ::srp::Status srp_check_status_ = (status_expr);               \
+    SRP_CHECK(srp_check_status_.ok()) << srp_check_status_.ToString();   \
+  } while (0)
+
+#define SRP_DCHECK(cond) SRP_CHECK(cond)
+
+#endif  // SRP_UTIL_LOGGING_H_

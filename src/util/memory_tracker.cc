@@ -1,0 +1,58 @@
+#include "util/memory_tracker.h"
+
+#include <atomic>
+
+namespace srp {
+namespace {
+
+std::atomic<int64_t> g_current{0};
+std::atomic<int64_t> g_peak{0};
+std::atomic<bool> g_hooked{false};
+
+}  // namespace
+
+int64_t MemoryTracker::CurrentBytes() {
+  return g_current.load(std::memory_order_relaxed);
+}
+
+int64_t MemoryTracker::PeakBytes() {
+  return g_peak.load(std::memory_order_relaxed);
+}
+
+void MemoryTracker::ResetPeak() {
+  g_peak.store(g_current.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+}
+
+bool MemoryTracker::Hooked() {
+  return g_hooked.load(std::memory_order_relaxed);
+}
+
+void MemoryTracker::MarkHooked() {
+  g_hooked.store(true, std::memory_order_relaxed);
+}
+
+void MemoryTracker::RecordAlloc(size_t bytes) {
+  int64_t now = g_current.fetch_add(static_cast<int64_t>(bytes),
+                                    std::memory_order_relaxed) +
+                static_cast<int64_t>(bytes);
+  int64_t peak = g_peak.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !g_peak.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryTracker::RecordFree(size_t bytes) {
+  g_current.fetch_sub(static_cast<int64_t>(bytes), std::memory_order_relaxed);
+}
+
+ScopedMemoryPeak::ScopedMemoryPeak() : base_bytes_(MemoryTracker::CurrentBytes()) {
+  MemoryTracker::ResetPeak();
+}
+
+int64_t ScopedMemoryPeak::PeakDeltaBytes() const {
+  int64_t delta = MemoryTracker::PeakBytes() - base_bytes_;
+  return delta > 0 ? delta : 0;
+}
+
+}  // namespace srp

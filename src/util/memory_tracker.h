@@ -1,0 +1,53 @@
+#ifndef SRP_UTIL_MEMORY_TRACKER_H_
+#define SRP_UTIL_MEMORY_TRACKER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace srp {
+
+/// Allocation accounting used for the paper's memory-usage experiments
+/// (Figures 8 and 10).
+///
+/// The counters are fed by global `operator new`/`operator delete` overrides
+/// compiled into the separate `srp_memtrack` library; binaries that do not
+/// link `srp_memtrack` simply observe zero counters (MemoryTracking-
+/// Available() reports whether the hooks are live). This gives deterministic,
+/// allocator-level peak measurement of a training call without relying on
+/// OS RSS, mirroring how the paper profiled Python training memory.
+class MemoryTracker {
+ public:
+  /// Bytes currently allocated through the hooks.
+  static int64_t CurrentBytes();
+
+  /// Peak of CurrentBytes() since the last ResetPeak().
+  static int64_t PeakBytes();
+
+  /// Sets the peak to the current live-byte count.
+  static void ResetPeak();
+
+  /// True when the operator new/delete hooks are linked in.
+  static bool Hooked();
+
+  // Called by the hooks; not part of the public API.
+  static void RecordAlloc(size_t bytes);
+  static void RecordFree(size_t bytes);
+  static void MarkHooked();
+};
+
+/// RAII scope that measures the peak number of *additional* bytes allocated
+/// while it is alive.
+class ScopedMemoryPeak {
+ public:
+  ScopedMemoryPeak();
+
+  /// Peak bytes above the level at construction, so far.
+  int64_t PeakDeltaBytes() const;
+
+ private:
+  int64_t base_bytes_;
+};
+
+}  // namespace srp
+
+#endif  // SRP_UTIL_MEMORY_TRACKER_H_

@@ -1,0 +1,75 @@
+// Global operator new/delete overrides feeding srp::MemoryTracker.
+//
+// This translation unit is compiled into the standalone `srp_memtrack`
+// library and linked only into binaries that want allocation-level peak
+// accounting (the benchmark harnesses and the memory-tracker tests). Each
+// allocation stores its size in a small header so frees can be attributed
+// exactly without a side table.
+
+#include <cstdlib>
+#include <new>
+
+#include "util/memory_tracker.h"
+
+namespace {
+
+constexpr size_t kHeaderSize = 2 * sizeof(size_t);  // keep 16-byte alignment
+constexpr size_t kMagic = 0x5250534D454D4F52ULL;    // tags our allocations
+
+struct Initializer {
+  Initializer() { srp::MemoryTracker::MarkHooked(); }
+};
+Initializer g_initializer;
+
+void* TrackedAlloc(size_t size) {
+  void* raw = std::malloc(size + kHeaderSize);
+  if (raw == nullptr) return nullptr;
+  auto* header = static_cast<size_t*>(raw);
+  header[0] = size;
+  header[1] = kMagic;
+  srp::MemoryTracker::RecordAlloc(size);
+  return static_cast<char*>(raw) + kHeaderSize;
+}
+
+void TrackedFree(void* ptr) {
+  if (ptr == nullptr) return;
+  auto* header = reinterpret_cast<size_t*>(static_cast<char*>(ptr) - kHeaderSize);
+  if (header[1] == kMagic) {
+    header[1] = 0;
+    srp::MemoryTracker::RecordFree(header[0]);
+    std::free(header);
+  } else {
+    // Pointer not allocated through our hook (e.g. handed over by a library
+    // initialized before this TU); fall back to freeing it as-is.
+    std::free(ptr);
+  }
+}
+
+}  // namespace
+
+void* operator new(size_t size) {
+  void* p = TrackedAlloc(size);
+  if (p == nullptr) std::abort();
+  return p;
+}
+
+void* operator new[](size_t size) { return ::operator new(size); }
+
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  return TrackedAlloc(size);
+}
+
+void* operator new[](size_t size, const std::nothrow_t&) noexcept {
+  return TrackedAlloc(size);
+}
+
+void operator delete(void* ptr) noexcept { TrackedFree(ptr); }
+void operator delete[](void* ptr) noexcept { TrackedFree(ptr); }
+void operator delete(void* ptr, size_t) noexcept { TrackedFree(ptr); }
+void operator delete[](void* ptr, size_t) noexcept { TrackedFree(ptr); }
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  TrackedFree(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  TrackedFree(ptr);
+}

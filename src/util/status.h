@@ -1,0 +1,121 @@
+#ifndef SRP_UTIL_STATUS_H_
+#define SRP_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace srp {
+
+/// Error codes used across the library. Mirrors the RocksDB/Arrow convention
+/// of returning rich status objects instead of throwing exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kFailedPrecondition,
+  kInternal,
+  kIOError,
+  kUnimplemented,
+};
+
+/// Outcome of an operation: a code plus a human-readable message.
+///
+/// All fallible public APIs in this library return `Status` (or `Result<T>`)
+/// rather than throwing. A default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status (arrow::Result-alike).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value/status keeps call sites terse, matching Arrow.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Aborts otherwise (see SRP_CHECK in logging.h).
+  const T& value() const& { return value_.value(); }
+  T& value() & { return value_.value(); }
+  T&& value() && { return std::move(value_).value(); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Moves the value out, or returns `fallback` on error.
+  T value_or(T fallback) && {
+    return ok() ? std::move(value_).value() : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates an error Status from an expression, RocksDB-style.
+#define SRP_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::srp::Status srp_status_ = (expr);             \
+    if (!srp_status_.ok()) return srp_status_;      \
+  } while (0)
+
+#define SRP_INTERNAL_CONCAT_INNER(a, b) a##b
+#define SRP_INTERNAL_CONCAT(a, b) SRP_INTERNAL_CONCAT_INNER(a, b)
+
+#define SRP_INTERNAL_ASSIGN_OR_RETURN(var, lhs, expr) \
+  auto var = (expr);                                  \
+  if (!var.ok()) return var.status();                 \
+  lhs = std::move(var).value()
+
+/// Evaluates a Result expression and binds its value, or propagates the error.
+#define SRP_ASSIGN_OR_RETURN(lhs, expr)                                     \
+  SRP_INTERNAL_ASSIGN_OR_RETURN(SRP_INTERNAL_CONCAT(srp_result_, __LINE__), \
+                                lhs, expr)
+
+}  // namespace srp
+
+#endif  // SRP_UTIL_STATUS_H_

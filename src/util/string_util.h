@@ -1,0 +1,28 @@
+#ifndef SRP_UTIL_STRING_UTIL_H_
+#define SRP_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace srp {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins `parts` with `delim`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string Trim(std::string_view s);
+
+/// Fixed-precision decimal formatting (printf "%.*f").
+std::string FormatDouble(double value, int precision);
+
+/// Left-pads/truncates to `width` for aligned console tables.
+std::string PadRight(std::string_view s, size_t width);
+
+}  // namespace srp
+
+#endif  // SRP_UTIL_STRING_UTIL_H_

@@ -1,0 +1,29 @@
+#ifndef SRP_UTIL_TIMER_H_
+#define SRP_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace srp {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses and by the
+/// Repartitioner to report "cell reduction time" (paper Section IV-A1).
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace srp
+
+#endif  // SRP_UTIL_TIMER_H_

@@ -1,0 +1,125 @@
+#include "core/adjacency.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/extractor.h"
+#include "core/variation.h"
+#include "data/datasets.h"
+#include "grid/normalize.h"
+
+namespace srp {
+namespace {
+
+TEST(GridCellAdjacencyTest, CornerEdgeInteriorDegrees) {
+  const auto adj = GridCellAdjacency(3, 3);
+  EXPECT_EQ(adj[0].size(), 2u);  // corner
+  EXPECT_EQ(adj[1].size(), 3u);  // edge
+  EXPECT_EQ(adj[4].size(), 4u);  // interior
+  // Interior cell 4 connects to 1, 3, 5, 7.
+  EXPECT_EQ(adj[4], (std::vector<int32_t>{1, 3, 5, 7}));
+}
+
+TEST(GridCellAdjacencyTest, Symmetry) {
+  const auto adj = GridCellAdjacency(4, 5);
+  for (size_t i = 0; i < adj.size(); ++i) {
+    for (int32_t j : adj[i]) {
+      const auto& back = adj[static_cast<size_t>(j)];
+      EXPECT_TRUE(std::find(back.begin(), back.end(),
+                            static_cast<int32_t>(i)) != back.end());
+    }
+  }
+}
+
+/// A partition shaped like the paper's Fig. 3 sketch: verify boundary-walk
+/// neighbor discovery on hand-placed rectangles.
+TEST(AdjacencyListTest, HandCraftedRectangles) {
+  // 3x4 grid split into:
+  //   group 0: rows 0-0, cols 0-1     group 1: rows 0-0, cols 2-3
+  //   group 2: rows 1-2, cols 0-1     group 3: rows 1-2, cols 2-3
+  Partition p;
+  p.rows = 3;
+  p.cols = 4;
+  p.groups = {
+      CellGroup{0, 0, 0, 1},
+      CellGroup{0, 0, 2, 3},
+      CellGroup{1, 2, 0, 1},
+      CellGroup{1, 2, 2, 3},
+  };
+  p.cell_to_group = {0, 0, 1, 1, 2, 2, 3, 3, 2, 2, 3, 3};
+  const auto neighbors = BuildAdjacencyList(p);
+  EXPECT_EQ(neighbors[0], (std::vector<int32_t>{1, 2}));
+  EXPECT_EQ(neighbors[1], (std::vector<int32_t>{0, 3}));
+  EXPECT_EQ(neighbors[2], (std::vector<int32_t>{0, 3}));
+  EXPECT_EQ(neighbors[3], (std::vector<int32_t>{1, 2}));
+}
+
+TEST(AdjacencyListTest, SingleGroupHasNoNeighbors) {
+  Partition p;
+  p.rows = 2;
+  p.cols = 2;
+  p.groups = {CellGroup{0, 1, 0, 1}};
+  p.cell_to_group = {0, 0, 0, 0};
+  const auto neighbors = BuildAdjacencyList(p);
+  EXPECT_TRUE(neighbors[0].empty());
+}
+
+TEST(AdjacencyListTest, NoSelfLoopsAndNoDuplicates) {
+  DatasetOptions options;
+  options.rows = 20;
+  options.cols = 20;
+  options.seed = 3;
+  auto grid = GenerateDataset(DatasetKind::kVehiclesUni, options);
+  ASSERT_TRUE(grid.ok());
+  const GridDataset norm = AttributeNormalized(*grid);
+  const PairVariations pv = ComputePairVariations(norm);
+  const Partition p = CellGroupExtractor(pv).Extract(0.1);
+  const auto neighbors = BuildAdjacencyList(p);
+  for (size_t g = 0; g < neighbors.size(); ++g) {
+    EXPECT_TRUE(std::find(neighbors[g].begin(), neighbors[g].end(),
+                          static_cast<int32_t>(g)) == neighbors[g].end());
+    auto sorted = neighbors[g];
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                sorted.end());
+  }
+}
+
+TEST(AdjacencyListTest, SymmetryOnExtractedPartition) {
+  DatasetOptions options;
+  options.rows = 24;
+  options.cols = 24;
+  options.seed = 8;
+  auto grid = GenerateDataset(DatasetKind::kEarningsMulti, options);
+  ASSERT_TRUE(grid.ok());
+  const GridDataset norm = AttributeNormalized(*grid);
+  const PairVariations pv = ComputePairVariations(norm);
+  const Partition p = CellGroupExtractor(pv).Extract(0.05);
+  const auto neighbors = BuildAdjacencyList(p);
+  for (size_t g = 0; g < neighbors.size(); ++g) {
+    for (int32_t n : neighbors[g]) {
+      const auto& back = neighbors[static_cast<size_t>(n)];
+      EXPECT_TRUE(std::find(back.begin(), back.end(),
+                            static_cast<int32_t>(g)) != back.end())
+          << "asymmetric edge " << g << " -> " << n;
+    }
+  }
+}
+
+TEST(AdjacencyListTest, NeighborsAreGeometricallyAdjacent) {
+  Partition p;
+  p.rows = 2;
+  p.cols = 3;
+  p.groups = {CellGroup{0, 1, 0, 0}, CellGroup{0, 1, 1, 1},
+              CellGroup{0, 1, 2, 2}};
+  p.cell_to_group = {0, 1, 2, 0, 1, 2};
+  const auto neighbors = BuildAdjacencyList(p);
+  // Group 0 and group 2 are separated by group 1.
+  EXPECT_EQ(neighbors[0], (std::vector<int32_t>{1}));
+  EXPECT_EQ(neighbors[2], (std::vector<int32_t>{1}));
+  EXPECT_EQ(neighbors[1], (std::vector<int32_t>{0, 2}));
+}
+
+}  // namespace
+}  // namespace srp

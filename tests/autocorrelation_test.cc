@@ -1,0 +1,82 @@
+#include "metrics/autocorrelation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/adjacency.h"
+#include "data/gaussian_field.h"
+
+namespace srp {
+namespace {
+
+std::vector<double> Checkerboard(size_t rows, size_t cols) {
+  std::vector<double> x(rows * cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      x[r * cols + c] = static_cast<double>((r + c) % 2);
+    }
+  }
+  return x;
+}
+
+TEST(MoransITest, CheckerboardIsStronglyNegative) {
+  const auto adj = GridCellAdjacency(8, 8);
+  EXPECT_LT(MoransI(Checkerboard(8, 8), adj), -0.9);
+}
+
+TEST(MoransITest, SmoothGradientIsStronglyPositive) {
+  const size_t n = 10;
+  const auto adj = GridCellAdjacency(n, n);
+  std::vector<double> x(n * n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) {
+      x[r * n + c] = static_cast<double>(r + c);
+    }
+  }
+  EXPECT_GT(MoransI(x, adj), 0.7);
+}
+
+TEST(MoransITest, ConstantFieldIsZero) {
+  const auto adj = GridCellAdjacency(5, 5);
+  EXPECT_DOUBLE_EQ(MoransI(std::vector<double>(25, 3.0), adj), 0.0);
+}
+
+TEST(MoransITest, NoLinksIsZero) {
+  std::vector<std::vector<int32_t>> empty_adj(4);
+  EXPECT_DOUBLE_EQ(MoransI({1, 2, 3, 4}, empty_adj), 0.0);
+}
+
+TEST(MoransITest, GeneratedFieldIsAutocorrelated) {
+  // The synthetic data substrate must exhibit the positive spatial
+  // autocorrelation the paper's datasets have — this is the property that
+  // justifies the substitution (DESIGN.md §3).
+  FieldOptions options;
+  options.rows = 32;
+  options.cols = 32;
+  options.seed = 12;
+  const auto field = GenerateAutocorrelatedField(options);
+  const auto adj = GridCellAdjacency(32, 32);
+  EXPECT_GT(MoransI(field, adj), 0.5);
+}
+
+TEST(GearysCTest, CheckerboardAboveOne) {
+  const auto adj = GridCellAdjacency(8, 8);
+  EXPECT_GT(GearysC(Checkerboard(8, 8), adj), 1.5);
+}
+
+TEST(GearysCTest, SmoothFieldBelowOne) {
+  FieldOptions options;
+  options.rows = 24;
+  options.cols = 24;
+  options.seed = 3;
+  const auto field = GenerateAutocorrelatedField(options);
+  const auto adj = GridCellAdjacency(24, 24);
+  EXPECT_LT(GearysC(field, adj), 0.5);
+}
+
+TEST(GearysCTest, ConstantFieldIsOne) {
+  const auto adj = GridCellAdjacency(4, 4);
+  EXPECT_DOUBLE_EQ(GearysC(std::vector<double>(16, 2.0), adj), 1.0);
+}
+
+}  // namespace
+}  // namespace srp

@@ -1,0 +1,224 @@
+#include <map>
+#include <queue>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/clustering_reduction.h"
+#include "baselines/regionalization.h"
+#include "baselines/sampling.h"
+#include "data/datasets.h"
+
+namespace srp {
+namespace {
+
+GridDataset TestGrid(DatasetKind kind = DatasetKind::kHomeSalesMulti,
+                     size_t side = 20, uint64_t seed = 15) {
+  DatasetOptions options;
+  options.rows = side;
+  options.cols = side;
+  options.seed = seed;
+  auto grid = GenerateDataset(kind, options);
+  EXPECT_TRUE(grid.ok());
+  return std::move(grid).value();
+}
+
+TEST(SamplingTest, ReturnsExactlyTargetSamples) {
+  const GridDataset grid = TestGrid();
+  SpatialSamplingOptions options;
+  options.target_samples = 50;
+  auto reduced = SpatialSampling(grid, options);
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(reduced->num_units(), 50u);
+  EXPECT_EQ(reduced->coords.size(), 50u);
+  EXPECT_EQ(reduced->neighbors.size(), 50u);
+}
+
+TEST(SamplingTest, EveryValidCellMapsToASample) {
+  const GridDataset grid = TestGrid();
+  SpatialSamplingOptions options;
+  options.target_samples = 30;
+  auto reduced = SpatialSampling(grid, options);
+  ASSERT_TRUE(reduced.ok());
+  for (size_t cell = 0; cell < grid.num_cells(); ++cell) {
+    if (grid.IsNullIndex(cell)) {
+      EXPECT_EQ(reduced->cell_to_unit[cell], -1);
+    } else {
+      ASSERT_GE(reduced->cell_to_unit[cell], 0);
+      ASSERT_LT(reduced->cell_to_unit[cell], 30);
+    }
+  }
+}
+
+TEST(SamplingTest, SamplesKeepTheirOwnFeatureVectors) {
+  const GridDataset grid = TestGrid(DatasetKind::kVehiclesUni);
+  SpatialSamplingOptions options;
+  options.target_samples = 25;
+  auto reduced = SpatialSampling(grid, options);
+  ASSERT_TRUE(reduced.ok());
+  // Every sample's attribute value must appear verbatim somewhere in the
+  // grid (samples are cells, not aggregates).
+  std::set<double> grid_values;
+  for (size_t cell = 0; cell < grid.num_cells(); ++cell) {
+    if (!grid.IsNullIndex(cell)) grid_values.insert(grid.AtIndex(cell, 0));
+  }
+  for (size_t s = 0; s < 25; ++s) {
+    EXPECT_TRUE(grid_values.count(reduced->attributes(s, 0)) > 0);
+  }
+}
+
+TEST(SamplingTest, DeterministicUnderSeed) {
+  const GridDataset grid = TestGrid();
+  SpatialSamplingOptions options;
+  options.target_samples = 40;
+  auto a = SpatialSampling(grid, options);
+  auto b = SpatialSampling(grid, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->cell_to_unit, b->cell_to_unit);
+}
+
+TEST(SamplingTest, RejectsBadTarget) {
+  const GridDataset grid = TestGrid();
+  SpatialSamplingOptions options;
+  options.target_samples = 0;
+  EXPECT_FALSE(SpatialSampling(grid, options).ok());
+  options.target_samples = grid.num_cells() + 1;
+  EXPECT_FALSE(SpatialSampling(grid, options).ok());
+}
+
+/// Flood-fill contiguity check over the cell -> unit map.
+void ExpectContiguousUnits(const GridDataset& grid,
+                           const std::vector<int32_t>& cell_to_unit) {
+  std::map<int32_t, std::vector<size_t>> members;
+  for (size_t cell = 0; cell < cell_to_unit.size(); ++cell) {
+    if (cell_to_unit[cell] >= 0) members[cell_to_unit[cell]].push_back(cell);
+  }
+  const size_t cols = grid.cols();
+  for (const auto& [unit, cells] : members) {
+    std::set<size_t> cluster(cells.begin(), cells.end());
+    std::set<size_t> seen{cells.front()};
+    std::queue<size_t> frontier;
+    frontier.push(cells.front());
+    while (!frontier.empty()) {
+      const size_t cur = frontier.front();
+      frontier.pop();
+      const size_t r = cur / cols;
+      const size_t c = cur % cols;
+      auto visit = [&](size_t cell) {
+        if (cluster.count(cell) != 0 && seen.count(cell) == 0) {
+          seen.insert(cell);
+          frontier.push(cell);
+        }
+      };
+      if (r > 0) visit(cur - cols);
+      if (r + 1 < grid.rows()) visit(cur + cols);
+      if (c > 0) visit(cur - 1);
+      if (c + 1 < cols) visit(cur + 1);
+    }
+    EXPECT_EQ(seen.size(), cells.size()) << "unit " << unit;
+  }
+}
+
+TEST(RegionalizationTest, RegionsAreContiguous) {
+  const GridDataset grid = TestGrid();
+  RegionalizationOptions options;
+  options.target_regions = 60;
+  auto reduced = Regionalize(grid, options);
+  ASSERT_TRUE(reduced.ok());
+  ExpectContiguousUnits(grid, reduced->cell_to_unit);
+}
+
+TEST(RegionalizationTest, EveryValidCellAssigned) {
+  const GridDataset grid = TestGrid(DatasetKind::kEarningsMulti);
+  RegionalizationOptions options;
+  options.target_regions = 40;
+  auto reduced = Regionalize(grid, options);
+  ASSERT_TRUE(reduced.ok());
+  for (size_t cell = 0; cell < grid.num_cells(); ++cell) {
+    EXPECT_EQ(reduced->cell_to_unit[cell] >= 0, !grid.IsNullIndex(cell));
+  }
+}
+
+TEST(RegionalizationTest, UnitCountNearTarget) {
+  const GridDataset grid = TestGrid();
+  RegionalizationOptions options;
+  options.target_regions = 80;
+  auto reduced = Regionalize(grid, options);
+  ASSERT_TRUE(reduced.ok());
+  // Exact target plus possibly a few seed-free islands.
+  EXPECT_GE(reduced->num_units(), 80u);
+  EXPECT_LE(reduced->num_units(), 80u + 20u);
+}
+
+TEST(RegionalizationTest, AdjacencyIsSymmetric) {
+  const GridDataset grid = TestGrid(DatasetKind::kTaxiTripUni);
+  RegionalizationOptions options;
+  options.target_regions = 30;
+  auto reduced = Regionalize(grid, options);
+  ASSERT_TRUE(reduced.ok());
+  for (size_t u = 0; u < reduced->num_units(); ++u) {
+    for (int32_t v : reduced->neighbors[u]) {
+      const auto& back = reduced->neighbors[static_cast<size_t>(v)];
+      EXPECT_TRUE(std::find(back.begin(), back.end(),
+                            static_cast<int32_t>(u)) != back.end());
+    }
+  }
+}
+
+TEST(ClusteringReductionTest, ContiguousAndCountedClusters) {
+  const GridDataset grid = TestGrid();
+  ClusteringReductionOptions options;
+  options.target_clusters = 70;
+  auto reduced = ClusteringReduction(grid, options);
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_GE(reduced->num_units(), 70u);
+  ExpectContiguousUnits(grid, reduced->cell_to_unit);
+}
+
+TEST(ClusteringReductionTest, AggregatesAtPerCellScale) {
+  // Each cluster's attribute is the mean over its member cells (summed
+  // quantities spread back over cells, per the library-wide convention).
+  const GridDataset grid = TestGrid(DatasetKind::kVehiclesUni);
+  ClusteringReductionOptions options;
+  options.target_clusters = 50;
+  auto reduced = ClusteringReduction(grid, options);
+  ASSERT_TRUE(reduced.ok());
+  std::vector<double> sums(reduced->num_units(), 0.0);
+  std::vector<size_t> counts(reduced->num_units(), 0);
+  for (size_t cell = 0; cell < grid.num_cells(); ++cell) {
+    const int32_t unit = reduced->cell_to_unit[cell];
+    if (unit >= 0) {
+      sums[static_cast<size_t>(unit)] += grid.AtIndex(cell, 0);
+      ++counts[static_cast<size_t>(unit)];
+    }
+  }
+  for (size_t u = 0; u < reduced->num_units(); ++u) {
+    EXPECT_NEAR(reduced->attributes(u, 0),
+                sums[u] / static_cast<double>(counts[u]), 1e-9);
+  }
+}
+
+TEST(ClusteringReductionTest, RejectsBadTarget) {
+  const GridDataset grid = TestGrid();
+  ClusteringReductionOptions options;
+  options.target_clusters = 0;
+  EXPECT_FALSE(ClusteringReduction(grid, options).ok());
+}
+
+TEST(ReducedToMlDatasetTest, SplitsTargetColumn) {
+  const GridDataset grid = TestGrid();
+  SpatialSamplingOptions options;
+  options.target_samples = 30;
+  auto reduced = SpatialSampling(grid, options);
+  ASSERT_TRUE(reduced.ok());
+  auto ml = ReducedToMlDataset(grid, *reduced, "price");
+  ASSERT_TRUE(ml.ok());
+  EXPECT_EQ(ml->num_rows(), 30u);
+  EXPECT_EQ(ml->features.cols(), grid.num_attributes() - 1);
+  EXPECT_EQ(ml->target_name, "price");
+  EXPECT_FALSE(ReducedToMlDataset(grid, *reduced, "bogus").ok());
+}
+
+}  // namespace
+}  // namespace srp

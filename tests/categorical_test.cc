@@ -1,0 +1,150 @@
+// Tests for the categorical-attribute extension (the paper's Section VI
+// future work): 0/1 mismatch variation, mode-only representatives,
+// mismatch-rate IFL terms, normalization passthrough.
+
+#include <gtest/gtest.h>
+
+#include "core/feature_allocator.h"
+#include "core/information_loss.h"
+#include "core/repartitioner.h"
+#include "core/homogeneous.h"
+#include "core/variation.h"
+#include "grid/normalize.h"
+
+namespace srp {
+namespace {
+
+constexpr double kResidential = 1.0;
+constexpr double kCommercial = 2.0;
+constexpr double kIndustrial = 3.0;
+
+GridDataset ZoningGrid() {
+  // attribute 0: numeric intensity; attribute 1: categorical zoning code.
+  GridDataset g(2, 3,
+                {{"intensity", AggType::kAverage, false, false},
+                 {"zoning", AggType::kAverage, false, true}});
+  //   intensity:  10 10 50     zoning:  R R C
+  //               10 10 50              R R I
+  g.SetFeatureVector(0, 0, {10, kResidential});
+  g.SetFeatureVector(0, 1, {10, kResidential});
+  g.SetFeatureVector(0, 2, {50, kCommercial});
+  g.SetFeatureVector(1, 0, {10, kResidential});
+  g.SetFeatureVector(1, 1, {10, kResidential});
+  g.SetFeatureVector(1, 2, {50, kIndustrial});
+  return g;
+}
+
+TEST(CategoricalVariationTest, MismatchContributesOne) {
+  const GridDataset g = ZoningGrid();
+  // (0,1) vs (0,2): numeric |10-50| = 40, categorical mismatch = 1.
+  EXPECT_DOUBLE_EQ(AttributeVariation(g, 0, 1, 0, 2), (40.0 + 1.0) / 2.0);
+  // (0,0) vs (0,1): identical in both -> 0.
+  EXPECT_DOUBLE_EQ(AttributeVariation(g, 0, 0, 0, 1), 0.0);
+  // (0,2) vs (1,2): same numeric, different category -> 0.5.
+  EXPECT_DOUBLE_EQ(AttributeVariation(g, 0, 2, 1, 2), 0.5);
+}
+
+TEST(CategoricalNormalizeTest, CategoryIdsPassThroughUnscaled) {
+  const GridDataset n = AttributeNormalized(ZoningGrid());
+  EXPECT_DOUBLE_EQ(n.At(0, 2, 1), kCommercial);
+  EXPECT_DOUBLE_EQ(n.At(1, 2, 1), kIndustrial);
+  // The numeric attribute still normalizes (divide by max 50).
+  EXPECT_DOUBLE_EQ(n.At(0, 0, 0), 0.2);
+}
+
+TEST(CategoricalAllocatorTest, ModeRepresentsTheGroup) {
+  GridDataset g(1, 4, {{"zone", AggType::kAverage, false, true}});
+  g.Set(0, 0, 0, kResidential);
+  g.Set(0, 1, 0, kResidential);
+  g.Set(0, 2, 0, kCommercial);
+  g.Set(0, 3, 0, kResidential);
+  Partition p;
+  p.rows = 1;
+  p.cols = 4;
+  p.groups = {CellGroup{0, 0, 0, 3}};
+  p.cell_to_group = {0, 0, 0, 0};
+  ASSERT_TRUE(AllocateFeatures(g, &p).ok());
+  EXPECT_DOUBLE_EQ(p.features[0][0], kResidential);  // mode, never the mean
+}
+
+TEST(CategoricalIflTest, MismatchRateCounted) {
+  // Group of 4 cells, 3 residential + 1 commercial -> mode residential;
+  // IFL = 1 mismatch / 4 terms = 0.25 (numeric attribute absent).
+  GridDataset g(1, 4, {{"zone", AggType::kAverage, false, true}});
+  g.Set(0, 0, 0, kResidential);
+  g.Set(0, 1, 0, kResidential);
+  g.Set(0, 2, 0, kCommercial);
+  g.Set(0, 3, 0, kResidential);
+  Partition p;
+  p.rows = 1;
+  p.cols = 4;
+  p.groups = {CellGroup{0, 0, 0, 3}};
+  p.cell_to_group = {0, 0, 0, 0};
+  ASSERT_TRUE(AllocateFeatures(g, &p).ok());
+  EXPECT_DOUBLE_EQ(InformationLoss(g, p), 0.25);
+}
+
+TEST(CategoricalIflTest, ZeroCategoryIdIsStillCounted) {
+  // Unlike numeric MAPE terms, a categorical value of 0 is a legal id and
+  // must not be skipped.
+  GridDataset g(1, 2, {{"zone", AggType::kAverage, false, true}});
+  g.Set(0, 0, 0, 0.0);
+  g.Set(0, 1, 0, 1.0);
+  Partition p;
+  p.rows = 1;
+  p.cols = 2;
+  p.groups = {CellGroup{0, 0, 0, 1}};
+  p.cell_to_group = {0, 0};
+  ASSERT_TRUE(AllocateFeatures(g, &p).ok());
+  // Mode ties resolve to the smaller id (0); the mismatching cell is (0,1).
+  EXPECT_DOUBLE_EQ(InformationLoss(g, p), 0.5);
+}
+
+TEST(CategoricalRepartitionTest, EndToEndRespectsThreshold) {
+  // Mixed numeric + categorical grid through the full framework.
+  GridDataset g(6, 6,
+                {{"intensity", AggType::kAverage, false, false},
+                 {"zone", AggType::kAverage, false, true}});
+  for (size_t r = 0; r < 6; ++r) {
+    for (size_t c = 0; c < 6; ++c) {
+      const double zone = c < 3 ? kResidential : kCommercial;
+      g.SetFeatureVector(r, c, {100.0 + static_cast<double>(r), zone});
+    }
+  }
+  RepartitionOptions options;
+  options.ifl_threshold = 0.05;
+  auto result = Repartitioner(options).Run(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->information_loss, 0.05);
+  EXPECT_LT(result->partition.num_groups(), g.num_cells());
+  // Zones never blend: every group is single-zone because a cross-zone pair
+  // carries variation >= 0.5/attr while same-zone neighbors differ by ~0.
+  for (size_t gi = 0; gi < result->partition.num_groups(); ++gi) {
+    const CellGroup& cg = result->partition.groups[gi];
+    const double zone = g.At(cg.r_beg, cg.c_beg, 1);
+    for (size_t r = cg.r_beg; r <= cg.r_end; ++r) {
+      for (size_t c = cg.c_beg; c <= cg.c_end; ++c) {
+        EXPECT_DOUBLE_EQ(g.At(r, c, 1), zone);
+      }
+    }
+  }
+}
+
+
+TEST(CategoricalHomogeneousTest, MixedGroupsUseModeForCategories) {
+  // Homogeneous merging can lump dissimilar zones into one block; the
+  // representative must still be the mode, never a blended id.
+  GridDataset g(2, 2, {{"zone", AggType::kAverage, false, true}});
+  g.Set(0, 0, 0, kResidential);
+  g.Set(0, 1, 0, kResidential);
+  g.Set(1, 0, 0, kResidential);
+  g.Set(1, 1, 0, kIndustrial);
+  auto p = HomogeneousMerge(g, 2, 2);
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p->features[0][0], kResidential);
+  // IFL = 1 mismatching cell / 4 terms.
+  EXPECT_DOUBLE_EQ(InformationLoss(g, *p), 0.25);
+}
+
+}  // namespace
+}  // namespace srp

@@ -1,0 +1,61 @@
+#include "metrics/clustering_agreement.h"
+
+#include <gtest/gtest.h>
+
+namespace srp {
+namespace {
+
+TEST(ClusteringCorrectnessTest, IdenticalLabelingsScore100) {
+  EXPECT_DOUBLE_EQ(
+      ClusteringCorrectnessPercent({0, 0, 1, 1, 2}, {0, 0, 1, 1, 2}), 100.0);
+}
+
+TEST(ClusteringCorrectnessTest, PermutedLabelsStillScore100) {
+  // Same partition, renamed cluster ids.
+  EXPECT_DOUBLE_EQ(
+      ClusteringCorrectnessPercent({0, 0, 1, 1, 2}, {2, 2, 0, 0, 1}), 100.0);
+}
+
+TEST(ClusteringCorrectnessTest, KnownPartialOverlap) {
+  // Original: {0,0,0,1,1,1}; reduced: {0,0,1,1,1,1}.
+  // Best matching: reduced 0 -> orig 0 (2 cells), reduced 1 -> orig 1
+  // (3 cells) -> 5/6.
+  EXPECT_NEAR(
+      ClusteringCorrectnessPercent({0, 0, 0, 1, 1, 1}, {0, 0, 1, 1, 1, 1}),
+      100.0 * 5.0 / 6.0, 1e-9);
+}
+
+TEST(ClusteringCorrectnessTest, CompletelyMixedIsLow) {
+  // Reduced lumps everything into one cluster vs 4 original clusters:
+  // only one original cluster can be matched -> 25%.
+  EXPECT_DOUBLE_EQ(
+      ClusteringCorrectnessPercent({0, 1, 2, 3}, {0, 0, 0, 0}), 25.0);
+}
+
+TEST(ClusteringCorrectnessTest, MoreReducedThanOriginalClusters) {
+  // Reduced splits one original cluster in two: best match keeps 3/4.
+  EXPECT_DOUBLE_EQ(
+      ClusteringCorrectnessPercent({0, 0, 1, 1}, {0, 1, 2, 2}), 75.0);
+}
+
+TEST(RandIndexTest, IdenticalIsOne) {
+  EXPECT_DOUBLE_EQ(RandIndex({0, 0, 1, 1}, {5, 5, 9, 9}), 1.0);
+}
+
+TEST(RandIndexTest, KnownValue) {
+  // labels_a = {0,0,1,1}, labels_b = {0,1,1,1}:
+  // pairs: (0,1) together in a, apart in b -> disagree.
+  //        (0,2),(0,3),(1,2),(1,3): (1,2) apart/together -> disagree,
+  //        (1,3) apart/together -> disagree, (0,2),(0,3) apart/apart agree.
+  //        (2,3) together/together agree.
+  // agreements = 3 of 6.
+  EXPECT_NEAR(RandIndex({0, 0, 1, 1}, {0, 1, 1, 1}), 0.5, 1e-12);
+}
+
+TEST(RandIndexTest, SingletonsVsLumped) {
+  // All singletons vs all together: every pair disagrees -> 0.
+  EXPECT_DOUBLE_EQ(RandIndex({0, 1, 2}, {0, 0, 0}), 0.0);
+}
+
+}  // namespace
+}  // namespace srp

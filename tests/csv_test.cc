@@ -1,0 +1,76 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace srp {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(CsvTest, RoundTripSimpleTable) {
+  CsvTable table;
+  table.header = {"a", "b", "c"};
+  table.rows = {{"1", "2", "3"}, {"x", "y", "z"}};
+  const std::string path = TempPath("simple.csv");
+  ASSERT_TRUE(WriteCsv(table, path).ok());
+  auto read = ReadCsv(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->header, table.header);
+  EXPECT_EQ(read->rows, table.rows);
+}
+
+TEST(CsvTest, QuotingOfSeparatorsAndQuotes) {
+  CsvTable table;
+  table.header = {"text"};
+  table.rows = {{"has,comma"}, {"has\"quote"}, {"plain"}};
+  const std::string path = TempPath("quoted.csv");
+  ASSERT_TRUE(WriteCsv(table, path).ok());
+  auto read = ReadCsv(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->rows[0][0], "has,comma");
+  EXPECT_EQ(read->rows[1][0], "has\"quote");
+  EXPECT_EQ(read->rows[2][0], "plain");
+}
+
+TEST(CsvTest, ParseCsvLineHandlesQuotedFields) {
+  const auto fields = ParseCsvLine("a,\"b,c\",\"d\"\"e\"");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b,c");
+  EXPECT_EQ(fields[2], "d\"e");
+}
+
+TEST(CsvTest, ParseCsvLineEmptyFields) {
+  const auto fields = ParseCsvLine("a,,c,");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(CsvTest, ColumnIndexLookup) {
+  CsvTable table;
+  table.header = {"alpha", "beta"};
+  EXPECT_EQ(table.ColumnIndex("alpha"), 0);
+  EXPECT_EQ(table.ColumnIndex("beta"), 1);
+  EXPECT_EQ(table.ColumnIndex("gamma"), -1);
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  auto read = ReadCsv("/nonexistent/definitely/missing.csv");
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvTest, WriteToBadPathFails) {
+  CsvTable table;
+  table.header = {"a"};
+  EXPECT_FALSE(WriteCsv(table, "/nonexistent/dir/out.csv").ok());
+}
+
+}  // namespace
+}  // namespace srp

@@ -1,0 +1,125 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/feature_allocator.h"
+#include "core/repartitioner.h"
+#include "data/datasets.h"
+
+namespace srp {
+namespace {
+
+GridDataset SmallMulti() {
+  GridDataset g(2, 2,
+                {{"x", AggType::kAverage, false},
+                 {"y", AggType::kAverage, false}});
+  g.SetFeatureVector(0, 0, {1.0, 10.0});
+  g.SetFeatureVector(0, 1, {2.0, 20.0});
+  g.SetFeatureVector(1, 0, {3.0, 30.0});
+  // (1,1) null.
+  return g;
+}
+
+TEST(PrepareFromGridTest, SplitsTargetFromFeatures) {
+  auto data = PrepareFromGrid(SmallMulti(), "y");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->num_rows(), 3u);  // null cell dropped
+  EXPECT_EQ(data->features.cols(), 1u);
+  EXPECT_EQ(data->feature_names, (std::vector<std::string>{"x"}));
+  EXPECT_EQ(data->target_name, "y");
+  EXPECT_EQ(data->target, (std::vector<double>{10.0, 20.0, 30.0}));
+  EXPECT_DOUBLE_EQ(data->features(2, 0), 3.0);
+}
+
+TEST(PrepareFromGridTest, MissingTargetFails) {
+  EXPECT_FALSE(PrepareFromGrid(SmallMulti(), "nope").ok());
+}
+
+TEST(PrepareFromGridTest, AdjacencyReindexedOverValidCells) {
+  auto data = PrepareFromGrid(SmallMulti(), "y");
+  ASSERT_TRUE(data.ok());
+  // Valid rows: (0,0)=0, (0,1)=1, (1,0)=2; the null (1,1) disappears.
+  EXPECT_EQ(data->neighbors[0], (std::vector<int32_t>{1, 2}));
+  EXPECT_EQ(data->neighbors[1], (std::vector<int32_t>{0}));
+  EXPECT_EQ(data->neighbors[2], (std::vector<int32_t>{0}));
+}
+
+TEST(PrepareFromGridTest, UnivariateSelfTarget) {
+  GridDataset g(1, 2, {{"v", AggType::kSum, false}});
+  g.Set(0, 0, 0, 4.0);
+  g.Set(0, 1, 0, 8.0);
+  auto data = PrepareFromGrid(g, "");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->target, (std::vector<double>{4.0, 8.0}));
+  EXPECT_EQ(data->features.cols(), 1u);  // the attribute doubles as feature
+  EXPECT_EQ(data->target_name, "v");
+}
+
+TEST(PrepareFromPartitionTest, GroupsBecomeRows) {
+  DatasetOptions options;
+  options.rows = 16;
+  options.cols = 16;
+  options.seed = 10;
+  auto grid = GenerateDataset(DatasetKind::kHomeSalesMulti, options);
+  ASSERT_TRUE(grid.ok());
+  RepartitionOptions ropt;
+  ropt.ifl_threshold = 0.1;
+  ropt.min_variation_step = 1e-3;
+  auto result = Repartitioner(ropt).Run(*grid);
+  ASSERT_TRUE(result.ok());
+  auto data = PrepareFromPartition(*grid, result->partition, "price");
+  ASSERT_TRUE(data.ok());
+  size_t valid_groups = 0;
+  for (uint8_t is_null : result->partition.group_null) {
+    valid_groups += (is_null == 0);
+  }
+  EXPECT_EQ(data->num_rows(), valid_groups);
+  EXPECT_EQ(data->features.cols(), grid->num_attributes() - 1);
+  // unit_ids reference the group index.
+  for (int32_t id : data->unit_ids) {
+    ASSERT_GE(id, 0);
+    ASSERT_LT(static_cast<size_t>(id), result->partition.num_groups());
+  }
+}
+
+TEST(PrepareFromPartitionTest, RequiresAllocatedFeatures) {
+  const GridDataset g = SmallMulti();
+  Partition p = TrivialPartition(g);
+  p.features.clear();
+  EXPECT_FALSE(PrepareFromPartition(g, p, "y").ok());
+}
+
+TEST(SplitDatasetTest, SizesAndDisjointness) {
+  const auto split = SplitDataset(100, 0.8, 42);
+  EXPECT_EQ(split.train.size(), 80u);
+  EXPECT_EQ(split.test.size(), 20u);
+  std::set<size_t> all(split.train.begin(), split.train.end());
+  all.insert(split.test.begin(), split.test.end());
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(SplitDatasetTest, DeterministicUnderSeed) {
+  const auto a = SplitDataset(50, 0.8, 7);
+  const auto b = SplitDataset(50, 0.8, 7);
+  EXPECT_EQ(a.train, b.train);
+  const auto c = SplitDataset(50, 0.8, 8);
+  EXPECT_NE(a.train, c.train);
+}
+
+TEST(SubsetRowsTest, KeepsSelectedRowsAndRestrictsAdjacency) {
+  auto data = PrepareFromGrid(SmallMulti(), "y");
+  ASSERT_TRUE(data.ok());
+  const MlDataset subset = SubsetRows(*data, {0, 2});
+  EXPECT_EQ(subset.num_rows(), 2u);
+  EXPECT_EQ(subset.target, (std::vector<double>{10.0, 30.0}));
+  // Row 1 (old) is gone; old edge 0-1 disappears, 0-2 remains as 0-1.
+  EXPECT_EQ(subset.neighbors[0], (std::vector<int32_t>{1}));
+  EXPECT_EQ(subset.neighbors[1], (std::vector<int32_t>{0}));
+  EXPECT_EQ(subset.unit_ids[1], data->unit_ids[2]);
+}
+
+}  // namespace
+}  // namespace srp

@@ -1,0 +1,152 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/cholesky.h"
+#include "linalg/lu.h"
+#include "linalg/matrix.h"
+#include "util/random.h"
+
+namespace srp {
+namespace {
+
+Matrix RandomSpd(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Matrix a(n, n);
+  for (size_t i = 0; i < a.size(); ++i) a.mutable_data()[i] = rng.Normal();
+  Matrix spd = a.TransposeMultiply(a);
+  for (size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+TEST(CholeskyTest, SolvesKnownSystem) {
+  Matrix a{{4, 2}, {2, 3}};
+  auto chol = Cholesky::Factorize(a);
+  ASSERT_TRUE(chol.ok());
+  // A x = b with x = (1, 2): b = (8, 8).
+  const auto x = chol->Solve({8, 8});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(CholeskyTest, LowerTimesTransposeReconstructs) {
+  const Matrix a = RandomSpd(6, 42);
+  auto chol = Cholesky::Factorize(a);
+  ASSERT_TRUE(chol.ok());
+  const Matrix l = chol->lower();
+  const Matrix reconstructed = l.Multiply(l.Transpose());
+  for (size_t r = 0; r < 6; ++r) {
+    for (size_t c = 0; c < 6; ++c) {
+      EXPECT_NEAR(reconstructed(r, c), a(r, c), 1e-9);
+    }
+  }
+}
+
+TEST(CholeskyTest, LogDeterminantMatchesKnown) {
+  Matrix a{{2, 0}, {0, 8}};  // det = 16
+  auto chol = Cholesky::Factorize(a);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_NEAR(chol->LogDeterminant(), std::log(16.0), 1e-12);
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  Matrix a(2, 3);
+  EXPECT_FALSE(Cholesky::Factorize(a).ok());
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a{{1, 2}, {2, 1}};  // eigenvalues 3, -1
+  auto chol = Cholesky::Factorize(a);
+  EXPECT_FALSE(chol.ok());
+  EXPECT_EQ(chol.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CholeskyTest, SolveMatrixMultipleRhs) {
+  const Matrix a = RandomSpd(4, 7);
+  auto chol = Cholesky::Factorize(a);
+  ASSERT_TRUE(chol.ok());
+  Matrix b(4, 2);
+  Rng rng(8);
+  for (size_t i = 0; i < b.size(); ++i) b.mutable_data()[i] = rng.Normal();
+  const Matrix x = chol->SolveMatrix(b);
+  const Matrix ax = a.Multiply(x);
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t c = 0; c < 2; ++c) EXPECT_NEAR(ax(r, c), b(r, c), 1e-9);
+  }
+}
+
+TEST(LuTest, SolvesKnownSystem) {
+  Matrix a{{0, 2}, {1, 1}};  // needs pivoting
+  auto lu = Lu::Factorize(a);
+  ASSERT_TRUE(lu.ok());
+  const auto x = lu->Solve({4, 3});  // x = (1, 2)
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LuTest, DeterminantWithPivoting) {
+  Matrix a{{0, 1}, {1, 0}};  // det = -1
+  auto lu = Lu::Factorize(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu->Determinant(), -1.0, 1e-12);
+}
+
+TEST(LuTest, DeterminantKnownValue) {
+  Matrix a{{2, 1}, {1, 2}};  // det = 3
+  auto lu = Lu::Factorize(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu->Determinant(), 3.0, 1e-12);
+}
+
+TEST(LuTest, RejectsSingular) {
+  Matrix a{{1, 2}, {2, 4}};
+  EXPECT_FALSE(Lu::Factorize(a).ok());
+}
+
+TEST(LuTest, RejectsNonSquare) {
+  Matrix a(3, 2);
+  EXPECT_FALSE(Lu::Factorize(a).ok());
+}
+
+/// Random general systems: A * Solve(b) == b.
+class LuSolveProperty : public testing::TestWithParam<int> {};
+
+TEST_P(LuSolveProperty, ResidualIsTiny) {
+  const size_t n = static_cast<size_t>(GetParam());
+  Rng rng(n * 31 + 1);
+  Matrix a(n, n);
+  for (size_t i = 0; i < a.size(); ++i) a.mutable_data()[i] = rng.Normal();
+  for (size_t i = 0; i < n; ++i) a(i, i) += 3.0;  // well-conditioned
+  std::vector<double> b(n);
+  for (auto& v : b) v = rng.Normal();
+  auto lu = Lu::Factorize(a);
+  ASSERT_TRUE(lu.ok());
+  const auto x = lu->Solve(b);
+  const auto ax = a.MultiplyVector(x);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuSolveProperty,
+                         testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+/// Random SPD systems: Cholesky solve residual tiny across sizes.
+class CholeskySolveProperty : public testing::TestWithParam<int> {};
+
+TEST_P(CholeskySolveProperty, ResidualIsTiny) {
+  const size_t n = static_cast<size_t>(GetParam());
+  const Matrix a = RandomSpd(n, n * 17 + 3);
+  Rng rng(n);
+  std::vector<double> b(n);
+  for (auto& v : b) v = rng.Normal();
+  auto chol = Cholesky::Factorize(a);
+  ASSERT_TRUE(chol.ok());
+  const auto x = chol->Solve(b);
+  const auto ax = a.MultiplyVector(x);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskySolveProperty,
+                         testing::Values(1, 2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace srp

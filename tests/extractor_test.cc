@@ -1,0 +1,204 @@
+#include "core/extractor.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "grid/normalize.h"
+
+namespace srp {
+namespace {
+
+GridDataset UniformGrid(size_t rows, size_t cols, double value = 1.0) {
+  GridDataset g(rows, cols, {{"a", AggType::kAverage, false}});
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) g.Set(r, c, 0, value);
+  }
+  return g;
+}
+
+void ExpectValidPartition(const GridDataset& g, const Partition& p) {
+  // Every cell covered exactly once by a rectangle — the framework's core
+  // structural invariant.
+  ASSERT_TRUE(p.Validate(g).ok()) << p.Validate(g).ToString();
+}
+
+TEST(ExtractorTest, UniformGridCollapsesToOneGroup) {
+  const GridDataset g = UniformGrid(4, 4);
+  const PairVariations pv = ComputePairVariations(g);
+  const CellGroupExtractor extractor(pv);
+  const Partition p = extractor.Extract(0.0);
+  ExpectValidPartition(g, p);
+  EXPECT_EQ(p.num_groups(), 1u);
+  EXPECT_EQ(p.groups[0], (CellGroup{0, 3, 0, 3}));
+}
+
+TEST(ExtractorTest, ZeroThresholdKeepsDistinctCellsApart) {
+  GridDataset g(2, 2, {{"a", AggType::kAverage, false}});
+  g.Set(0, 0, 0, 1.0);
+  g.Set(0, 1, 0, 2.0);
+  g.Set(1, 0, 0, 3.0);
+  g.Set(1, 1, 0, 4.0);
+  const PairVariations pv = ComputePairVariations(g);
+  const Partition p = CellGroupExtractor(pv).Extract(0.0);
+  ExpectValidPartition(g, p);
+  EXPECT_EQ(p.num_groups(), 4u);
+}
+
+TEST(ExtractorTest, HorizontalStripWinsWhenRowsSimilar) {
+  // Row 0 is constant, row 1 very different: expect 1x3 strips.
+  GridDataset g(2, 3, {{"a", AggType::kAverage, false}});
+  for (size_t c = 0; c < 3; ++c) {
+    g.Set(0, c, 0, 1.0);
+    g.Set(1, c, 0, 100.0 + 50.0 * static_cast<double>(c));
+  }
+  const PairVariations pv = ComputePairVariations(g);
+  const Partition p = CellGroupExtractor(pv).Extract(0.0);
+  ExpectValidPartition(g, p);
+  EXPECT_EQ(p.GroupOf(0, 0), p.GroupOf(0, 2));
+  EXPECT_NE(p.GroupOf(0, 0), p.GroupOf(1, 0));
+  EXPECT_NE(p.GroupOf(1, 0), p.GroupOf(1, 1));
+}
+
+TEST(ExtractorTest, VerticalStripWinsWhenColumnsSimilar) {
+  GridDataset g(3, 2, {{"a", AggType::kAverage, false}});
+  for (size_t r = 0; r < 3; ++r) {
+    g.Set(r, 0, 0, 5.0);
+    g.Set(r, 1, 0, 100.0 + 50.0 * static_cast<double>(r));
+  }
+  const PairVariations pv = ComputePairVariations(g);
+  const Partition p = CellGroupExtractor(pv).Extract(0.0);
+  ExpectValidPartition(g, p);
+  EXPECT_EQ(p.GroupOf(0, 0), p.GroupOf(2, 0));
+  EXPECT_NE(p.GroupOf(0, 0), p.GroupOf(0, 1));
+}
+
+TEST(ExtractorTest, RectangleBeatsStrips) {
+  // Paper Example 3's shape: a 2x3 block of similar values grows as a
+  // rectangle (6 cells) rather than a 3-cell strip.
+  GridDataset g(3, 4, {{"a", AggType::kAverage, false}});
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 4; ++c) g.Set(r, c, 0, 900.0 + 17.0 * (r * 4 + c));
+  }
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) g.Set(r, c, 0, 23.0);
+  }
+  const PairVariations pv = ComputePairVariations(g);
+  const Partition p = CellGroupExtractor(pv).Extract(0.0);
+  ExpectValidPartition(g, p);
+  const int32_t block = p.GroupOf(0, 0);
+  EXPECT_EQ(p.groups[static_cast<size_t>(block)], (CellGroup{0, 1, 0, 2}));
+  EXPECT_EQ(p.groups[static_cast<size_t>(block)].NumCells(), 6u);
+}
+
+TEST(ExtractorTest, AllAdjacentPairsInsideGroupRespectThreshold) {
+  // Rectangles are only valid when every internal adjacent pair is within
+  // the bound: a diagonal gradient with threshold below the diagonal step
+  // must not produce any 2x2 group containing an over-threshold pair.
+  GridDataset g(4, 4, {{"a", AggType::kAverage, false}});
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t c = 0; c < 4; ++c) {
+      g.Set(r, c, 0, static_cast<double>(r) * 10.0 + static_cast<double>(c));
+    }
+  }
+  const PairVariations pv = ComputePairVariations(g);
+  const double threshold = 1.5;  // allows column steps (1), not row steps (10)
+  const Partition p = CellGroupExtractor(pv).Extract(threshold);
+  ExpectValidPartition(g, p);
+  for (const CellGroup& cg : p.groups) {
+    for (size_t r = cg.r_beg; r <= cg.r_end; ++r) {
+      for (size_t c = cg.c_beg; c < cg.c_end; ++c) {
+        EXPECT_LE(pv.Right(r, c), threshold);
+      }
+    }
+    for (size_t r = cg.r_beg; r < cg.r_end; ++r) {
+      for (size_t c = cg.c_beg; c <= cg.c_end; ++c) {
+        EXPECT_LE(pv.Down(r, c), threshold);
+      }
+    }
+  }
+}
+
+TEST(ExtractorTest, NullCellsGroupTogetherButNotWithValid) {
+  GridDataset g(2, 3, {{"a", AggType::kAverage, false}});
+  g.Set(0, 0, 0, 1.0);
+  g.Set(1, 0, 0, 1.0);
+  // Columns 1 and 2 stay null.
+  const PairVariations pv = ComputePairVariations(g);
+  const Partition p = CellGroupExtractor(pv).Extract(10.0);
+  ExpectValidPartition(g, p);
+  EXPECT_EQ(p.GroupOf(0, 1), p.GroupOf(1, 2));  // nulls merged
+  EXPECT_NE(p.GroupOf(0, 0), p.GroupOf(0, 1));  // never across nullness
+  EXPECT_EQ(p.GroupOf(0, 0), p.GroupOf(1, 0));
+}
+
+TEST(ExtractorTest, SingletonWhenNoNeighborQualifies) {
+  GridDataset g(1, 3, {{"a", AggType::kAverage, false}});
+  g.Set(0, 0, 0, 0.0);
+  g.Set(0, 1, 0, 100.0);
+  g.Set(0, 2, 0, 200.0);
+  const PairVariations pv = ComputePairVariations(g);
+  const Partition p = CellGroupExtractor(pv).Extract(1.0);
+  ExpectValidPartition(g, p);
+  EXPECT_EQ(p.num_groups(), 3u);
+}
+
+TEST(ExtractorTest, LargeThresholdMergesEverythingValid) {
+  GridDataset g(3, 3, {{"a", AggType::kAverage, false}});
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      g.Set(r, c, 0, static_cast<double>(r * 3 + c));
+    }
+  }
+  const PairVariations pv = ComputePairVariations(g);
+  const Partition p = CellGroupExtractor(pv).Extract(1e9);
+  ExpectValidPartition(g, p);
+  EXPECT_EQ(p.num_groups(), 1u);
+}
+
+/// Property sweep: on realistic synthetic grids, any threshold yields a
+/// valid partition whose group count shrinks as the threshold grows.
+class ExtractorProperty : public testing::TestWithParam<double> {};
+
+TEST_P(ExtractorProperty, ValidPartitionOnSyntheticData) {
+  DatasetOptions options;
+  options.rows = 24;
+  options.cols = 24;
+  options.seed = 5;
+  auto grid = GenerateDataset(DatasetKind::kHomeSalesMulti, options);
+  ASSERT_TRUE(grid.ok());
+  const GridDataset norm = AttributeNormalized(*grid);
+  const PairVariations pv = ComputePairVariations(norm);
+  const Partition p = CellGroupExtractor(pv).Extract(GetParam());
+  ASSERT_TRUE(p.Validate(*grid).ok());
+  EXPECT_LE(p.num_groups(), grid->num_cells());
+  EXPECT_GE(p.num_groups(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ExtractorProperty,
+                         testing::Values(0.0, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0));
+
+TEST(ExtractorTest, GroupCountMonotoneInThreshold) {
+  DatasetOptions options;
+  options.rows = 20;
+  options.cols = 20;
+  options.seed = 9;
+  auto grid = GenerateDataset(DatasetKind::kTaxiTripUni, options);
+  ASSERT_TRUE(grid.ok());
+  const GridDataset norm = AttributeNormalized(*grid);
+  const PairVariations pv = ComputePairVariations(norm);
+  const CellGroupExtractor extractor(pv);
+  // Greedy shape choices can fragment slightly differently between
+  // thresholds, so allow a small slack on top of strict monotonicity.
+  const size_t slack = grid->num_cells() / 50;
+  size_t last = grid->num_cells() + 1;
+  for (double t : {0.0, 0.02, 0.05, 0.1, 0.2, 0.5}) {
+    const Partition p = extractor.Extract(t);
+    EXPECT_LE(p.num_groups(), last + slack) << "threshold " << t;
+    last = p.num_groups();
+  }
+}
+
+}  // namespace
+}  // namespace srp

@@ -1,0 +1,114 @@
+#include "core/feature_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/extractor.h"
+#include "core/variation.h"
+
+namespace srp {
+namespace {
+
+/// Builds a partition with one group covering the whole grid.
+Partition WholeGridGroup(const GridDataset& g) {
+  Partition p;
+  p.rows = g.rows();
+  p.cols = g.cols();
+  p.groups.push_back(CellGroup{0, static_cast<uint32_t>(g.rows() - 1), 0,
+                               static_cast<uint32_t>(g.cols() - 1)});
+  p.cell_to_group.assign(g.num_cells(), 0);
+  return p;
+}
+
+TEST(LocalLossTest, Eq2IsMeanAbsoluteDeviation) {
+  EXPECT_DOUBLE_EQ(LocalLoss({1, 2, 3}, 2.0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(LocalLoss({5, 5, 5}, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(LocalLoss({0, 10}, 5.0), 5.0);
+  EXPECT_DOUBLE_EQ(LocalLoss({}, 1.0), 0.0);
+}
+
+TEST(FeatureAllocatorTest, SummationSumsCells) {
+  GridDataset g(1, 3, {{"count", AggType::kSum, true}});
+  g.Set(0, 0, 0, 5);
+  g.Set(0, 1, 0, 7);
+  g.Set(0, 2, 0, 2);
+  Partition p = WholeGridGroup(g);
+  ASSERT_TRUE(AllocateFeatures(g, &p).ok());
+  EXPECT_DOUBLE_EQ(p.features[0][0], 14.0);
+  EXPECT_EQ(p.group_valid_count[0], 3u);
+}
+
+TEST(FeatureAllocatorTest, AverageRoundsIntegerTypedAttributes) {
+  // Paper Example 4: mean 23.67 rounds to 24 while mode is 23; losses tie
+  // and the mean (24) wins.
+  GridDataset g(1, 6, {{"a", AggType::kAverage, true}});
+  // Values chosen so the mean is 23.67: {23, 23, 23, 24, 24, 25}.
+  const double values[] = {23, 23, 23, 24, 24, 25};
+  for (size_t c = 0; c < 6; ++c) g.Set(0, c, 0, values[c]);
+  Partition p = WholeGridGroup(g);
+  ASSERT_TRUE(AllocateFeatures(g, &p).ok());
+  // mean = 23.67 -> 24 (rounded). lossA = (1+1+1+0+0+1)/6 = 4/6.
+  // mode = 23.        lossB = (0+0+0+1+1+2)/6 = 4/6. Tie -> mean.
+  EXPECT_DOUBLE_EQ(p.features[0][0], 24.0);
+}
+
+TEST(FeatureAllocatorTest, ModeWinsWhenItHasLowerLocalLoss) {
+  // Values {10, 10, 10, 40}: mean 17.5, mode 10.
+  // lossA = (7.5*3 + 22.5)/4 = 11.25; lossB = (0*3 + 30)/4 = 7.5 -> mode.
+  GridDataset g(1, 4, {{"a", AggType::kAverage, false}});
+  const double values[] = {10, 10, 10, 40};
+  for (size_t c = 0; c < 4; ++c) g.Set(0, c, 0, values[c]);
+  Partition p = WholeGridGroup(g);
+  ASSERT_TRUE(AllocateFeatures(g, &p).ok());
+  EXPECT_DOUBLE_EQ(p.features[0][0], 10.0);
+}
+
+TEST(FeatureAllocatorTest, MeanWinsOnSymmetricValues) {
+  // Values {1, 2, 3}: mean 2 (loss 2/3), mode 1 (loss 1) -> mean.
+  GridDataset g(1, 3, {{"a", AggType::kAverage, false}});
+  for (size_t c = 0; c < 3; ++c) g.Set(0, c, 0, static_cast<double>(c + 1));
+  Partition p = WholeGridGroup(g);
+  ASSERT_TRUE(AllocateFeatures(g, &p).ok());
+  EXPECT_DOUBLE_EQ(p.features[0][0], 2.0);
+}
+
+TEST(FeatureAllocatorTest, NullGroupsGetNullFeatureVector) {
+  GridDataset g(2, 2, {{"a", AggType::kAverage, false}});
+  g.Set(0, 0, 0, 3.0);
+  g.Set(0, 1, 0, 3.0);
+  // Row 1 stays null.
+  const PairVariations pv = ComputePairVariations(g);
+  Partition p = CellGroupExtractor(pv).Extract(10.0);
+  ASSERT_TRUE(AllocateFeatures(g, &p).ok());
+  bool saw_null_group = false;
+  for (size_t gr = 0; gr < p.num_groups(); ++gr) {
+    if (p.group_null[gr]) {
+      saw_null_group = true;
+      EXPECT_EQ(p.group_valid_count[gr], 0u);
+    }
+  }
+  EXPECT_TRUE(saw_null_group);
+}
+
+TEST(FeatureAllocatorTest, MultivariateMixedAggTypes) {
+  GridDataset g(1, 2,
+                {{"count", AggType::kSum, true},
+                 {"price", AggType::kAverage, false}});
+  g.SetFeatureVector(0, 0, {3, 100.0});
+  g.SetFeatureVector(0, 1, {5, 200.0});
+  Partition p = WholeGridGroup(g);
+  ASSERT_TRUE(AllocateFeatures(g, &p).ok());
+  EXPECT_DOUBLE_EQ(p.features[0][0], 8.0);    // summed
+  EXPECT_DOUBLE_EQ(p.features[0][1], 150.0);  // averaged (mean loss <= mode)
+}
+
+TEST(FeatureAllocatorTest, RejectsDimensionMismatch) {
+  GridDataset g(2, 2, {{"a", AggType::kSum, false}});
+  g.Set(0, 0, 0, 1.0);
+  Partition p;
+  p.rows = 3;
+  p.cols = 3;
+  EXPECT_FALSE(AllocateFeatures(g, &p).ok());
+}
+
+}  // namespace
+}  // namespace srp

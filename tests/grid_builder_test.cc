@@ -1,0 +1,122 @@
+#include "grid/grid_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace srp {
+namespace {
+
+GeoExtent UnitExtent() { return GeoExtent{0.0, 1.0, 0.0, 1.0}; }
+
+std::vector<GridAttributeDef> CountSumAvgDefs() {
+  using Source = GridAttributeDef::Source;
+  return {
+      {"count", Source::kCount, -1, AggType::kSum, true},
+      {"total", Source::kSum, 0, AggType::kSum, false},
+      {"mean", Source::kAverage, 0, AggType::kAverage, false},
+  };
+}
+
+TEST(GridBuilderTest, AggregatesRecordsIntoCells) {
+  // Two records in cell (0,0), one in (1,1) of a 2x2 grid.
+  std::vector<PointRecord> records = {
+      {0.1, 0.1, {10.0}},
+      {0.2, 0.2, {30.0}},
+      {0.8, 0.9, {5.0}},
+  };
+  auto grid = BuildGridFromPoints(records, 2, 2, UnitExtent(),
+                                  CountSumAvgDefs());
+  ASSERT_TRUE(grid.ok());
+  EXPECT_DOUBLE_EQ(grid->At(0, 0, 0), 2.0);   // count
+  EXPECT_DOUBLE_EQ(grid->At(0, 0, 1), 40.0);  // sum
+  EXPECT_DOUBLE_EQ(grid->At(0, 0, 2), 20.0);  // mean
+  EXPECT_DOUBLE_EQ(grid->At(1, 1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(grid->At(1, 1, 1), 5.0);
+}
+
+TEST(GridBuilderTest, EmptyCellsAreNull) {
+  std::vector<PointRecord> records = {{0.1, 0.1, {1.0}}};
+  auto grid =
+      BuildGridFromPoints(records, 2, 2, UnitExtent(), CountSumAvgDefs());
+  ASSERT_TRUE(grid.ok());
+  EXPECT_FALSE(grid->IsNull(0, 0));
+  EXPECT_TRUE(grid->IsNull(0, 1));
+  EXPECT_TRUE(grid->IsNull(1, 0));
+  EXPECT_TRUE(grid->IsNull(1, 1));
+  EXPECT_EQ(grid->NumValidCells(), 1u);
+}
+
+TEST(GridBuilderTest, RecordsOutsideExtentAreDroppedAndCounted) {
+  std::vector<PointRecord> records = {
+      {0.5, 0.5, {1.0}},
+      {2.0, 0.5, {1.0}},   // lat out of range
+      {0.5, -0.1, {1.0}},  // lon out of range
+  };
+  size_t dropped = 0;
+  auto grid = BuildGridFromPoints(records, 2, 2, UnitExtent(),
+                                  CountSumAvgDefs(), &dropped);
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(dropped, 2u);
+  EXPECT_EQ(grid->NumValidCells(), 1u);
+}
+
+TEST(GridBuilderTest, BoundaryPointsLandInLastCell) {
+  std::vector<PointRecord> records = {{1.0, 1.0, {1.0}}};
+  auto grid =
+      BuildGridFromPoints(records, 3, 3, UnitExtent(), CountSumAvgDefs());
+  ASSERT_TRUE(grid.ok());
+  EXPECT_FALSE(grid->IsNull(2, 2));
+  EXPECT_DOUBLE_EQ(grid->At(2, 2, 0), 1.0);
+}
+
+TEST(GridBuilderTest, IntegerAttributesRounded) {
+  using Source = GridAttributeDef::Source;
+  std::vector<GridAttributeDef> defs = {
+      {"avg_int", Source::kAverage, 0, AggType::kAverage, true}};
+  std::vector<PointRecord> records = {
+      {0.1, 0.1, {3.0}},
+      {0.15, 0.15, {4.0}},
+      {0.12, 0.12, {4.0}},
+  };
+  auto grid = BuildGridFromPoints(records, 1, 1, UnitExtent(), defs);
+  ASSERT_TRUE(grid.ok());
+  // mean = 11/3 = 3.67 -> rounds to 4.
+  EXPECT_DOUBLE_EQ(grid->At(0, 0, 0), 4.0);
+}
+
+TEST(GridBuilderTest, SchemaCarriedIntoGrid) {
+  auto grid = BuildGridFromPoints({{0.5, 0.5, {1.0}}}, 1, 1, UnitExtent(),
+                                  CountSumAvgDefs());
+  ASSERT_TRUE(grid.ok());
+  ASSERT_EQ(grid->num_attributes(), 3u);
+  EXPECT_EQ(grid->attributes()[0].name, "count");
+  EXPECT_EQ(grid->attributes()[0].agg_type, AggType::kSum);
+  EXPECT_TRUE(grid->attributes()[0].is_integer);
+  EXPECT_EQ(grid->attributes()[2].agg_type, AggType::kAverage);
+}
+
+TEST(GridBuilderTest, RejectsZeroDimensions) {
+  EXPECT_FALSE(
+      BuildGridFromPoints({}, 0, 2, UnitExtent(), CountSumAvgDefs()).ok());
+}
+
+TEST(GridBuilderTest, RejectsEmptyDefs) {
+  EXPECT_FALSE(BuildGridFromPoints({}, 2, 2, UnitExtent(), {}).ok());
+}
+
+TEST(GridBuilderTest, RejectsMissingFieldIndex) {
+  using Source = GridAttributeDef::Source;
+  std::vector<GridAttributeDef> defs = {
+      {"bad", Source::kSum, -1, AggType::kSum, false}};
+  EXPECT_FALSE(BuildGridFromPoints({}, 2, 2, UnitExtent(), defs).ok());
+}
+
+TEST(GridBuilderTest, RejectsRecordsWithTooFewFields) {
+  using Source = GridAttributeDef::Source;
+  std::vector<GridAttributeDef> defs = {
+      {"f3", Source::kSum, 3, AggType::kSum, false}};
+  std::vector<PointRecord> records = {{0.5, 0.5, {1.0}}};
+  EXPECT_FALSE(BuildGridFromPoints(records, 1, 1, UnitExtent(), defs).ok());
+}
+
+}  // namespace
+}  // namespace srp

@@ -1,0 +1,89 @@
+#include "grid/grid_dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace srp {
+namespace {
+
+std::vector<AttributeSpec> TwoAttrs() {
+  return {{"count", AggType::kSum, true}, {"price", AggType::kAverage, false}};
+}
+
+TEST(GridDatasetTest, StartsAllNull) {
+  GridDataset g(3, 4, TwoAttrs());
+  EXPECT_EQ(g.rows(), 3u);
+  EXPECT_EQ(g.cols(), 4u);
+  EXPECT_EQ(g.num_cells(), 12u);
+  EXPECT_EQ(g.num_attributes(), 2u);
+  EXPECT_EQ(g.NumValidCells(), 0u);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 4; ++c) EXPECT_TRUE(g.IsNull(r, c));
+  }
+}
+
+TEST(GridDatasetTest, SetMarksValid) {
+  GridDataset g(2, 2, TwoAttrs());
+  g.Set(0, 1, 0, 5.0);
+  EXPECT_FALSE(g.IsNull(0, 1));
+  EXPECT_TRUE(g.IsNull(0, 0));
+  EXPECT_DOUBLE_EQ(g.At(0, 1, 0), 5.0);
+  EXPECT_EQ(g.NumValidCells(), 1u);
+}
+
+TEST(GridDatasetTest, SetFeatureVector) {
+  GridDataset g(2, 2, TwoAttrs());
+  g.SetFeatureVector(1, 0, {3.0, 7.5});
+  EXPECT_DOUBLE_EQ(g.At(1, 0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(g.At(1, 0, 1), 7.5);
+  EXPECT_FALSE(g.IsNull(1, 0));
+}
+
+TEST(GridDatasetTest, CellIndexRowMajor) {
+  GridDataset g(3, 5, TwoAttrs());
+  EXPECT_EQ(g.CellIndex(0, 0), 0u);
+  EXPECT_EQ(g.CellIndex(0, 4), 4u);
+  EXPECT_EQ(g.CellIndex(1, 0), 5u);
+  EXPECT_EQ(g.CellIndex(2, 4), 14u);
+}
+
+TEST(GridDatasetTest, AttributeIndexByName) {
+  GridDataset g(2, 2, TwoAttrs());
+  EXPECT_EQ(g.AttributeIndex("count"), 0);
+  EXPECT_EQ(g.AttributeIndex("price"), 1);
+  EXPECT_EQ(g.AttributeIndex("missing"), -1);
+}
+
+TEST(GridDatasetTest, CentroidsSpanExtent) {
+  GeoExtent e{0.0, 1.0, 10.0, 12.0};
+  GridDataset g(2, 4, TwoAttrs(), e);
+  const Centroid c00 = g.CellCentroid(0, 0);
+  EXPECT_DOUBLE_EQ(c00.lat, 0.25);
+  EXPECT_DOUBLE_EQ(c00.lon, 10.25);
+  const Centroid c13 = g.CellCentroid(1, 3);
+  EXPECT_DOUBLE_EQ(c13.lat, 0.75);
+  EXPECT_DOUBLE_EQ(c13.lon, 11.75);
+}
+
+TEST(GridDatasetTest, ValidateAcceptsGoodGrid) {
+  GridDataset g(2, 2, TwoAttrs());
+  g.Set(0, 0, 0, 1.0);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(GridDatasetTest, ValidateRejectsNoAttributes) {
+  GridDataset g(2, 2, {});
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(GridDatasetTest, ValidateRejectsDegenerateExtent) {
+  GridDataset g(2, 2, TwoAttrs(), GeoExtent{1.0, 1.0, 0.0, 1.0});
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(GridDatasetTest, ValidateRejectsEmptyGrid) {
+  GridDataset g(0, 3, TwoAttrs());
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+}  // namespace
+}  // namespace srp

@@ -1,0 +1,147 @@
+#include "ml/gwr.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/adjacency.h"
+#include "ml/ols.h"
+#include "util/random.h"
+
+namespace srp {
+namespace {
+
+/// World with spatially varying coefficients: y = b(x_loc) * x + c(x_loc),
+/// the regime GWR exists for and global OLS cannot fit.
+MlDataset MakeVaryingCoefficientWorld(size_t side, double noise,
+                                      uint64_t seed) {
+  const size_t n = side * side;
+  Rng rng(seed);
+  MlDataset data;
+  data.features = Matrix(n, 1);
+  data.target.assign(n, 0.0);
+  data.coords.resize(n);
+  data.unit_ids.resize(n);
+  data.neighbors = GridCellAdjacency(side, side);
+  for (size_t i = 0; i < n; ++i) {
+    const double u = static_cast<double>(i / side) / static_cast<double>(side);
+    const double v = static_cast<double>(i % side) / static_cast<double>(side);
+    const double slope = 1.0 + 3.0 * u;      // varies north-south
+    const double intercept = 5.0 * v;        // varies east-west
+    const double x = rng.Normal();
+    data.features(i, 0) = x;
+    data.target[i] = intercept + slope * x + noise * rng.Normal();
+    data.coords[i] = {u, v};
+    data.unit_ids[i] = static_cast<int32_t>(i);
+  }
+  data.feature_names = {"x"};
+  data.target_name = "y";
+  return data;
+}
+
+TEST(GwrTest, BeatsGlobalOlsOnVaryingCoefficients) {
+  const MlDataset data = MakeVaryingCoefficientWorld(16, 0.05, 31);
+
+  GeographicallyWeightedRegression::Options options;
+  options.aicc_sample = 120;
+  GeographicallyWeightedRegression gwr(options);
+  ASSERT_TRUE(gwr.Fit(data).ok());
+  auto gwr_pred = gwr.Predict(data);
+  ASSERT_TRUE(gwr_pred.ok());
+
+  OlsRegression ols;
+  ASSERT_TRUE(ols.Fit(data.features, data.target).ok());
+  const auto ols_pred = ols.Predict(data.features);
+
+  double gwr_sse = 0.0;
+  double ols_sse = 0.0;
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    gwr_sse += std::pow((*gwr_pred)[i] - data.target[i], 2);
+    ols_sse += std::pow(ols_pred[i] - data.target[i], 2);
+  }
+  EXPECT_LT(gwr_sse, 0.5 * ols_sse);
+}
+
+TEST(GwrTest, SelectsReasonableBandwidth) {
+  const MlDataset data = MakeVaryingCoefficientWorld(14, 0.05, 37);
+  GeographicallyWeightedRegression gwr;
+  ASSERT_TRUE(gwr.Fit(data).ok());
+  EXPECT_GE(gwr.bandwidth_neighbors(), 3u);
+  EXPECT_LE(gwr.bandwidth_neighbors(), data.num_rows());
+}
+
+TEST(GwrTest, ReproducesGlobalModelWhenCoefficientsConstant) {
+  // Constant-coefficient world: local fits should match OLS closely.
+  const size_t side = 12;
+  const size_t n = side * side;
+  Rng rng(41);
+  MlDataset data;
+  data.features = Matrix(n, 1);
+  data.target.assign(n, 0.0);
+  data.coords.resize(n);
+  data.unit_ids.resize(n);
+  data.neighbors = GridCellAdjacency(side, side);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    data.features(i, 0) = x;
+    data.target[i] = 2.0 + 3.0 * x;
+    data.coords[i] = {static_cast<double>(i / side),
+                      static_cast<double>(i % side)};
+    data.unit_ids[i] = static_cast<int32_t>(i);
+  }
+  GeographicallyWeightedRegression gwr;
+  ASSERT_TRUE(gwr.Fit(data).ok());
+  auto pred = gwr.Predict(data);
+  ASSERT_TRUE(pred.ok());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR((*pred)[i], data.target[i], 0.05);
+  }
+}
+
+TEST(GwrTest, PredictsAtUnseenLocations) {
+  const MlDataset data = MakeVaryingCoefficientWorld(14, 0.02, 43);
+  GeographicallyWeightedRegression gwr;
+  ASSERT_TRUE(gwr.Fit(data).ok());
+  MlDataset query;
+  query.features = Matrix(1, 1);
+  query.features(0, 0) = 1.0;
+  query.coords = {{0.5, 0.5}};
+  query.target = {0.0};
+  query.unit_ids = {0};
+  query.neighbors = {{}};
+  auto pred = gwr.Predict(query);
+  ASSERT_TRUE(pred.ok());
+  // Local model near (0.5, 0.5): intercept ~2.5, slope ~2.5 -> y ~5.
+  EXPECT_NEAR((*pred)[0], 5.0, 1.0);
+}
+
+TEST(GwrTest, RejectsTooFewRows) {
+  MlDataset tiny;
+  tiny.features = Matrix(3, 2);
+  tiny.target = {1, 2, 3};
+  tiny.coords.resize(3);
+  tiny.unit_ids = {0, 1, 2};
+  tiny.neighbors.resize(3);
+  EXPECT_FALSE(GeographicallyWeightedRegression().Fit(tiny).ok());
+}
+
+TEST(GwrTest, PredictBeforeFitFails) {
+  GeographicallyWeightedRegression gwr;
+  MlDataset data;
+  data.features = Matrix(1, 1);
+  data.target = {0.0};
+  data.coords = {{0, 0}};
+  EXPECT_FALSE(gwr.Predict(data).ok());
+}
+
+TEST(GwrTest, FeatureArityMismatchFails) {
+  const MlDataset data = MakeVaryingCoefficientWorld(10, 0.1, 47);
+  GeographicallyWeightedRegression gwr;
+  ASSERT_TRUE(gwr.Fit(data).ok());
+  MlDataset wrong = data;
+  wrong.features = Matrix(data.num_rows(), 3);
+  EXPECT_FALSE(gwr.Predict(wrong).ok());
+}
+
+}  // namespace
+}  // namespace srp

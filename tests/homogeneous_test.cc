@@ -1,0 +1,119 @@
+#include "core/homogeneous.h"
+
+#include <gtest/gtest.h>
+
+#include "core/information_loss.h"
+#include "data/datasets.h"
+
+namespace srp {
+namespace {
+
+GridDataset Gradient(size_t rows, size_t cols) {
+  GridDataset g(rows, cols, {{"a", AggType::kAverage, false}});
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      g.Set(r, c, 0, 10.0 + static_cast<double>(r * cols + c));
+    }
+  }
+  return g;
+}
+
+TEST(HomogeneousMergeTest, MergeTwoRowsHalvesRowCount) {
+  const GridDataset g = Gradient(4, 4);
+  auto p = HomogeneousMerge(g, 2, 1);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->num_groups(), 8u);  // 2 row-bands x 4 columns
+  EXPECT_TRUE(p->Validate(g).ok());
+  EXPECT_EQ(p->groups[0].height(), 2u);
+  EXPECT_EQ(p->groups[0].width(), 1u);
+}
+
+TEST(HomogeneousMergeTest, MergeBothDimensions) {
+  const GridDataset g = Gradient(4, 6);
+  auto p = HomogeneousMerge(g, 2, 2);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->num_groups(), 6u);
+  for (const CellGroup& cg : p->groups) EXPECT_EQ(cg.NumCells(), 4u);
+}
+
+TEST(HomogeneousMergeTest, RaggedBordersGetSmallerGroups) {
+  const GridDataset g = Gradient(5, 5);
+  auto p = HomogeneousMerge(g, 2, 2);
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->Validate(g).ok());
+  EXPECT_EQ(p->num_groups(), 9u);  // 3x3 blocks, border ones smaller
+  EXPECT_EQ(p->groups.back().NumCells(), 1u);
+}
+
+TEST(HomogeneousMergeTest, MixedNullGroupsUseValidCellsOnly) {
+  GridDataset g(2, 2, {{"a", AggType::kSum, false}});
+  g.Set(0, 0, 0, 10.0);
+  g.Set(0, 1, 0, 20.0);
+  g.Set(1, 0, 0, 30.0);
+  // (1,1) null. Single 2x2 group: sum over 3 valid cells = 60, and the
+  // summation divisor is the valid count (3), not the rectangle size (4).
+  auto p = HomogeneousMerge(g, 2, 2);
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p->features[0][0], 60.0);
+  EXPECT_EQ(p->group_valid_count[0], 3u);
+  EXPECT_DOUBLE_EQ(RepresentativeValue(g, *p, 0, 0, 0), 20.0);
+}
+
+TEST(HomogeneousMergeTest, AllNullGroupIsNull) {
+  GridDataset g(2, 2, {{"a", AggType::kSum, false}});
+  g.Set(0, 0, 0, 1.0);  // only cell (0,0) valid
+  auto p = HomogeneousMerge(g, 1, 2);
+  ASSERT_TRUE(p.ok());
+  // Group of cells (1,0),(1,1) is entirely null.
+  EXPECT_EQ(p->group_null[1], 1);
+}
+
+TEST(HomogeneousMergeTest, RejectsZeroFactor) {
+  const GridDataset g = Gradient(4, 4);
+  EXPECT_FALSE(HomogeneousMerge(g, 0, 2).ok());
+}
+
+TEST(HomogeneousMergeLossTest, LossGrowsWithFactor) {
+  DatasetOptions options;
+  options.rows = 24;
+  options.cols = 24;
+  options.seed = 4;
+  auto grid = GenerateDataset(DatasetKind::kVehiclesUni, options);
+  ASSERT_TRUE(grid.ok());
+  auto loss2 = HomogeneousMergeLoss(*grid, 2, 2);
+  auto loss4 = HomogeneousMergeLoss(*grid, 4, 4);
+  ASSERT_TRUE(loss2.ok());
+  ASSERT_TRUE(loss4.ok());
+  EXPECT_GT(*loss4, *loss2);
+  EXPECT_GT(*loss2, 0.0);
+}
+
+TEST(HomogeneousRepartitionTest, StopsBeforeExceedingThreshold) {
+  DatasetOptions options;
+  options.rows = 20;
+  options.cols = 20;
+  options.seed = 6;
+  auto grid = GenerateDataset(DatasetKind::kTaxiTripUni, options);
+  ASSERT_TRUE(grid.ok());
+  auto result = HomogeneousRepartition(*grid, 0.3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->information_loss, 0.3);
+  EXPECT_TRUE(result->partition.Validate(*grid).ok());
+}
+
+TEST(HomogeneousRepartitionTest, TinyThresholdKeepsTrivialPartition) {
+  const GridDataset g = Gradient(6, 6);
+  auto result = HomogeneousRepartition(g, 1e-6);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->merge_factor, 1u);
+  EXPECT_EQ(result->partition.num_groups(), g.num_cells());
+}
+
+TEST(HomogeneousRepartitionTest, RejectsBadThreshold) {
+  const GridDataset g = Gradient(4, 4);
+  EXPECT_FALSE(HomogeneousRepartition(g, -0.5).ok());
+  EXPECT_FALSE(HomogeneousRepartition(g, 2.0).ok());
+}
+
+}  // namespace
+}  // namespace srp

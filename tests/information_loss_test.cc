@@ -1,0 +1,95 @@
+#include "core/information_loss.h"
+
+#include <gtest/gtest.h>
+
+#include "core/feature_allocator.h"
+
+namespace srp {
+namespace {
+
+Partition WholeGridGroup(const GridDataset& g) {
+  Partition p;
+  p.rows = g.rows();
+  p.cols = g.cols();
+  p.groups.push_back(CellGroup{0, static_cast<uint32_t>(g.rows() - 1), 0,
+                               static_cast<uint32_t>(g.cols() - 1)});
+  p.cell_to_group.assign(g.num_cells(), 0);
+  return p;
+}
+
+TEST(InformationLossTest, TrivialPartitionHasZeroLoss) {
+  GridDataset g(2, 2, {{"a", AggType::kAverage, false}});
+  g.Set(0, 0, 0, 1.0);
+  g.Set(0, 1, 0, 2.0);
+  g.Set(1, 0, 0, 3.0);
+  g.Set(1, 1, 0, 4.0);
+  const Partition p = TrivialPartition(g);
+  EXPECT_DOUBLE_EQ(InformationLoss(g, p), 0.0);
+}
+
+TEST(InformationLossTest, HandComputedAverageCase) {
+  // Cells {10, 20} averaged to 15 (mean wins): per-cell relative errors
+  // |10-15|/10 = 0.5 and |20-15|/20 = 0.25 -> IFL = 0.375.
+  GridDataset g(1, 2, {{"a", AggType::kAverage, false}});
+  g.Set(0, 0, 0, 10.0);
+  g.Set(0, 1, 0, 20.0);
+  Partition p = WholeGridGroup(g);
+  ASSERT_TRUE(AllocateFeatures(g, &p).ok());
+  EXPECT_DOUBLE_EQ(InformationLoss(g, p), 0.375);
+}
+
+TEST(InformationLossTest, SumAggregationDividesByCellCount) {
+  // Cells {10, 30} summed to 40; representative per cell = 20.
+  // Errors: |10-20|/10 = 1.0, |30-20|/30 = 1/3 -> IFL = 2/3.
+  GridDataset g(1, 2, {{"a", AggType::kSum, false}});
+  g.Set(0, 0, 0, 10.0);
+  g.Set(0, 1, 0, 30.0);
+  Partition p = WholeGridGroup(g);
+  ASSERT_TRUE(AllocateFeatures(g, &p).ok());
+  EXPECT_DOUBLE_EQ(RepresentativeValue(g, p, 0, 0, 0), 20.0);
+  EXPECT_NEAR(InformationLoss(g, p), 2.0 / 3.0, 1e-12);
+}
+
+TEST(InformationLossTest, ZeroOriginalValuesAreSkipped) {
+  // Cell values {0, 10}: the zero cell's relative error is undefined and
+  // skipped; only |10-5|/10 = 0.5 counts.
+  GridDataset g(1, 2, {{"a", AggType::kAverage, false}});
+  g.Set(0, 0, 0, 0.0);
+  g.Set(0, 1, 0, 10.0);
+  Partition p = WholeGridGroup(g);
+  ASSERT_TRUE(AllocateFeatures(g, &p).ok());
+  // mean = 5, loss 5; mode = 0, loss 5 -> tie, mean (5) wins.
+  EXPECT_DOUBLE_EQ(InformationLoss(g, p), 0.5);
+}
+
+TEST(InformationLossTest, NullCellsExcluded) {
+  GridDataset g(1, 3, {{"a", AggType::kAverage, false}});
+  g.Set(0, 0, 0, 10.0);
+  g.Set(0, 1, 0, 10.0);
+  // (0,2) null.
+  Partition p;
+  p.rows = 1;
+  p.cols = 3;
+  p.groups.push_back(CellGroup{0, 0, 0, 1});
+  p.groups.push_back(CellGroup{0, 0, 2, 2});
+  p.cell_to_group = {0, 0, 1};
+  ASSERT_TRUE(AllocateFeatures(g, &p).ok());
+  EXPECT_DOUBLE_EQ(InformationLoss(g, p), 0.0);
+}
+
+TEST(InformationLossTest, MultivariateAveragesAcrossAttributes) {
+  // Attribute 0 reconstructs perfectly; attribute 1 has per-cell errors
+  // 0.5 and 0.25 (as in the univariate case). IFL averages over all four
+  // valid (cell, attribute) terms: (0 + 0 + 0.5 + 0.25) / 4.
+  GridDataset g(1, 2,
+                {{"flat", AggType::kAverage, false},
+                 {"varying", AggType::kAverage, false}});
+  g.SetFeatureVector(0, 0, {7.0, 10.0});
+  g.SetFeatureVector(0, 1, {7.0, 20.0});
+  Partition p = WholeGridGroup(g);
+  ASSERT_TRUE(AllocateFeatures(g, &p).ok());
+  EXPECT_DOUBLE_EQ(InformationLoss(g, p), 0.75 / 4.0);
+}
+
+}  // namespace
+}  // namespace srp

@@ -1,0 +1,262 @@
+// End-to-end pipeline tests: generate data -> re-partition -> prepare ->
+// train -> evaluate, mirroring the paper's experimental protocol at test
+// scale.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/sampling.h"
+#include "core/homogeneous.h"
+#include "core/repartitioner.h"
+#include "data/datasets.h"
+#include "linalg/stats.h"
+#include "metrics/clustering_agreement.h"
+#include "metrics/regression_metrics.h"
+#include "ml/dataset.h"
+#include "ml/kriging.h"
+#include "ml/schc.h"
+#include "ml/spatial_lag.h"
+
+namespace srp {
+namespace {
+
+TEST(IntegrationTest, RepartitionThenLagRegressionStaysAccurate) {
+  DatasetOptions data_options;
+  data_options.rows = 28;
+  data_options.cols = 28;
+  data_options.seed = 91;
+  auto grid = GenerateDataset(DatasetKind::kHomeSalesMulti, data_options);
+  ASSERT_TRUE(grid.ok());
+
+  // Original-dataset pipeline.
+  auto full = PrepareFromGrid(*grid, "price");
+  ASSERT_TRUE(full.ok());
+  const auto split = SplitDataset(full->num_rows(), 0.8, 7);
+  const MlDataset train = SubsetRows(*full, split.train);
+  SpatialLagRegression original_model;
+  ASSERT_TRUE(original_model.Fit(train).ok());
+  auto original_pred = original_model.Predict(*full);
+  ASSERT_TRUE(original_pred.ok());
+  std::vector<double> y_test;
+  std::vector<double> yhat_original;
+  for (size_t idx : split.test) {
+    y_test.push_back(full->target[idx]);
+    yhat_original.push_back((*original_pred)[idx]);
+  }
+  const double mae_original = MeanAbsoluteError(y_test, yhat_original);
+
+  // Re-partitioned pipeline: train on cell-groups, evaluate on the SAME
+  // original test cells via the reduced model's predictions reconstructed
+  // through the groups.
+  RepartitionOptions ropt;
+  ropt.ifl_threshold = 0.05;
+  ropt.min_variation_step = 2e-3;
+  auto result = Repartitioner(ropt).Run(*grid);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->partition.num_groups(), grid->num_cells());
+
+  auto reduced = PrepareFromPartition(*grid, result->partition, "price");
+  ASSERT_TRUE(reduced.ok());
+  const auto reduced_split = SplitDataset(reduced->num_rows(), 0.8, 7);
+  const MlDataset reduced_train = SubsetRows(*reduced, reduced_split.train);
+  SpatialLagRegression reduced_model;
+  ASSERT_TRUE(reduced_model.Fit(reduced_train).ok());
+  auto reduced_pred = reduced_model.Predict(*reduced);
+  ASSERT_TRUE(reduced_pred.ok());
+
+  // Map group predictions back to cells (Section III-C) and score on the
+  // original test cells.
+  std::vector<double> group_pred(result->partition.num_groups(), 0.0);
+  for (size_t i = 0; i < reduced->num_rows(); ++i) {
+    group_pred[static_cast<size_t>(reduced->unit_ids[i])] = (*reduced_pred)[i];
+  }
+  std::vector<double> yhat_reduced;
+  for (size_t idx : split.test) {
+    const auto cell = static_cast<size_t>(full->unit_ids[idx]);
+    const int32_t group = result->partition.cell_to_group[cell];
+    yhat_reduced.push_back(group_pred[static_cast<size_t>(group)]);
+  }
+  const double mae_reduced = MeanAbsoluteError(y_test, yhat_reduced);
+
+  // The paper's headline property: the re-partitioned model's error stays
+  // close to the original's (Table II shows a few percent; give slack for
+  // the tiny test grid).
+  EXPECT_LT(mae_reduced, mae_original * 1.35)
+      << "original MAE " << mae_original << " vs reduced " << mae_reduced;
+}
+
+TEST(IntegrationTest, RepartitioningBeatsHomogeneousMergeOnLoss) {
+  DatasetOptions data_options;
+  data_options.rows = 24;
+  data_options.cols = 24;
+  data_options.seed = 97;
+  auto grid = GenerateDataset(DatasetKind::kVehiclesUni, data_options);
+  ASSERT_TRUE(grid.ok());
+
+  RepartitionOptions ropt;
+  ropt.ifl_threshold = 0.15;
+  ropt.min_variation_step = 2e-3;
+  auto smart = Repartitioner(ropt).Run(*grid);
+  ASSERT_TRUE(smart.ok());
+
+  auto homogeneous_loss = HomogeneousMergeLoss(*grid, 2, 2);
+  ASSERT_TRUE(homogeneous_loss.ok());
+
+  // Table V's story: homogeneous merging incurs far higher IFL than the
+  // ML-aware framework operating under its threshold.
+  EXPECT_LE(smart->information_loss, 0.15);
+  EXPECT_GT(*homogeneous_loss, smart->information_loss);
+}
+
+TEST(IntegrationTest, KrigingOnRepartitionedUnivariateGrid) {
+  DatasetOptions data_options;
+  data_options.rows = 24;
+  data_options.cols = 24;
+  data_options.seed = 101;
+  auto grid = GenerateDataset(DatasetKind::kTaxiTripUni, data_options);
+  ASSERT_TRUE(grid.ok());
+
+  RepartitionOptions ropt;
+  ropt.ifl_threshold = 0.1;
+  ropt.min_variation_step = 2e-3;
+  auto result = Repartitioner(ropt).Run(*grid);
+  ASSERT_TRUE(result.ok());
+  auto reduced = PrepareFromPartition(*grid, result->partition, "");
+  ASSERT_TRUE(reduced.ok());
+
+  const auto split = SplitDataset(reduced->num_rows(), 0.8, 5);
+  std::vector<Centroid> train_coords;
+  std::vector<double> train_values;
+  for (size_t idx : split.train) {
+    train_coords.push_back(reduced->coords[idx]);
+    train_values.push_back(reduced->target[idx]);
+  }
+  OrdinaryKriging::Options kopt;
+  kopt.search_radius = 0.02;
+  kopt.max_range = 0.4;
+  OrdinaryKriging kriging(kopt);
+  ASSERT_TRUE(kriging.Fit(train_coords, train_values).ok());
+
+  std::vector<Centroid> test_coords;
+  std::vector<double> test_values;
+  for (size_t idx : split.test) {
+    test_coords.push_back(reduced->coords[idx]);
+    test_values.push_back(reduced->target[idx]);
+  }
+  auto pred = kriging.Predict(test_coords);
+  ASSERT_TRUE(pred.ok());
+  // Kriged estimates must beat the global-mean predictor.
+  const double mean = Mean(train_values);
+  const std::vector<double> mean_pred(test_values.size(), mean);
+  EXPECT_LT(RootMeanSquareError(test_values, *pred),
+            RootMeanSquareError(test_values, mean_pred));
+}
+
+TEST(IntegrationTest, ClusteringCorrectnessAgainstSampling) {
+  // Table IV protocol at test scale: SCHC on the original grid vs on the
+  // re-partitioned grid (labels propagated back to cells) vs on a sampled
+  // grid; re-partitioning should agree with the original clustering at
+  // least as well as sampling does.
+  DatasetOptions data_options;
+  data_options.rows = 20;
+  data_options.cols = 20;
+  data_options.seed = 103;
+  auto grid = GenerateDataset(DatasetKind::kEarningsUni, data_options);
+  ASSERT_TRUE(grid.ok());
+
+  auto cells = PrepareFromGrid(*grid, "");
+  ASSERT_TRUE(cells.ok());
+  Matrix cell_features = Matrix::ColumnVector(cells->target);
+
+  SpatialHierarchicalClustering::Options copt;
+  copt.num_clusters = 8;
+  SpatialHierarchicalClustering original(copt);
+  ASSERT_TRUE(original.Fit(cell_features, cells->neighbors).ok());
+
+  // Re-partitioned clustering propagated to cells.
+  RepartitionOptions ropt;
+  ropt.ifl_threshold = 0.1;
+  ropt.min_variation_step = 2e-3;
+  auto result = Repartitioner(ropt).Run(*grid);
+  ASSERT_TRUE(result.ok());
+  auto reduced = PrepareFromPartition(*grid, result->partition, "");
+  ASSERT_TRUE(reduced.ok());
+  SpatialHierarchicalClustering on_reduced(copt);
+  // Weight each cell-group by the number of cells it represents so the Ward
+  // merges mirror clustering the underlying cells.
+  std::vector<double> group_weights(reduced->num_rows());
+  for (size_t i = 0; i < reduced->num_rows(); ++i) {
+    group_weights[i] = static_cast<double>(
+        result->partition.groups[static_cast<size_t>(reduced->unit_ids[i])]
+            .NumCells());
+  }
+  ASSERT_TRUE(on_reduced.Fit(Matrix::ColumnVector(reduced->target),
+                             reduced->neighbors, group_weights)
+                  .ok());
+  // Propagate group labels to cells.
+  std::vector<int> group_label(result->partition.num_groups(), 0);
+  for (size_t i = 0; i < reduced->num_rows(); ++i) {
+    group_label[static_cast<size_t>(reduced->unit_ids[i])] =
+        on_reduced.labels()[i];
+  }
+  std::vector<int> original_labels;
+  std::vector<int> reduced_labels;
+  for (size_t i = 0; i < cells->num_rows(); ++i) {
+    const auto cell = static_cast<size_t>(cells->unit_ids[i]);
+    const int32_t group = result->partition.cell_to_group[cell];
+    original_labels.push_back(original.labels()[i]);
+    reduced_labels.push_back(group_label[static_cast<size_t>(group)]);
+  }
+  const double repart_agreement =
+      ClusteringCorrectnessPercent(original_labels, reduced_labels);
+
+  // Sampling comparison at the same unit count.
+  SpatialSamplingOptions sopt;
+  sopt.target_samples = reduced->num_rows();
+  auto sampled = SpatialSampling(*grid, sopt);
+  ASSERT_TRUE(sampled.ok());
+  auto sampled_ml = ReducedToMlDataset(*grid, *sampled, "");
+  ASSERT_TRUE(sampled_ml.ok());
+  SpatialHierarchicalClustering on_sampled(copt);
+  ASSERT_TRUE(on_sampled.Fit(Matrix::ColumnVector(sampled_ml->target),
+                             sampled_ml->neighbors)
+                  .ok());
+  std::vector<int> sampled_labels;
+  for (size_t i = 0; i < cells->num_rows(); ++i) {
+    const auto cell = static_cast<size_t>(cells->unit_ids[i]);
+    const int32_t unit = sampled->cell_to_unit[cell];
+    sampled_labels.push_back(on_sampled.labels()[static_cast<size_t>(unit)]);
+  }
+  const double sampling_agreement =
+      ClusteringCorrectnessPercent(original_labels, sampled_labels);
+
+  EXPECT_GT(repart_agreement, 50.0);
+  EXPECT_GE(repart_agreement, sampling_agreement - 5.0)
+      << "re-partitioning " << repart_agreement << "% vs sampling "
+      << sampling_agreement << "%";
+}
+
+TEST(IntegrationTest, FullPipelineDeterminism) {
+  DatasetOptions data_options;
+  data_options.rows = 16;
+  data_options.cols = 16;
+  data_options.seed = 107;
+  auto grid = GenerateDataset(DatasetKind::kTaxiTripMulti, data_options);
+  ASSERT_TRUE(grid.ok());
+  RepartitionOptions ropt;
+  ropt.ifl_threshold = 0.1;
+  auto a = Repartitioner(ropt).Run(*grid);
+  auto b = Repartitioner(ropt).Run(*grid);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto da = PrepareFromPartition(*grid, a->partition, "total_fare");
+  auto db = PrepareFromPartition(*grid, b->partition, "total_fare");
+  ASSERT_TRUE(da.ok());
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(da->target, db->target);
+  EXPECT_EQ(da->features.data(), db->features.data());
+}
+
+}  // namespace
+}  // namespace srp

@@ -1,0 +1,153 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ml/kdtree.h"
+#include "ml/knn.h"
+#include "util/random.h"
+
+namespace srp {
+namespace {
+
+Matrix RandomPoints(size_t n, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  Matrix points(n, dims);
+  for (size_t i = 0; i < points.size(); ++i) {
+    points.mutable_data()[i] = rng.Uniform(-5, 5);
+  }
+  return points;
+}
+
+TEST(KdTreeTest, SingleNearestNeighborExactMatch) {
+  Matrix points{{0, 0}, {1, 1}, {5, 5}};
+  KdTree tree(points, 2);
+  const auto nn = tree.NearestNeighbors({0.9, 1.1}, 1);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0], 1u);
+}
+
+TEST(KdTreeTest, ReturnsFewerWhenTreeSmall) {
+  Matrix points{{0, 0}, {1, 1}};
+  KdTree tree(points);
+  EXPECT_EQ(tree.NearestNeighbors({0, 0}, 10).size(), 2u);
+  EXPECT_TRUE(tree.NearestNeighbors({0, 0}, 0).empty());
+}
+
+TEST(KdTreeTest, NearestFirstOrdering) {
+  Matrix points{{0, 0}, {2, 0}, {4, 0}, {6, 0}};
+  KdTree tree(points, 1);
+  const auto nn = tree.NearestNeighbors({0.1, 0.0}, 3);
+  ASSERT_EQ(nn.size(), 3u);
+  EXPECT_EQ(nn[0], 0u);
+  EXPECT_EQ(nn[1], 1u);
+  EXPECT_EQ(nn[2], 2u);
+}
+
+/// Property sweep: the tree must agree with brute force for random point
+/// sets across sizes, dimensions, leaf sizes and k.
+class KdTreeProperty
+    : public testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(KdTreeProperty, MatchesBruteForce) {
+  const auto [n, dims, leaf, k] = GetParam();
+  const Matrix points = RandomPoints(static_cast<size_t>(n),
+                                     static_cast<size_t>(dims),
+                                     static_cast<uint64_t>(n * 131 + dims));
+  KdTree tree(points, static_cast<size_t>(leaf));
+  Rng rng(99);
+  for (int q = 0; q < 20; ++q) {
+    std::vector<double> query(static_cast<size_t>(dims));
+    for (auto& v : query) v = rng.Uniform(-6, 6);
+    const auto fast = tree.NearestNeighbors(query, static_cast<size_t>(k));
+    const auto slow =
+        tree.NearestNeighborsBruteForce(query, static_cast<size_t>(k));
+    ASSERT_EQ(fast.size(), slow.size());
+    // Compare by distance (ties may reorder indices).
+    for (size_t i = 0; i < fast.size(); ++i) {
+      double df = 0.0;
+      double ds = 0.0;
+      for (size_t c = 0; c < static_cast<size_t>(dims); ++c) {
+        df += std::pow(points(fast[i], c) - query[c], 2);
+        ds += std::pow(points(slow[i], c) - query[c], 2);
+      }
+      EXPECT_NEAR(df, ds, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, KdTreeProperty,
+    testing::Values(std::make_tuple(10, 2, 1, 3),
+                    std::make_tuple(100, 2, 18, 7),
+                    std::make_tuple(100, 3, 4, 1),
+                    std::make_tuple(500, 2, 18, 10),
+                    std::make_tuple(200, 5, 18, 7),
+                    std::make_tuple(50, 1, 2, 5)));
+
+TEST(KnnClassifierTest, ClassifiesWellSeparatedClusters) {
+  Rng rng(101);
+  const size_t n = 200;
+  Matrix x(n, 2);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(i % 2);
+    const double cx = cls == 0 ? -3.0 : 3.0;
+    x(i, 0) = cx + rng.Normal() * 0.3;
+    x(i, 1) = cx + rng.Normal() * 0.3;
+    labels[i] = cls;
+  }
+  KnnClassifier knn;
+  ASSERT_TRUE(knn.Fit(x, labels, 2).ok());
+  const auto pred = knn.Predict(x);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(pred[i], labels[i]);
+}
+
+TEST(KnnClassifierTest, StandardizationMakesScalesComparable) {
+  // Feature 1 has a huge scale but carries no signal; without
+  // standardization it would dominate the distance.
+  Rng rng(103);
+  const size_t n = 300;
+  Matrix x(n, 2);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(i % 2);
+    x(i, 0) = (cls == 0 ? -1.0 : 1.0) + rng.Normal() * 0.2;
+    x(i, 1) = rng.Normal() * 1e6;  // pure noise at huge scale
+    labels[i] = cls;
+  }
+  KnnClassifier knn;
+  ASSERT_TRUE(knn.Fit(x, labels, 2).ok());
+  const auto pred = knn.Predict(x);
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) hits += (pred[i] == labels[i]);
+  EXPECT_GT(static_cast<double>(hits) / n, 0.9);
+}
+
+TEST(KnnClassifierTest, RejectsBadInput) {
+  KnnClassifier knn;
+  EXPECT_FALSE(knn.Fit(Matrix(0, 2), {}, 2).ok());
+  EXPECT_FALSE(knn.Fit(Matrix(2, 2), {0, 3}, 2).ok());
+  EXPECT_FALSE(knn.Fit(Matrix(2, 2), {0, 0}, 1).ok());
+}
+
+TEST(KnnClassifierTest, MultiClass) {
+  Rng rng(107);
+  const size_t n = 300;
+  Matrix x(n, 2);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(i % 3);
+    x(i, 0) = 4.0 * cls + rng.Normal() * 0.4;
+    x(i, 1) = rng.Normal() * 0.4;
+    labels[i] = cls;
+  }
+  KnnClassifier knn;
+  ASSERT_TRUE(knn.Fit(x, labels, 3).ok());
+  const auto pred = knn.Predict(x);
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) hits += (pred[i] == labels[i]);
+  EXPECT_GT(static_cast<double>(hits) / n, 0.97);
+}
+
+}  // namespace
+}  // namespace srp

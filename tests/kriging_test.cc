@@ -1,0 +1,144 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ml/kriging.h"
+#include "ml/variogram.h"
+#include "util/random.h"
+
+namespace srp {
+namespace {
+
+/// A smooth deterministic surface sampled at random locations.
+void MakeSurface(size_t n, uint64_t seed, std::vector<Centroid>* coords,
+                 std::vector<double>* values) {
+  Rng rng(seed);
+  coords->resize(n);
+  values->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double lat = rng.Uniform(0, 1);
+    const double lon = rng.Uniform(0, 1);
+    (*coords)[i] = {lat, lon};
+    (*values)[i] = std::sin(3.0 * lat) + std::cos(2.0 * lon);
+  }
+}
+
+TEST(VariogramTest, SemivarianceIncreasesWithDistanceOnSmoothSurface) {
+  std::vector<Centroid> coords;
+  std::vector<double> values;
+  MakeSurface(400, 111, &coords, &values);
+  auto vario = ComputeVariogram(coords, values, 0.05, 0.5);
+  ASSERT_TRUE(vario.ok());
+  ASSERT_GE(vario->lag_centers.size(), 3u);
+  // First bin must have lower semivariance than the last.
+  EXPECT_LT(vario->semivariance.front(), vario->semivariance.back());
+}
+
+TEST(VariogramTest, RejectsBadArguments) {
+  std::vector<Centroid> coords(5);
+  std::vector<double> values(5);
+  EXPECT_FALSE(ComputeVariogram(coords, values, 0.0, 0.5).ok());
+  EXPECT_FALSE(ComputeVariogram(coords, values, 0.5, 0.1).ok());
+  EXPECT_FALSE(ComputeVariogram({{0, 0}}, {1.0}, 0.05, 0.5).ok());
+}
+
+TEST(SphericalModelTest, ShapeProperties) {
+  SphericalModel m{0.1, 0.9, 0.5};
+  EXPECT_DOUBLE_EQ(m(0.0), 0.0);                 // exact at zero lag
+  EXPECT_DOUBLE_EQ(m(0.5), 1.0);                 // sill at range
+  EXPECT_DOUBLE_EQ(m(2.0), 1.0);                 // flat beyond range
+  EXPECT_GT(m(0.25), 0.1);                       // above nugget inside
+  EXPECT_LT(m(0.25), 1.0);
+  // Covariance is sill - gamma.
+  EXPECT_DOUBLE_EQ(m.Covariance(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.Covariance(2.0), 0.0);
+}
+
+TEST(SphericalModelTest, FitRecoversStructure) {
+  // Build an empirical variogram directly from a known model and refit.
+  SphericalModel truth{0.05, 1.0, 0.3};
+  EmpiricalVariogram empirical;
+  for (int i = 1; i <= 10; ++i) {
+    const double h = 0.04 * i;
+    empirical.lag_centers.push_back(h);
+    empirical.semivariance.push_back(truth(h));
+    empirical.pair_counts.push_back(100);
+  }
+  auto fitted = FitSphericalModel(empirical);
+  ASSERT_TRUE(fitted.ok());
+  for (int i = 1; i <= 10; ++i) {
+    const double h = 0.04 * i;
+    EXPECT_NEAR((*fitted)(h), truth(h), 0.05) << "h=" << h;
+  }
+}
+
+TEST(OrdinaryKrigingTest, NearExactAtObservedLocations) {
+  std::vector<Centroid> coords;
+  std::vector<double> values;
+  MakeSurface(300, 113, &coords, &values);
+  OrdinaryKriging kriging;
+  ASSERT_TRUE(kriging.Fit(coords, values).ok());
+  auto pred = kriging.Predict(coords);
+  ASSERT_TRUE(pred.ok());
+  double max_err = 0.0;
+  for (size_t i = 0; i < coords.size(); ++i) {
+    max_err = std::max(max_err, std::fabs((*pred)[i] - values[i]));
+  }
+  // Kriging with a tiny fitted nugget is a near-exact interpolator.
+  EXPECT_LT(max_err, 0.15);
+}
+
+TEST(OrdinaryKrigingTest, InterpolatesSmoothSurface) {
+  std::vector<Centroid> coords;
+  std::vector<double> values;
+  MakeSurface(500, 117, &coords, &values);
+  OrdinaryKriging kriging;
+  ASSERT_TRUE(kriging.Fit(coords, values).ok());
+  // Predict at fresh locations and compare with the true surface.
+  std::vector<Centroid> query;
+  std::vector<double> truth;
+  Rng rng(119);
+  for (int i = 0; i < 100; ++i) {
+    const double lat = rng.Uniform(0.1, 0.9);
+    const double lon = rng.Uniform(0.1, 0.9);
+    query.push_back({lat, lon});
+    truth.push_back(std::sin(3.0 * lat) + std::cos(2.0 * lon));
+  }
+  auto pred = kriging.Predict(query);
+  ASSERT_TRUE(pred.ok());
+  double mae = 0.0;
+  for (size_t i = 0; i < query.size(); ++i) {
+    mae += std::fabs((*pred)[i] - truth[i]);
+  }
+  mae /= static_cast<double>(query.size());
+  EXPECT_LT(mae, 0.08);
+}
+
+TEST(OrdinaryKrigingTest, ConstantFieldPredictsConstant) {
+  std::vector<Centroid> coords;
+  std::vector<double> values;
+  MakeSurface(100, 121, &coords, &values);
+  std::fill(values.begin(), values.end(), 7.0);
+  OrdinaryKriging kriging;
+  // A constant field has a degenerate variogram; Fit may fail or succeed
+  // with a flat model. When it succeeds, predictions must be ~7 thanks to
+  // the unbiasedness constraint.
+  if (kriging.Fit(coords, values).ok()) {
+    auto pred = kriging.Predict({{0.5, 0.5}});
+    ASSERT_TRUE(pred.ok());
+    EXPECT_NEAR((*pred)[0], 7.0, 1e-6);
+  }
+}
+
+TEST(OrdinaryKrigingTest, RejectsTooFewPoints) {
+  OrdinaryKriging kriging;
+  EXPECT_FALSE(kriging.Fit({{0, 0}, {1, 1}}, {1.0, 2.0}).ok());
+}
+
+TEST(OrdinaryKrigingTest, PredictBeforeFitFails) {
+  OrdinaryKriging kriging;
+  EXPECT_FALSE(kriging.Predict({{0, 0}}).ok());
+}
+
+}  // namespace
+}  // namespace srp

@@ -1,0 +1,151 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace srp {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(MatrixTest, Identity) {
+  const Matrix id = Matrix::Identity(3);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, RowColumnExtractionAndSet) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.Row(1), (std::vector<double>{4, 5, 6}));
+  EXPECT_EQ(m.Column(2), (std::vector<double>{3, 6}));
+  m.SetColumn(0, {9, 10});
+  EXPECT_DOUBLE_EQ(m(0, 0), 9.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 10.0);
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 3.0);
+  const Matrix tt = t.Transpose();
+  EXPECT_TRUE(tt.SameShape(m));
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) EXPECT_DOUBLE_EQ(tt(r, c), m(r, c));
+  }
+}
+
+TEST(MatrixTest, MultiplyKnownValues) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MultiplyByIdentity) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  const Matrix out = a.Multiply(Matrix::Identity(3));
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) EXPECT_DOUBLE_EQ(out(r, c), a(r, c));
+  }
+}
+
+TEST(MatrixTest, MultiplyVector) {
+  Matrix a{{1, 2}, {3, 4}};
+  const auto v = a.MultiplyVector({1, 1});
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_DOUBLE_EQ(v[1], 7.0);
+}
+
+TEST(MatrixTest, AddSubtractScale) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{4, 3}, {2, 1}};
+  const Matrix sum = a + b;
+  const Matrix diff = a - b;
+  const Matrix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(diff(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+}
+
+TEST(MatrixTest, HStack) {
+  Matrix a{{1}, {2}};
+  Matrix b{{3, 4}, {5, 6}};
+  const Matrix h = a.HStack(b);
+  EXPECT_EQ(h.cols(), 3u);
+  EXPECT_DOUBLE_EQ(h(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(h(1, 2), 6.0);
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  Matrix a{{3, 0}, {0, 4}};
+  EXPECT_DOUBLE_EQ(a.FrobeniusNorm(), 5.0);
+}
+
+TEST(MatrixTest, ColumnVector) {
+  const Matrix v = Matrix::ColumnVector({1, 2, 3});
+  EXPECT_EQ(v.rows(), 3u);
+  EXPECT_EQ(v.cols(), 1u);
+  EXPECT_DOUBLE_EQ(v(2, 0), 3.0);
+}
+
+TEST(MatrixTest, DotAndNorm) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(Norm2({3, 4}), 5.0);
+}
+
+/// TransposeMultiply must agree with the explicit Transpose().Multiply()
+/// across shapes (property sweep).
+class TransposeMultiplyProperty
+    : public testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(TransposeMultiplyProperty, MatchesExplicitTranspose) {
+  const auto [n, p, q] = GetParam();
+  Rng rng(n * 1000 + p * 100 + q);
+  Matrix a(n, p);
+  Matrix b(n, q);
+  for (size_t i = 0; i < a.size(); ++i) a.mutable_data()[i] = rng.Normal();
+  for (size_t i = 0; i < b.size(); ++i) b.mutable_data()[i] = rng.Normal();
+  const Matrix fast = a.TransposeMultiply(b);
+  const Matrix slow = a.Transpose().Multiply(b);
+  ASSERT_TRUE(fast.SameShape(slow));
+  for (size_t r = 0; r < fast.rows(); ++r) {
+    for (size_t c = 0; c < fast.cols(); ++c) {
+      EXPECT_NEAR(fast(r, c), slow(r, c), 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TransposeMultiplyProperty,
+                         testing::Values(std::make_tuple(1, 1, 1),
+                                         std::make_tuple(5, 3, 2),
+                                         std::make_tuple(10, 10, 10),
+                                         std::make_tuple(17, 4, 9),
+                                         std::make_tuple(32, 7, 1)));
+
+}  // namespace
+}  // namespace srp

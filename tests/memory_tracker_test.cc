@@ -1,0 +1,67 @@
+#include "util/memory_tracker.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace srp {
+namespace {
+
+TEST(MemoryTrackerTest, HooksAreLinkedIn) {
+  EXPECT_TRUE(MemoryTracker::Hooked());
+}
+
+TEST(MemoryTrackerTest, AllocationMovesCurrentBytes) {
+  const int64_t before = MemoryTracker::CurrentBytes();
+  auto block = std::make_unique<char[]>(1 << 20);
+  block[0] = 1;  // touch to keep it alive
+  const int64_t during = MemoryTracker::CurrentBytes();
+  EXPECT_GE(during - before, 1 << 20);
+  block.reset();
+  const int64_t after = MemoryTracker::CurrentBytes();
+  EXPECT_LT(after - before, 1 << 20);
+}
+
+TEST(MemoryTrackerTest, ScopedPeakCapturesTransientAllocation) {
+  ScopedMemoryPeak peak;
+  {
+    std::vector<char> transient(4 << 20);
+    transient[0] = 1;
+  }
+  // The vector is gone but the peak remembers it.
+  EXPECT_GE(peak.PeakDeltaBytes(), 4 << 20);
+}
+
+TEST(MemoryTrackerTest, PeakIsMonotoneWithinScope) {
+  ScopedMemoryPeak peak;
+  std::vector<char> a(1 << 20);
+  a[0] = 1;
+  const int64_t p1 = peak.PeakDeltaBytes();
+  std::vector<char> b(2 << 20);
+  b[0] = 1;
+  const int64_t p2 = peak.PeakDeltaBytes();
+  EXPECT_GE(p2, p1);
+  EXPECT_GE(p2, 3 << 20);
+}
+
+TEST(MemoryTrackerTest, ResetPeakDropsToCurrent) {
+  {
+    std::vector<char> transient(8 << 20);
+    transient[0] = 1;
+  }
+  MemoryTracker::ResetPeak();
+  EXPECT_LE(MemoryTracker::PeakBytes(), MemoryTracker::CurrentBytes() + 1024);
+}
+
+TEST(MemoryTrackerTest, NewDeleteArrayForms) {
+  const int64_t before = MemoryTracker::CurrentBytes();
+  char* arr = new char[123456];
+  arr[0] = 1;
+  EXPECT_GE(MemoryTracker::CurrentBytes() - before, 123456);
+  delete[] arr;
+  EXPECT_LT(MemoryTracker::CurrentBytes() - before, 123456);
+}
+
+}  // namespace
+}  // namespace srp

@@ -1,0 +1,125 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "metrics/classification_metrics.h"
+#include "metrics/regression_metrics.h"
+
+namespace srp {
+namespace {
+
+TEST(RegressionMetricsTest, MaeKnownValue) {
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({1, 2, 3}, {2, 2, 5}), (1 + 0 + 2) / 3.0);
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({1, 2}, {1, 2}), 0.0);
+}
+
+TEST(RegressionMetricsTest, RmseKnownValue) {
+  EXPECT_DOUBLE_EQ(RootMeanSquareError({0, 0}, {3, 4}),
+                   std::sqrt((9.0 + 16.0) / 2.0));
+  EXPECT_DOUBLE_EQ(RootMeanSquareError({5}, {5}), 0.0);
+}
+
+TEST(RegressionMetricsTest, RmseAtLeastMae) {
+  const std::vector<double> y{1, 5, 9, 2};
+  const std::vector<double> yhat{2, 4, 7, 5};
+  EXPECT_GE(RootMeanSquareError(y, yhat), MeanAbsoluteError(y, yhat));
+}
+
+TEST(RegressionMetricsTest, MapeSkipsZeros) {
+  // Terms: skip y=0; |10-5|/10 = 0.5 -> mean over 1 term.
+  EXPECT_DOUBLE_EQ(MeanAbsolutePercentageError({0, 10}, {3, 5}), 0.5);
+  EXPECT_DOUBLE_EQ(MeanAbsolutePercentageError({0, 0}, {1, 2}), 0.0);
+}
+
+TEST(RegressionMetricsTest, PseudoRSquaredPerfectAndMean) {
+  const std::vector<double> y{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(PseudoRSquared(y, y), 1.0);
+  // Predicting the mean gives exactly 0.
+  EXPECT_NEAR(PseudoRSquared(y, {2.5, 2.5, 2.5, 2.5}), 0.0, 1e-12);
+}
+
+TEST(RegressionMetricsTest, PseudoRSquaredWorseThanMeanIsNegative) {
+  EXPECT_LT(PseudoRSquared({1, 2, 3}, {10, -10, 10}), 0.0);
+}
+
+TEST(RegressionMetricsTest, PseudoRSquaredConstantObservations) {
+  EXPECT_DOUBLE_EQ(PseudoRSquared({5, 5, 5}, {4, 5, 6}), 0.0);
+}
+
+TEST(RegressionMetricsTest, StandardErrorOfRegressionKnown) {
+  // residuals (1, -1, 1, -1), SS_res = 4, n - p = 4 - 2 = 2 -> sqrt(2).
+  EXPECT_DOUBLE_EQ(
+      StandardErrorOfRegression({2, 2, 2, 2}, {1, 3, 1, 3}, 2),
+      std::sqrt(2.0));
+}
+
+TEST(RegressionMetricsTest, StandardErrorClampsDof) {
+  // n <= p: dof clamps to 1 instead of dividing by zero.
+  const double se = StandardErrorOfRegression({1, 2}, {0, 0}, 5);
+  EXPECT_TRUE(std::isfinite(se));
+  EXPECT_DOUBLE_EQ(se, std::sqrt(5.0));
+}
+
+TEST(ClassificationMetricsTest, AccuracyKnown) {
+  EXPECT_DOUBLE_EQ(Accuracy({0, 1, 2, 1}, {0, 1, 1, 1}), 0.75);
+}
+
+TEST(ClassificationMetricsTest, PerClassF1Known) {
+  // y:    0 0 1 1
+  // yhat: 0 1 1 1
+  // class 0: tp=1 fp=0 fn=1 -> F1 = 2/3. class 1: tp=2 fp=1 fn=0 -> 4/5.
+  const auto f1 = PerClassF1({0, 0, 1, 1}, {0, 1, 1, 1}, 2);
+  EXPECT_NEAR(f1[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(f1[1], 0.8, 1e-12);
+}
+
+TEST(ClassificationMetricsTest, WeightedF1WeighsBySupport) {
+  // Same as above: supports are 2 and 2 -> weighted = (2/3 + 4/5) / 2.
+  EXPECT_NEAR(WeightedF1Score({0, 0, 1, 1}, {0, 1, 1, 1}, 2),
+              (2.0 / 3.0 + 0.8) / 2.0, 1e-12);
+}
+
+TEST(ClassificationMetricsTest, WeightedF1PerfectPrediction) {
+  EXPECT_DOUBLE_EQ(WeightedF1Score({0, 1, 2, 3, 4}, {0, 1, 2, 3, 4}, 5), 1.0);
+}
+
+TEST(ClassificationMetricsTest, AbsentClassGetsZeroF1) {
+  const auto f1 = PerClassF1({0, 0}, {0, 0}, 3);
+  EXPECT_DOUBLE_EQ(f1[1], 0.0);
+  EXPECT_DOUBLE_EQ(f1[2], 0.0);
+}
+
+TEST(BinningTest, QuantileEdgesAscending) {
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(static_cast<double>(i));
+  const auto edges = QuantileBinEdges(values, 5);
+  ASSERT_EQ(edges.size(), 4u);
+  for (size_t i = 1; i < edges.size(); ++i) EXPECT_GT(edges[i], edges[i - 1]);
+}
+
+TEST(BinningTest, FiveBinsRoughlyBalanced) {
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(static_cast<double>(i % 97));
+  const auto classes = BinIntoClasses(values, 5);
+  std::vector<int> counts(5, 0);
+  for (int c : classes) {
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, 5);
+    ++counts[c];
+  }
+  for (int c = 0; c < 5; ++c) {
+    EXPECT_GT(counts[c], 100) << "bin " << c;
+    EXPECT_LT(counts[c], 320) << "bin " << c;
+  }
+}
+
+TEST(BinningTest, EdgesReusableOnNewData) {
+  const std::vector<double> train{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const auto edges = QuantileBinEdges(train, 2);  // single median edge
+  const auto classes = BinWithEdges({-5.0, 100.0}, edges);
+  EXPECT_EQ(classes[0], 0);
+  EXPECT_EQ(classes[1], 1);
+}
+
+}  // namespace
+}  // namespace srp

@@ -1,0 +1,87 @@
+#include "grid/normalize.h"
+
+#include <gtest/gtest.h>
+
+namespace srp {
+namespace {
+
+TEST(NormalizeTest, MatchesPaperBackgroundExample) {
+  // Paper: instances (10, 15), (20, 20), (30, 10) normalize to
+  // (0.33, 0.75), (0.67, 1.0), (1.0, 0.5) — i.e. divide by attribute max.
+  GridDataset g(1, 3,
+                {{"a", AggType::kAverage, false},
+                 {"b", AggType::kAverage, false}});
+  g.SetFeatureVector(0, 0, {10, 15});
+  g.SetFeatureVector(0, 1, {20, 20});
+  g.SetFeatureVector(0, 2, {30, 10});
+  const GridDataset n = AttributeNormalized(g);
+  EXPECT_NEAR(n.At(0, 0, 0), 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(n.At(0, 1, 0), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(n.At(0, 2, 0), 1.0, 1e-9);
+  EXPECT_NEAR(n.At(0, 0, 1), 0.75, 1e-9);
+  EXPECT_NEAR(n.At(0, 1, 1), 1.0, 1e-9);
+  EXPECT_NEAR(n.At(0, 2, 1), 0.5, 1e-9);
+}
+
+TEST(NormalizeTest, AllValuesLandInUnitInterval) {
+  GridDataset g(2, 2, {{"a", AggType::kSum, false}});
+  g.Set(0, 0, 0, -4.0);
+  g.Set(0, 1, 0, 0.0);
+  g.Set(1, 0, 0, 6.0);
+  g.Set(1, 1, 0, 2.0);
+  const GridDataset n = AttributeNormalized(g);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 2; ++c) {
+      EXPECT_GE(n.At(r, c, 0), 0.0);
+      EXPECT_LE(n.At(r, c, 0), 1.0);
+    }
+  }
+  // Shifted by min (-4) then divided by span (10).
+  EXPECT_NEAR(n.At(0, 0, 0), 0.0, 1e-12);
+  EXPECT_NEAR(n.At(1, 0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(n.At(0, 1, 0), 0.4, 1e-12);
+}
+
+TEST(NormalizeTest, NullCellsStayNullAndAreIgnored) {
+  GridDataset g(1, 3, {{"a", AggType::kSum, false}});
+  g.Set(0, 0, 0, 5.0);
+  g.Set(0, 2, 0, 10.0);
+  // (0,1) stays null.
+  const GridDataset n = AttributeNormalized(g);
+  EXPECT_TRUE(n.IsNull(0, 1));
+  EXPECT_FALSE(n.IsNull(0, 0));
+  EXPECT_NEAR(n.At(0, 0, 0), 0.5, 1e-12);  // 5 / max(=10)
+  EXPECT_NEAR(n.At(0, 2, 0), 1.0, 1e-12);
+}
+
+TEST(NormalizeTest, ConstantAttributeMapsToOne) {
+  GridDataset g(1, 2, {{"a", AggType::kSum, false}});
+  g.Set(0, 0, 0, 7.0);
+  g.Set(0, 1, 0, 7.0);
+  const GridDataset n = AttributeNormalized(g);
+  // Non-negative constants divide by their own max -> exactly 1.
+  EXPECT_NEAR(n.At(0, 0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(n.At(0, 1, 0), 1.0, 1e-12);
+}
+
+TEST(NormalizeTest, AllZeroAttributeStaysZero) {
+  GridDataset g(1, 2, {{"a", AggType::kSum, false}});
+  g.Set(0, 0, 0, 0.0);
+  g.Set(0, 1, 0, 0.0);
+  const GridDataset n = AttributeNormalized(g);
+  EXPECT_DOUBLE_EQ(n.At(0, 0, 0), 0.0);
+}
+
+TEST(NormalizeTest, MultivariateAttributesScaledIndependently) {
+  GridDataset g(1, 2,
+                {{"small", AggType::kSum, false},
+                 {"large", AggType::kSum, false}});
+  g.SetFeatureVector(0, 0, {1.0, 1000.0});
+  g.SetFeatureVector(0, 1, {2.0, 4000.0});
+  const GridDataset n = AttributeNormalized(g);
+  EXPECT_NEAR(n.At(0, 0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(n.At(0, 0, 1), 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace srp

@@ -1,0 +1,108 @@
+#include "core/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "core/feature_allocator.h"
+#include "ml/dataset.h"
+
+namespace srp {
+namespace {
+
+GridDataset UnitGrid() {
+  GridDataset g(4, 4,
+                {{"count", AggType::kSum, true},
+                 {"level", AggType::kAverage, false}},
+                GeoExtent{0.0, 4.0, 0.0, 4.0});
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t c = 0; c < 4; ++c) {
+      g.SetFeatureVector(r, c, {8.0, 10.0 * static_cast<double>(r)});
+    }
+  }
+  return g;
+}
+
+Partition QuadPartition() {
+  // Four 2x2 quadrants.
+  Partition p;
+  p.rows = 4;
+  p.cols = 4;
+  p.groups = {CellGroup{0, 1, 0, 1}, CellGroup{0, 1, 2, 3},
+              CellGroup{2, 3, 0, 1}, CellGroup{2, 3, 2, 3}};
+  p.cell_to_group = {0, 0, 1, 1, 0, 0, 1, 1, 2, 2, 3, 3, 2, 2, 3, 3};
+  return p;
+}
+
+TEST(PartitionTest, GroupCentroidIsRectangleCenter) {
+  const GridDataset g = UnitGrid();
+  const Partition p = QuadPartition();
+  // Group 0 covers rows 0-1, cols 0-1 of a grid with unit cells over
+  // [0,4]x[0,4]: its center is (1, 1).
+  const Centroid c0 = p.GroupCentroid(g, 0);
+  EXPECT_DOUBLE_EQ(c0.lat, 1.0);
+  EXPECT_DOUBLE_EQ(c0.lon, 1.0);
+  const Centroid c3 = p.GroupCentroid(g, 3);
+  EXPECT_DOUBLE_EQ(c3.lat, 3.0);
+  EXPECT_DOUBLE_EQ(c3.lon, 3.0);
+}
+
+TEST(PartitionTest, GroupVerticesAreRectangleCorners) {
+  const GridDataset g = UnitGrid();
+  const Partition p = QuadPartition();
+  const auto vertices = p.GroupVertices(g, 1);  // rows 0-1, cols 2-3
+  ASSERT_EQ(vertices.size(), 4u);
+  EXPECT_DOUBLE_EQ(vertices[0].lat, 0.0);
+  EXPECT_DOUBLE_EQ(vertices[0].lon, 2.0);
+  EXPECT_DOUBLE_EQ(vertices[3].lat, 2.0);
+  EXPECT_DOUBLE_EQ(vertices[3].lon, 4.0);
+}
+
+TEST(PartitionTest, ValidateCatchesInconsistentMap) {
+  const GridDataset g = UnitGrid();
+  Partition p = QuadPartition();
+  p.cell_to_group[0] = 3;  // cell (0,0) outside group 3's rectangle
+  EXPECT_FALSE(p.Validate(g).ok());
+}
+
+TEST(PartitionTest, ValidateCatchesOutOfRangeGroupId) {
+  const GridDataset g = UnitGrid();
+  Partition p = QuadPartition();
+  p.cell_to_group[5] = 42;
+  EXPECT_FALSE(p.Validate(g).ok());
+}
+
+TEST(PartitionTest, ValidateCatchesFeatureArityMismatch) {
+  const GridDataset g = UnitGrid();
+  Partition p = QuadPartition();
+  ASSERT_TRUE(AllocateFeatures(g, &p).ok());
+  p.features[0].pop_back();
+  EXPECT_FALSE(p.Validate(g).ok());
+}
+
+TEST(PartitionTest, SumDivisorPrefersValidCount) {
+  Partition p;
+  p.groups = {CellGroup{0, 1, 0, 1}};  // 4 cells
+  p.group_valid_count = {3};
+  EXPECT_DOUBLE_EQ(p.SumDivisor(0), 3.0);
+  p.group_valid_count.clear();
+  EXPECT_DOUBLE_EQ(p.SumDivisor(0), 4.0);
+}
+
+TEST(PrepareFromPartitionTest, RawSumsWhenSpreadingDisabled) {
+  const GridDataset g = UnitGrid();
+  Partition p = QuadPartition();
+  ASSERT_TRUE(AllocateFeatures(g, &p).ok());
+  // Each quadrant sums count 8 over 4 cells -> 32.
+  auto spread = PrepareFromPartition(g, p, "level",
+                                     /*spread_sum_aggregates=*/true);
+  auto raw = PrepareFromPartition(g, p, "level",
+                                  /*spread_sum_aggregates=*/false);
+  ASSERT_TRUE(spread.ok());
+  ASSERT_TRUE(raw.ok());
+  EXPECT_DOUBLE_EQ(spread->features(0, 0), 8.0);   // per-cell scale
+  EXPECT_DOUBLE_EQ(raw->features(0, 0), 32.0);     // group total
+  // Average-aggregated target identical in both modes.
+  EXPECT_DOUBLE_EQ(spread->target[0], raw->target[0]);
+}
+
+}  // namespace
+}  // namespace srp

@@ -1,0 +1,146 @@
+#include "core/reconstruct.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/feature_allocator.h"
+#include "core/repartitioner.h"
+#include "data/datasets.h"
+
+namespace srp {
+namespace {
+
+TEST(ReconstructTest, PaperExample7SumDividesEvenly) {
+  // A 2-cell group with summed value 54 reconstructs to 27 per cell.
+  GridDataset g(1, 2, {{"a", AggType::kSum, false}});
+  g.Set(0, 0, 0, 30.0);
+  g.Set(0, 1, 0, 24.0);
+  Partition p;
+  p.rows = 1;
+  p.cols = 2;
+  p.groups = {CellGroup{0, 0, 0, 1}};
+  p.cell_to_group = {0, 0};
+  ASSERT_TRUE(AllocateFeatures(g, &p).ok());
+  ASSERT_DOUBLE_EQ(p.features[0][0], 54.0);
+  const auto cells = ReconstructCells(p, {54.0}, AggType::kSum);
+  EXPECT_DOUBLE_EQ(cells[0], 27.0);
+  EXPECT_DOUBLE_EQ(cells[1], 27.0);
+}
+
+TEST(ReconstructTest, AverageCopiesGroupValue) {
+  Partition p;
+  p.rows = 1;
+  p.cols = 3;
+  p.groups = {CellGroup{0, 0, 0, 2}};
+  p.cell_to_group = {0, 0, 0};
+  p.group_null = {0};
+  p.group_valid_count = {3};
+  const auto cells = ReconstructCells(p, {42.0}, AggType::kAverage);
+  for (double v : cells) EXPECT_DOUBLE_EQ(v, 42.0);
+}
+
+TEST(ReconstructTest, NullGroupsYieldZero) {
+  Partition p;
+  p.rows = 1;
+  p.cols = 2;
+  p.groups = {CellGroup{0, 0, 0, 0}, CellGroup{0, 0, 1, 1}};
+  p.cell_to_group = {0, 1};
+  p.group_null = {0, 1};  // second group null
+  p.group_null = {0, 1};
+  p.group_valid_count = {1, 0};
+  const auto cells = ReconstructCells(p, {5.0, 99.0}, AggType::kAverage);
+  EXPECT_DOUBLE_EQ(cells[0], 5.0);
+  EXPECT_DOUBLE_EQ(cells[1], 0.0);
+}
+
+TEST(ReconstructTest, GridRoundTripAtZeroLossIsExact) {
+  // Each cell its own group: reconstruction must reproduce the grid.
+  GridDataset g(2, 2,
+                {{"count", AggType::kSum, true},
+                 {"price", AggType::kAverage, false}});
+  g.SetFeatureVector(0, 0, {1, 10.0});
+  g.SetFeatureVector(0, 1, {2, 20.0});
+  g.SetFeatureVector(1, 0, {3, 30.0});
+  g.SetFeatureVector(1, 1, {4, 40.0});
+  const Partition p = TrivialPartition(g);
+  const GridDataset back = ReconstructGrid(g, p);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 2; ++c) {
+      for (size_t k = 0; k < 2; ++k) {
+        EXPECT_DOUBLE_EQ(back.At(r, c, k), g.At(r, c, k));
+      }
+    }
+  }
+}
+
+TEST(ReconstructTest, GridReconstructionPreservesGroupTotalsForSumAgg) {
+  GridDataset g(2, 2, {{"count", AggType::kSum, false}});
+  g.Set(0, 0, 0, 1.0);
+  g.Set(0, 1, 0, 3.0);
+  g.Set(1, 0, 0, 5.0);
+  g.Set(1, 1, 0, 7.0);
+  Partition p;
+  p.rows = 2;
+  p.cols = 2;
+  p.groups = {CellGroup{0, 1, 0, 1}};
+  p.cell_to_group = {0, 0, 0, 0};
+  ASSERT_TRUE(AllocateFeatures(g, &p).ok());
+  const GridDataset back = ReconstructGrid(g, p);
+  double total = 0.0;
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 2; ++c) total += back.At(r, c, 0);
+  }
+  EXPECT_DOUBLE_EQ(total, 16.0);  // group sum preserved
+}
+
+TEST(ReconstructTest, NullCellsStayNullInReconstructedGrid) {
+  GridDataset g(1, 2, {{"a", AggType::kAverage, false}});
+  g.Set(0, 0, 0, 9.0);
+  Partition p;
+  p.rows = 1;
+  p.cols = 2;
+  p.groups = {CellGroup{0, 0, 0, 0}, CellGroup{0, 0, 1, 1}};
+  p.cell_to_group = {0, 1};
+  ASSERT_TRUE(AllocateFeatures(g, &p).ok());
+  const GridDataset back = ReconstructGrid(g, p);
+  EXPECT_FALSE(back.IsNull(0, 0));
+  EXPECT_TRUE(back.IsNull(0, 1));
+}
+
+
+TEST(ReconstructTest, IflEqualsMapeOfReconstructedGrid) {
+  // Consistency invariant tying Eq. 3 to the cell-level reconstruction:
+  // InformationLoss(grid, partition) must equal the MAPE between the grid
+  // and ReconstructGrid(grid, partition) over valid cells/attributes.
+  DatasetOptions options;
+  options.rows = 16;
+  options.cols = 16;
+  options.seed = 77;
+  auto grid = GenerateDataset(DatasetKind::kTaxiTripMulti, options);
+  ASSERT_TRUE(grid.ok());
+  RepartitionOptions ropt;
+  ropt.ifl_threshold = 0.1;
+  ropt.min_variation_step = 2e-3;
+  auto result = Repartitioner(ropt).Run(*grid);
+  ASSERT_TRUE(result.ok());
+  const GridDataset back = ReconstructGrid(*grid, result->partition);
+  double total = 0.0;
+  size_t terms = 0;
+  for (size_t r = 0; r < grid->rows(); ++r) {
+    for (size_t c = 0; c < grid->cols(); ++c) {
+      if (grid->IsNull(r, c)) continue;
+      for (size_t k = 0; k < grid->num_attributes(); ++k) {
+        const double y = grid->At(r, c, k);
+        if (y == 0.0) continue;
+        total += std::fabs(y - back.At(r, c, k)) / std::fabs(y);
+        ++terms;
+      }
+    }
+  }
+  EXPECT_NEAR(result->information_loss, total / static_cast<double>(terms),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace srp

@@ -1,0 +1,184 @@
+#include "core/repartitioner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/information_loss.h"
+#include "data/datasets.h"
+
+namespace srp {
+namespace {
+
+GridDataset SmoothGrid(size_t rows, size_t cols) {
+  GridDataset g(rows, cols, {{"a", AggType::kAverage, false}});
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      g.Set(r, c, 0, 100.0 + static_cast<double>(r + c));
+    }
+  }
+  return g;
+}
+
+TEST(RepartitionerTest, RespectsIflThreshold) {
+  const GridDataset g = SmoothGrid(10, 10);
+  RepartitionOptions options;
+  options.ifl_threshold = 0.05;
+  auto result = Repartitioner(options).Run(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->information_loss, 0.05);
+  EXPECT_TRUE(result->partition.Validate(g).ok());
+  // Cross-check against an independent IFL computation.
+  EXPECT_NEAR(InformationLoss(g, result->partition),
+              result->information_loss, 1e-12);
+}
+
+TEST(RepartitionerTest, ReducesCellCountOnSmoothData) {
+  const GridDataset g = SmoothGrid(12, 12);
+  RepartitionOptions options;
+  options.ifl_threshold = 0.1;
+  auto result = Repartitioner(options).Run(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->partition.num_groups(), g.num_cells());
+  EXPECT_LT(result->CellRatio(), 1.0);
+  EXPECT_GT(result->iterations, 0u);
+}
+
+TEST(RepartitionerTest, ZeroThresholdOnlyMergesLosslessly) {
+  const GridDataset g = SmoothGrid(6, 6);
+  RepartitionOptions options;
+  options.ifl_threshold = 0.0;
+  auto result = Repartitioner(options).Run(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->information_loss, 0.0);
+}
+
+TEST(RepartitionerTest, ConstantGridCollapsesToOneGroupAtZeroLoss) {
+  GridDataset g(5, 5, {{"a", AggType::kAverage, false}});
+  for (size_t r = 0; r < 5; ++r) {
+    for (size_t c = 0; c < 5; ++c) g.Set(r, c, 0, 42.0);
+  }
+  RepartitionOptions options;
+  options.ifl_threshold = 0.0;
+  auto result = Repartitioner(options).Run(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->partition.num_groups(), 1u);
+  EXPECT_DOUBLE_EQ(result->information_loss, 0.0);
+}
+
+TEST(RepartitionerTest, HigherThresholdNeverYieldsMoreGroups) {
+  DatasetOptions data_options;
+  data_options.rows = 24;
+  data_options.cols = 24;
+  data_options.seed = 21;
+  auto grid = GenerateDataset(DatasetKind::kHomeSalesMulti, data_options);
+  ASSERT_TRUE(grid.ok());
+  size_t last = grid->num_cells() + 1;
+  for (double threshold : {0.02, 0.05, 0.1, 0.15}) {
+    RepartitionOptions options;
+    options.ifl_threshold = threshold;
+    options.min_variation_step = 1e-3;
+    auto result = Repartitioner(options).Run(*grid);
+    ASSERT_TRUE(result.ok());
+    // The accepted partition at a higher threshold extends the smaller
+    // threshold's run, so group counts are non-increasing (small greedy
+    // slack allowed).
+    EXPECT_LE(result->partition.num_groups(), last + grid->num_cells() / 50)
+        << "threshold " << threshold;
+    last = result->partition.num_groups();
+  }
+}
+
+TEST(RepartitionerTest, DeterministicAcrossRuns) {
+  DatasetOptions data_options;
+  data_options.rows = 20;
+  data_options.cols = 20;
+  data_options.seed = 2;
+  auto grid = GenerateDataset(DatasetKind::kTaxiTripMulti, data_options);
+  ASSERT_TRUE(grid.ok());
+  RepartitionOptions options;
+  options.ifl_threshold = 0.1;
+  options.min_variation_step = 1e-3;
+  auto a = Repartitioner(options).Run(*grid);
+  auto b = Repartitioner(options).Run(*grid);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->partition.num_groups(), b->partition.num_groups());
+  EXPECT_EQ(a->partition.cell_to_group, b->partition.cell_to_group);
+  EXPECT_DOUBLE_EQ(a->information_loss, b->information_loss);
+}
+
+TEST(RepartitionerTest, RejectsBadThreshold) {
+  const GridDataset g = SmoothGrid(4, 4);
+  RepartitionOptions options;
+  options.ifl_threshold = 1.5;
+  EXPECT_FALSE(Repartitioner(options).Run(g).ok());
+  options.ifl_threshold = -0.1;
+  EXPECT_FALSE(Repartitioner(options).Run(g).ok());
+}
+
+TEST(RepartitionerTest, RejectsInvalidGrid) {
+  GridDataset g(0, 4, {{"a", AggType::kSum, false}});
+  EXPECT_FALSE(Repartitioner().Run(g).ok());
+}
+
+TEST(RepartitionerTest, MaxIterationsBoundsWork) {
+  const GridDataset g = SmoothGrid(10, 10);
+  RepartitionOptions options;
+  options.ifl_threshold = 0.5;
+  options.max_iterations = 1;
+  auto result = Repartitioner(options).Run(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->iterations, 1u);
+}
+
+TEST(RepartitionerTest, ReportsElapsedTime) {
+  const GridDataset g = SmoothGrid(8, 8);
+  auto result = Repartitioner().Run(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->elapsed_seconds, 0.0);
+}
+
+/// Feasibility property across dataset kinds and thresholds.
+class RepartitionerProperty
+    : public testing::TestWithParam<std::tuple<DatasetKind, double>> {};
+
+TEST_P(RepartitionerProperty, AlwaysFeasibleAndValid) {
+  const auto [kind, threshold] = GetParam();
+  DatasetOptions data_options;
+  data_options.rows = 20;
+  data_options.cols = 20;
+  data_options.seed = 77;
+  auto grid = GenerateDataset(kind, data_options);
+  ASSERT_TRUE(grid.ok());
+  RepartitionOptions options;
+  options.ifl_threshold = threshold;
+  options.min_variation_step = 2e-3;
+  auto result = Repartitioner(options).Run(*grid);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->information_loss, threshold + 1e-12);
+  ASSERT_TRUE(result->partition.Validate(*grid).ok());
+  EXPECT_LE(result->partition.num_groups(), grid->num_cells());
+  // Null/valid cells never share a group.
+  const Partition& p = result->partition;
+  for (size_t gi = 0; gi < p.num_groups(); ++gi) {
+    const CellGroup& cg = p.groups[gi];
+    const bool null0 = grid->IsNull(cg.r_beg, cg.c_beg);
+    for (size_t r = cg.r_beg; r <= cg.r_end; ++r) {
+      for (size_t c = cg.c_beg; c <= cg.c_end; ++c) {
+        EXPECT_EQ(grid->IsNull(r, c), null0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndThresholds, RepartitionerProperty,
+    testing::Combine(testing::Values(DatasetKind::kTaxiTripMulti,
+                                     DatasetKind::kTaxiTripUni,
+                                     DatasetKind::kHomeSalesMulti,
+                                     DatasetKind::kVehiclesUni,
+                                     DatasetKind::kEarningsMulti,
+                                     DatasetKind::kEarningsUni),
+                     testing::Values(0.05, 0.1, 0.15)));
+
+}  // namespace
+}  // namespace srp

@@ -1,0 +1,153 @@
+#include "ml/schc.h"
+
+#include <map>
+#include <queue>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/adjacency.h"
+#include "util/random.h"
+
+namespace srp {
+namespace {
+
+/// Verifies every cluster induces a connected subgraph of `neighbors`.
+void ExpectContiguousClusters(const std::vector<int>& labels,
+                              const std::vector<std::vector<int32_t>>& adj) {
+  std::map<int, std::vector<size_t>> members;
+  for (size_t i = 0; i < labels.size(); ++i) members[labels[i]].push_back(i);
+  for (const auto& [label, cells] : members) {
+    std::set<size_t> cluster(cells.begin(), cells.end());
+    std::set<size_t> seen{cells.front()};
+    std::queue<size_t> frontier;
+    frontier.push(cells.front());
+    while (!frontier.empty()) {
+      const size_t cur = frontier.front();
+      frontier.pop();
+      for (int32_t nb : adj[cur]) {
+        const auto nbs = static_cast<size_t>(nb);
+        if (cluster.count(nbs) != 0 && seen.count(nbs) == 0) {
+          seen.insert(nbs);
+          frontier.push(nbs);
+        }
+      }
+    }
+    EXPECT_EQ(seen.size(), cells.size()) << "cluster " << label;
+  }
+}
+
+TEST(SchcTest, ProducesRequestedClusterCount) {
+  const size_t side = 10;
+  const auto adj = GridCellAdjacency(side, side);
+  Rng rng(131);
+  Matrix x(side * side, 1);
+  for (size_t i = 0; i < x.rows(); ++i) x(i, 0) = rng.Normal();
+  SpatialHierarchicalClustering::Options options;
+  options.num_clusters = 7;
+  SpatialHierarchicalClustering schc(options);
+  ASSERT_TRUE(schc.Fit(x, adj).ok());
+  EXPECT_EQ(schc.num_found_clusters(), 7u);
+  ExpectContiguousClusters(schc.labels(), adj);
+}
+
+TEST(SchcTest, ClustersAreSpatiallyContiguous) {
+  const size_t side = 12;
+  const auto adj = GridCellAdjacency(side, side);
+  Rng rng(133);
+  Matrix x(side * side, 2);
+  for (size_t i = 0; i < x.size(); ++i) x.mutable_data()[i] = rng.Normal();
+  SpatialHierarchicalClustering::Options options;
+  options.num_clusters = 10;
+  SpatialHierarchicalClustering schc(options);
+  ASSERT_TRUE(schc.Fit(x, adj).ok());
+  ExpectContiguousClusters(schc.labels(), adj);
+}
+
+TEST(SchcTest, RecoverTwoHomogeneousHalves) {
+  // Left half = 0-ish values, right half = 10-ish: Ward with contiguity
+  // must split the grid down the middle.
+  const size_t side = 8;
+  const auto adj = GridCellAdjacency(side, side);
+  Rng rng(137);
+  Matrix x(side * side, 1);
+  for (size_t r = 0; r < side; ++r) {
+    for (size_t c = 0; c < side; ++c) {
+      x(r * side + c, 0) =
+          (c < side / 2 ? 0.0 : 10.0) + 0.01 * rng.Normal();
+    }
+  }
+  SpatialHierarchicalClustering::Options options;
+  options.num_clusters = 2;
+  SpatialHierarchicalClustering schc(options);
+  ASSERT_TRUE(schc.Fit(x, adj).ok());
+  const auto& labels = schc.labels();
+  // All cells of the left half share a label, all right-half cells the other.
+  const int left = labels[0];
+  const int right = labels[side - 1];
+  EXPECT_NE(left, right);
+  for (size_t r = 0; r < side; ++r) {
+    for (size_t c = 0; c < side; ++c) {
+      EXPECT_EQ(labels[r * side + c], c < side / 2 ? left : right);
+    }
+  }
+}
+
+TEST(SchcTest, DisconnectedComponentsNeverMerge) {
+  // Two 2-node components; asking for 1 cluster must still leave 2.
+  std::vector<std::vector<int32_t>> adj = {{1}, {0}, {3}, {2}};
+  Matrix x(4, 1);
+  for (size_t i = 0; i < 4; ++i) x(i, 0) = static_cast<double>(i);
+  SpatialHierarchicalClustering::Options options;
+  options.num_clusters = 1;
+  SpatialHierarchicalClustering schc(options);
+  ASSERT_TRUE(schc.Fit(x, adj).ok());
+  EXPECT_EQ(schc.num_found_clusters(), 2u);
+  EXPECT_EQ(schc.labels()[0], schc.labels()[1]);
+  EXPECT_EQ(schc.labels()[2], schc.labels()[3]);
+  EXPECT_NE(schc.labels()[0], schc.labels()[2]);
+}
+
+TEST(SchcTest, NumClustersEqualInputIsIdentity) {
+  const auto adj = GridCellAdjacency(3, 3);
+  Matrix x(9, 1);
+  for (size_t i = 0; i < 9; ++i) x(i, 0) = static_cast<double>(i);
+  SpatialHierarchicalClustering::Options options;
+  options.num_clusters = 9;
+  SpatialHierarchicalClustering schc(options);
+  ASSERT_TRUE(schc.Fit(x, adj).ok());
+  EXPECT_EQ(schc.num_found_clusters(), 9u);
+}
+
+TEST(SchcTest, MergesMostSimilarNeighborsFirst) {
+  // Path graph with values {0, 0.1, 50, 50.1}: 3 clusters -> the two tight
+  // pairs merge, the big gap stays.
+  std::vector<std::vector<int32_t>> adj = {{1}, {0, 2}, {1, 3}, {2}};
+  Matrix x(4, 1);
+  x(0, 0) = 0.0;
+  x(1, 0) = 0.1;
+  x(2, 0) = 50.0;
+  x(3, 0) = 50.1;
+  SpatialHierarchicalClustering::Options options;
+  options.num_clusters = 2;
+  options.standardize = false;
+  SpatialHierarchicalClustering schc(options);
+  ASSERT_TRUE(schc.Fit(x, adj).ok());
+  EXPECT_EQ(schc.labels()[0], schc.labels()[1]);
+  EXPECT_EQ(schc.labels()[2], schc.labels()[3]);
+  EXPECT_NE(schc.labels()[0], schc.labels()[2]);
+}
+
+TEST(SchcTest, RejectsBadInput) {
+  SpatialHierarchicalClustering schc;
+  EXPECT_FALSE(schc.Fit(Matrix(0, 1), {}).ok());
+  Matrix x(2, 1);
+  EXPECT_FALSE(schc.Fit(x, {{1}}).ok());  // adjacency size mismatch
+  SpatialHierarchicalClustering::Options options;
+  options.num_clusters = 0;
+  SpatialHierarchicalClustering bad(options);
+  EXPECT_FALSE(bad.Fit(x, {{}, {}}).ok());
+}
+
+}  // namespace
+}  // namespace srp

@@ -1,0 +1,112 @@
+#include "linalg/solve.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace srp {
+namespace {
+
+TEST(SolveLinearSystemTest, KnownSolution) {
+  Matrix a{{3, 1}, {1, 2}};
+  auto x = SolveLinearSystem(a, {9, 8});  // x = (2, 3)
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(LeastSquaresTest, ExactRecoveryOnNoiselessData) {
+  // y = 2 x0 - 3 x1 + 0.5 x2
+  Rng rng(99);
+  const size_t n = 50;
+  Matrix x(n, 3);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < 3; ++c) x(i, c) = rng.Normal();
+    y[i] = 2.0 * x(i, 0) - 3.0 * x(i, 1) + 0.5 * x(i, 2);
+  }
+  auto beta = LeastSquares(x, y);
+  ASSERT_TRUE(beta.ok());
+  EXPECT_NEAR((*beta)[0], 2.0, 1e-9);
+  EXPECT_NEAR((*beta)[1], -3.0, 1e-9);
+  EXPECT_NEAR((*beta)[2], 0.5, 1e-9);
+}
+
+TEST(LeastSquaresTest, OverdeterminedMinimizesResidual) {
+  // Single column of ones: LS solution is the mean of y.
+  Matrix x(4, 1, 1.0);
+  auto beta = LeastSquares(x, {1, 2, 3, 6});
+  ASSERT_TRUE(beta.ok());
+  EXPECT_NEAR((*beta)[0], 3.0, 1e-12);
+}
+
+TEST(LeastSquaresTest, RejectsShapeMismatch) {
+  Matrix x(3, 1, 1.0);
+  EXPECT_FALSE(LeastSquares(x, {1, 2}).ok());
+}
+
+TEST(LeastSquaresTest, RejectsUnderdetermined) {
+  Matrix x(2, 5);
+  EXPECT_FALSE(LeastSquares(x, {1, 2}).ok());
+}
+
+TEST(LeastSquaresTest, CollinearColumnsFallBackToRidge) {
+  // Two identical columns: X'X singular; the ridge fallback must still give
+  // a finite solution whose predictions fit y.
+  const size_t n = 20;
+  Rng rng(7);
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double v = rng.Normal();
+    x(i, 0) = v;
+    x(i, 1) = v;
+    y[i] = 3.0 * v;
+  }
+  auto beta = LeastSquares(x, y);
+  ASSERT_TRUE(beta.ok());
+  // Prediction (not coefficients) must be right: b0 + b1 ~= 3.
+  EXPECT_NEAR((*beta)[0] + (*beta)[1], 3.0, 1e-3);
+}
+
+TEST(WeightedLeastSquaresTest, MatchesOlsWithUnitWeights) {
+  Rng rng(11);
+  const size_t n = 30;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.Normal();
+    x(i, 1) = rng.Normal();
+    y[i] = 1.5 * x(i, 0) - 0.7 * x(i, 1) + 0.01 * rng.Normal();
+  }
+  auto ols = LeastSquares(x, y);
+  auto wls = WeightedLeastSquares(x, y, std::vector<double>(n, 1.0));
+  ASSERT_TRUE(ols.ok());
+  ASSERT_TRUE(wls.ok());
+  EXPECT_NEAR((*ols)[0], (*wls)[0], 1e-9);
+  EXPECT_NEAR((*ols)[1], (*wls)[1], 1e-9);
+}
+
+TEST(WeightedLeastSquaresTest, ZeroWeightIgnoresOutlier) {
+  // y = 2x with one wild outlier that gets zero weight.
+  Matrix x(5, 1);
+  std::vector<double> y(5);
+  std::vector<double> w(5, 1.0);
+  for (size_t i = 0; i < 5; ++i) {
+    x(i, 0) = static_cast<double>(i + 1);
+    y[i] = 2.0 * x(i, 0);
+  }
+  y[4] = 1000.0;
+  w[4] = 0.0;
+  auto beta = WeightedLeastSquares(x, y, w);
+  ASSERT_TRUE(beta.ok());
+  EXPECT_NEAR((*beta)[0], 2.0, 1e-9);
+}
+
+TEST(WeightedLeastSquaresTest, RejectsSizeMismatch) {
+  Matrix x(3, 1, 1.0);
+  EXPECT_FALSE(WeightedLeastSquares(x, {1, 2, 3}, {1, 1}).ok());
+}
+
+}  // namespace
+}  // namespace srp

@@ -1,0 +1,59 @@
+#include "ml/spatial_weights.h"
+
+#include <gtest/gtest.h>
+
+namespace srp {
+namespace {
+
+std::vector<std::vector<int32_t>> PathGraph4() {
+  return {{1}, {0, 2}, {1, 3}, {2}};
+}
+
+TEST(SpatialWeightsTest, RowStandardizedLagIsNeighborAverage) {
+  const SpatialWeights w(PathGraph4());
+  const auto lag = w.Lag({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(lag[0], 2.0);
+  EXPECT_DOUBLE_EQ(lag[1], 2.0);  // (1+3)/2
+  EXPECT_DOUBLE_EQ(lag[2], 3.0);  // (2+4)/2
+  EXPECT_DOUBLE_EQ(lag[3], 3.0);
+}
+
+TEST(SpatialWeightsTest, BinaryWeightsSumNeighbors) {
+  const SpatialWeights w(PathGraph4(), /*row_standardize=*/false);
+  const auto lag = w.Lag({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(lag[1], 4.0);  // 1 + 3
+}
+
+TEST(SpatialWeightsTest, IsolatedUnitHasZeroLag) {
+  std::vector<std::vector<int32_t>> adj = {{1}, {0}, {}};
+  const SpatialWeights w(adj);
+  const auto lag = w.Lag({5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(lag[2], 0.0);
+}
+
+TEST(SpatialWeightsTest, LagMatrixMatchesColumnwiseLag) {
+  const SpatialWeights w(PathGraph4());
+  Matrix x(4, 2);
+  for (size_t i = 0; i < 4; ++i) {
+    x(i, 0) = static_cast<double>(i + 1);
+    x(i, 1) = static_cast<double>((i + 1) * (i + 1));
+  }
+  const Matrix wx = w.LagMatrix(x);
+  const auto col0 = w.Lag(x.Column(0));
+  const auto col1 = w.Lag(x.Column(1));
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(wx(i, 0), col0[i]);
+    EXPECT_DOUBLE_EQ(wx(i, 1), col1[i]);
+  }
+}
+
+TEST(SpatialWeightsTest, ConstantVectorIsFixedPointOfLag) {
+  // Row-standardized W has row sums 1 (where neighbors exist), so lagging a
+  // constant reproduces it.
+  const SpatialWeights w(PathGraph4());
+  const auto lag = w.Lag({3.0, 3.0, 3.0, 3.0});
+  for (double v : lag) EXPECT_DOUBLE_EQ(v, 3.0);
+}
+
+}  // namespace
+}  // namespace srp

@@ -1,0 +1,183 @@
+// Tests for the spatio-temporal extension (paper Section VI future work):
+// a shared spatial partition over T time slices with per-slice features.
+
+#include "st/st_repartitioner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/information_loss.h"
+#include "data/datasets.h"
+#include "st/temporal_grid.h"
+
+namespace srp {
+namespace {
+
+GridDataset Slice(size_t rows, size_t cols, double base, double step) {
+  GridDataset g(rows, cols, {{"v", AggType::kAverage, false}});
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      g.Set(r, c, 0, base + step * static_cast<double>(r + c));
+    }
+  }
+  return g;
+}
+
+TEST(TemporalGridSeriesTest, AddSliceValidatesConformity) {
+  TemporalGridSeries series;
+  ASSERT_TRUE(series.AddSlice(Slice(4, 4, 100, 1)).ok());
+  EXPECT_EQ(series.num_slices(), 1u);
+  // Wrong dimensions.
+  EXPECT_FALSE(series.AddSlice(Slice(4, 5, 100, 1)).ok());
+  // Wrong schema (different attribute name).
+  GridDataset other(4, 4, {{"w", AggType::kAverage, false}});
+  other.Set(0, 0, 0, 1.0);
+  EXPECT_FALSE(series.AddSlice(other).ok());
+  ASSERT_TRUE(series.AddSlice(Slice(4, 4, 200, 2)).ok());
+  EXPECT_EQ(series.num_slices(), 2u);
+}
+
+TEST(TemporalGridSeriesTest, NullProfileHelpers) {
+  TemporalGridSeries series;
+  GridDataset a(1, 3, {{"v", AggType::kAverage, false}});
+  a.Set(0, 0, 0, 1.0);
+  a.Set(0, 1, 0, 2.0);
+  GridDataset b(1, 3, {{"v", AggType::kAverage, false}});
+  b.Set(0, 0, 0, 3.0);
+  b.Set(0, 2, 0, 4.0);
+  ASSERT_TRUE(series.AddSlice(a).ok());
+  ASSERT_TRUE(series.AddSlice(b).ok());
+  // Cell (0,0): valid in both; (0,1): valid only in a; (0,2): only in b.
+  EXPECT_FALSE(series.IsAlwaysNull(0, 0));
+  EXPECT_FALSE(series.IsAlwaysNull(0, 1));
+  EXPECT_TRUE(series.SameNullProfile(0, 0, 0, 0));
+  EXPECT_FALSE(series.SameNullProfile(0, 0, 0, 1));
+  EXPECT_FALSE(series.SameNullProfile(0, 1, 0, 2));
+}
+
+TEST(StRepartitionerTest, SharedPartitionRespectsMeanLoss) {
+  TemporalGridSeries series;
+  ASSERT_TRUE(series.AddSlice(Slice(10, 10, 100, 1)).ok());
+  ASSERT_TRUE(series.AddSlice(Slice(10, 10, 120, 1)).ok());
+  ASSERT_TRUE(series.AddSlice(Slice(10, 10, 140, 1)).ok());
+  StRepartitionOptions options;
+  options.ifl_threshold = 0.05;
+  auto result = StRepartitioner(options).Run(series);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->information_loss, 0.05);
+  EXPECT_EQ(result->per_slice_loss.size(), 3u);
+  EXPECT_EQ(result->slice_features.size(), 3u);
+  EXPECT_LT(result->partition.num_groups(), 100u);
+  // One shared partition: every slice has features for every group.
+  for (const auto& features : result->slice_features) {
+    EXPECT_EQ(features.size(), result->partition.num_groups());
+  }
+}
+
+TEST(StRepartitionerTest, MaxAggregationBlocksTransientDivergence) {
+  // Slices agree except at time 1, where the right half spikes. Under kMax,
+  // cells across the spike boundary must not merge even though they are
+  // identical in slices 0 and 2.
+  TemporalGridSeries series;
+  GridDataset flat(4, 4, {{"v", AggType::kAverage, false}});
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t c = 0; c < 4; ++c) flat.Set(r, c, 0, 10.0);
+  }
+  GridDataset spike = flat;
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t c = 2; c < 4; ++c) spike.Set(r, c, 0, 1000.0);
+  }
+  ASSERT_TRUE(series.AddSlice(flat).ok());
+  ASSERT_TRUE(series.AddSlice(spike).ok());
+  ASSERT_TRUE(series.AddSlice(flat).ok());
+
+  StRepartitionOptions options;
+  options.ifl_threshold = 0.02;
+  options.aggregation = TemporalAggregation::kMax;
+  auto result = StRepartitioner(options).Run(series);
+  ASSERT_TRUE(result.ok());
+  const Partition& p = result->partition;
+  EXPECT_NE(p.GroupOf(0, 1), p.GroupOf(0, 2));  // spike boundary preserved
+  EXPECT_EQ(p.GroupOf(0, 0), p.GroupOf(3, 1));  // left block merged
+  EXPECT_EQ(p.GroupOf(0, 2), p.GroupOf(3, 3));  // right block merged
+}
+
+TEST(StRepartitionerTest, MeanAggregationIsMorePermissive) {
+  // Same spike world, but the per-slice mean dilutes the time-1 divergence.
+  TemporalGridSeries series;
+  GridDataset flat(4, 4, {{"v", AggType::kAverage, false}});
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t c = 0; c < 4; ++c) flat.Set(r, c, 0, 10.0);
+  }
+  GridDataset bump = flat;
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t c = 2; c < 4; ++c) bump.Set(r, c, 0, 12.0);
+  }
+  for (int i = 0; i < 9; ++i) ASSERT_TRUE(series.AddSlice(flat).ok());
+  ASSERT_TRUE(series.AddSlice(bump).ok());
+
+  StRepartitionOptions mean_options;
+  mean_options.ifl_threshold = 0.1;
+  mean_options.aggregation = TemporalAggregation::kMean;
+  auto mean_result = StRepartitioner(mean_options).Run(series);
+  ASSERT_TRUE(mean_result.ok());
+
+  StRepartitionOptions max_options = mean_options;
+  max_options.aggregation = TemporalAggregation::kMax;
+  auto max_result = StRepartitioner(max_options).Run(series);
+  ASSERT_TRUE(max_result.ok());
+
+  EXPECT_LE(mean_result->partition.num_groups(),
+            max_result->partition.num_groups());
+}
+
+TEST(StRepartitionerTest, MixedNullProfilesNeverMerge) {
+  TemporalGridSeries series;
+  GridDataset a(1, 3, {{"v", AggType::kAverage, false}});
+  a.Set(0, 0, 0, 5.0);
+  a.Set(0, 1, 0, 5.0);
+  // (0,2) null at t=0.
+  GridDataset b(1, 3, {{"v", AggType::kAverage, false}});
+  b.Set(0, 0, 0, 5.0);
+  b.Set(0, 1, 0, 5.0);
+  b.Set(0, 2, 0, 5.0);  // valid at t=1
+  ASSERT_TRUE(series.AddSlice(a).ok());
+  ASSERT_TRUE(series.AddSlice(b).ok());
+  StRepartitionOptions options;
+  options.ifl_threshold = 0.5;
+  auto result = StRepartitioner(options).Run(series);
+  ASSERT_TRUE(result.ok());
+  const Partition& p = result->partition;
+  EXPECT_EQ(p.GroupOf(0, 0), p.GroupOf(0, 1));
+  EXPECT_NE(p.GroupOf(0, 1), p.GroupOf(0, 2));
+}
+
+TEST(StRepartitionerTest, SingleSliceMatchesSpatialFramework) {
+  DatasetOptions data_options;
+  data_options.rows = 16;
+  data_options.cols = 16;
+  data_options.seed = 55;
+  auto grid = GenerateDataset(DatasetKind::kVehiclesUni, data_options);
+  ASSERT_TRUE(grid.ok());
+  TemporalGridSeries series;
+  ASSERT_TRUE(series.AddSlice(*grid).ok());
+  StRepartitionOptions options;
+  options.ifl_threshold = 0.1;
+  auto st = StRepartitioner(options).Run(series);
+  ASSERT_TRUE(st.ok());
+  EXPECT_LE(st->information_loss, 0.1);
+  EXPECT_NEAR(InformationLoss(*grid, st->partition), st->information_loss,
+              1e-12);
+}
+
+TEST(StRepartitionerTest, RejectsEmptySeriesAndBadThreshold) {
+  TemporalGridSeries empty;
+  EXPECT_FALSE(StRepartitioner().Run(empty).ok());
+  TemporalGridSeries series;
+  ASSERT_TRUE(series.AddSlice(Slice(3, 3, 1, 1)).ok());
+  StRepartitionOptions options;
+  options.ifl_threshold = 2.0;
+  EXPECT_FALSE(StRepartitioner(options).Run(series).ok());
+}
+
+}  // namespace
+}  // namespace srp

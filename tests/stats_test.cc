@@ -1,0 +1,62 @@
+#include "linalg/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace srp {
+namespace {
+
+TEST(StatsTest, Mean) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({-5}), -5.0);
+}
+
+TEST(StatsTest, Variance) {
+  EXPECT_DOUBLE_EQ(Variance({2, 2, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({1, 3}), 1.0);  // mean 2, deviations ±1
+}
+
+TEST(StatsTest, SampleStdDev) {
+  EXPECT_DOUBLE_EQ(SampleStdDev({1}), 0.0);
+  EXPECT_NEAR(SampleStdDev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 1e-3);
+}
+
+TEST(StatsTest, MinMax) {
+  EXPECT_DOUBLE_EQ(Min({3, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(Max({3, 1, 2}), 3.0);
+}
+
+TEST(StatsTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(Median({5, 1, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({7}), 7.0);
+}
+
+TEST(StatsTest, QuantileInterpolation) {
+  const std::vector<double> v{0, 10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 10.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.125), 5.0);  // halfway between 0 and 10
+}
+
+TEST(StatsTest, StandardizeInPlaceZeroMeanUnitStd) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  const Standardization s = StandardizeInPlace(&v);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_NEAR(Mean(v), 0.0, 1e-12);
+  EXPECT_NEAR(SampleStdDev(v), 1.0, 1e-12);
+}
+
+TEST(StatsTest, StandardizeConstantVectorStaysFinite) {
+  std::vector<double> v{4, 4, 4};
+  const Standardization s = StandardizeInPlace(&v);
+  EXPECT_DOUBLE_EQ(s.stddev, 1.0);
+  for (double x : v) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+}  // namespace
+}  // namespace srp

@@ -1,0 +1,98 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace srp {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("oor").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("nf").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::FailedPrecondition("fp").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("int").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IOError("io").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Unimplemented("un").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  const Status s = Status::NotFound("missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::Internal("boom"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(std::move(r).value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(std::move(r).value_or("fallback"), "hello");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+namespace macros {
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chain(int x) {
+  SRP_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+Result<int> Doubled(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return 2 * x;
+}
+
+Status UseAssign(int x, int* out) {
+  SRP_ASSIGN_OR_RETURN(int doubled, Doubled(x));
+  SRP_ASSIGN_OR_RETURN(int quadrupled, Doubled(doubled));
+  *out = quadrupled;
+  return Status::OK();
+}
+
+}  // namespace macros
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(macros::Chain(1).ok());
+  EXPECT_EQ(macros::Chain(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnBindsAndPropagates) {
+  int out = 0;
+  ASSERT_TRUE(macros::UseAssign(3, &out).ok());
+  EXPECT_EQ(out, 12);
+  EXPECT_FALSE(macros::UseAssign(-3, &out).ok());
+}
+
+}  // namespace
+}  // namespace srp

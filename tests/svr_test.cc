@@ -1,0 +1,135 @@
+#include "ml/svr.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace srp {
+namespace {
+
+TEST(SvrTest, FitsLinearFunction) {
+  Rng rng(51);
+  const size_t n = 120;
+  Matrix x(n, 1);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.Uniform(-2.0, 2.0);
+    y[i] = 3.0 * x(i, 0) + 1.0;
+  }
+  SvrRegression svr;
+  ASSERT_TRUE(svr.Fit(x, y).ok());
+  const auto pred = svr.Predict(x);
+  double max_err = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    max_err = std::max(max_err, std::fabs(pred[i] - y[i]));
+  }
+  EXPECT_LT(max_err, 0.5);
+}
+
+TEST(SvrTest, FitsNonlinearSine) {
+  Rng rng(53);
+  const size_t n = 200;
+  Matrix x(n, 1);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.Uniform(-3.0, 3.0);
+    y[i] = std::sin(x(i, 0));
+  }
+  SvrRegression svr;
+  ASSERT_TRUE(svr.Fit(x, y).ok());
+  // Evaluate on a fresh grid of points.
+  Matrix q(21, 1);
+  for (int i = 0; i <= 20; ++i) q(i, 0) = -2.5 + 0.25 * i;
+  const auto pred = svr.Predict(q);
+  for (int i = 0; i <= 20; ++i) {
+    EXPECT_NEAR(pred[static_cast<size_t>(i)], std::sin(q(i, 0)), 0.25)
+        << "at x=" << q(i, 0);
+  }
+}
+
+TEST(SvrTest, EpsilonInsensitiveTubeSparsifiesDuals) {
+  // With a huge epsilon every residual fits inside the tube: no support
+  // vectors at all.
+  Rng rng(57);
+  const size_t n = 50;
+  Matrix x(n, 1);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.Normal();
+    y[i] = 0.01 * x(i, 0);
+  }
+  SvrRegression::Options options;
+  options.epsilon = 10.0;
+  SvrRegression svr(options);
+  ASSERT_TRUE(svr.Fit(x, y).ok());
+  EXPECT_EQ(svr.NumSupportVectors(), 0u);
+}
+
+TEST(SvrTest, CBoundsRespected) {
+  // Tiny C caps the duals; the model underfits but must stay bounded.
+  Rng rng(59);
+  const size_t n = 60;
+  Matrix x(n, 1);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.Normal();
+    y[i] = 100.0 * x(i, 0);
+  }
+  SvrRegression::Options options;
+  options.c = 1e-3;
+  options.standardize_target = false;
+  SvrRegression svr(options);
+  ASSERT_TRUE(svr.Fit(x, y).ok());
+  const auto pred = svr.Predict(x);
+  for (double p : pred) EXPECT_LT(std::fabs(p), 10.0);
+}
+
+TEST(SvrTest, MultivariateFeatures) {
+  Rng rng(61);
+  const size_t n = 150;
+  Matrix x(n, 3);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < 3; ++c) x(i, c) = rng.Uniform(-1, 1);
+    y[i] = x(i, 0) * x(i, 1) + 0.5 * x(i, 2);
+  }
+  SvrRegression svr;
+  ASSERT_TRUE(svr.Fit(x, y).ok());
+  const auto pred = svr.Predict(x);
+  double sse = 0.0;
+  double sst = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sse += std::pow(pred[i] - y[i], 2);
+    sst += y[i] * y[i];
+  }
+  EXPECT_LT(sse, 0.2 * sst);
+}
+
+TEST(SvrTest, RejectsEmptyOrMismatched) {
+  SvrRegression svr;
+  EXPECT_FALSE(svr.Fit(Matrix(0, 1), {}).ok());
+  EXPECT_FALSE(svr.Fit(Matrix(3, 1), {1.0, 2.0}).ok());
+}
+
+TEST(SvrTest, DeterministicFit) {
+  Rng rng(63);
+  const size_t n = 80;
+  Matrix x(n, 1);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.Normal();
+    y[i] = x(i, 0) * x(i, 0);
+  }
+  SvrRegression a;
+  SvrRegression b;
+  ASSERT_TRUE(a.Fit(x, y).ok());
+  ASSERT_TRUE(b.Fit(x, y).ok());
+  const auto pa = a.Predict(x);
+  const auto pb = b.Predict(x);
+  for (size_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(pa[i], pb[i]);
+}
+
+}  // namespace
+}  // namespace srp

@@ -1,0 +1,216 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ml/decision_tree.h"
+#include "ml/gradient_boosting.h"
+#include "ml/random_forest.h"
+#include "util/random.h"
+
+namespace srp {
+namespace {
+
+/// Piecewise-constant target: trees should fit it exactly given depth.
+void MakeStepData(size_t n, uint64_t seed, Matrix* x, std::vector<double>* y) {
+  Rng rng(seed);
+  *x = Matrix(n, 2);
+  y->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    (*x)(i, 0) = rng.Uniform(0, 1);
+    (*x)(i, 1) = rng.Uniform(0, 1);
+    (*y)[i] = ((*x)(i, 0) > 0.5 ? 10.0 : 0.0) + ((*x)(i, 1) > 0.5 ? 5.0 : 0.0);
+  }
+}
+
+TEST(RegressionTreeTest, FitsPiecewiseConstantExactly) {
+  Matrix x;
+  std::vector<double> y;
+  MakeStepData(400, 71, &x, &y);
+  RegressionTree::Options options;
+  options.max_depth = 4;
+  options.min_samples_leaf = 5;
+  RegressionTree tree(options);
+  ASSERT_TRUE(tree.Fit(x, y).ok());
+  const auto pred = tree.Predict(x);
+  for (size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(pred[i], y[i], 1e-9);
+}
+
+TEST(RegressionTreeTest, DepthZeroPredictsMean) {
+  Matrix x(4, 1);
+  for (size_t i = 0; i < 4; ++i) x(i, 0) = static_cast<double>(i);
+  RegressionTree::Options options;
+  options.max_depth = 0;
+  RegressionTree tree(options);
+  ASSERT_TRUE(tree.Fit(x, {1, 2, 3, 6}).ok());
+  EXPECT_DOUBLE_EQ(tree.PredictRow(x, 0), 3.0);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+}
+
+TEST(RegressionTreeTest, MinSamplesLeafRespected) {
+  Matrix x;
+  std::vector<double> y;
+  MakeStepData(100, 73, &x, &y);
+  RegressionTree::Options options;
+  options.max_depth = 10;
+  options.min_samples_leaf = 60;  // cannot split 100 into two >= 60
+  RegressionTree tree(options);
+  ASSERT_TRUE(tree.Fit(x, y).ok());
+  EXPECT_EQ(tree.num_nodes(), 1u);
+}
+
+TEST(RegressionTreeTest, BootstrapSampleSubset) {
+  Matrix x;
+  std::vector<double> y;
+  MakeStepData(50, 77, &x, &y);
+  RegressionTree tree;
+  // Fit on only the first half.
+  std::vector<size_t> half;
+  for (size_t i = 0; i < 25; ++i) half.push_back(i);
+  ASSERT_TRUE(tree.Fit(x, y, half).ok());
+  EXPECT_TRUE(tree.fitted());
+}
+
+TEST(RegressionTreeTest, RejectsEmptySample) {
+  Matrix x(3, 1);
+  RegressionTree tree;
+  EXPECT_FALSE(tree.Fit(x, {1, 2, 3}, std::vector<size_t>{}).ok());
+}
+
+TEST(RegressionTreeTest, FeatureSubsamplingNeedsRng) {
+  Matrix x(10, 2);
+  std::vector<double> y(10, 1.0);
+  RegressionTree::Options options;
+  options.max_features = 1;
+  RegressionTree tree(options);
+  EXPECT_FALSE(tree.Fit(x, y).ok());  // no Rng supplied
+}
+
+TEST(RandomForestTest, ReducesErrorVersusMeanPredictor) {
+  Rng rng(79);
+  const size_t n = 500;
+  Matrix x(n, 3);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < 3; ++c) x(i, c) = rng.Uniform(-1, 1);
+    y[i] = 4.0 * x(i, 0) - 2.0 * x(i, 1) + x(i, 2) + 0.1 * rng.Normal();
+  }
+  RandomForestRegression::Options options;
+  options.n_estimators = 40;  // keep the test quick
+  RandomForestRegression forest(options);
+  ASSERT_TRUE(forest.Fit(x, y).ok());
+  EXPECT_EQ(forest.num_trees(), 40u);
+  const auto pred = forest.Predict(x);
+  double sse = 0.0;
+  double sst = 0.0;
+  double mean = 0.0;
+  for (double v : y) mean += v;
+  mean /= static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    sse += std::pow(pred[i] - y[i], 2);
+    sst += std::pow(y[i] - mean, 2);
+  }
+  EXPECT_LT(sse, 0.3 * sst);
+}
+
+TEST(RandomForestTest, DeterministicUnderSeed) {
+  Matrix x;
+  std::vector<double> y;
+  MakeStepData(200, 83, &x, &y);
+  RandomForestRegression::Options options;
+  options.n_estimators = 10;
+  options.seed = 5;
+  RandomForestRegression a(options);
+  RandomForestRegression b(options);
+  ASSERT_TRUE(a.Fit(x, y).ok());
+  ASSERT_TRUE(b.Fit(x, y).ok());
+  const auto pa = a.Predict(x);
+  const auto pb = b.Predict(x);
+  for (size_t i = 0; i < pa.size(); ++i) EXPECT_DOUBLE_EQ(pa[i], pb[i]);
+}
+
+TEST(RandomForestTest, RejectsEmpty) {
+  RandomForestRegression forest;
+  EXPECT_FALSE(forest.Fit(Matrix(0, 2), {}).ok());
+}
+
+TEST(GradientBoostingTest, SeparableClassesLearned) {
+  Rng rng(89);
+  const size_t n = 300;
+  Matrix x(n, 2);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.Uniform(0, 1);
+    x(i, 1) = rng.Uniform(0, 1);
+    labels[i] = (x(i, 0) > 0.5 ? 1 : 0) + (x(i, 1) > 0.5 ? 1 : 0);
+  }
+  GradientBoostingClassifier::Options options;
+  options.n_estimators = 25;
+  options.max_depth = 3;
+  options.min_samples_leaf = 5;
+  GradientBoostingClassifier gbt(options);
+  ASSERT_TRUE(gbt.Fit(x, labels, 3).ok());
+  const auto pred = gbt.Predict(x);
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) hits += (pred[i] == labels[i]);
+  EXPECT_GT(static_cast<double>(hits) / n, 0.95);
+}
+
+TEST(GradientBoostingTest, ProbabilitiesSumToOne) {
+  Rng rng(91);
+  const size_t n = 100;
+  Matrix x(n, 1);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.Normal();
+    labels[i] = x(i, 0) > 0 ? 1 : 0;
+  }
+  GradientBoostingClassifier::Options options;
+  options.n_estimators = 10;
+  GradientBoostingClassifier gbt(options);
+  ASSERT_TRUE(gbt.Fit(x, labels, 2).ok());
+  const auto proba = gbt.PredictProba(x);
+  for (const auto& row : proba) {
+    double sum = 0.0;
+    for (double p : row) {
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(GradientBoostingTest, RejectsBadLabels) {
+  Matrix x(4, 1);
+  GradientBoostingClassifier gbt;
+  EXPECT_FALSE(gbt.Fit(x, {0, 1, 2, 5}, 3).ok());  // label 5 out of range
+  EXPECT_FALSE(gbt.Fit(x, {0, 0, 0, 0}, 1).ok());  // < 2 classes
+  EXPECT_FALSE(gbt.Fit(x, {0, 1}, 2).ok());        // size mismatch
+}
+
+TEST(GradientBoostingTest, MoreRoundsImproveTrainingFit) {
+  Rng rng(93);
+  const size_t n = 200;
+  Matrix x(n, 2);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.Uniform(-1, 1);
+    x(i, 1) = rng.Uniform(-1, 1);
+    labels[i] = (x(i, 0) * x(i, 1) > 0) ? 1 : 0;  // XOR-ish
+  }
+  auto accuracy_for = [&](size_t rounds) {
+    GradientBoostingClassifier::Options options;
+    options.n_estimators = rounds;
+    options.max_depth = 2;
+    options.min_samples_leaf = 5;
+    GradientBoostingClassifier gbt(options);
+    EXPECT_TRUE(gbt.Fit(x, labels, 2).ok());
+    const auto pred = gbt.Predict(x);
+    size_t hits = 0;
+    for (size_t i = 0; i < n; ++i) hits += (pred[i] == labels[i]);
+    return static_cast<double>(hits) / n;
+  };
+  EXPECT_GE(accuracy_for(30), accuracy_for(1));
+}
+
+}  // namespace
+}  // namespace srp

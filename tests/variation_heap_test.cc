@@ -1,0 +1,98 @@
+#include "core/variation_heap.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace srp {
+namespace {
+
+TEST(VariationHeapTest, PopsInAscendingOrder) {
+  MinAdjacentVariationHeap heap;
+  for (double v : {0.5, 0.1, 0.9, 0.3, 0.7}) heap.Push(v);
+  std::vector<double> popped;
+  while (!heap.Empty()) popped.push_back(heap.PopMin());
+  EXPECT_TRUE(std::is_sorted(popped.begin(), popped.end()));
+  EXPECT_EQ(popped.size(), 5u);
+  EXPECT_DOUBLE_EQ(popped.front(), 0.1);
+  EXPECT_DOUBLE_EQ(popped.back(), 0.9);
+}
+
+TEST(VariationHeapTest, HeapSortsRandomInput) {
+  Rng rng(42);
+  MinAdjacentVariationHeap heap;
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.Uniform01();
+    values.push_back(v);
+    heap.Push(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double expected : values) {
+    ASSERT_FALSE(heap.Empty());
+    EXPECT_DOUBLE_EQ(heap.PopMin(), expected);
+  }
+}
+
+TEST(VariationHeapTest, PeekDoesNotRemove) {
+  MinAdjacentVariationHeap heap;
+  heap.Push(2.0);
+  heap.Push(1.0);
+  EXPECT_DOUBLE_EQ(heap.PeekMin(), 1.0);
+  EXPECT_EQ(heap.Size(), 2u);
+}
+
+TEST(VariationHeapTest, PopNextGreaterSkipsDuplicates) {
+  MinAdjacentVariationHeap heap;
+  for (double v : {0.1, 0.1, 0.1, 0.2, 0.2, 0.3}) heap.Push(v);
+  double value = 0.0;
+  ASSERT_TRUE(heap.PopNextGreater(-1.0, &value));
+  EXPECT_DOUBLE_EQ(value, 0.1);
+  ASSERT_TRUE(heap.PopNextGreater(value, &value));
+  EXPECT_DOUBLE_EQ(value, 0.2);
+  ASSERT_TRUE(heap.PopNextGreater(value, &value));
+  EXPECT_DOUBLE_EQ(value, 0.3);
+  EXPECT_FALSE(heap.PopNextGreater(value, &value));
+}
+
+TEST(VariationHeapTest, BuildFromGridExcludesNullPairsAndInfinities) {
+  // 1x3 grid: [5, null, 10]. Both adjacent pairs touch the null cell, so the
+  // heap must be empty.
+  GridDataset g(1, 3, {{"a", AggType::kSum, false}});
+  g.Set(0, 0, 0, 5.0);
+  g.Set(0, 2, 0, 10.0);
+  const PairVariations pv = ComputePairVariations(g);
+  MinAdjacentVariationHeap heap;
+  heap.Build(pv, &g);
+  EXPECT_TRUE(heap.Empty());
+}
+
+TEST(VariationHeapTest, BuildCountsValidAdjacentPairs) {
+  // Fully valid 2x2 grid has 4 adjacent pairs (2 horizontal + 2 vertical).
+  GridDataset g(2, 2, {{"a", AggType::kSum, false}});
+  g.Set(0, 0, 0, 1.0);
+  g.Set(0, 1, 0, 2.0);
+  g.Set(1, 0, 0, 3.0);
+  g.Set(1, 1, 0, 4.0);
+  const PairVariations pv = ComputePairVariations(g);
+  MinAdjacentVariationHeap heap;
+  heap.Build(pv, &g);
+  EXPECT_EQ(heap.Size(), 4u);
+  EXPECT_DOUBLE_EQ(heap.PopMin(), 1.0);  // smallest adjacent difference
+}
+
+TEST(VariationHeapTest, RebuildClearsPreviousContents) {
+  GridDataset g(1, 2, {{"a", AggType::kSum, false}});
+  g.Set(0, 0, 0, 1.0);
+  g.Set(0, 1, 0, 2.0);
+  const PairVariations pv = ComputePairVariations(g);
+  MinAdjacentVariationHeap heap;
+  heap.Push(42.0);
+  heap.Build(pv, &g);
+  EXPECT_EQ(heap.Size(), 1u);
+}
+
+}  // namespace
+}  // namespace srp

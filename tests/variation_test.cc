@@ -1,0 +1,71 @@
+#include "core/variation.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace srp {
+namespace {
+
+GridDataset TwoByTwo() {
+  GridDataset g(2, 2,
+                {{"a", AggType::kAverage, false},
+                 {"b", AggType::kAverage, false}});
+  g.SetFeatureVector(0, 0, {1.0, 2.0});
+  g.SetFeatureVector(0, 1, {2.0, 4.0});
+  g.SetFeatureVector(1, 0, {1.0, 2.0});
+  g.SetFeatureVector(1, 1, {5.0, 0.0});
+  return g;
+}
+
+TEST(VariationTest, Eq1IsMeanAbsoluteDifference) {
+  const GridDataset g = TwoByTwo();
+  // |1-2| + |2-4| = 3, averaged over 2 attributes -> 1.5.
+  EXPECT_DOUBLE_EQ(AttributeVariation(g, 0, 0, 0, 1), 1.5);
+  // Identical cells -> 0.
+  EXPECT_DOUBLE_EQ(AttributeVariation(g, 0, 0, 1, 0), 0.0);
+  // |2-5| + |4-0| = 7 -> 3.5.
+  EXPECT_DOUBLE_EQ(AttributeVariation(g, 0, 1, 1, 1), 3.5);
+}
+
+TEST(VariationTest, SymmetricInArguments) {
+  const GridDataset g = TwoByTwo();
+  EXPECT_DOUBLE_EQ(AttributeVariation(g, 0, 0, 1, 1),
+                   AttributeVariation(g, 1, 1, 0, 0));
+}
+
+TEST(VariationTest, NullPairs) {
+  GridDataset g(1, 3, {{"a", AggType::kSum, false}});
+  g.Set(0, 0, 0, 1.0);
+  // (0,1) and (0,2) stay null.
+  EXPECT_TRUE(std::isinf(AttributeVariation(g, 0, 0, 0, 1)));
+  EXPECT_DOUBLE_EQ(AttributeVariation(g, 0, 1, 0, 2), 0.0);
+}
+
+TEST(PairVariationsTest, RightAndDownMatchDirectComputation) {
+  const GridDataset g = TwoByTwo();
+  const PairVariations pv = ComputePairVariations(g);
+  EXPECT_DOUBLE_EQ(pv.Right(0, 0), AttributeVariation(g, 0, 0, 0, 1));
+  EXPECT_DOUBLE_EQ(pv.Right(1, 0), AttributeVariation(g, 1, 0, 1, 1));
+  EXPECT_DOUBLE_EQ(pv.Down(0, 0), AttributeVariation(g, 0, 0, 1, 0));
+  EXPECT_DOUBLE_EQ(pv.Down(0, 1), AttributeVariation(g, 0, 1, 1, 1));
+}
+
+TEST(PairVariationsTest, BordersAreInfinite) {
+  const GridDataset g = TwoByTwo();
+  const PairVariations pv = ComputePairVariations(g);
+  EXPECT_TRUE(std::isinf(pv.Right(0, 1)));  // last column
+  EXPECT_TRUE(std::isinf(pv.Down(1, 0)));   // last row
+}
+
+TEST(PairVariationsTest, UnivariateGrid) {
+  GridDataset g(1, 2, {{"a", AggType::kSum, false}});
+  g.Set(0, 0, 0, 3.0);
+  g.Set(0, 1, 0, 7.5);
+  const PairVariations pv = ComputePairVariations(g);
+  EXPECT_DOUBLE_EQ(pv.Right(0, 0), 4.5);
+}
+
+}  // namespace
+}  // namespace srp
