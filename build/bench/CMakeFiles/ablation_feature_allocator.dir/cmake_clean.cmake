@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_feature_allocator.dir/ablation_feature_allocator.cc.o"
+  "CMakeFiles/ablation_feature_allocator.dir/ablation_feature_allocator.cc.o.d"
+  "ablation_feature_allocator"
+  "ablation_feature_allocator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_feature_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_variation_step.dir/ablation_variation_step.cc.o"
+  "CMakeFiles/ablation_variation_step.dir/ablation_variation_step.cc.o.d"
+  "ablation_variation_step"
+  "ablation_variation_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_variation_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

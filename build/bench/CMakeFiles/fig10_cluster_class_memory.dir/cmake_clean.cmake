@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cluster_class_memory.dir/fig10_cluster_class_memory.cc.o"
+  "CMakeFiles/fig10_cluster_class_memory.dir/fig10_cluster_class_memory.cc.o.d"
+  "fig10_cluster_class_memory"
+  "fig10_cluster_class_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cluster_class_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_cell_reduction.dir/fig5_cell_reduction.cc.o"
+  "CMakeFiles/fig5_cell_reduction.dir/fig5_cell_reduction.cc.o.d"
+  "fig5_cell_reduction"
+  "fig5_cell_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cell_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

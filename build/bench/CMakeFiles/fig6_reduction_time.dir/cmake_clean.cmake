@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_reduction_time.dir/fig6_reduction_time.cc.o"
+  "CMakeFiles/fig6_reduction_time.dir/fig6_reduction_time.cc.o.d"
+  "fig6_reduction_time"
+  "fig6_reduction_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_reduction_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

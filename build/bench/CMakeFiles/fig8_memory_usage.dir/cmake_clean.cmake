@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_memory_usage.dir/fig8_memory_usage.cc.o"
+  "CMakeFiles/fig8_memory_usage.dir/fig8_memory_usage.cc.o.d"
+  "fig8_memory_usage"
+  "fig8_memory_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_memory_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/srp_bench_common.dir/bench_common.cc.o.d"
+  "CMakeFiles/srp_bench_common.dir/model_runs.cc.o"
+  "CMakeFiles/srp_bench_common.dir/model_runs.cc.o.d"
+  "libsrp_bench_common.a"
+  "libsrp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_regression_errors.dir/table2_regression_errors.cc.o"
+  "CMakeFiles/table2_regression_errors.dir/table2_regression_errors.cc.o.d"
+  "table2_regression_errors"
+  "table2_regression_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_regression_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

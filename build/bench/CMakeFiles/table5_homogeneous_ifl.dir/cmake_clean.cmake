@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_homogeneous_ifl.dir/table5_homogeneous_ifl.cc.o"
+  "CMakeFiles/table5_homogeneous_ifl.dir/table5_homogeneous_ifl.cc.o.d"
+  "table5_homogeneous_ifl"
+  "table5_homogeneous_ifl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_homogeneous_ifl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classification_pipeline.dir/classification_pipeline.cpp.o"
+  "CMakeFiles/classification_pipeline.dir/classification_pipeline.cpp.o.d"
+  "classification_pipeline"
+  "classification_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classification_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxi_kriging.dir/taxi_kriging.cpp.o"
+  "CMakeFiles/taxi_kriging.dir/taxi_kriging.cpp.o.d"
+  "taxi_kriging"
+  "taxi_kriging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxi_kriging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

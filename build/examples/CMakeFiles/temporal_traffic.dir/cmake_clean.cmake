@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_traffic.dir/temporal_traffic.cpp.o"
+  "CMakeFiles/temporal_traffic.dir/temporal_traffic.cpp.o.d"
+  "temporal_traffic"
+  "temporal_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_baselines.dir/clustering_reduction.cc.o"
+  "CMakeFiles/srp_baselines.dir/clustering_reduction.cc.o.d"
+  "CMakeFiles/srp_baselines.dir/reduced_dataset.cc.o"
+  "CMakeFiles/srp_baselines.dir/reduced_dataset.cc.o.d"
+  "CMakeFiles/srp_baselines.dir/regionalization.cc.o"
+  "CMakeFiles/srp_baselines.dir/regionalization.cc.o.d"
+  "CMakeFiles/srp_baselines.dir/sampling.cc.o"
+  "CMakeFiles/srp_baselines.dir/sampling.cc.o.d"
+  "libsrp_baselines.a"
+  "libsrp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adjacency.cc" "src/core/CMakeFiles/srp_core.dir/adjacency.cc.o" "gcc" "src/core/CMakeFiles/srp_core.dir/adjacency.cc.o.d"
+  "/root/repo/src/core/extractor.cc" "src/core/CMakeFiles/srp_core.dir/extractor.cc.o" "gcc" "src/core/CMakeFiles/srp_core.dir/extractor.cc.o.d"
+  "/root/repo/src/core/feature_allocator.cc" "src/core/CMakeFiles/srp_core.dir/feature_allocator.cc.o" "gcc" "src/core/CMakeFiles/srp_core.dir/feature_allocator.cc.o.d"
+  "/root/repo/src/core/homogeneous.cc" "src/core/CMakeFiles/srp_core.dir/homogeneous.cc.o" "gcc" "src/core/CMakeFiles/srp_core.dir/homogeneous.cc.o.d"
+  "/root/repo/src/core/information_loss.cc" "src/core/CMakeFiles/srp_core.dir/information_loss.cc.o" "gcc" "src/core/CMakeFiles/srp_core.dir/information_loss.cc.o.d"
+  "/root/repo/src/core/partition.cc" "src/core/CMakeFiles/srp_core.dir/partition.cc.o" "gcc" "src/core/CMakeFiles/srp_core.dir/partition.cc.o.d"
+  "/root/repo/src/core/reconstruct.cc" "src/core/CMakeFiles/srp_core.dir/reconstruct.cc.o" "gcc" "src/core/CMakeFiles/srp_core.dir/reconstruct.cc.o.d"
+  "/root/repo/src/core/repartitioner.cc" "src/core/CMakeFiles/srp_core.dir/repartitioner.cc.o" "gcc" "src/core/CMakeFiles/srp_core.dir/repartitioner.cc.o.d"
+  "/root/repo/src/core/variation.cc" "src/core/CMakeFiles/srp_core.dir/variation.cc.o" "gcc" "src/core/CMakeFiles/srp_core.dir/variation.cc.o.d"
+  "/root/repo/src/core/variation_heap.cc" "src/core/CMakeFiles/srp_core.dir/variation_heap.cc.o" "gcc" "src/core/CMakeFiles/srp_core.dir/variation_heap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/srp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/srp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_core.dir/adjacency.cc.o"
+  "CMakeFiles/srp_core.dir/adjacency.cc.o.d"
+  "CMakeFiles/srp_core.dir/extractor.cc.o"
+  "CMakeFiles/srp_core.dir/extractor.cc.o.d"
+  "CMakeFiles/srp_core.dir/feature_allocator.cc.o"
+  "CMakeFiles/srp_core.dir/feature_allocator.cc.o.d"
+  "CMakeFiles/srp_core.dir/homogeneous.cc.o"
+  "CMakeFiles/srp_core.dir/homogeneous.cc.o.d"
+  "CMakeFiles/srp_core.dir/information_loss.cc.o"
+  "CMakeFiles/srp_core.dir/information_loss.cc.o.d"
+  "CMakeFiles/srp_core.dir/partition.cc.o"
+  "CMakeFiles/srp_core.dir/partition.cc.o.d"
+  "CMakeFiles/srp_core.dir/reconstruct.cc.o"
+  "CMakeFiles/srp_core.dir/reconstruct.cc.o.d"
+  "CMakeFiles/srp_core.dir/repartitioner.cc.o"
+  "CMakeFiles/srp_core.dir/repartitioner.cc.o.d"
+  "CMakeFiles/srp_core.dir/variation.cc.o"
+  "CMakeFiles/srp_core.dir/variation.cc.o.d"
+  "CMakeFiles/srp_core.dir/variation_heap.cc.o"
+  "CMakeFiles/srp_core.dir/variation_heap.cc.o.d"
+  "libsrp_core.a"
+  "libsrp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_data.dir/datasets.cc.o"
+  "CMakeFiles/srp_data.dir/datasets.cc.o.d"
+  "CMakeFiles/srp_data.dir/gaussian_field.cc.o"
+  "CMakeFiles/srp_data.dir/gaussian_field.cc.o.d"
+  "libsrp_data.a"
+  "libsrp_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

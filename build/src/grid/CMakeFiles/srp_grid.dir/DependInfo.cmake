@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/grid_builder.cc" "src/grid/CMakeFiles/srp_grid.dir/grid_builder.cc.o" "gcc" "src/grid/CMakeFiles/srp_grid.dir/grid_builder.cc.o.d"
+  "/root/repo/src/grid/grid_dataset.cc" "src/grid/CMakeFiles/srp_grid.dir/grid_dataset.cc.o" "gcc" "src/grid/CMakeFiles/srp_grid.dir/grid_dataset.cc.o.d"
+  "/root/repo/src/grid/normalize.cc" "src/grid/CMakeFiles/srp_grid.dir/normalize.cc.o" "gcc" "src/grid/CMakeFiles/srp_grid.dir/normalize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/srp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_grid.dir/grid_builder.cc.o"
+  "CMakeFiles/srp_grid.dir/grid_builder.cc.o.d"
+  "CMakeFiles/srp_grid.dir/grid_dataset.cc.o"
+  "CMakeFiles/srp_grid.dir/grid_dataset.cc.o.d"
+  "CMakeFiles/srp_grid.dir/normalize.cc.o"
+  "CMakeFiles/srp_grid.dir/normalize.cc.o.d"
+  "libsrp_grid.a"
+  "libsrp_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_linalg.dir/cholesky.cc.o"
+  "CMakeFiles/srp_linalg.dir/cholesky.cc.o.d"
+  "CMakeFiles/srp_linalg.dir/lu.cc.o"
+  "CMakeFiles/srp_linalg.dir/lu.cc.o.d"
+  "CMakeFiles/srp_linalg.dir/matrix.cc.o"
+  "CMakeFiles/srp_linalg.dir/matrix.cc.o.d"
+  "CMakeFiles/srp_linalg.dir/solve.cc.o"
+  "CMakeFiles/srp_linalg.dir/solve.cc.o.d"
+  "CMakeFiles/srp_linalg.dir/stats.cc.o"
+  "CMakeFiles/srp_linalg.dir/stats.cc.o.d"
+  "libsrp_linalg.a"
+  "libsrp_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/autocorrelation.cc" "src/metrics/CMakeFiles/srp_metrics.dir/autocorrelation.cc.o" "gcc" "src/metrics/CMakeFiles/srp_metrics.dir/autocorrelation.cc.o.d"
+  "/root/repo/src/metrics/classification_metrics.cc" "src/metrics/CMakeFiles/srp_metrics.dir/classification_metrics.cc.o" "gcc" "src/metrics/CMakeFiles/srp_metrics.dir/classification_metrics.cc.o.d"
+  "/root/repo/src/metrics/clustering_agreement.cc" "src/metrics/CMakeFiles/srp_metrics.dir/clustering_agreement.cc.o" "gcc" "src/metrics/CMakeFiles/srp_metrics.dir/clustering_agreement.cc.o.d"
+  "/root/repo/src/metrics/regression_metrics.cc" "src/metrics/CMakeFiles/srp_metrics.dir/regression_metrics.cc.o" "gcc" "src/metrics/CMakeFiles/srp_metrics.dir/regression_metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/srp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_metrics.dir/autocorrelation.cc.o"
+  "CMakeFiles/srp_metrics.dir/autocorrelation.cc.o.d"
+  "CMakeFiles/srp_metrics.dir/classification_metrics.cc.o"
+  "CMakeFiles/srp_metrics.dir/classification_metrics.cc.o.d"
+  "CMakeFiles/srp_metrics.dir/clustering_agreement.cc.o"
+  "CMakeFiles/srp_metrics.dir/clustering_agreement.cc.o.d"
+  "CMakeFiles/srp_metrics.dir/regression_metrics.cc.o"
+  "CMakeFiles/srp_metrics.dir/regression_metrics.cc.o.d"
+  "libsrp_metrics.a"
+  "libsrp_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

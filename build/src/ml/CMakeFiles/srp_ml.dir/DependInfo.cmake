@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/srp_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/srp_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/ml/CMakeFiles/srp_ml.dir/decision_tree.cc.o" "gcc" "src/ml/CMakeFiles/srp_ml.dir/decision_tree.cc.o.d"
+  "/root/repo/src/ml/gradient_boosting.cc" "src/ml/CMakeFiles/srp_ml.dir/gradient_boosting.cc.o" "gcc" "src/ml/CMakeFiles/srp_ml.dir/gradient_boosting.cc.o.d"
+  "/root/repo/src/ml/gwr.cc" "src/ml/CMakeFiles/srp_ml.dir/gwr.cc.o" "gcc" "src/ml/CMakeFiles/srp_ml.dir/gwr.cc.o.d"
+  "/root/repo/src/ml/kdtree.cc" "src/ml/CMakeFiles/srp_ml.dir/kdtree.cc.o" "gcc" "src/ml/CMakeFiles/srp_ml.dir/kdtree.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/ml/CMakeFiles/srp_ml.dir/knn.cc.o" "gcc" "src/ml/CMakeFiles/srp_ml.dir/knn.cc.o.d"
+  "/root/repo/src/ml/kriging.cc" "src/ml/CMakeFiles/srp_ml.dir/kriging.cc.o" "gcc" "src/ml/CMakeFiles/srp_ml.dir/kriging.cc.o.d"
+  "/root/repo/src/ml/ols.cc" "src/ml/CMakeFiles/srp_ml.dir/ols.cc.o" "gcc" "src/ml/CMakeFiles/srp_ml.dir/ols.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/ml/CMakeFiles/srp_ml.dir/random_forest.cc.o" "gcc" "src/ml/CMakeFiles/srp_ml.dir/random_forest.cc.o.d"
+  "/root/repo/src/ml/schc.cc" "src/ml/CMakeFiles/srp_ml.dir/schc.cc.o" "gcc" "src/ml/CMakeFiles/srp_ml.dir/schc.cc.o.d"
+  "/root/repo/src/ml/spatial_error.cc" "src/ml/CMakeFiles/srp_ml.dir/spatial_error.cc.o" "gcc" "src/ml/CMakeFiles/srp_ml.dir/spatial_error.cc.o.d"
+  "/root/repo/src/ml/spatial_lag.cc" "src/ml/CMakeFiles/srp_ml.dir/spatial_lag.cc.o" "gcc" "src/ml/CMakeFiles/srp_ml.dir/spatial_lag.cc.o.d"
+  "/root/repo/src/ml/spatial_weights.cc" "src/ml/CMakeFiles/srp_ml.dir/spatial_weights.cc.o" "gcc" "src/ml/CMakeFiles/srp_ml.dir/spatial_weights.cc.o.d"
+  "/root/repo/src/ml/svr.cc" "src/ml/CMakeFiles/srp_ml.dir/svr.cc.o" "gcc" "src/ml/CMakeFiles/srp_ml.dir/svr.cc.o.d"
+  "/root/repo/src/ml/variogram.cc" "src/ml/CMakeFiles/srp_ml.dir/variogram.cc.o" "gcc" "src/ml/CMakeFiles/srp_ml.dir/variogram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/srp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/srp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/srp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/srp_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/srp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_ml.dir/dataset.cc.o"
+  "CMakeFiles/srp_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/srp_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/srp_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/srp_ml.dir/gradient_boosting.cc.o"
+  "CMakeFiles/srp_ml.dir/gradient_boosting.cc.o.d"
+  "CMakeFiles/srp_ml.dir/gwr.cc.o"
+  "CMakeFiles/srp_ml.dir/gwr.cc.o.d"
+  "CMakeFiles/srp_ml.dir/kdtree.cc.o"
+  "CMakeFiles/srp_ml.dir/kdtree.cc.o.d"
+  "CMakeFiles/srp_ml.dir/knn.cc.o"
+  "CMakeFiles/srp_ml.dir/knn.cc.o.d"
+  "CMakeFiles/srp_ml.dir/kriging.cc.o"
+  "CMakeFiles/srp_ml.dir/kriging.cc.o.d"
+  "CMakeFiles/srp_ml.dir/ols.cc.o"
+  "CMakeFiles/srp_ml.dir/ols.cc.o.d"
+  "CMakeFiles/srp_ml.dir/random_forest.cc.o"
+  "CMakeFiles/srp_ml.dir/random_forest.cc.o.d"
+  "CMakeFiles/srp_ml.dir/schc.cc.o"
+  "CMakeFiles/srp_ml.dir/schc.cc.o.d"
+  "CMakeFiles/srp_ml.dir/spatial_error.cc.o"
+  "CMakeFiles/srp_ml.dir/spatial_error.cc.o.d"
+  "CMakeFiles/srp_ml.dir/spatial_lag.cc.o"
+  "CMakeFiles/srp_ml.dir/spatial_lag.cc.o.d"
+  "CMakeFiles/srp_ml.dir/spatial_weights.cc.o"
+  "CMakeFiles/srp_ml.dir/spatial_weights.cc.o.d"
+  "CMakeFiles/srp_ml.dir/svr.cc.o"
+  "CMakeFiles/srp_ml.dir/svr.cc.o.d"
+  "CMakeFiles/srp_ml.dir/variogram.cc.o"
+  "CMakeFiles/srp_ml.dir/variogram.cc.o.d"
+  "libsrp_ml.a"
+  "libsrp_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

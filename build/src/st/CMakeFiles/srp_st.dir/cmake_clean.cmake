@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_st.dir/st_repartitioner.cc.o"
+  "CMakeFiles/srp_st.dir/st_repartitioner.cc.o.d"
+  "CMakeFiles/srp_st.dir/temporal_grid.cc.o"
+  "CMakeFiles/srp_st.dir/temporal_grid.cc.o.d"
+  "libsrp_st.a"
+  "libsrp_st.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_st.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

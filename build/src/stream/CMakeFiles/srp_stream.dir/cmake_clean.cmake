@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_stream.dir/streaming_repartitioner.cc.o"
+  "CMakeFiles/srp_stream.dir/streaming_repartitioner.cc.o.d"
+  "libsrp_stream.a"
+  "libsrp_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_memtrack.dir/memtrack_new.cc.o"
+  "CMakeFiles/srp_memtrack.dir/memtrack_new.cc.o.d"
+  "libsrp_memtrack.a"
+  "libsrp_memtrack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_memtrack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

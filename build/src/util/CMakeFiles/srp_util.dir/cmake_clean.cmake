@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_util.dir/csv.cc.o"
+  "CMakeFiles/srp_util.dir/csv.cc.o.d"
+  "CMakeFiles/srp_util.dir/logging.cc.o"
+  "CMakeFiles/srp_util.dir/logging.cc.o.d"
+  "CMakeFiles/srp_util.dir/memory_tracker.cc.o"
+  "CMakeFiles/srp_util.dir/memory_tracker.cc.o.d"
+  "CMakeFiles/srp_util.dir/random.cc.o"
+  "CMakeFiles/srp_util.dir/random.cc.o.d"
+  "CMakeFiles/srp_util.dir/status.cc.o"
+  "CMakeFiles/srp_util.dir/status.cc.o.d"
+  "CMakeFiles/srp_util.dir/string_util.cc.o"
+  "CMakeFiles/srp_util.dir/string_util.cc.o.d"
+  "libsrp_util.a"
+  "libsrp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_agreement_test.dir/clustering_agreement_test.cc.o"
+  "CMakeFiles/clustering_agreement_test.dir/clustering_agreement_test.cc.o.d"
+  "clustering_agreement_test"
+  "clustering_agreement_test.pdb"
+  "clustering_agreement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_agreement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_prep_test.dir/dataset_prep_test.cc.o"
+  "CMakeFiles/dataset_prep_test.dir/dataset_prep_test.cc.o.d"
+  "dataset_prep_test"
+  "dataset_prep_test.pdb"
+  "dataset_prep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_prep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_allocator_test.dir/feature_allocator_test.cc.o"
+  "CMakeFiles/feature_allocator_test.dir/feature_allocator_test.cc.o.d"
+  "feature_allocator_test"
+  "feature_allocator_test.pdb"
+  "feature_allocator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

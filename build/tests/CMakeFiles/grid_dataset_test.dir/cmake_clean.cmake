@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_dataset_test.dir/grid_dataset_test.cc.o"
+  "CMakeFiles/grid_dataset_test.dir/grid_dataset_test.cc.o.d"
+  "grid_dataset_test"
+  "grid_dataset_test.pdb"
+  "grid_dataset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gwr_test.dir/gwr_test.cc.o"
+  "CMakeFiles/gwr_test.dir/gwr_test.cc.o.d"
+  "gwr_test"
+  "gwr_test.pdb"
+  "gwr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gwr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

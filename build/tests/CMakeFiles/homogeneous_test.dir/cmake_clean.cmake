@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homogeneous_test.dir/homogeneous_test.cc.o"
+  "CMakeFiles/homogeneous_test.dir/homogeneous_test.cc.o.d"
+  "homogeneous_test"
+  "homogeneous_test.pdb"
+  "homogeneous_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homogeneous_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

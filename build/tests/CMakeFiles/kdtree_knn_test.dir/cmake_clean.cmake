@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdtree_knn_test.dir/kdtree_knn_test.cc.o"
+  "CMakeFiles/kdtree_knn_test.dir/kdtree_knn_test.cc.o.d"
+  "kdtree_knn_test"
+  "kdtree_knn_test.pdb"
+  "kdtree_knn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdtree_knn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

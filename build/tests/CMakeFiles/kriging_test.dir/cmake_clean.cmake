@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kriging_test.dir/kriging_test.cc.o"
+  "CMakeFiles/kriging_test.dir/kriging_test.cc.o.d"
+  "kriging_test"
+  "kriging_test.pdb"
+  "kriging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kriging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regression_models_test.dir/regression_models_test.cc.o"
+  "CMakeFiles/regression_models_test.dir/regression_models_test.cc.o.d"
+  "regression_models_test"
+  "regression_models_test.pdb"
+  "regression_models_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regression_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schc_test.dir/schc_test.cc.o"
+  "CMakeFiles/schc_test.dir/schc_test.cc.o.d"
+  "schc_test"
+  "schc_test.pdb"
+  "schc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

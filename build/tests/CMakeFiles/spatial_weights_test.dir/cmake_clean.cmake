@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_weights_test.dir/spatial_weights_test.cc.o"
+  "CMakeFiles/spatial_weights_test.dir/spatial_weights_test.cc.o.d"
+  "spatial_weights_test"
+  "spatial_weights_test.pdb"
+  "spatial_weights_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_weights_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_repartitioner_test.dir/st_repartitioner_test.cc.o"
+  "CMakeFiles/st_repartitioner_test.dir/st_repartitioner_test.cc.o.d"
+  "st_repartitioner_test"
+  "st_repartitioner_test.pdb"
+  "st_repartitioner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_repartitioner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svr_test.dir/svr_test.cc.o"
+  "CMakeFiles/svr_test.dir/svr_test.cc.o.d"
+  "svr_test"
+  "svr_test.pdb"
+  "svr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

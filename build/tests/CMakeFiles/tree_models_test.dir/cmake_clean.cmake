@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_models_test.dir/tree_models_test.cc.o"
+  "CMakeFiles/tree_models_test.dir/tree_models_test.cc.o.d"
+  "tree_models_test"
+  "tree_models_test.pdb"
+  "tree_models_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variation_heap_test.dir/variation_heap_test.cc.o"
+  "CMakeFiles/variation_heap_test.dir/variation_heap_test.cc.o.d"
+  "variation_heap_test"
+  "variation_heap_test.pdb"
+  "variation_heap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variation_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/srp_repartition_main.cc" "tools/CMakeFiles/srp_repartition.dir/srp_repartition_main.cc.o" "gcc" "tools/CMakeFiles/srp_repartition.dir/srp_repartition_main.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/srp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/srp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/srp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/srp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_repartition.dir/srp_repartition_main.cc.o"
+  "CMakeFiles/srp_repartition.dir/srp_repartition_main.cc.o.d"
+  "srp_repartition"
+  "srp_repartition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_repartition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
