@@ -8,6 +8,8 @@
 #include "baselines/regionalization.h"
 #include "baselines/sampling.h"
 
+#include "obs/metrics_registry.h"
+#include "obs/tracer.h"
 #include "util/logging.h"
 #include "util/memory_tracker.h"
 #include "util/string_util.h"
@@ -175,6 +177,42 @@ void ResultTable::Print() const {
         WriteCsv(table_, std::string(csv_dir) + "/" + slug + ".csv");
     if (!status.ok()) {
       SRP_LOG(Warning) << "CSV export failed: " << status.ToString();
+    }
+  }
+}
+
+ObsSession::ObsSession() {
+  const char* trace_out = std::getenv("SRP_TRACE_OUT");
+  const char* metrics_out = std::getenv("SRP_METRICS_OUT");
+  if (trace_out != nullptr) trace_out_ = trace_out;
+  if (metrics_out != nullptr) metrics_out_ = metrics_out;
+  if (!trace_out_.empty()) obs::Tracer::Get().Enable();
+}
+
+ObsSession::~ObsSession() {
+  if (!trace_out_.empty()) {
+    obs::Tracer::Get().Disable();
+    const Status status = obs::Tracer::Get().WriteChromeTrace(trace_out_);
+    if (status.ok()) {
+      SRP_LOG(Info) << "wrote Chrome trace to " << trace_out_ << " ("
+                    << obs::Tracer::Get().Snapshot().size() << " spans, "
+                    << obs::Tracer::Get().dropped() << " dropped)";
+    } else {
+      SRP_LOG(Warning) << "trace export failed: " << status.ToString();
+    }
+  }
+  if (!metrics_out_.empty()) {
+    auto& registry = obs::MetricsRegistry::Get();
+    registry.UpdateMemoryGauges();
+    const bool json = metrics_out_.size() >= 5 &&
+                      metrics_out_.compare(metrics_out_.size() - 5, 5,
+                                           ".json") == 0;
+    const Status status = json ? registry.WriteJson(metrics_out_)
+                               : registry.WriteCsv(metrics_out_);
+    if (status.ok()) {
+      SRP_LOG(Info) << "wrote metrics snapshot to " << metrics_out_;
+    } else {
+      SRP_LOG(Warning) << "metrics export failed: " << status.ToString();
     }
   }
 }

@@ -91,6 +91,26 @@ class ResultTable {
   CsvTable table_;
 };
 
+/// Env-driven observability for bench binaries. Construct one at the top of
+/// main(): when SRP_TRACE_OUT is set, span tracing is enabled for the whole
+/// run and a Chrome trace-event JSON is written there at scope exit; when
+/// SRP_METRICS_OUT is set, a metrics snapshot (counters, histogram
+/// percentiles, memory gauges) is written there (".json" suffix selects
+/// JSON, anything else CSV). With neither variable set this is a no-op, so
+/// default bench timings stay unperturbed.
+class ObsSession {
+ public:
+  ObsSession();
+  ~ObsSession();
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+ private:
+  std::string trace_out_;
+  std::string metrics_out_;
+};
+
 /// Formats a fraction as a percentage string with one decimal.
 std::string Percent(double fraction);
 

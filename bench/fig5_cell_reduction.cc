@@ -39,6 +39,7 @@ void Run() {
 }  // namespace srp
 
 int main() {
+  srp::bench::ObsSession obs;
   srp::bench::Run();
   return 0;
 }

@@ -12,17 +12,29 @@ namespace bench {
 namespace {
 
 void Run() {
+  // The phase columns decompose reduction_time via RunStats: "precompute"
+  // is the one-off normalize + pair-variation + heap-build work, the rest
+  // accumulate across iterations (span taxonomy in DESIGN.md).
   ResultTable table("Fig6 cell reduction time",
                     {"dataset", "tier", "theta", "iterations",
-                     "reduction_time"});
+                     "reduction_time", "precompute", "pop", "extract",
+                     "allocate", "ifl"});
   for (const auto& spec : AllDatasetSpecs()) {
     for (const GridTier& tier : kTiers) {
       const GridDataset grid = MakeBenchDataset(spec.kind, tier);
       for (double theta : kThresholds) {
         const RepartitionResult result = MustRepartition(grid, theta);
+        const RunStats& stats = result.stats;
         table.AddRow({spec.name, tier.label, FormatDouble(theta, 2),
                       std::to_string(result.iterations),
-                      Seconds(result.elapsed_seconds)});
+                      Seconds(result.elapsed_seconds),
+                      Seconds(stats.normalize_seconds +
+                              stats.pair_variation_seconds +
+                              stats.heap_build_seconds),
+                      Seconds(stats.variation_pop_seconds),
+                      Seconds(stats.extract_seconds),
+                      Seconds(stats.allocate_seconds),
+                      Seconds(stats.information_loss_seconds)});
       }
     }
   }
@@ -34,6 +46,7 @@ void Run() {
 }  // namespace srp
 
 int main() {
+  srp::bench::ObsSession obs;
   srp::bench::Run();
   return 0;
 }

@@ -64,6 +64,7 @@ void Run() {
 }  // namespace srp
 
 int main() {
+  srp::bench::ObsSession obs;
   srp::bench::Run();
   return 0;
 }

@@ -112,4 +112,13 @@ BENCHMARK(BM_FullRepartition)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
 }  // namespace bench
 }  // namespace srp
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the ObsSession (SRP_TRACE_OUT /
+// SRP_METRICS_OUT artifacts) brackets the benchmark run.
+int main(int argc, char** argv) {
+  srp::bench::ObsSession obs;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -226,10 +226,12 @@ bench/CMakeFiles/srp_bench_common.dir/model_runs.cc.o: \
  /root/repo/src/ml/random_forest.h /root/repo/src/ml/schc.h \
  /root/repo/src/ml/spatial_error.h /root/repo/src/ml/spatial_lag.h \
  /root/repo/src/ml/spatial_weights.h /root/repo/src/ml/svr.h \
- /root/repo/src/util/logging.h /usr/include/c++/12/sstream \
+ /root/repo/src/util/logging.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/util/memory_tracker.h /root/repo/src/util/timer.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h
+ /usr/include/c++/12/chrono

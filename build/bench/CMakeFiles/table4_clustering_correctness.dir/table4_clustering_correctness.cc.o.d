@@ -173,7 +173,12 @@ bench/CMakeFiles/table4_clustering_correctness.dir/table4_clustering_correctness
  /root/repo/src/util/csv.h /root/repo/src/util/string_util.h \
  /root/repo/bench/model_runs.h \
  /root/repo/src/metrics/clustering_agreement.h \
- /root/repo/src/util/logging.h /usr/include/c++/12/sstream \
+ /root/repo/src/util/logging.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/std_mutex.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/ios \
  /usr/include/c++/12/bits/basic_ios.h \
  /usr/include/c++/12/bits/locale_facets.h /usr/include/c++/12/cwctype \

@@ -17,6 +17,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/srp_core.dir/DependInfo.cmake"
   "/root/repo/build/src/grid/CMakeFiles/srp_grid.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/srp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/srp_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -23,6 +23,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/grid/CMakeFiles/srp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/srp_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/srp_util.dir/DependInfo.cmake"
   )
 

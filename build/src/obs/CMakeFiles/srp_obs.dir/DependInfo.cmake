@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/metrics_registry.cc" "src/obs/CMakeFiles/srp_obs.dir/metrics_registry.cc.o" "gcc" "src/obs/CMakeFiles/srp_obs.dir/metrics_registry.cc.o.d"
+  "/root/repo/src/obs/tracer.cc" "src/obs/CMakeFiles/srp_obs.dir/tracer.cc.o" "gcc" "src/obs/CMakeFiles/srp_obs.dir/tracer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/srp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_obs.dir/metrics_registry.cc.o"
+  "CMakeFiles/srp_obs.dir/metrics_registry.cc.o.d"
+  "CMakeFiles/srp_obs.dir/tracer.cc.o"
+  "CMakeFiles/srp_obs.dir/tracer.cc.o.d"
+  "libsrp_obs.a"
+  "libsrp_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

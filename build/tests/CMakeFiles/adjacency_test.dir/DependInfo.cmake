@@ -20,6 +20,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/grid/CMakeFiles/srp_grid.dir/DependInfo.cmake"
   "/root/repo/build/src/linalg/CMakeFiles/srp_linalg.dir/DependInfo.cmake"
   "/root/repo/build/src/metrics/CMakeFiles/srp_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/srp_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/srp_util.dir/DependInfo.cmake"
   )
 

@@ -294,4 +294,7 @@ tests/CMakeFiles/repartitioner_test.dir/repartitioner_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/core/information_loss.h /root/repo/src/data/datasets.h
+ /root/repo/src/core/information_loss.h /root/repo/src/data/datasets.h \
+ /root/repo/src/obs/tracer.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h

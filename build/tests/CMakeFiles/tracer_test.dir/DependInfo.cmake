@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tracer_test.cc" "tests/CMakeFiles/tracer_test.dir/tracer_test.cc.o" "gcc" "tests/CMakeFiles/tracer_test.dir/tracer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/srp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/srp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/srp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/srp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/srp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/srp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/srp_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/srp_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/srp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

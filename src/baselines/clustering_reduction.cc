@@ -5,11 +5,17 @@
 #include "grid/normalize.h"
 #include "ml/dataset.h"
 #include "ml/schc.h"
+#include "obs/metrics_registry.h"
+#include "obs/tracer.h"
 
 namespace srp {
 
 Result<ReducedDataset> ClusteringReduction(
     const GridDataset& grid, const ClusteringReductionOptions& options) {
+  SRP_TRACE_SPAN("baseline.clustering");
+  static obs::Counter* runs =
+      obs::MetricsRegistry::Get().GetCounter("baseline.clustering.runs");
+  runs->Increment();
   SRP_RETURN_IF_ERROR(grid.Validate());
   const GridDataset norm = AttributeNormalized(grid);
 

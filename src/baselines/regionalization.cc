@@ -6,6 +6,8 @@
 #include <queue>
 
 #include "grid/normalize.h"
+#include "obs/metrics_registry.h"
+#include "obs/tracer.h"
 #include "util/random.h"
 
 namespace srp {
@@ -71,6 +73,10 @@ bool StaysConnectedWithout(const GridDataset& grid,
 
 Result<ReducedDataset> Regionalize(const GridDataset& grid,
                                    const RegionalizationOptions& options) {
+  SRP_TRACE_SPAN("baseline.regionalization");
+  static obs::Counter* runs =
+      obs::MetricsRegistry::Get().GetCounter("baseline.regionalization.runs");
+  runs->Increment();
   SRP_RETURN_IF_ERROR(grid.Validate());
   const GridDataset norm = AttributeNormalized(grid);
 

@@ -4,12 +4,18 @@
 #include <limits>
 
 #include "ml/kdtree.h"
+#include "obs/metrics_registry.h"
+#include "obs/tracer.h"
 #include "util/random.h"
 
 namespace srp {
 
 Result<ReducedDataset> SpatialSampling(const GridDataset& grid,
                                        const SpatialSamplingOptions& options) {
+  SRP_TRACE_SPAN("baseline.sampling");
+  static obs::Counter* runs =
+      obs::MetricsRegistry::Get().GetCounter("baseline.sampling.runs");
+  runs->Increment();
   SRP_RETURN_IF_ERROR(grid.Validate());
 
   // Valid cells and their centroids.

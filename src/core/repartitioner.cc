@@ -8,9 +8,48 @@
 #include "core/variation.h"
 #include "core/variation_heap.h"
 #include "grid/normalize.h"
+#include "obs/metrics_registry.h"
+#include "obs/tracer.h"
 #include "util/timer.h"
 
 namespace srp {
+namespace {
+
+/// Handles into the process-wide metrics registry, resolved once. Updates
+/// are relaxed atomic bumps, cheap enough to stay on even for the
+/// paper-faithful timing runs (a few per iteration vs. O(cells) work).
+struct CoreMetrics {
+  obs::Counter* runs;
+  obs::Counter* iterations;
+  obs::Counter* heap_pops;
+  obs::Counter* cells_in;
+  obs::Counter* groups_out;
+  obs::Histogram* extract_ms;
+  obs::Histogram* allocate_ms;
+  obs::Histogram* information_loss_ms;
+  obs::Histogram* run_ms;
+};
+
+CoreMetrics& Metrics() {
+  static CoreMetrics* metrics = [] {
+    auto& registry = obs::MetricsRegistry::Get();
+    auto* m = new CoreMetrics();
+    m->runs = registry.GetCounter("repartition.runs");
+    m->iterations = registry.GetCounter("repartition.iterations");
+    m->heap_pops = registry.GetCounter("repartition.heap_pops");
+    m->cells_in = registry.GetCounter("repartition.cells_in");
+    m->groups_out = registry.GetCounter("repartition.groups_out");
+    m->extract_ms = registry.GetHistogram("repartition.extract_ms");
+    m->allocate_ms = registry.GetHistogram("repartition.allocate_ms");
+    m->information_loss_ms =
+        registry.GetHistogram("repartition.information_loss_ms");
+    m->run_ms = registry.GetHistogram("repartition.run_ms");
+    return m;
+  }();
+  return *metrics;
+}
+
+}  // namespace
 
 Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid) const {
   SRP_RETURN_IF_ERROR(grid.Validate());
@@ -21,15 +60,44 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid) const {
     return Status::InvalidArgument("min_variation_step must be >= 0");
   }
 
+  SRP_TRACE_SPAN("repartition.run");
   WallTimer timer;
   RepartitionResult result;
+  RunStats& stats = result.stats;
+
+  // Accumulates the time since the last call into `*accumulator` and
+  // optionally feeds the same duration to a latency histogram.
+  WallTimer phase_timer;
+  const auto take_phase = [&phase_timer](double* accumulator,
+                                         obs::Histogram* histogram = nullptr) {
+    const double seconds = phase_timer.ElapsedSeconds();
+    *accumulator += seconds;
+    if (histogram != nullptr) histogram->Observe(seconds * 1e3);
+    phase_timer.Restart();
+  };
 
   // Pre-computation (done exactly once): normalized grid, adjacent-pair
   // variations, and the min-adjacent-variation heap.
-  const GridDataset normalized = AttributeNormalized(grid);
-  const PairVariations variations = ComputePairVariations(normalized);
+  phase_timer.Restart();
+  const GridDataset normalized = [&] {
+    SRP_TRACE_SPAN("repartition.normalize");
+    return AttributeNormalized(grid);
+  }();
+  take_phase(&stats.normalize_seconds);
+
+  const PairVariations variations = [&] {
+    SRP_TRACE_SPAN("repartition.pair_variations");
+    return ComputePairVariations(normalized);
+  }();
+  take_phase(&stats.pair_variation_seconds);
+
   MinAdjacentVariationHeap heap;
-  heap.Build(variations, &normalized);
+  {
+    SRP_TRACE_SPAN("repartition.heap_build");
+    heap.Build(variations, &normalized);
+  }
+  take_phase(&stats.heap_build_seconds);
+
   const CellGroupExtractor extractor(variations);
 
   // Iteration 0: the original grid itself (IFL = 0) is always feasible.
@@ -38,16 +106,37 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid) const {
 
   double previous_variation = -1.0;
   while (result.iterations < options_.max_iterations) {
+    phase_timer.Restart();
     double variation = 0.0;
-    if (!heap.PopNextGreater(previous_variation + options_.min_variation_step,
-                             &variation)) {
+    const bool popped = heap.PopNextGreater(
+        previous_variation + options_.min_variation_step, &variation);
+    take_phase(&stats.variation_pop_seconds);
+    if (!popped) {
       break;  // heap drained: no coarser partition exists
     }
+    ++stats.heap_pops;
     previous_variation = variation;
 
-    Partition candidate = extractor.Extract(variation);
-    SRP_RETURN_IF_ERROR(AllocateFeatures(grid, &candidate));
-    const double ifl = InformationLoss(grid, candidate);
+    Partition candidate = [&] {
+      SRP_TRACE_SPAN("repartition.extract");
+      return extractor.Extract(variation);
+    }();
+    ++stats.extractions;
+    take_phase(&stats.extract_seconds, Metrics().extract_ms);
+
+    {
+      SRP_TRACE_SPAN("repartition.allocate_features");
+      SRP_RETURN_IF_ERROR(AllocateFeatures(grid, &candidate));
+    }
+    take_phase(&stats.allocate_seconds, Metrics().allocate_ms);
+
+    const double ifl = [&] {
+      SRP_TRACE_SPAN("repartition.information_loss");
+      return InformationLoss(grid, candidate);
+    }();
+    take_phase(&stats.information_loss_seconds,
+               Metrics().information_loss_ms);
+
     if (ifl > options_.ifl_threshold) {
       break;  // exceeded θ: keep the previous partition and exit (Fig. 2)
     }
@@ -58,6 +147,14 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid) const {
   }
 
   result.elapsed_seconds = timer.ElapsedSeconds();
+
+  CoreMetrics& metrics = Metrics();
+  metrics.runs->Increment();
+  metrics.iterations->Add(static_cast<int64_t>(result.iterations));
+  metrics.heap_pops->Add(static_cast<int64_t>(stats.heap_pops));
+  metrics.cells_in->Add(static_cast<int64_t>(grid.num_cells()));
+  metrics.groups_out->Add(static_cast<int64_t>(result.partition.num_groups()));
+  metrics.run_ms->Observe(result.elapsed_seconds * 1e3);
   return result;
 }
 

@@ -31,6 +31,37 @@ struct RepartitionOptions {
   double min_variation_step = 0.0;
 };
 
+/// Per-phase wall-time breakdown of one Repartitioner::Run, accumulated
+/// with the same steady clock as RepartitionResult::elapsed_seconds. The
+/// phases partition nearly all of the run (the untimed glue is a handful of
+/// comparisons and moves per iteration), so summing them recovers the
+/// paper's "cell reduction time" decomposed by component — the substrate
+/// for every hot-path optimization PR.
+struct RunStats {
+  /// Pre-computation, done exactly once per run.
+  double normalize_seconds = 0.0;       ///< attribute normalization
+  double pair_variation_seconds = 0.0;  ///< adjacent-pair variations
+  double heap_build_seconds = 0.0;      ///< min-adjacent-variation heap
+
+  /// Per-iteration phases, accumulated across all iterations.
+  double variation_pop_seconds = 0.0;     ///< heap pops (Calculator)
+  double extract_seconds = 0.0;           ///< Algorithm 1 extraction
+  double allocate_seconds = 0.0;          ///< Algorithm 2 feature allocation
+  double information_loss_seconds = 0.0;  ///< Eq. 3 IFL evaluation
+
+  /// Counters: successful heap pops and candidate extractions (the last
+  /// extraction may be rejected for exceeding θ, so extractions can be
+  /// RepartitionResult::iterations + 1).
+  size_t heap_pops = 0;
+  size_t extractions = 0;
+
+  double PhaseTotalSeconds() const {
+    return normalize_seconds + pair_variation_seconds + heap_build_seconds +
+           variation_pop_seconds + extract_seconds + allocate_seconds +
+           information_loss_seconds;
+  }
+};
+
 /// Outcome of Repartitioner::Run.
 struct RepartitionResult {
   /// The accepted (last feasible) partition, with features allocated.
@@ -48,6 +79,10 @@ struct RepartitionResult {
 
   /// Wall time of the whole run — the paper's "cell reduction time".
   double elapsed_seconds = 0.0;
+
+  /// Where `elapsed_seconds` went, by phase (always populated; tracing via
+  /// srp_obs is additionally emitted only when obs::Tracer is enabled).
+  RunStats stats;
 
   /// #groups / #cells, the paper's "spatial cell reduction" complement
   /// (a value of 0.6 means 40% of the cells were eliminated).

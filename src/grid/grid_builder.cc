@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics_registry.h"
+#include "obs/tracer.h"
+
 namespace srp {
 
 Result<GridDataset> BuildGridFromPoints(
     const std::vector<PointRecord>& records, size_t rows, size_t cols,
     const GeoExtent& extent, const std::vector<GridAttributeDef>& defs,
     size_t* dropped) {
+  SRP_TRACE_SPAN("grid.build_from_points");
   if (rows == 0 || cols == 0) {
     return Status::InvalidArgument("grid dimensions must be positive");
   }
@@ -88,6 +92,16 @@ Result<GridDataset> BuildGridFromPoints(
     }
   }
   if (dropped != nullptr) *dropped = dropped_count;
+
+  static obs::Counter* builds =
+      obs::MetricsRegistry::Get().GetCounter("grid.builds");
+  static obs::Counter* ingested =
+      obs::MetricsRegistry::Get().GetCounter("grid.points_ingested");
+  static obs::Counter* dropped_points =
+      obs::MetricsRegistry::Get().GetCounter("grid.points_dropped");
+  builds->Increment();
+  ingested->Add(static_cast<int64_t>(records.size() - dropped_count));
+  dropped_points->Add(static_cast<int64_t>(dropped_count));
   return grid;
 }
 

@@ -1,0 +1,49 @@
+#ifndef SRP_OBS_JSON_UTIL_H_
+#define SRP_OBS_JSON_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace srp {
+namespace obs {
+namespace internal {
+
+/// Appends `s` to `*out` with JSON string escaping (quotes, backslashes and
+/// control characters; everything else passes through byte-for-byte).
+inline void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          *out += buf;
+        } else {
+          out->push_back(ch);
+        }
+    }
+  }
+}
+
+}  // namespace internal
+}  // namespace obs
+}  // namespace srp
+
+#endif  // SRP_OBS_JSON_UTIL_H_

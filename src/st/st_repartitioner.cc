@@ -11,6 +11,8 @@
 #include "core/variation.h"
 #include "core/variation_heap.h"
 #include "grid/normalize.h"
+#include "obs/metrics_registry.h"
+#include "obs/tracer.h"
 #include "util/timer.h"
 
 namespace srp {
@@ -56,6 +58,12 @@ Result<StRepartitionResult> StRepartitioner::Run(
   if (options_.ifl_threshold < 0.0 || options_.ifl_threshold > 1.0) {
     return Status::InvalidArgument("ifl_threshold must lie in [0, 1]");
   }
+  SRP_TRACE_SPAN("st.run");
+  static obs::Counter* runs =
+      obs::MetricsRegistry::Get().GetCounter("st.runs");
+  static obs::Counter* iterations_counter =
+      obs::MetricsRegistry::Get().GetCounter("st.iterations");
+  runs->Increment();
   WallTimer timer;
   const size_t num_slices = series.num_slices();
 
@@ -64,9 +72,12 @@ Result<StRepartitionResult> StRepartitioner::Run(
   slice_variations.reserve(num_slices);
   std::vector<GridDataset> normalized;
   normalized.reserve(num_slices);
-  for (size_t t = 0; t < num_slices; ++t) {
-    normalized.push_back(AttributeNormalized(series.slice(t)));
-    slice_variations.push_back(ComputePairVariations(normalized.back()));
+  {
+    SRP_TRACE_SPAN("st.precompute");
+    for (size_t t = 0; t < num_slices; ++t) {
+      normalized.push_back(AttributeNormalized(series.slice(t)));
+      slice_variations.push_back(ComputePairVariations(normalized.back()));
+    }
   }
   const PairVariations combined =
       CombineVariations(slice_variations, options_.aggregation);
@@ -95,6 +106,7 @@ Result<StRepartitionResult> StRepartitioner::Run(
   // Helper: allocate features per slice and compute the mean IFL.
   auto evaluate = [&](const Partition& base, StRepartitionResult* result,
                       double* mean_loss) -> Status {
+    SRP_TRACE_SPAN("st.evaluate");
     result->slice_features.clear();
     result->slice_group_null.clear();
     result->per_slice_loss.clear();
@@ -146,6 +158,7 @@ Result<StRepartitionResult> StRepartitioner::Run(
   }
   best.iterations = iterations;
   best.elapsed_seconds = timer.ElapsedSeconds();
+  iterations_counter->Add(static_cast<int64_t>(iterations));
   return best;
 }
 

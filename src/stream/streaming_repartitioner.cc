@@ -4,8 +4,31 @@
 #include <cmath>
 
 #include "core/information_loss.h"
+#include "obs/metrics_registry.h"
+#include "obs/tracer.h"
 
 namespace srp {
+namespace {
+
+struct StreamMetrics {
+  obs::Counter* records_ingested;
+  obs::Counter* records_dropped;
+  obs::Counter* refreshes;
+};
+
+StreamMetrics& Metrics() {
+  static StreamMetrics* metrics = [] {
+    auto& registry = obs::MetricsRegistry::Get();
+    auto* m = new StreamMetrics();
+    m->records_ingested = registry.GetCounter("stream.records_ingested");
+    m->records_dropped = registry.GetCounter("stream.records_dropped");
+    m->refreshes = registry.GetCounter("stream.refreshes");
+    return m;
+  }();
+  return *metrics;
+}
+
+}  // namespace
 
 StreamingRepartitioner::StreamingRepartitioner(
     size_t rows, size_t cols, GeoExtent extent,
@@ -22,6 +45,9 @@ StreamingRepartitioner::StreamingRepartitioner(
 }
 
 Status StreamingRepartitioner::Ingest(const std::vector<PointRecord>& batch) {
+  SRP_TRACE_SPAN("stream.ingest");
+  const size_t ingested_before = ingested_;
+  const size_t dropped_before = dropped_;
   const GeoExtent& e = grid_.extent();
   const double lat_span = e.lat_max - e.lat_min;
   const double lon_span = e.lon_max - e.lon_min;
@@ -55,6 +81,10 @@ Status StreamingRepartitioner::Ingest(const std::vector<PointRecord>& batch) {
     }
   }
   RebuildGridFromAccumulators();
+  Metrics().records_ingested->Add(
+      static_cast<int64_t>(ingested_ - ingested_before));
+  Metrics().records_dropped->Add(
+      static_cast<int64_t>(dropped_ - dropped_before));
   return Status::OK();
 }
 
@@ -86,6 +116,7 @@ void StreamingRepartitioner::RebuildGridFromAccumulators() {
 
 double StreamingRepartitioner::CurrentDrift() const {
   if (!has_partition()) return 0.0;
+  SRP_TRACE_SPAN("stream.drift");
   // A cell that became valid after the last refresh belongs to a group that
   // was allocated as null; measuring Eq. 3 requires group membership for
   // every valid cell, which the maintained partition still provides
@@ -122,6 +153,7 @@ bool StreamingRepartitioner::NeedsRefresh() const {
 }
 
 Status StreamingRepartitioner::Refresh() {
+  SRP_TRACE_SPAN("stream.refresh");
   if (grid_.NumValidCells() == 0) {
     return Status::FailedPrecondition("no data ingested yet");
   }
@@ -129,6 +161,7 @@ Status StreamingRepartitioner::Refresh() {
   SRP_RETURN_IF_ERROR(result.status());
   partition_ = std::move(result->partition);
   ++refreshes_;
+  Metrics().refreshes->Increment();
   return Status::OK();
 }
 

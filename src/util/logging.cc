@@ -23,6 +23,31 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+/// Default sink: one fwrite per record (newline appended first) so
+/// concurrent records land on stderr without interleaving.
+class StderrLogSink : public LogSink {
+ public:
+  void Write(LogLevel level, const std::string& formatted) override {
+    (void)level;
+    std::string line = formatted;
+    line.push_back('\n');
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
+  }
+};
+
+StderrLogSink& DefaultSink() {
+  static StderrLogSink* sink = new StderrLogSink();  // leaked: outlives exit
+  return *sink;
+}
+
+std::atomic<LogSink*> g_sink{nullptr};  // nullptr = default stderr sink
+
+LogSink& ActiveSink() {
+  LogSink* sink = g_sink.load(std::memory_order_acquire);
+  return sink != nullptr ? *sink : DefaultSink();
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -31,6 +56,32 @@ void SetLogLevel(LogLevel level) {
 
 LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+LogSink* SetLogSink(LogSink* sink) {
+  return g_sink.exchange(sink, std::memory_order_acq_rel);
+}
+
+void CaptureLogSink::Write(LogLevel level, const std::string& formatted) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(Record{level, formatted});
+  ++write_calls_;
+}
+
+std::vector<CaptureLogSink::Record> CaptureLogSink::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+size_t CaptureLogSink::write_calls() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_calls_;
+}
+
+void CaptureLogSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+  write_calls_ = 0;
 }
 
 namespace internal {
@@ -47,9 +98,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::fputs(stream_.str().c_str(), stderr);
-    std::fputc('\n', stderr);
-    std::fflush(stderr);
+    ActiveSink().Write(level_, stream_.str());
   }
   if (fatal_) std::abort();
 }

@@ -1,8 +1,10 @@
 #ifndef SRP_UTIL_LOGGING_H_
 #define SRP_UTIL_LOGGING_H_
 
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace srp {
 
@@ -11,6 +13,42 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// Process-wide minimum level; messages below it are dropped.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Destination for formatted log records. `Write` receives one fully
+/// formatted single-line record without a trailing newline. Implementations
+/// must be thread-safe and should emit each record with a single write call
+/// so records from concurrent threads never interleave.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(LogLevel level, const std::string& formatted) = 0;
+};
+
+/// Replaces the process-wide sink and returns the previously installed one
+/// (nullptr when the default stderr sink was active). Passing nullptr
+/// restores the default sink. The caller keeps ownership of `sink` and must
+/// keep it alive until another sink is installed.
+LogSink* SetLogSink(LogSink* sink);
+
+/// Sink that captures records in memory — for tests.
+class CaptureLogSink : public LogSink {
+ public:
+  struct Record {
+    LogLevel level;
+    std::string text;  ///< the formatted record, "[LEVEL file:line] msg"
+  };
+
+  void Write(LogLevel level, const std::string& formatted) override;
+
+  std::vector<Record> records() const;
+  size_t write_calls() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Record> records_;
+  size_t write_calls_ = 0;
+};
 
 namespace internal {
 
@@ -56,6 +94,15 @@ class LogMessage {
     SRP_CHECK(srp_check_status_.ok()) << srp_check_status_.ToString();   \
   } while (0)
 
+/// Debug-only invariant check. In release builds (NDEBUG) the condition is
+/// parsed and odr-used — so it cannot rot and its operands never trigger
+/// unused warnings — but `true || (cond)` short-circuits before evaluating
+/// it, the check folds away entirely, and any side effects in `cond` are
+/// NOT performed. Debug builds behave exactly like SRP_CHECK.
+#ifdef NDEBUG
+#define SRP_DCHECK(cond) SRP_CHECK(true || (cond))
+#else
 #define SRP_DCHECK(cond) SRP_CHECK(cond)
+#endif
 
 #endif  // SRP_UTIL_LOGGING_H_

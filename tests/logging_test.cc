@@ -40,6 +40,75 @@ TEST(CheckDeathTest, FailingCheckOkAborts) {
   EXPECT_DEATH({ SRP_CHECK_OK(Status::Internal("bad")); }, "Internal: bad");
 }
 
+TEST(DcheckTest, PassingDcheckIsANoOp) {
+  SRP_DCHECK(2 + 2 == 4) << "never shown";
+}
+
+#ifdef NDEBUG
+TEST(DcheckTest, ReleaseBuildNeverEvaluatesTheCondition) {
+  int evaluations = 0;
+  auto failing_condition = [&evaluations] {
+    ++evaluations;
+    return false;
+  };
+  SRP_DCHECK(failing_condition()) << "must not abort in release";
+  EXPECT_EQ(evaluations, 0);
+}
+#else
+TEST(DcheckDeathTest, DebugBuildAbortsOnFailure) {
+  EXPECT_DEATH({ SRP_DCHECK(false) << "dbg"; }, "Check failed");
+}
+#endif
+
+TEST(LogSinkTest, CaptureSinkReceivesOnlyEnabledRecords) {
+  CaptureLogSink sink;
+  LogSink* previous = SetLogSink(&sink);
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+
+  SRP_LOG(Debug) << "filtered out";
+  SRP_LOG(Info) << "kept " << 1;
+  SRP_LOG(Warning) << "warned";
+
+  SetLogLevel(before);
+  SetLogSink(previous);
+
+  const auto records = sink.records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].level, LogLevel::kInfo);
+  EXPECT_NE(records[0].text.find("kept 1"), std::string::npos);
+  EXPECT_NE(records[0].text.find("logging_test"), std::string::npos);
+  EXPECT_EQ(records[1].level, LogLevel::kWarning);
+  EXPECT_NE(records[1].text.find("warned"), std::string::npos);
+}
+
+TEST(LogSinkTest, OneWriteCallPerRecord) {
+  CaptureLogSink sink;
+  LogSink* previous = SetLogSink(&sink);
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+
+  SRP_LOG(Info) << "first " << 1 << " with " << 3 << " stream ops";
+  SRP_LOG(Error) << "second";
+
+  SetLogLevel(before);
+  SetLogSink(previous);
+
+  // Each record arrives via exactly one Write call, so concurrent records
+  // can never interleave inside a sink that forwards writes 1:1.
+  EXPECT_EQ(sink.write_calls(), 2u);
+  EXPECT_EQ(sink.records().size(), 2u);
+}
+
+TEST(LogSinkTest, SetLogSinkReturnsPreviousAndNullRestoresDefault) {
+  CaptureLogSink first;
+  CaptureLogSink second;
+  LogSink* original = SetLogSink(&first);
+  EXPECT_EQ(SetLogSink(&second), &first);
+  EXPECT_EQ(SetLogSink(nullptr), &second);
+  SetLogSink(original);
+}
+
 TEST(TimerTest, ElapsedIsMonotoneNonNegative) {
   WallTimer timer;
   const double t1 = timer.ElapsedSeconds();

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "core/information_loss.h"
 #include "data/datasets.h"
+#include "obs/tracer.h"
 
 namespace srp {
 namespace {
@@ -135,6 +139,83 @@ TEST(RepartitionerTest, ReportsElapsedTime) {
   auto result = Repartitioner().Run(g);
   ASSERT_TRUE(result.ok());
   EXPECT_GE(result->elapsed_seconds, 0.0);
+}
+
+TEST(RepartitionerTest, PhaseTimesSumToApproximatelyElapsed) {
+  DatasetOptions data_options;
+  data_options.rows = 48;
+  data_options.cols = 48;
+  data_options.seed = 7;
+  auto grid = GenerateDataset(DatasetKind::kHomeSalesMulti, data_options);
+  ASSERT_TRUE(grid.ok());
+  RepartitionOptions options;
+  options.ifl_threshold = 0.1;
+  options.min_variation_step = 2.5e-3;
+  auto result = Repartitioner(options).Run(*grid);
+  ASSERT_TRUE(result.ok());
+
+  const RunStats& stats = result->stats;
+  EXPECT_GE(stats.normalize_seconds, 0.0);
+  EXPECT_GE(stats.pair_variation_seconds, 0.0);
+  EXPECT_GE(stats.heap_build_seconds, 0.0);
+  EXPECT_GE(stats.variation_pop_seconds, 0.0);
+  EXPECT_GE(stats.extract_seconds, 0.0);
+  EXPECT_GE(stats.allocate_seconds, 0.0);
+  EXPECT_GE(stats.information_loss_seconds, 0.0);
+  EXPECT_GE(stats.heap_pops, result->iterations);
+  EXPECT_GE(stats.extractions, result->iterations);
+
+  // The phases partition the run up to a handful of comparisons and moves
+  // per iteration: their sum never exceeds the total and accounts for the
+  // bulk of it.
+  const double phase_sum = stats.PhaseTotalSeconds();
+  EXPECT_GT(phase_sum, 0.0);
+  EXPECT_LE(phase_sum, result->elapsed_seconds + 1e-9);
+  EXPECT_GE(phase_sum, 0.5 * result->elapsed_seconds);
+}
+
+TEST(RepartitionerTest, TracingDoesNotPerturbTheResult) {
+  DatasetOptions data_options;
+  data_options.rows = 24;
+  data_options.cols = 24;
+  data_options.seed = 13;
+  auto grid = GenerateDataset(DatasetKind::kTaxiTripMulti, data_options);
+  ASSERT_TRUE(grid.ok());
+  RepartitionOptions options;
+  options.ifl_threshold = 0.1;
+  options.min_variation_step = 1e-3;
+
+  obs::Tracer::Get().Disable();
+  auto untraced = Repartitioner(options).Run(*grid);
+  ASSERT_TRUE(untraced.ok());
+
+  obs::Tracer::Get().Enable();
+  auto traced = Repartitioner(options).Run(*grid);
+  obs::Tracer::Get().Disable();
+  ASSERT_TRUE(traced.ok());
+
+  // Bit-identical partition with and without tracing.
+  EXPECT_EQ(untraced->partition.cell_to_group, traced->partition.cell_to_group);
+  EXPECT_EQ(untraced->partition.group_null, traced->partition.group_null);
+  EXPECT_EQ(untraced->partition.features, traced->partition.features);
+  EXPECT_EQ(untraced->iterations, traced->iterations);
+  EXPECT_DOUBLE_EQ(untraced->information_loss, traced->information_loss);
+  EXPECT_DOUBLE_EQ(untraced->final_min_adjacent_variation,
+                   traced->final_min_adjacent_variation);
+
+  // The traced run emitted the phase-span taxonomy.
+  std::set<std::string> names;
+  for (const auto& span : obs::Tracer::Get().Snapshot()) {
+    names.insert(span.name);
+  }
+  obs::Tracer::Get().Clear();
+  EXPECT_TRUE(names.count("repartition.run"));
+  EXPECT_TRUE(names.count("repartition.normalize"));
+  EXPECT_TRUE(names.count("repartition.pair_variations"));
+  EXPECT_TRUE(names.count("repartition.heap_build"));
+  EXPECT_TRUE(names.count("repartition.extract"));
+  EXPECT_TRUE(names.count("repartition.allocate_features"));
+  EXPECT_TRUE(names.count("repartition.information_loss"));
 }
 
 /// Feasibility property across dataset kinds and thresholds.

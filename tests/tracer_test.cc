@@ -1,0 +1,177 @@
+#include "obs/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace srp {
+namespace obs {
+namespace {
+
+/// Resets the global tracer around every test so the cases are independent.
+class TracerTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Get().Disable();
+    Tracer::Get().Clear();
+  }
+  void TearDown() override {
+    Tracer::Get().Disable();
+    Tracer::Get().Clear();
+  }
+};
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST_F(TracerTest, DisabledRecordsNothing) {
+  ASSERT_FALSE(Tracer::Enabled());
+  {
+    SRP_TRACE_SPAN("invisible");
+    ScopedSpan manual("also_invisible");
+  }
+  EXPECT_TRUE(Tracer::Get().Snapshot().empty());
+  EXPECT_EQ(Tracer::Get().dropped(), 0u);
+}
+
+TEST_F(TracerTest, RecordsNestedSpansWithDepthAndContainment) {
+  Tracer::Get().Enable();
+  {
+    SRP_TRACE_SPAN("outer");
+    {
+      SRP_TRACE_SPAN("inner");
+      volatile int sink = 0;
+      for (int i = 0; i < 1000; ++i) sink = sink + i;
+    }
+  }
+  Tracer::Get().Disable();
+
+  const std::vector<SpanEvent> spans = Tracer::Get().Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Chronological start order: outer starts first.
+  EXPECT_STREQ(spans[0].name, "outer");
+  EXPECT_STREQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_EQ(spans[0].tid, spans[1].tid);
+  // The child is contained in the parent.
+  EXPECT_GE(spans[1].start_us, spans[0].start_us);
+  EXPECT_LE(spans[1].start_us + spans[1].duration_us,
+            spans[0].start_us + spans[0].duration_us + 1.0);
+  EXPECT_GE(spans[0].duration_us, spans[1].duration_us);
+}
+
+TEST_F(TracerTest, ThreadsGetDistinctIdsAndAllSpansAreKept) {
+  Tracer::Get().Enable();
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 100;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        SRP_TRACE_SPAN("worker_span");
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  Tracer::Get().Disable();
+
+  const std::vector<SpanEvent> spans = Tracer::Get().Snapshot();
+  EXPECT_EQ(spans.size(),
+            static_cast<size_t>(kThreads) * kSpansPerThread);
+  std::set<uint32_t> tids;
+  for (const SpanEvent& span : spans) {
+    tids.insert(span.tid);
+    EXPECT_EQ(span.depth, 0u);
+  }
+  EXPECT_EQ(tids.size(), static_cast<size_t>(kThreads));
+  EXPECT_EQ(Tracer::Get().dropped(), 0u);
+}
+
+TEST_F(TracerTest, RingBufferKeepsNewestAndCountsDropped) {
+  Tracer::Get().Enable(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    SRP_TRACE_SPAN("ring_span");
+  }
+  Tracer::Get().Disable();
+  EXPECT_EQ(Tracer::Get().Snapshot().size(), 4u);
+  EXPECT_EQ(Tracer::Get().dropped(), 6u);
+}
+
+TEST_F(TracerTest, ClearDropsEverything) {
+  Tracer::Get().Enable(/*capacity=*/2);
+  { SRP_TRACE_SPAN("a"); }
+  { SRP_TRACE_SPAN("b"); }
+  { SRP_TRACE_SPAN("c"); }
+  Tracer::Get().Clear();
+  EXPECT_TRUE(Tracer::Get().Snapshot().empty());
+  EXPECT_EQ(Tracer::Get().dropped(), 0u);
+}
+
+TEST_F(TracerTest, WriteChromeTraceProducesWellFormedJson) {
+  Tracer::Get().Enable();
+  {
+    SRP_TRACE_SPAN("phase_one");
+    SRP_TRACE_SPAN("phase \"two\"\\");  // exercises escaping
+  }
+  Tracer::Get().Disable();
+
+  const std::string path = TempPath("trace.json");
+  ASSERT_TRUE(Tracer::Get().WriteChromeTrace(path).ok());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"phase_one\""), std::string::npos);
+  EXPECT_NE(json.find("phase \\\"two\\\"\\\\"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Balanced braces/brackets outside strings — a cheap well-formedness
+  // check that catches missing separators and unterminated strings.
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char ch = json[i];
+    if (in_string) {
+      if (ch == '\\') {
+        ++i;
+      } else if (ch == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (ch == '"') in_string = true;
+    if (ch == '{') ++braces;
+    if (ch == '}') --braces;
+    if (ch == '[') ++brackets;
+    if (ch == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+  std::remove(path.c_str());
+}
+
+TEST_F(TracerTest, WriteChromeTraceFailsOnBadPath) {
+  EXPECT_FALSE(
+      Tracer::Get().WriteChromeTrace("/nonexistent-dir/trace.json").ok());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace srp

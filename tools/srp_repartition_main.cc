@@ -28,6 +28,8 @@
 #include "core/repartitioner.h"
 #include "data/datasets.h"
 #include "grid/grid_builder.h"
+#include "obs/metrics_registry.h"
+#include "obs/tracer.h"
 #include "util/csv.h"
 #include "util/string_util.h"
 
@@ -39,6 +41,8 @@ struct CliOptions {
   std::string demo;
   std::string schema;
   std::string out_dir = ".";
+  std::string trace_out;    ///< Chrome trace-event JSON (empty = no tracing)
+  std::string metrics_out;  ///< metrics snapshot; ".json" → JSON, else CSV
   size_t rows = 64;
   size_t cols = 64;
   double theta = 0.1;
@@ -51,16 +55,36 @@ void Usage() {
                "usage: srp_repartition (--demo KIND | --input CSV --schema "
                "S) [--rows N] [--cols N]\n"
                "                       [--theta T] [--seed S] [--out-dir D]\n"
+               "                       [--trace-out trace.json] "
+               "[--metrics-out metrics.csv]\n"
                "  KIND: taxi_uni taxi_multi home_sales vehicles earnings "
                "earnings_uni\n"
                "  S:    comma list of name:agg[:int], agg in "
-               "{sum, avg, count}\n");
+               "{sum, avg, count}\n"
+               "  Flags accept both --flag value and --flag=value; '_' and "
+               "'-' are interchangeable.\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* out) {
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    // Accept --flag=value in addition to --flag value, and treat '_' as '-'
+    // inside flag names (--trace_out == --trace-out).
+    std::string inline_value;
+    bool has_inline_value = false;
+    if (arg.rfind("--", 0) == 0) {
+      const size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.resize(eq);
+        has_inline_value = true;
+      }
+      for (char& ch : arg) {
+        if (ch == '_') ch = '-';
+      }
+    }
     auto next = [&]() -> const char* {
+      if (has_inline_value) return inline_value.c_str();
       return i + 1 < argc ? argv[++i] : nullptr;
     };
     if (arg == "--input") {
@@ -99,6 +123,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       const char* v = next();
       if (v == nullptr) return false;
       out->min_variation_step = std::atof(v);
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->trace_out = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->metrics_out = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -238,6 +270,26 @@ Status WriteOutputs(const CliOptions& options, const GridDataset& grid,
   return WriteCsv(adjacency, options.out_dir + "/adjacency.csv");
 }
 
+void PrintRunStats(const RepartitionResult& result) {
+  const RunStats& stats = result.stats;
+  const double total = result.elapsed_seconds;
+  std::printf("\nphase breakdown (of %.3fs total):\n", total);
+  const auto row = [total](const char* name, double seconds) {
+    std::printf("  %-18s %9.4fs %5.1f%%\n", name, seconds,
+                total > 0.0 ? 100.0 * seconds / total : 0.0);
+  };
+  row("normalize", stats.normalize_seconds);
+  row("pair variations", stats.pair_variation_seconds);
+  row("heap build", stats.heap_build_seconds);
+  row("variation pop", stats.variation_pop_seconds);
+  row("extract", stats.extract_seconds);
+  row("allocate features", stats.allocate_seconds);
+  row("information loss", stats.information_loss_seconds);
+  row("accounted", stats.PhaseTotalSeconds());
+  std::printf("  heap pops %zu, extractions %zu\n", stats.heap_pops,
+              stats.extractions);
+}
+
 int Run(int argc, char** argv) {
   CliOptions options;
   if (!ParseArgs(argc, argv, &options)) {
@@ -266,6 +318,10 @@ int Run(int argc, char** argv) {
     return 1;
   }
 
+  if (!options.trace_out.empty()) {
+    obs::Tracer::Get().Enable();
+  }
+
   RepartitionOptions ropt;
   ropt.ifl_threshold = options.theta;
   ropt.min_variation_step = options.min_variation_step;
@@ -290,6 +346,35 @@ int Run(int argc, char** argv) {
       100.0 * (1.0 - result->CellRatio()), result->information_loss,
       options.theta, result->iterations, result->elapsed_seconds,
       options.out_dir.c_str());
+  PrintRunStats(*result);
+
+  if (!options.trace_out.empty()) {
+    obs::Tracer::Get().Disable();
+    const Status s = obs::Tracer::Get().WriteChromeTrace(options.trace_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote Chrome trace to %s (%zu spans, %zu dropped)\n",
+                options.trace_out.c_str(),
+                obs::Tracer::Get().Snapshot().size(),
+                obs::Tracer::Get().dropped());
+  }
+  if (!options.metrics_out.empty()) {
+    auto& registry = obs::MetricsRegistry::Get();
+    registry.UpdateMemoryGauges();
+    const std::string& path = options.metrics_out;
+    const bool json =
+        path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+    const Status s =
+        json ? registry.WriteJson(path) : registry.WriteCsv(path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote metrics snapshot to %s\n", path.c_str());
+  }
   return 0;
 }
 
