@@ -8,7 +8,13 @@
 #include "baselines/regionalization.h"
 #include "baselines/sampling.h"
 
+#include "core/extractor.h"
+#include "core/feature_allocator.h"
+#include "core/information_loss.h"
+#include "core/variation.h"
+#include "grid/normalize.h"
 #include "obs/metrics_registry.h"
+#include "parallel/thread_pool.h"
 #include "obs/tracer.h"
 #include "util/logging.h"
 #include "util/memory_tracker.h"
@@ -214,6 +220,94 @@ ObsSession::~ObsSession() {
     } else {
       SRP_LOG(Warning) << "metrics export failed: " << status.ToString();
     }
+  }
+}
+
+namespace {
+
+/// Repeats `op` until ~0.25s has elapsed (at least 3 runs) and returns the
+/// measured throughput in cells/sec.
+double CellsPerSecond(size_t cells, const std::function<void()>& op) {
+  constexpr double kMinSeconds = 0.25;
+  constexpr size_t kMinRuns = 3;
+  WallTimer timer;
+  size_t runs = 0;
+  do {
+    op();
+    ++runs;
+  } while (runs < kMinRuns || timer.ElapsedSeconds() < kMinSeconds);
+  const double elapsed = timer.ElapsedSeconds();
+  return static_cast<double>(cells) * static_cast<double>(runs) / elapsed;
+}
+
+}  // namespace
+
+Status WriteCorePerfJson(const std::string& path, size_t rows, size_t cols) {
+  const GridDataset grid = MakeBenchDataset(
+      DatasetKind::kHomeSalesMulti, GridTier{"core_perf", rows, cols});
+  const GridDataset norm = AttributeNormalized(grid);
+  const PairVariations variations = ComputePairVariations(norm);
+  const CellGroupExtractor extractor(variations);
+  Partition base = extractor.Extract(0.02);
+  SRP_RETURN_IF_ERROR(AllocateFeatures(grid, &base));
+  const size_t cells = grid.num_cells();
+
+  const size_t max_threads = ResolveThreadCount(0);
+  std::vector<size_t> thread_counts = {1};
+  if (max_threads > 1) thread_counts.push_back(max_threads);
+
+  struct Row {
+    const char* op;
+    size_t threads;
+    double cells_per_sec;
+  };
+  std::vector<Row> results;
+  for (size_t threads : thread_counts) {
+    const std::unique_ptr<ThreadPool> pool = MaybeMakePool(threads);
+    ThreadPool* p = pool.get();
+    results.push_back({"pair_variations", threads,
+                       CellsPerSecond(cells, [&] {
+                         ComputePairVariations(norm, p);
+                       })});
+    results.push_back({"extract", threads, CellsPerSecond(cells, [&] {
+                         extractor.Extract(0.02);
+                       })});
+    results.push_back({"information_loss", threads,
+                       CellsPerSecond(cells, [&] {
+                         InformationLoss(grid, base, p);
+                       })});
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  std::fprintf(f,
+               "{\n  \"grid\": {\"rows\": %zu, \"cols\": %zu, "
+               "\"attributes\": %zu, \"dataset\": \"home_sales_multi\"},\n"
+               "  \"max_threads\": %zu,\n  \"results\": [\n",
+               grid.rows(), grid.cols(), grid.num_attributes(), max_threads);
+  for (size_t i = 0; i < results.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"op\": \"%s\", \"threads\": %zu, "
+                 "\"cells_per_sec\": %.6g}%s\n",
+                 results[i].op, results[i].threads, results[i].cells_per_sec,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return Status::OK();
+}
+
+void MaybeWriteCorePerfJson() {
+  const char* env = std::getenv("SRP_BENCH_CORE_JSON");
+  if (env == nullptr) return;
+  const std::string path = *env == '\0' ? "BENCH_core.json" : env;
+  const Status status = WriteCorePerfJson(path);
+  if (status.ok()) {
+    SRP_LOG(Info) << "wrote core perf trajectory to " << path;
+  } else {
+    SRP_LOG(Warning) << "core perf export failed: " << status.ToString();
   }
 }
 

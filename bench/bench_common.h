@@ -111,6 +111,19 @@ class ObsSession {
   std::string metrics_out_;
 };
 
+/// Perf trajectory of the core operators: measures cells/sec of the
+/// pair-variation precomputation, cell-group extraction, and information
+/// loss on a fixed synthetic grid (kHomeSalesMulti, seed 2022) at threads=1
+/// and threads=max (ResolveThreadCount(0)), and writes one JSON file —
+/// successive PRs diff these numbers to catch hot-path regressions.
+Status WriteCorePerfJson(const std::string& path, size_t rows = 256,
+                         size_t cols = 256);
+
+/// Writes the core perf JSON to $SRP_BENCH_CORE_JSON when the variable is
+/// set (an empty value selects "BENCH_core.json"); no-op otherwise. Call at
+/// the end of a bench main.
+void MaybeWriteCorePerfJson();
+
 /// Formats a fraction as a percentage string with one decimal.
 std::string Percent(double fraction);
 

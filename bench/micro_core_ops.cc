@@ -12,10 +12,25 @@
 #include "core/variation.h"
 #include "core/variation_heap.h"
 #include "grid/normalize.h"
+#include "parallel/thread_pool.h"
+#include "util/logging.h"
 
 namespace srp {
 namespace bench {
 namespace {
+
+/// Thread counts compared by the *Threads benchmarks: sequential vs. the
+/// machine (or SRP_THREADS). items/sec in the report is cells/sec.
+int64_t MaxThreads() {
+  return static_cast<int64_t>(ResolveThreadCount(0));
+}
+
+void ThreadsComparisonArgs(benchmark::internal::Benchmark* b) {
+  for (int64_t side : {64, 128}) {
+    b->Args({side, 1});
+    if (MaxThreads() > 1) b->Args({side, MaxThreads()});
+  }
+}
 
 GridDataset GridForSize(int64_t side) {
   GridTier tier{"micro", static_cast<size_t>(side), static_cast<size_t>(side)};
@@ -89,6 +104,67 @@ void BM_InformationLoss(benchmark::State& state) {
 }
 BENCHMARK(BM_InformationLoss)->Arg(32)->Arg(64)->Arg(96);
 
+void BM_PairVariationsThreads(benchmark::State& state) {
+  const GridDataset norm = AttributeNormalized(GridForSize(state.range(0)));
+  const std::unique_ptr<ThreadPool> pool =
+      MaybeMakePool(static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputePairVariations(norm, pool.get()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(norm.num_cells()));
+}
+BENCHMARK(BM_PairVariationsThreads)->Apply(ThreadsComparisonArgs);
+
+void BM_FeatureAllocationThreads(benchmark::State& state) {
+  const GridDataset grid = GridForSize(state.range(0));
+  const GridDataset norm = AttributeNormalized(grid);
+  const PairVariations variations = ComputePairVariations(norm);
+  const Partition base = CellGroupExtractor(variations).Extract(0.02);
+  const std::unique_ptr<ThreadPool> pool =
+      MaybeMakePool(static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    Partition p = base;
+    benchmark::DoNotOptimize(AllocateFeatures(grid, &p, pool.get()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(grid.num_cells()));
+}
+BENCHMARK(BM_FeatureAllocationThreads)->Apply(ThreadsComparisonArgs);
+
+void BM_InformationLossThreads(benchmark::State& state) {
+  const GridDataset grid = GridForSize(state.range(0));
+  const GridDataset norm = AttributeNormalized(grid);
+  const PairVariations variations = ComputePairVariations(norm);
+  Partition p = CellGroupExtractor(variations).Extract(0.02);
+  (void)AllocateFeatures(grid, &p);
+  const std::unique_ptr<ThreadPool> pool =
+      MaybeMakePool(static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InformationLoss(grid, p, pool.get()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(grid.num_cells()));
+}
+BENCHMARK(BM_InformationLossThreads)->Apply(ThreadsComparisonArgs);
+
+void BM_FullRepartitionThreads(benchmark::State& state) {
+  const GridDataset grid = GridForSize(state.range(0));
+  RepartitionOptions options = BenchRepartitionOptions(0.1);
+  options.num_threads = static_cast<size_t>(state.range(1));
+  const Repartitioner repartitioner(options);
+  for (auto _ : state) {
+    auto result = repartitioner.Run(grid);
+    SRP_CHECK(result.ok()) << result.status().ToString();
+    benchmark::DoNotOptimize(result->information_loss);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(grid.num_cells()));
+}
+BENCHMARK(BM_FullRepartitionThreads)
+    ->Apply(ThreadsComparisonArgs)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_AdjacencyList(benchmark::State& state) {
   const GridDataset grid = GridForSize(state.range(0));
   const GridDataset norm = AttributeNormalized(grid);
@@ -113,12 +189,14 @@ BENCHMARK(BM_FullRepartition)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
 }  // namespace srp
 
 // Expanded BENCHMARK_MAIN() so the ObsSession (SRP_TRACE_OUT /
-// SRP_METRICS_OUT artifacts) brackets the benchmark run.
+// SRP_METRICS_OUT artifacts) brackets the benchmark run and the perf
+// trajectory (SRP_BENCH_CORE_JSON) is emitted after the measured run.
 int main(int argc, char** argv) {
   srp::bench::ObsSession obs;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  srp::bench::MaybeWriteCorePerfJson();
   return 0;
 }

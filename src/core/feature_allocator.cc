@@ -4,6 +4,8 @@
 #include <cmath>
 #include <map>
 
+#include "parallel/parallel_for.h"
+
 namespace srp {
 
 double LocalLoss(const std::vector<double>& cell_values,
@@ -32,9 +34,14 @@ double ModeOf(const std::vector<double>& values) {
   return best_value;
 }
 
+/// Groups per ParallelFor chunk. Groups are small early in the coarsening
+/// run and the per-group work is light, so shards batch many of them.
+constexpr size_t kGroupGrain = 64;
+
 }  // namespace
 
-Status AllocateFeatures(const GridDataset& grid, Partition* partition) {
+Status AllocateFeatures(const GridDataset& grid, Partition* partition,
+                        ThreadPool* pool) {
   if (partition->rows != grid.rows() || partition->cols != grid.cols()) {
     return Status::InvalidArgument("partition/grid dimension mismatch");
   }
@@ -44,46 +51,51 @@ Status AllocateFeatures(const GridDataset& grid, Partition* partition) {
   partition->group_null.assign(partition->num_groups(), 0);
   partition->group_valid_count.assign(partition->num_groups(), 0);
 
-  std::vector<double> values;
-  for (size_t g = 0; g < partition->num_groups(); ++g) {
-    const CellGroup& group = partition->groups[g];
-    // The extractor never mixes null and valid cells, so group nullness can
-    // be read off the first cell.
-    if (grid.IsNull(group.r_beg, group.c_beg)) {
-      partition->group_null[g] = 1;
-      continue;
-    }
-    partition->group_valid_count[g] = static_cast<uint32_t>(group.NumCells());
-    for (size_t k = 0; k < p; ++k) {
-      const AttributeSpec& attr = grid.attributes()[k];
-      values.clear();
-      values.reserve(group.NumCells());
-      double sum = 0.0;
-      for (size_t r = group.r_beg; r <= group.r_end; ++r) {
-        for (size_t c = group.c_beg; c <= group.c_end; ++c) {
-          const double v = grid.At(r, c, k);
-          values.push_back(v);
-          sum += v;
+  // Group shards write disjoint entries of features/group_null/
+  // group_valid_count, and each group reads only its own cells.
+  ParallelFor(pool, 0, partition->num_groups(), kGroupGrain,
+              [&grid, partition, p](size_t g_beg, size_t g_end) {
+    std::vector<double> values;
+    for (size_t g = g_beg; g < g_end; ++g) {
+      const CellGroup& group = partition->groups[g];
+      // The extractor never mixes null and valid cells, so group nullness
+      // can be read off the first cell.
+      if (grid.IsNull(group.r_beg, group.c_beg)) {
+        partition->group_null[g] = 1;
+        continue;
+      }
+      partition->group_valid_count[g] = static_cast<uint32_t>(group.NumCells());
+      for (size_t k = 0; k < p; ++k) {
+        const AttributeSpec& attr = grid.attributes()[k];
+        values.clear();
+        values.reserve(group.NumCells());
+        double sum = 0.0;
+        for (size_t r = group.r_beg; r <= group.r_end; ++r) {
+          for (size_t c = group.c_beg; c <= group.c_end; ++c) {
+            const double v = grid.At(r, c, k);
+            values.push_back(v);
+            sum += v;
+          }
         }
+        if (attr.is_categorical) {
+          // The mean of category ids is meaningless; the mode is the only
+          // sensible representative.
+          partition->features[g][k] = ModeOf(values);
+          continue;
+        }
+        if (attr.agg_type == AggType::kSum) {
+          partition->features[g][k] = sum;
+          continue;
+        }
+        double mean = sum / static_cast<double>(values.size());
+        if (attr.is_integer) mean = std::round(mean);
+        const double mode = ModeOf(values);
+        const double loss_mean = LocalLoss(values, mean);
+        const double loss_mode = LocalLoss(values, mode);
+        partition->features[g][k] = loss_mean <= loss_mode ? mean : mode;
       }
-      if (attr.is_categorical) {
-        // The mean of category ids is meaningless; the mode is the only
-        // sensible representative.
-        partition->features[g][k] = ModeOf(values);
-        continue;
-      }
-      if (attr.agg_type == AggType::kSum) {
-        partition->features[g][k] = sum;
-        continue;
-      }
-      double mean = sum / static_cast<double>(values.size());
-      if (attr.is_integer) mean = std::round(mean);
-      const double mode = ModeOf(values);
-      const double loss_mean = LocalLoss(values, mean);
-      const double loss_mode = LocalLoss(values, mode);
-      partition->features[g][k] = loss_mean <= loss_mode ? mean : mode;
     }
-  }
+  });
   return Status::OK();
 }
 

@@ -5,6 +5,7 @@
 
 #include "core/partition.h"
 #include "grid/grid_dataset.h"
+#include "parallel/thread_pool.h"
 #include "util/status.h"
 
 namespace srp {
@@ -24,7 +25,12 @@ double LocalLoss(const std::vector<double>& cell_values, double representative);
 ///    frequent value minimizes the local loss (Eq. 2), with the mean winning
 ///    ties (Example 4);
 ///  - groups of null cells get a null feature vector.
-Status AllocateFeatures(const GridDataset& grid, Partition* partition);
+///
+/// With a pool the groups are sharded across its workers; each group's
+/// features depend only on its own cells, so the result is bit-identical to
+/// the sequential path (`pool == nullptr`) for any thread count.
+Status AllocateFeatures(const GridDataset& grid, Partition* partition,
+                        ThreadPool* pool = nullptr);
 
 }  // namespace srp
 

@@ -7,21 +7,29 @@
 
 #include "core/feature_allocator.h"
 #include "core/information_loss.h"
+#include "parallel/parallel_for.h"
 
 namespace srp {
 namespace {
 
+/// Groups per ParallelFor chunk (see AllocateFeatures).
+constexpr size_t kGroupGrain = 64;
+
 /// Allocates features for a homogeneous partition whose groups may mix null
 /// and valid cells: summation sums the valid cells, average picks the better
-/// of mean/mode over the valid cells (mirroring Algorithm 2).
-void AllocateHomogeneousFeatures(const GridDataset& grid, Partition* p) {
+/// of mean/mode over the valid cells (mirroring Algorithm 2). Group shards
+/// run on `pool` when given; each group touches only its own state.
+void AllocateHomogeneousFeatures(const GridDataset& grid, Partition* p,
+                                 ThreadPool* pool) {
   const size_t num_attrs = grid.num_attributes();
   p->features.assign(p->num_groups(), std::vector<double>(num_attrs, 0.0));
   p->group_null.assign(p->num_groups(), 0);
   p->group_valid_count.assign(p->num_groups(), 0);
 
+  ParallelFor(pool, 0, p->num_groups(), kGroupGrain,
+              [&grid, p, num_attrs](size_t g_beg, size_t g_end) {
   std::vector<double> values;
-  for (size_t g = 0; g < p->num_groups(); ++g) {
+  for (size_t g = g_beg; g < g_end; ++g) {
     const CellGroup& cg = p->groups[g];
     size_t valid = 0;
     for (size_t r = cg.r_beg; r <= cg.r_end; ++r) {
@@ -70,12 +78,13 @@ void AllocateHomogeneousFeatures(const GridDataset& grid, Partition* p) {
           LocalLoss(values, mean) <= LocalLoss(values, mode) ? mean : mode;
     }
   }
+  });
 }
 
 }  // namespace
 
 Result<Partition> HomogeneousMerge(const GridDataset& grid, size_t row_factor,
-                                   size_t col_factor) {
+                                   size_t col_factor, ThreadPool* pool) {
   SRP_RETURN_IF_ERROR(grid.Validate());
   if (row_factor == 0 || col_factor == 0) {
     return Status::InvalidArgument("merge factors must be >= 1");
@@ -98,22 +107,25 @@ Result<Partition> HomogeneousMerge(const GridDataset& grid, size_t row_factor,
       }
     }
   }
-  AllocateHomogeneousFeatures(grid, &p);
+  AllocateHomogeneousFeatures(grid, &p, pool);
   return p;
 }
 
 Result<double> HomogeneousMergeLoss(const GridDataset& grid,
-                                    size_t row_factor, size_t col_factor) {
+                                    size_t row_factor, size_t col_factor,
+                                    ThreadPool* pool) {
   SRP_ASSIGN_OR_RETURN(Partition p,
-                       HomogeneousMerge(grid, row_factor, col_factor));
-  return InformationLoss(grid, p);
+                       HomogeneousMerge(grid, row_factor, col_factor, pool));
+  return InformationLoss(grid, p, pool);
 }
 
 Result<HomogeneousResult> HomogeneousRepartition(const GridDataset& grid,
-                                                 double ifl_threshold) {
+                                                 double ifl_threshold,
+                                                 size_t num_threads) {
   if (ifl_threshold < 0.0 || ifl_threshold > 1.0) {
     return Status::InvalidArgument("ifl_threshold must lie in [0, 1]");
   }
+  const std::unique_ptr<ThreadPool> pool = MaybeMakePool(num_threads);
   HomogeneousResult result;
   result.partition = TrivialPartition(grid);
   result.merge_factor = 1;
@@ -124,8 +136,8 @@ Result<HomogeneousResult> HomogeneousRepartition(const GridDataset& grid,
   for (size_t factor = 2; factor <= std::max(grid.rows(), grid.cols());
        ++factor) {
     SRP_ASSIGN_OR_RETURN(Partition candidate,
-                         HomogeneousMerge(grid, factor, factor));
-    const double ifl = InformationLoss(grid, candidate);
+                         HomogeneousMerge(grid, factor, factor, pool.get()));
+    const double ifl = InformationLoss(grid, candidate, pool.get());
     if (ifl > ifl_threshold) break;
     result.partition = std::move(candidate);
     result.information_loss = ifl;

@@ -5,6 +5,7 @@
 
 #include "core/partition.h"
 #include "grid/grid_dataset.h"
+#include "parallel/thread_pool.h"
 #include "util/status.h"
 
 namespace srp {
@@ -18,13 +19,18 @@ namespace srp {
 /// Unlike the ML-aware extractor this can mix null and valid cells inside a
 /// group; a group is null only when ALL its cells are null, and feature
 /// aggregation skips null cells (average) or treats them as 0 (sum).
+/// Feature aggregation and (for the driver below) IFL evaluation are
+/// group-/row-sharded over `pool` when one is given, with results
+/// bit-identical to the sequential path for any thread count.
 Result<Partition> HomogeneousMerge(const GridDataset& grid, size_t row_factor,
-                                   size_t col_factor);
+                                   size_t col_factor,
+                                   ThreadPool* pool = nullptr);
 
 /// The IFL incurred by a single homogeneous merge — the quantity Table V
 /// reports for (2 rows), (2 columns) and (2 rows & 2 columns).
 Result<double> HomogeneousMergeLoss(const GridDataset& grid,
-                                    size_t row_factor, size_t col_factor);
+                                    size_t row_factor, size_t col_factor,
+                                    ThreadPool* pool = nullptr);
 
 /// Iterative driver: increases the merge factor 2, 3, 4, … while the IFL
 /// stays within `ifl_threshold`, returning the last feasible partition
@@ -34,8 +40,11 @@ struct HomogeneousResult {
   double information_loss = 0.0;
   size_t merge_factor = 1;  // 1 = no merging was feasible
 };
+/// `num_threads` follows the library-wide convention: 0 = auto (SRP_THREADS
+/// env var, else hardware concurrency), 1 = sequential, N > 1 = a pool of N.
 Result<HomogeneousResult> HomogeneousRepartition(const GridDataset& grid,
-                                                 double ifl_threshold);
+                                                 double ifl_threshold,
+                                                 size_t num_threads = 0);
 
 }  // namespace srp
 

@@ -2,9 +2,24 @@
 
 #include <cmath>
 
+#include "parallel/parallel_for.h"
 #include "util/logging.h"
 
 namespace srp {
+namespace {
+
+/// Rows per reduction shard. Fixed (never derived from the thread count) so
+/// the shard layout — and therefore the floating-point combine order — is a
+/// pure function of the grid shape.
+constexpr size_t kRowGrain = 8;
+
+/// Partial IFL sum of one row shard.
+struct LossPartial {
+  double total = 0.0;
+  size_t terms = 0;
+};
+
+}  // namespace
 
 double RepresentativeValue(const GridDataset& grid, const Partition& partition,
                            size_t r, size_t c, size_t k) {
@@ -18,34 +33,47 @@ double RepresentativeValue(const GridDataset& grid, const Partition& partition,
   return value;
 }
 
-double InformationLoss(const GridDataset& grid, const Partition& partition) {
+double InformationLoss(const GridDataset& grid, const Partition& partition,
+                       ThreadPool* pool) {
   SRP_CHECK(!partition.features.empty())
       << "InformationLoss requires allocated features";
-  double total = 0.0;
-  size_t terms = 0;
-  for (size_t r = 0; r < grid.rows(); ++r) {
-    for (size_t c = 0; c < grid.cols(); ++c) {
-      if (grid.IsNull(r, c)) continue;
-      for (size_t k = 0; k < grid.num_attributes(); ++k) {
-        const double original = grid.At(r, c, k);
-        if (grid.attributes()[k].is_categorical) {
-          // Categorical extension: a 0/1 mismatch against the group's mode.
-          total += (partition.features[static_cast<size_t>(
-                        partition.GroupOf(r, c))][k] == original)
-                       ? 0.0
-                       : 1.0;
-          ++terms;
-          continue;
+  const LossPartial sum = ParallelReduce(
+      pool, 0, grid.rows(), kRowGrain, LossPartial{},
+      [&grid, &partition](size_t r_beg, size_t r_end) {
+        LossPartial partial;
+        for (size_t r = r_beg; r < r_end; ++r) {
+          for (size_t c = 0; c < grid.cols(); ++c) {
+            if (grid.IsNull(r, c)) continue;
+            for (size_t k = 0; k < grid.num_attributes(); ++k) {
+              const double original = grid.At(r, c, k);
+              if (grid.attributes()[k].is_categorical) {
+                // Categorical extension: a 0/1 mismatch against the group's
+                // representative (its mode).
+                partial.total +=
+                    (RepresentativeValue(grid, partition, r, c, k) == original)
+                        ? 0.0
+                        : 1.0;
+                ++partial.terms;
+                continue;
+              }
+              if (original == 0.0) continue;  // relative error undefined
+              const double representative =
+                  RepresentativeValue(grid, partition, r, c, k);
+              partial.total +=
+                  std::fabs(original - representative) / std::fabs(original);
+              ++partial.terms;
+            }
+          }
         }
-        if (original == 0.0) continue;  // relative error undefined
-        const double representative =
-            RepresentativeValue(grid, partition, r, c, k);
-        total += std::fabs(original - representative) / std::fabs(original);
-        ++terms;
-      }
-    }
-  }
-  return terms == 0 ? 0.0 : total / static_cast<double>(terms);
+        return partial;
+      },
+      [](LossPartial acc, const LossPartial& p) {
+        acc.total += p.total;
+        acc.terms += p.terms;
+        return acc;
+      });
+  return sum.terms == 0 ? 0.0
+                        : sum.total / static_cast<double>(sum.terms);
 }
 
 }  // namespace srp

@@ -5,6 +5,7 @@
 
 #include "core/partition.h"
 #include "grid/grid_dataset.h"
+#include "parallel/thread_pool.h"
 
 namespace srp {
 
@@ -21,7 +22,16 @@ double RepresentativeValue(const GridDataset& grid, const Partition& partition,
 /// every valid (non-null) cell and attribute. Terms whose original value is
 /// 0 are skipped — the relative error is undefined there — and excluded from
 /// the averaging count. Requires `partition.features` to be allocated.
-double InformationLoss(const GridDataset& grid, const Partition& partition);
+///
+/// Categorical attributes contribute a 0/1 mismatch indicator between the
+/// cell's category and the group's representative (its mode), via the same
+/// RepresentativeValue lookup as numeric attributes.
+///
+/// The sum is evaluated as fixed row shards whose partials combine in
+/// ascending shard order (ParallelReduce), so the value depends only on the
+/// grid shape — bit-identical for any `pool`, including none.
+double InformationLoss(const GridDataset& grid, const Partition& partition,
+                       ThreadPool* pool = nullptr);
 
 }  // namespace srp
 

@@ -10,6 +10,7 @@
 #include "grid/normalize.h"
 #include "obs/metrics_registry.h"
 #include "obs/tracer.h"
+#include "parallel/thread_pool.h"
 #include "util/timer.h"
 
 namespace srp {
@@ -65,6 +66,10 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid) const {
   RepartitionResult result;
   RunStats& stats = result.stats;
 
+  // One pool for the whole run (null when the resolved count is <= 1, which
+  // routes every phase through its sequential path).
+  const std::unique_ptr<ThreadPool> pool = MaybeMakePool(options_.num_threads);
+
   // Accumulates the time since the last call into `*accumulator` and
   // optionally feeds the same duration to a latency histogram.
   WallTimer phase_timer;
@@ -87,7 +92,7 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid) const {
 
   const PairVariations variations = [&] {
     SRP_TRACE_SPAN("repartition.pair_variations");
-    return ComputePairVariations(normalized);
+    return ComputePairVariations(normalized, pool.get());
   }();
   take_phase(&stats.pair_variation_seconds);
 
@@ -126,13 +131,13 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid) const {
 
     {
       SRP_TRACE_SPAN("repartition.allocate_features");
-      SRP_RETURN_IF_ERROR(AllocateFeatures(grid, &candidate));
+      SRP_RETURN_IF_ERROR(AllocateFeatures(grid, &candidate, pool.get()));
     }
     take_phase(&stats.allocate_seconds, Metrics().allocate_ms);
 
     const double ifl = [&] {
       SRP_TRACE_SPAN("repartition.information_loss");
-      return InformationLoss(grid, candidate);
+      return InformationLoss(grid, candidate, pool.get());
     }();
     take_phase(&stats.information_loss_seconds,
                Metrics().information_loss_ms);

@@ -29,6 +29,13 @@ struct RepartitionOptions {
   /// near-equal variations into one iteration without materially changing
   /// the resulting partition.
   double min_variation_step = 0.0;
+
+  /// Worker threads for the parallelizable phases (pair variations, feature
+  /// allocation, information loss). 0 = auto: the SRP_THREADS environment
+  /// variable when set, else hardware concurrency. A resolved count <= 1
+  /// runs the sequential code path with no pool at all. Results are
+  /// bit-identical for every setting (DESIGN.md §7 determinism contract).
+  size_t num_threads = 0;
 };
 
 /// Per-phase wall-time breakdown of one Repartitioner::Run, accumulated

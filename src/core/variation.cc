@@ -3,7 +3,18 @@
 #include <cmath>
 #include <limits>
 
+#include "parallel/parallel_for.h"
+
 namespace srp {
+namespace {
+
+/// Rows per ParallelFor chunk. Small enough that the paper-scale grids
+/// (hundreds of rows) split into far more chunks than cores, large enough
+/// that the per-chunk dispatch cost is negligible against the O(cols * p)
+/// work per row.
+constexpr size_t kRowGrain = 8;
+
+}  // namespace
 
 double AttributeVariation(const GridDataset& grid, size_t r1, size_t c1,
                           size_t r2, size_t c2) {
@@ -25,25 +36,31 @@ double AttributeVariation(const GridDataset& grid, size_t r1, size_t c1,
   return acc / static_cast<double>(p);
 }
 
-PairVariations ComputePairVariations(const GridDataset& normalized) {
+PairVariations ComputePairVariations(const GridDataset& normalized,
+                                     ThreadPool* pool) {
   PairVariations out;
   out.rows = normalized.rows();
   out.cols = normalized.cols();
   const double inf = std::numeric_limits<double>::infinity();
   out.right.assign(out.rows * out.cols, inf);
   out.down.assign(out.rows * out.cols, inf);
-  for (size_t r = 0; r < out.rows; ++r) {
-    for (size_t c = 0; c < out.cols; ++c) {
-      if (c + 1 < out.cols) {
-        out.right[r * out.cols + c] =
-            AttributeVariation(normalized, r, c, r, c + 1);
-      }
-      if (r + 1 < out.rows) {
-        out.down[r * out.cols + c] =
-            AttributeVariation(normalized, r, c, r + 1, c);
-      }
-    }
-  }
+  // Row shards write disjoint ranges of `right`/`down`, so no
+  // synchronization is needed and the output is thread-count independent.
+  ParallelFor(pool, 0, out.rows, kRowGrain,
+              [&normalized, &out](size_t r_beg, size_t r_end) {
+                for (size_t r = r_beg; r < r_end; ++r) {
+                  for (size_t c = 0; c < out.cols; ++c) {
+                    if (c + 1 < out.cols) {
+                      out.right[r * out.cols + c] =
+                          AttributeVariation(normalized, r, c, r, c + 1);
+                    }
+                    if (r + 1 < out.rows) {
+                      out.down[r * out.cols + c] =
+                          AttributeVariation(normalized, r, c, r + 1, c);
+                    }
+                  }
+                }
+              });
   return out;
 }
 

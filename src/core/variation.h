@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "grid/grid_dataset.h"
+#include "parallel/thread_pool.h"
 
 namespace srp {
 
@@ -37,7 +38,12 @@ struct PairVariations {
 /// Computes PairVariations over `normalized` (the attribute-normalized form
 /// of the input; Section III-A1 computes variations on normalized data so no
 /// attribute dominates).
-PairVariations ComputePairVariations(const GridDataset& normalized);
+///
+/// With a pool the rows are sharded across its workers; every cell's pair
+/// of variations is computed independently, so the result is bit-identical
+/// to the sequential path (`pool == nullptr`) for any thread count.
+PairVariations ComputePairVariations(const GridDataset& normalized,
+                                     ThreadPool* pool = nullptr);
 
 }  // namespace srp
 

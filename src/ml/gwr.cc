@@ -7,6 +7,7 @@
 #include "linalg/cholesky.h"
 #include "linalg/matrix.h"
 #include "ml/ols.h"
+#include "parallel/parallel_for.h"
 #include "util/logging.h"
 
 namespace srp {
@@ -168,12 +169,21 @@ Result<std::vector<double>> GeographicallyWeightedRegression::Predict(
     return Status::InvalidArgument("feature arity mismatch");
   }
   std::vector<double> out(data.num_rows());
-  std::vector<double> x_row(train_x_.cols());
-  for (size_t i = 0; i < data.num_rows(); ++i) {
-    for (size_t c = 0; c < train_x_.cols(); ++c) x_row[c] = data.features(i, c);
-    out[i] = LocalPredict(data.coords[i].lat, data.coords[i].lon, x_row,
-                          bandwidth_k_, /*self_index=*/-1, /*hat=*/nullptr);
-  }
+  // One local WLS fit per location, each writing only out[i]; a small grain
+  // balances the shards, whose per-location cost is O(n * p^2).
+  const std::unique_ptr<ThreadPool> pool = MaybeMakePool(options_.num_threads);
+  ParallelFor(pool.get(), 0, data.num_rows(), /*grain=*/4,
+              [&](size_t i_beg, size_t i_end) {
+                std::vector<double> x_row(train_x_.cols());
+                for (size_t i = i_beg; i < i_end; ++i) {
+                  for (size_t c = 0; c < train_x_.cols(); ++c) {
+                    x_row[c] = data.features(i, c);
+                  }
+                  out[i] = LocalPredict(data.coords[i].lat, data.coords[i].lon,
+                                        x_row, bandwidth_k_, /*self_index=*/-1,
+                                        /*hat=*/nullptr);
+                }
+              });
   return out;
 }
 

@@ -28,6 +28,11 @@ class GeographicallyWeightedRegression {
     /// Locations sampled when evaluating AICc during the bandwidth search
     /// (0 = all; sampling keeps the search O(sample * n) per candidate).
     size_t aicc_sample = 300;
+    /// Worker threads for batched prediction — every location solves an
+    /// independent local WLS, written to its own output slot, so the
+    /// predictions are bit-identical for every setting. 0 = auto
+    /// (SRP_THREADS env var, else hardware concurrency); 1 = sequential.
+    size_t num_threads = 0;
   };
 
   GeographicallyWeightedRegression() : GeographicallyWeightedRegression(Options{}) {}

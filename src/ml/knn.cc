@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "linalg/stats.h"
+#include "parallel/parallel_for.h"
 #include "util/logging.h"
 
 namespace srp {
@@ -50,24 +51,30 @@ std::vector<int> KnnClassifier::Predict(const Matrix& x) const {
   SRP_CHECK(fitted()) << "Predict before Fit";
   SRP_CHECK(x.cols() == feature_mean_.size()) << "feature arity mismatch";
   std::vector<int> out(x.rows());
-  std::vector<int> votes(num_classes_);
-  for (size_t r = 0; r < x.rows(); ++r) {
-    const std::vector<double> query = StandardizeRow(x, r);
-    const std::vector<size_t> nn =
-        tree_->NearestNeighbors(query, options_.n_neighbors);
-    std::fill(votes.begin(), votes.end(), 0);
-    for (size_t idx : nn) ++votes[labels_[idx]];
-    // Majority vote; ties go to the nearest neighbor among tied classes.
-    int best_class = labels_[nn.front()];
-    int best_votes = votes[best_class];
-    for (int k = 0; k < num_classes_; ++k) {
-      if (votes[k] > best_votes) {
-        best_votes = votes[k];
-        best_class = k;
+  // Row shards query the read-only k-d tree with shard-local vote buffers
+  // and write disjoint ranges of `out`.
+  const std::unique_ptr<ThreadPool> pool = MaybeMakePool(options_.num_threads);
+  ParallelFor(pool.get(), 0, x.rows(), /*grain=*/64,
+              [&](size_t r_beg, size_t r_end) {
+    std::vector<int> votes(num_classes_);
+    for (size_t r = r_beg; r < r_end; ++r) {
+      const std::vector<double> query = StandardizeRow(x, r);
+      const std::vector<size_t> nn =
+          tree_->NearestNeighbors(query, options_.n_neighbors);
+      std::fill(votes.begin(), votes.end(), 0);
+      for (size_t idx : nn) ++votes[labels_[idx]];
+      // Majority vote; ties go to the nearest neighbor among tied classes.
+      int best_class = labels_[nn.front()];
+      int best_votes = votes[best_class];
+      for (int k = 0; k < num_classes_; ++k) {
+        if (votes[k] > best_votes) {
+          best_votes = votes[k];
+          best_class = k;
+        }
       }
+      out[r] = best_class;
     }
-    out[r] = best_class;
-  }
+  });
   return out;
 }
 

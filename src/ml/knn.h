@@ -18,6 +18,10 @@ class KnnClassifier {
   struct Options {
     size_t n_neighbors = 7;
     size_t leaf_size = 18;
+    /// Worker threads for batched prediction (per-row k-d tree queries over
+    /// read-only state; bit-identical for every setting). 0 = auto
+    /// (SRP_THREADS env var, else hardware concurrency); 1 = sequential.
+    size_t num_threads = 0;
   };
 
   KnnClassifier() : KnnClassifier(Options{}) {}

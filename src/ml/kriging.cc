@@ -5,6 +5,7 @@
 
 #include "linalg/lu.h"
 #include "linalg/matrix.h"
+#include "parallel/parallel_for.h"
 
 namespace srp {
 namespace {
@@ -49,7 +50,12 @@ Result<std::vector<double>> OrdinaryKriging::Predict(
 
   const size_t k =
       std::min(options_.number_of_neighbors, train_coords_.size());
-  for (size_t q = 0; q < coords.size(); ++q) {
+  // Each query builds and solves its own (k+1)-sized system and writes only
+  // out[q]; shards therefore share nothing but read-only training state.
+  const std::unique_ptr<ThreadPool> pool = MaybeMakePool(options_.num_threads);
+  ParallelFor(pool.get(), 0, coords.size(), /*grain=*/8,
+              [&](size_t q_beg, size_t q_end) {
+  for (size_t q = q_beg; q < q_end; ++q) {
     const std::vector<size_t> nn =
         tree_->NearestNeighbors({coords[q].lat, coords[q].lon}, k);
     const size_t m = nn.size();
@@ -84,6 +90,7 @@ Result<std::vector<double>> OrdinaryKriging::Predict(
     for (size_t i = 0; i < m; ++i) pred += w[i] * train_values_[nn[i]];
     out[q] = pred;
   }
+  });
   return out;
 }
 

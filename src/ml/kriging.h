@@ -24,6 +24,11 @@ class OrdinaryKriging {
     size_t number_of_neighbors = 8;
     /// Subsample cap for the O(n^2) empirical-variogram pair scan.
     size_t variogram_max_points = 2000;
+    /// Worker threads for batched prediction — each query solves its own
+    /// kriging system over read-only training state, so the estimates are
+    /// bit-identical for every setting. 0 = auto (SRP_THREADS env var, else
+    /// hardware concurrency); 1 = sequential.
+    size_t num_threads = 0;
   };
 
   OrdinaryKriging() : OrdinaryKriging(Options{}) {}

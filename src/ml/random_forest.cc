@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "parallel/parallel_for.h"
+#include "util/random.h"
+
 namespace srp {
 
 Status RandomForestRegression::Fit(const Matrix& x,
@@ -10,8 +13,6 @@ Status RandomForestRegression::Fit(const Matrix& x,
     return Status::InvalidArgument("forest: X/y size mismatch or empty");
   }
   trees_.clear();
-  trees_.reserve(options_.n_estimators);
-  Rng rng(options_.seed);
 
   RegressionTree::Options tree_options;
   tree_options.max_depth = options_.max_depth;
@@ -21,26 +22,47 @@ Status RandomForestRegression::Fit(const Matrix& x,
           ? options_.max_features
           : std::max<size_t>(1, x.cols() / 3);
 
+  // Each tree is trained from its own Rng(MixSeed(seed, t)) substream and
+  // writes only trees[t] / statuses[t], so training is embarrassingly
+  // parallel and the fitted forest does not depend on the thread count.
   const size_t n = x.rows();
-  std::vector<size_t> bootstrap(n);
-  for (size_t t = 0; t < options_.n_estimators; ++t) {
-    for (size_t i = 0; i < n; ++i) {
-      bootstrap[i] = static_cast<size_t>(rng.NextBounded(n));
-    }
-    RegressionTree tree(tree_options);
-    SRP_RETURN_IF_ERROR(tree.Fit(x, y, bootstrap, &rng));
-    trees_.push_back(std::move(tree));
+  std::vector<RegressionTree> trees(options_.n_estimators,
+                                    RegressionTree(tree_options));
+  std::vector<Status> statuses(options_.n_estimators, Status::OK());
+  const std::unique_ptr<ThreadPool> pool = MaybeMakePool(options_.num_threads);
+  ParallelFor(pool.get(), 0, options_.n_estimators, /*grain=*/1,
+              [&](size_t t_beg, size_t t_end) {
+                std::vector<size_t> bootstrap(n);
+                for (size_t t = t_beg; t < t_end; ++t) {
+                  Rng rng(MixSeed(options_.seed, t));
+                  for (size_t i = 0; i < n; ++i) {
+                    bootstrap[i] = static_cast<size_t>(rng.NextBounded(n));
+                  }
+                  statuses[t] = trees[t].Fit(x, y, bootstrap, &rng);
+                }
+              });
+  for (const Status& status : statuses) {
+    SRP_RETURN_IF_ERROR(status);
   }
+  trees_ = std::move(trees);
   return Status::OK();
 }
 
 std::vector<double> RandomForestRegression::Predict(const Matrix& x) const {
   std::vector<double> out(x.rows(), 0.0);
-  for (const auto& tree : trees_) {
-    for (size_t r = 0; r < x.rows(); ++r) out[r] += tree.PredictRow(x, r);
-  }
   const double inv = 1.0 / static_cast<double>(trees_.size());
-  for (double& v : out) v *= inv;
+  // Row shards write disjoint ranges of `out`; every row sums the trees in
+  // the same fixed order, so predictions are thread-count independent.
+  const std::unique_ptr<ThreadPool> pool = MaybeMakePool(options_.num_threads);
+  ParallelFor(pool.get(), 0, x.rows(), /*grain=*/256,
+              [&](size_t r_beg, size_t r_end) {
+                for (const auto& tree : trees_) {
+                  for (size_t r = r_beg; r < r_end; ++r) {
+                    out[r] += tree.PredictRow(x, r);
+                  }
+                }
+                for (size_t r = r_beg; r < r_end; ++r) out[r] *= inv;
+              });
   return out;
 }
 

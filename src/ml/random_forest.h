@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "ml/decision_tree.h"
+#include "parallel/thread_pool.h"
 #include "util/status.h"
 
 namespace srp {
@@ -20,6 +21,12 @@ class RandomForestRegression {
     /// Features tried per split; 0 = p/3 (the regression-forest convention).
     size_t max_features = 0;
     uint64_t seed = 13;
+    /// Worker threads for training and batched prediction. 0 = auto
+    /// (SRP_THREADS env var, else hardware concurrency); 1 = sequential.
+    /// Every tree draws from its own Rng(MixSeed(seed, tree_index)) stream,
+    /// so the fitted forest and its predictions are bit-identical for every
+    /// setting.
+    size_t num_threads = 0;
   };
 
   RandomForestRegression() : RandomForestRegression(Options{}) {}

@@ -1,0 +1,117 @@
+#ifndef SRP_PARALLEL_PARALLEL_FOR_H_
+#define SRP_PARALLEL_PARALLEL_FOR_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <latch>
+#include <utility>
+#include <vector>
+
+#include "obs/tracer.h"
+#include "parallel/thread_pool.h"
+
+namespace srp {
+
+/// Number of grain-sized chunks covering [begin, end). The chunk layout is a
+/// pure function of (begin, end, grain) — never of the thread count or of
+/// scheduling — which is the root of the subsystem's determinism contract:
+/// any value computed per chunk and combined in chunk order is reproducible
+/// run-to-run and across num_threads settings.
+inline size_t NumChunks(size_t begin, size_t end, size_t grain) {
+  if (end <= begin) return 0;
+  if (grain == 0) grain = 1;
+  return (end - begin + grain - 1) / grain;
+}
+
+namespace parallel_internal {
+
+/// Executes chunk_fn(0 .. num_chunks-1), each exactly once. With a pool,
+/// chunks are claimed from a shared atomic cursor by up to pool->size()
+/// workers plus the calling thread; without one they run inline in order.
+/// Returns when every chunk has finished.
+template <typename ChunkFn>
+void RunChunks(ThreadPool* pool, size_t num_chunks, const ChunkFn& chunk_fn) {
+  if (num_chunks == 0) return;
+  if (pool == nullptr || pool->size() <= 1 || num_chunks == 1) {
+    for (size_t i = 0; i < num_chunks; ++i) chunk_fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  const auto drain = [&next, num_chunks, &chunk_fn] {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= num_chunks) return;
+      chunk_fn(i);
+    }
+  };
+  // The caller drains alongside the helpers, so `helpers` workers are enough
+  // to saturate a pool of that size.
+  const size_t helpers = std::min(pool->size(), num_chunks - 1);
+  std::latch done(static_cast<std::ptrdiff_t>(helpers));
+  for (size_t h = 0; h < helpers; ++h) {
+    pool->Submit([&drain, &done] {
+      drain();
+      done.count_down();
+    });
+  }
+  drain();
+  done.wait();
+}
+
+}  // namespace parallel_internal
+
+/// Chunked parallel loop over [begin, end): fn(chunk_begin, chunk_end) is
+/// invoked once per grain-sized chunk, on an unspecified thread. Chunks are
+/// disjoint, so fn may write to chunk-indexed state without synchronization;
+/// it must not throw. `pool == nullptr` (the MaybeMakePool convention for
+/// num_threads <= 1) runs the chunks inline in ascending order.
+template <typename Fn>
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,
+                 const Fn& fn) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  SRP_TRACE_SPAN("parallel.for");
+  const size_t num_chunks = NumChunks(begin, end, grain);
+  parallel_internal::RunChunks(
+      pool, num_chunks, [begin, end, grain, &fn](size_t chunk) {
+        const size_t chunk_begin = begin + chunk * grain;
+        const size_t chunk_end = std::min(end, chunk_begin + grain);
+        fn(chunk_begin, chunk_end);
+      });
+}
+
+/// Deterministic tree-shaped reduction over [begin, end):
+///   partial[i] = map(chunk_i_begin, chunk_i_end)
+///   result     = combine(...combine(combine(identity, partial[0]),
+///                                   partial[1])..., partial[n-1])
+///
+/// The chunk layout depends only on (begin, end, grain) and the combine runs
+/// on the calling thread in ascending chunk order after every partial has
+/// been produced, so floating-point results are bit-identical run-to-run and
+/// across thread counts — including pool == nullptr, which evaluates the
+/// same chunks inline. Callers must therefore route their sequential path
+/// through ParallelReduce too (not a hand-rolled accumulation) when they
+/// promise threads=1 == threads=N equality.
+template <typename T, typename Map, typename Combine>
+T ParallelReduce(ThreadPool* pool, size_t begin, size_t end, size_t grain,
+                 T identity, const Map& map, const Combine& combine) {
+  if (end <= begin) return identity;
+  if (grain == 0) grain = 1;
+  SRP_TRACE_SPAN("parallel.reduce");
+  const size_t num_chunks = NumChunks(begin, end, grain);
+  std::vector<T> partials(num_chunks, identity);
+  parallel_internal::RunChunks(
+      pool, num_chunks, [begin, end, grain, &map, &partials](size_t chunk) {
+        const size_t chunk_begin = begin + chunk * grain;
+        const size_t chunk_end = std::min(end, chunk_begin + grain);
+        partials[chunk] = map(chunk_begin, chunk_end);
+      });
+  T result = std::move(identity);
+  for (T& partial : partials) result = combine(std::move(result), partial);
+  return result;
+}
+
+}  // namespace srp
+
+#endif  // SRP_PARALLEL_PARALLEL_FOR_H_

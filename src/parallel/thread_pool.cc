@@ -1,0 +1,96 @@
+#include "parallel/thread_pool.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "obs/metrics_registry.h"
+
+namespace srp {
+namespace {
+
+/// Handles into the process-wide metrics registry, resolved once.
+struct PoolMetrics {
+  obs::Counter* pools_created;
+  obs::Counter* tasks_executed;
+  obs::Counter* queue_waits;
+  obs::Gauge* pool_size;
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics* metrics = [] {
+    auto& registry = obs::MetricsRegistry::Get();
+    auto* m = new PoolMetrics();
+    m->pools_created = registry.GetCounter("parallel.pools_created");
+    m->tasks_executed = registry.GetCounter("parallel.tasks_executed");
+    m->queue_waits = registry.GetCounter("parallel.queue_waits");
+    m->pool_size = registry.GetGauge("parallel.pool_size");
+    return m;
+  }();
+  return *metrics;
+}
+
+}  // namespace
+
+size_t ResolveThreadCount(size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("SRP_THREADS")) {
+    const long parsed = std::atol(env);
+    if (parsed > 0) return static_cast<size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  Metrics().pools_created->Increment();
+  Metrics().pool_size->Set(static_cast<double>(num_threads));
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (queue_.empty() && !stop_) {
+        Metrics().queue_waits->Increment();
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      }
+      // Drain remaining tasks even after stop so queued work is never lost.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    Metrics().tasks_executed->Increment();
+  }
+}
+
+std::unique_ptr<ThreadPool> MaybeMakePool(size_t requested) {
+  const size_t resolved = ResolveThreadCount(requested);
+  if (resolved <= 1) return nullptr;
+  return std::make_unique<ThreadPool>(resolved);
+}
+
+}  // namespace srp

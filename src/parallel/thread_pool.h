@@ -1,0 +1,72 @@
+#ifndef SRP_PARALLEL_THREAD_POOL_H_
+#define SRP_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace srp {
+
+/// Resolves a requested worker count to the effective one:
+///   requested > 0  -> requested;
+///   requested == 0 -> the SRP_THREADS environment variable when set to a
+///                     positive integer, else std::thread::hardware_concurrency()
+///                     (floored at 1 when the runtime reports 0).
+///
+/// Every `num_threads` knob in the library (RepartitionOptions, the model
+/// zoo Options structs, the --threads CLI flag) goes through this, so 0
+/// uniformly means "use the machine" and SRP_THREADS uniformly pins it.
+size_t ResolveThreadCount(size_t requested);
+
+/// Fixed-size worker pool over one blocking task queue.
+///
+/// Tasks must not throw. The destructor drains already-submitted tasks
+/// before joining, so a pool can be torn down while work is still queued
+/// without losing it. Pools are cheap enough (<1 ms for typical sizes) to
+/// create per Repartitioner::Run / per model Fit, which keeps thread
+/// lifetime scoped to the operation that needs it — there is no process-wide
+/// pool and therefore no global teardown order to get wrong.
+///
+/// Observability (srp_obs): construction sets the "parallel.pool_size"
+/// gauge and bumps "parallel.pools_created"; every executed task bumps
+/// "parallel.tasks_executed"; every time a worker goes to sleep on an empty
+/// queue "parallel.queue_waits" is bumped.
+class ThreadPool {
+ public:
+  /// Spawns exactly `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue, then stops and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues one task. Safe from any thread, including pool workers.
+  void Submit(std::function<void()> task);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Builds a pool of ResolveThreadCount(requested) workers, or returns null
+/// when the resolved count is <= 1 — the convention every call site uses to
+/// bypass the pool and take its sequential path.
+std::unique_ptr<ThreadPool> MaybeMakePool(size_t requested);
+
+}  // namespace srp
+
+#endif  // SRP_PARALLEL_THREAD_POOL_H_

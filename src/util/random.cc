@@ -19,6 +19,14 @@ uint64_t SplitMix64(uint64_t* state) {
 
 }  // namespace
 
+uint64_t MixSeed(uint64_t seed, uint64_t stream) {
+  // Two SplitMix64 steps over an odd-constant combination: adjacent stream
+  // indices land in statistically unrelated states.
+  uint64_t state = seed ^ (stream * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL);
+  (void)SplitMix64(&state);
+  return SplitMix64(&state);
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& s : s_) s = SplitMix64(&sm);

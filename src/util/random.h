@@ -8,6 +8,14 @@
 
 namespace srp {
 
+/// Derives the seed of an independent substream from a base seed and a
+/// stream index (SplitMix64 over their combination). Parallel components
+/// give each task — e.g. each forest tree — its own Rng(MixSeed(seed, i)),
+/// so the drawn values depend only on (seed, i), never on which thread runs
+/// the task or in what order. MixSeed(s, 0) != s, so a substream never
+/// aliases the base stream.
+uint64_t MixSeed(uint64_t seed, uint64_t stream);
+
 /// Deterministic pseudo-random number generator (xoshiro256++).
 ///
 /// Every stochastic component in this library (dataset generators, baselines,

@@ -77,6 +77,51 @@ TEST(InformationLossTest, NullCellsExcluded) {
   EXPECT_DOUBLE_EQ(InformationLoss(g, p), 0.0);
 }
 
+TEST(InformationLossTest, CategoricalCountsMismatchesAgainstMode) {
+  // Category ids {5, 5, 7}: the group mode is 5, so exactly one of three
+  // cells mismatches -> IFL = 1/3.
+  GridDataset g(1, 3, {{"zone", AggType::kAverage, false, true}});
+  g.Set(0, 0, 0, 5.0);
+  g.Set(0, 1, 0, 5.0);
+  g.Set(0, 2, 0, 7.0);
+  Partition p = WholeGridGroup(g);
+  ASSERT_TRUE(AllocateFeatures(g, &p).ok());
+  EXPECT_DOUBLE_EQ(RepresentativeValue(g, p, 0, 0, 0), 5.0);
+  EXPECT_NEAR(InformationLoss(g, p), 1.0 / 3.0, 1e-12);
+}
+
+TEST(InformationLossTest, CategoricalZeroIdIsAValidCategory) {
+  // Unlike the numeric branch (which skips zero originals because the
+  // relative error is undefined), a categorical id of 0 is a real category:
+  // it participates in the mode and counts as a term.
+  GridDataset g(1, 3, {{"zone", AggType::kAverage, false, true}});
+  g.Set(0, 0, 0, 0.0);
+  g.Set(0, 1, 0, 0.0);
+  g.Set(0, 2, 0, 3.0);
+  Partition p = WholeGridGroup(g);
+  ASSERT_TRUE(AllocateFeatures(g, &p).ok());
+  EXPECT_DOUBLE_EQ(RepresentativeValue(g, p, 0, 0, 0), 0.0);
+  EXPECT_NEAR(InformationLoss(g, p), 1.0 / 3.0, 1e-12);
+}
+
+TEST(InformationLossTest, MixedCategoricalAndSumAttributes) {
+  // Regression: both branches of the IFL loop go through
+  // RepresentativeValue, so a kSum attribute alongside a categorical one
+  // gets its per-cell divisor applied while the categorical attribute is
+  // compared against the group mode.
+  GridDataset g(1, 2,
+                {{"zone", AggType::kAverage, false, true},
+                 {"pop", AggType::kSum, false}});
+  g.SetFeatureVector(0, 0, {4.0, 10.0});
+  g.SetFeatureVector(0, 1, {4.0, 30.0});
+  Partition p = WholeGridGroup(g);
+  ASSERT_TRUE(AllocateFeatures(g, &p).ok());
+  // Categorical attribute reconstructs exactly (both cells are category 4);
+  // the numeric kSum attribute contributes |10-20|/10 and |30-20|/30.
+  // Terms: 2 categorical (0 each) + 2 numeric -> (1.0 + 1/3) / 4.
+  EXPECT_NEAR(InformationLoss(g, p), (1.0 + 1.0 / 3.0) / 4.0, 1e-12);
+}
+
 TEST(InformationLossTest, MultivariateAveragesAcrossAttributes) {
   // Attribute 0 reconstructs perfectly; attribute 1 has per-cell errors
   // 0.5 and 0.25 (as in the univariate case). IFL averages over all four

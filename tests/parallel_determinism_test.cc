@@ -1,0 +1,214 @@
+// Determinism contract of the parallel subsystem (DESIGN.md §7): every
+// parallelized computation must produce bit-identical results for any
+// num_threads setting, including the sequential num_threads=1 path. These
+// tests run the re-partitioning core, the homogeneous variant and the model
+// zoo at num_threads ∈ {1, 2, 8} and compare outputs with exact equality —
+// EXPECT_EQ on doubles, never EXPECT_NEAR.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/homogeneous.h"
+#include "core/repartitioner.h"
+#include "data/datasets.h"
+#include "ml/gwr.h"
+#include "ml/knn.h"
+#include "ml/random_forest.h"
+#include "util/random.h"
+
+namespace srp {
+namespace {
+
+constexpr size_t kThreadCounts[] = {1, 2, 8};
+
+GridDataset TestGrid(DatasetKind kind, uint64_t seed) {
+  DatasetOptions options;
+  options.rows = 40;
+  options.cols = 40;
+  options.seed = seed;
+  auto grid = GenerateDataset(kind, options);
+  EXPECT_TRUE(grid.ok()) << grid.status().ToString();
+  return std::move(grid).value();
+}
+
+void ExpectIdenticalPartitions(const Partition& a, const Partition& b,
+                               size_t threads) {
+  ASSERT_EQ(a.groups.size(), b.groups.size()) << threads << " threads";
+  for (size_t g = 0; g < a.groups.size(); ++g) {
+    EXPECT_TRUE(a.groups[g] == b.groups[g]) << "group " << g;
+  }
+  EXPECT_EQ(a.cell_to_group, b.cell_to_group) << threads << " threads";
+  EXPECT_EQ(a.group_null, b.group_null) << threads << " threads";
+  EXPECT_EQ(a.group_valid_count, b.group_valid_count) << threads << " threads";
+  ASSERT_EQ(a.features.size(), b.features.size()) << threads << " threads";
+  for (size_t g = 0; g < a.features.size(); ++g) {
+    // operator== on the vectors compares every double bit-exactly.
+    EXPECT_EQ(a.features[g], b.features[g]) << "group " << g << " features";
+  }
+}
+
+TEST(ParallelDeterminismTest, RepartitionerRunIsThreadCountInvariant) {
+  for (DatasetKind kind :
+       {DatasetKind::kHomeSalesMulti, DatasetKind::kTaxiTripUni}) {
+    const GridDataset grid = TestGrid(kind, 2022);
+    RepartitionOptions options;
+    options.ifl_threshold = 0.1;
+    options.min_variation_step = 2.5e-3;
+
+    options.num_threads = 1;
+    auto baseline = Repartitioner(options).Run(grid);
+    ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+    for (size_t threads : kThreadCounts) {
+      options.num_threads = threads;
+      auto run = Repartitioner(options).Run(grid);
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      EXPECT_EQ(run->iterations, baseline->iterations) << threads;
+      EXPECT_EQ(run->information_loss, baseline->information_loss) << threads;
+      EXPECT_EQ(run->final_min_adjacent_variation,
+                baseline->final_min_adjacent_variation)
+          << threads;
+      ExpectIdenticalPartitions(run->partition, baseline->partition, threads);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, HomogeneousRepartitionIsThreadCountInvariant) {
+  const GridDataset grid = TestGrid(DatasetKind::kEarningsMulti, 7);
+  auto baseline = HomogeneousRepartition(grid, 0.15, /*num_threads=*/1);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  for (size_t threads : kThreadCounts) {
+    auto run = HomogeneousRepartition(grid, 0.15, threads);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(run->merge_factor, baseline->merge_factor) << threads;
+    EXPECT_EQ(run->information_loss, baseline->information_loss) << threads;
+    ExpectIdenticalPartitions(run->partition, baseline->partition, threads);
+  }
+}
+
+/// Noisy nonlinear regression data with enough rows for real tree splits.
+void MakeRegressionData(size_t n, uint64_t seed, Matrix* x,
+                        std::vector<double>* y) {
+  Rng rng(seed);
+  *x = Matrix(n, 3);
+  y->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double a = rng.Uniform(-2.0, 2.0);
+    const double b = rng.Uniform(-2.0, 2.0);
+    const double c = rng.Uniform(-2.0, 2.0);
+    (*x)(i, 0) = a;
+    (*x)(i, 1) = b;
+    (*x)(i, 2) = c;
+    (*y)[i] = a * a - 3.0 * b + (c > 0 ? 2.0 : -1.0) + rng.Normal(0.0, 0.1);
+  }
+}
+
+TEST(ParallelDeterminismTest, RandomForestFitPredictIsThreadCountInvariant) {
+  Matrix x;
+  std::vector<double> y;
+  MakeRegressionData(400, 99, &x, &y);
+
+  RandomForestRegression::Options options;
+  options.n_estimators = 24;
+  options.max_depth = 5;
+  options.min_samples_leaf = 5;
+  options.seed = 13;
+
+  options.num_threads = 1;
+  RandomForestRegression sequential(options);
+  ASSERT_TRUE(sequential.Fit(x, y).ok());
+  const std::vector<double> expected = sequential.Predict(x);
+
+  for (size_t threads : kThreadCounts) {
+    options.num_threads = threads;
+    RandomForestRegression forest(options);
+    ASSERT_TRUE(forest.Fit(x, y).ok());
+    EXPECT_EQ(forest.num_trees(), options.n_estimators);
+    EXPECT_EQ(forest.Predict(x), expected) << threads << " threads";
+  }
+}
+
+TEST(ParallelDeterminismTest, KnnPredictIsThreadCountInvariant) {
+  Rng rng(5);
+  const size_t n = 300;
+  Matrix x(n, 2);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.Uniform(-1.0, 1.0);
+    x(i, 1) = rng.Uniform(-1.0, 1.0);
+    labels[i] = (x(i, 0) + x(i, 1) > 0) ? 1 : 0;
+  }
+
+  KnnClassifier::Options options;
+  options.num_threads = 1;
+  KnnClassifier sequential(options);
+  ASSERT_TRUE(sequential.Fit(x, labels, /*num_classes=*/2).ok());
+  const std::vector<int> expected = sequential.Predict(x);
+
+  for (size_t threads : kThreadCounts) {
+    options.num_threads = threads;
+    KnnClassifier knn(options);
+    ASSERT_TRUE(knn.Fit(x, labels, /*num_classes=*/2).ok());
+    EXPECT_EQ(knn.Predict(x), expected) << threads << " threads";
+  }
+}
+
+TEST(ParallelDeterminismTest, GwrPredictIsThreadCountInvariant) {
+  Rng rng(21);
+  const size_t n = 120;
+  MlDataset data;
+  data.features = Matrix(n, 2);
+  data.target.resize(n);
+  data.coords.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double lat = rng.Uniform(0.0, 10.0);
+    const double lon = rng.Uniform(0.0, 10.0);
+    data.coords[i] = {lat, lon};
+    data.features(i, 0) = rng.Uniform(-1.0, 1.0);
+    data.features(i, 1) = rng.Uniform(-1.0, 1.0);
+    data.target[i] = 0.3 * lat + data.features(i, 0) -
+                     2.0 * data.features(i, 1) + rng.Normal(0.0, 0.05);
+  }
+
+  GeographicallyWeightedRegression::Options options;
+  options.num_threads = 1;
+  GeographicallyWeightedRegression sequential(options);
+  ASSERT_TRUE(sequential.Fit(data).ok());
+  auto expected = sequential.Predict(data);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  for (size_t threads : kThreadCounts) {
+    options.num_threads = threads;
+    GeographicallyWeightedRegression gwr(options);
+    ASSERT_TRUE(gwr.Fit(data).ok());
+    EXPECT_EQ(gwr.bandwidth_neighbors(), sequential.bandwidth_neighbors());
+    auto predicted = gwr.Predict(data);
+    ASSERT_TRUE(predicted.ok()) << predicted.status().ToString();
+    EXPECT_EQ(*predicted, *expected) << threads << " threads";
+  }
+}
+
+TEST(ParallelDeterminismTest, RepeatedParallelRunsAreStable) {
+  // Run-to-run stability at a fixed thread count: the scheduler must not be
+  // able to influence the result, so three runs with an 8-thread pool on a
+  // 1-core machine (maximal interleaving pressure) must agree bit-exactly.
+  const GridDataset grid = TestGrid(DatasetKind::kVehiclesUni, 31);
+  RepartitionOptions options;
+  options.ifl_threshold = 0.1;
+  options.min_variation_step = 2.5e-3;
+  options.num_threads = 8;
+  const Repartitioner repartitioner(options);
+
+  auto first = repartitioner.Run(grid);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    auto run = repartitioner.Run(grid);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(run->information_loss, first->information_loss);
+    ExpectIdenticalPartitions(run->partition, first->partition, 8);
+  }
+}
+
+}  // namespace
+}  // namespace srp

@@ -30,6 +30,7 @@
 #include "grid/grid_builder.h"
 #include "obs/metrics_registry.h"
 #include "obs/tracer.h"
+#include "parallel/thread_pool.h"
 #include "util/csv.h"
 #include "util/string_util.h"
 
@@ -48,19 +49,24 @@ struct CliOptions {
   double theta = 0.1;
   uint64_t seed = 2022;
   double min_variation_step = 2.5e-3;
+  /// 0 = auto (SRP_THREADS env var, else hardware concurrency).
+  size_t num_threads = 0;
 };
 
 void Usage() {
   std::fprintf(stderr,
                "usage: srp_repartition (--demo KIND | --input CSV --schema "
                "S) [--rows N] [--cols N]\n"
-               "                       [--theta T] [--seed S] [--out-dir D]\n"
+               "                       [--theta T] [--seed S] [--out-dir D] "
+               "[--threads N]\n"
                "                       [--trace-out trace.json] "
                "[--metrics-out metrics.csv]\n"
                "  KIND: taxi_uni taxi_multi home_sales vehicles earnings "
                "earnings_uni\n"
                "  S:    comma list of name:agg[:int], agg in "
                "{sum, avg, count}\n"
+               "  --threads 0 (default) resolves SRP_THREADS, then hardware "
+               "concurrency; 1 = sequential.\n"
                "  Flags accept both --flag value and --flag=value; '_' and "
                "'-' are interchangeable.\n");
 }
@@ -119,6 +125,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       const char* v = next();
       if (v == nullptr) return false;
       out->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->num_threads = static_cast<size_t>(std::atoll(v));
     } else if (arg == "--step") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -325,6 +335,7 @@ int Run(int argc, char** argv) {
   RepartitionOptions ropt;
   ropt.ifl_threshold = options.theta;
   ropt.min_variation_step = options.min_variation_step;
+  ropt.num_threads = options.num_threads;
   auto result = Repartitioner(ropt).Run(*grid);
   if (!result.ok()) {
     std::fprintf(stderr, "repartition failed: %s\n",
@@ -339,13 +350,14 @@ int Run(int argc, char** argv) {
   std::printf(
       "grid %zux%zu (%zu valid cells) -> %zu cell-groups "
       "(%.1f%% reduction)\n"
-      "information loss %.4f (threshold %.2f), %zu iterations, %.3fs\n"
+      "information loss %.4f (threshold %.2f), %zu iterations, %.3fs, "
+      "%zu thread(s)\n"
       "wrote %s/{groups,cells,adjacency}.csv\n",
       grid->rows(), grid->cols(), grid->NumValidCells(),
       result->partition.num_groups(),
       100.0 * (1.0 - result->CellRatio()), result->information_loss,
       options.theta, result->iterations, result->elapsed_seconds,
-      options.out_dir.c_str());
+      ResolveThreadCount(options.num_threads), options.out_dir.c_str());
   PrintRunStats(*result);
 
   if (!options.trace_out.empty()) {
