@@ -12,6 +12,7 @@
 #include "core/feature_allocator.h"
 #include "core/information_loss.h"
 #include "core/variation.h"
+#include "fail/cancellation.h"
 #include "grid/normalize.h"
 #include "obs/metrics_registry.h"
 #include "parallel/thread_pool.h"
@@ -44,8 +45,27 @@ GridDataset MakeBenchDataset(DatasetKind kind, const GridTier& tier,
 }
 
 RepartitionResult MustRepartition(const GridDataset& grid, double threshold) {
-  auto result = Repartitioner(BenchRepartitionOptions(threshold)).Run(grid);
+  // SRP_DEADLINE_MS caps each repartitioning run's wall time. Best-effort
+  // mode keeps the bench harness meaningful: the run returns the best
+  // partition found so far (stats.interrupted = true) instead of aborting
+  // the whole bench via SRP_CHECK.
+  RunContext ctx;
+  const RunContext* ctx_ptr = nullptr;
+  if (const char* env = std::getenv("SRP_DEADLINE_MS")) {
+    const auto parsed = ParseDouble(env);
+    SRP_CHECK(parsed.ok() && *parsed > 0.0)
+        << "SRP_DEADLINE_MS must be a positive number, got '" << env << "'";
+    ctx.set_deadline_after_seconds(*parsed / 1e3);
+    ctx.set_best_effort(true);
+    ctx_ptr = &ctx;
+  }
+  auto result =
+      Repartitioner(BenchRepartitionOptions(threshold)).Run(grid, ctx_ptr);
   SRP_CHECK(result.ok()) << result.status().ToString();
+  if (result->stats.interrupted) {
+    SRP_LOG(Warning) << "repartition hit the SRP_DEADLINE_MS deadline; "
+                        "using best partition found so far";
+  }
   return std::move(result).value();
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fail/fault_injection.h"
 #include "grid/normalize.h"
 #include "ml/dataset.h"
 #include "ml/schc.h"
@@ -11,12 +12,15 @@
 namespace srp {
 
 Result<ReducedDataset> ClusteringReduction(
-    const GridDataset& grid, const ClusteringReductionOptions& options) {
+    const GridDataset& grid, const ClusteringReductionOptions& options,
+    const RunContext* ctx) {
   SRP_TRACE_SPAN("baseline.clustering");
   static obs::Counter* runs =
       obs::MetricsRegistry::Get().GetCounter("baseline.clustering.runs");
   runs->Increment();
   SRP_RETURN_IF_ERROR(grid.Validate());
+  SRP_INJECT_FAULT("baseline.clustering");
+  SRP_RETURN_IF_INTERRUPTED(ctx);
   const GridDataset norm = AttributeNormalized(grid);
 
   // Valid cells as an MlDataset-shaped table: all attributes as features,
@@ -42,6 +46,7 @@ Result<ReducedDataset> ClusteringReduction(
   schc_options.linkage = SpatialHierarchicalClustering::Linkage::kCentroid;
   SpatialHierarchicalClustering schc(schc_options);
   SRP_RETURN_IF_ERROR(schc.Fit(features, cells.neighbors));
+  SRP_RETURN_IF_INTERRUPTED(ctx);
 
   const std::vector<int>& labels = schc.labels();
   const size_t t = schc.num_found_clusters();

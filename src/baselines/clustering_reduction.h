@@ -2,6 +2,7 @@
 #define SRP_BASELINES_CLUSTERING_REDUCTION_H_
 
 #include "baselines/reduced_dataset.h"
+#include "fail/cancellation.h"
 #include "grid/grid_dataset.h"
 #include "util/status.h"
 
@@ -16,8 +17,12 @@ struct ClusteringReductionOptions {
   size_t target_clusters = 0;  ///< t; must be in [1, #valid cells]
 };
 
+/// A non-null `ctx` is checked before and after the clustering fit; an
+/// interrupt always fails with its Status. Hosts the `baseline.clustering`
+/// fault point.
 Result<ReducedDataset> ClusteringReduction(
-    const GridDataset& grid, const ClusteringReductionOptions& options);
+    const GridDataset& grid, const ClusteringReductionOptions& options,
+    const RunContext* ctx = nullptr);
 
 }  // namespace srp
 

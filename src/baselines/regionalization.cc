@@ -5,6 +5,7 @@
 #include <limits>
 #include <queue>
 
+#include "fail/fault_injection.h"
 #include "grid/normalize.h"
 #include "obs/metrics_registry.h"
 #include "obs/tracer.h"
@@ -72,12 +73,14 @@ bool StaysConnectedWithout(const GridDataset& grid,
 }  // namespace
 
 Result<ReducedDataset> Regionalize(const GridDataset& grid,
-                                   const RegionalizationOptions& options) {
+                                   const RegionalizationOptions& options,
+                                   const RunContext* ctx) {
   SRP_TRACE_SPAN("baseline.regionalization");
   static obs::Counter* runs =
       obs::MetricsRegistry::Get().GetCounter("baseline.regionalization.runs");
   runs->Increment();
   SRP_RETURN_IF_ERROR(grid.Validate());
+  SRP_INJECT_FAULT("baseline.regionalization");
   const GridDataset norm = AttributeNormalized(grid);
 
   std::vector<int32_t> valid_cells;
@@ -138,7 +141,9 @@ Result<ReducedDataset> Regionalize(const GridDataset& grid,
   // --- Region growing phase: regions expand by claiming adjacent
   // unassigned cells closest to their seed (compact growth, attribute-blind
   // — attribute quality is the local search's job, per the memetic scheme).
+  size_t grown = 0;
   while (!frontier.empty()) {
+    if ((++grown & 0xFFF) == 0) SRP_RETURN_IF_INTERRUPTED(ctx);
     const Candidate top = frontier.top();
     frontier.pop();
     if (assignment[static_cast<size_t>(top.cell)] != -1) continue;
@@ -201,6 +206,7 @@ Result<ReducedDataset> Regionalize(const GridDataset& grid,
     return acc;
   };
   for (size_t pass = 0; pass < options.local_search_passes; ++pass) {
+    SRP_RETURN_IF_INTERRUPTED(ctx);
     recompute_stats();
     size_t moves = 0;
     for (int32_t cell : valid_cells) {

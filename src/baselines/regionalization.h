@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "baselines/reduced_dataset.h"
+#include "fail/cancellation.h"
 #include "grid/grid_dataset.h"
 #include "util/status.h"
 
@@ -27,8 +28,13 @@ struct RegionalizationOptions {
   uint64_t seed = 23;
 };
 
+/// A non-null `ctx` is polled between growth batches and local-search
+/// passes; an interrupt always fails with its Status (no best-effort
+/// degradation at this level). Hosts the `baseline.regionalization` fault
+/// point.
 Result<ReducedDataset> Regionalize(const GridDataset& grid,
-                                   const RegionalizationOptions& options);
+                                   const RegionalizationOptions& options,
+                                   const RunContext* ctx = nullptr);
 
 }  // namespace srp
 

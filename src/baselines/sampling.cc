@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "fail/fault_injection.h"
 #include "ml/kdtree.h"
 #include "obs/metrics_registry.h"
 #include "obs/tracer.h"
@@ -11,12 +12,14 @@
 namespace srp {
 
 Result<ReducedDataset> SpatialSampling(const GridDataset& grid,
-                                       const SpatialSamplingOptions& options) {
+                                       const SpatialSamplingOptions& options,
+                                       const RunContext* ctx) {
   SRP_TRACE_SPAN("baseline.sampling");
   static obs::Counter* runs =
       obs::MetricsRegistry::Get().GetCounter("baseline.sampling.runs");
   runs->Increment();
   SRP_RETURN_IF_ERROR(grid.Validate());
+  SRP_INJECT_FAULT("baseline.sampling");
 
   // Valid cells and their centroids.
   std::vector<int32_t> valid_cells;
@@ -46,6 +49,7 @@ Result<ReducedDataset> SpatialSampling(const GridDataset& grid,
   chosen.reserve(t);
   size_t current = static_cast<size_t>(rng.NextBounded(n));
   for (size_t s = 0; s < t; ++s) {
+    SRP_RETURN_IF_INTERRUPTED(ctx);
     chosen.push_back(current);
     const Centroid& pc = centroids[current];
     double best = -1.0;

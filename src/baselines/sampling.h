@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "baselines/reduced_dataset.h"
+#include "fail/cancellation.h"
 #include "grid/grid_dataset.h"
 #include "util/status.h"
 
@@ -28,8 +29,12 @@ struct SpatialSamplingOptions {
   uint64_t seed = 17;
 };
 
+/// A non-null `ctx` is polled once per selected sample; an interrupt always
+/// fails with its Status (baselines have no meaningful partial result to
+/// degrade to). Hosts the `baseline.sampling` fault point.
 Result<ReducedDataset> SpatialSampling(const GridDataset& grid,
-                                       const SpatialSamplingOptions& options);
+                                       const SpatialSamplingOptions& options,
+                                       const RunContext* ctx = nullptr);
 
 }  // namespace srp
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "fail/fault_injection.h"
 #include "parallel/parallel_for.h"
 
 namespace srp {
@@ -41,10 +42,12 @@ constexpr size_t kGroupGrain = 64;
 }  // namespace
 
 Status AllocateFeatures(const GridDataset& grid, Partition* partition,
-                        ThreadPool* pool) {
+                        ThreadPool* pool, const RunContext* ctx) {
   if (partition->rows != grid.rows() || partition->cols != grid.cols()) {
     return Status::InvalidArgument("partition/grid dimension mismatch");
   }
+  SRP_INJECT_FAULT("core.allocate_features");
+  SRP_RETURN_IF_INTERRUPTED(ctx);
   const size_t p = grid.num_attributes();
   partition->features.assign(partition->num_groups(),
                              std::vector<double>(p, 0.0));
@@ -95,7 +98,8 @@ Status AllocateFeatures(const GridDataset& grid, Partition* partition,
         partition->features[g][k] = loss_mean <= loss_mode ? mean : mode;
       }
     }
-  });
+  }, ctx);
+  SRP_RETURN_IF_INTERRUPTED(ctx);
   return Status::OK();
 }
 

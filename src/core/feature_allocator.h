@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/partition.h"
+#include "fail/cancellation.h"
 #include "grid/grid_dataset.h"
 #include "parallel/thread_pool.h"
 #include "util/status.h"
@@ -29,8 +30,14 @@ double LocalLoss(const std::vector<double>& cell_values, double representative);
 /// With a pool the groups are sharded across its workers; each group's
 /// features depend only on its own cells, so the result is bit-identical to
 /// the sequential path (`pool == nullptr`) for any thread count.
+///
+/// A non-null `ctx` is polled at shard boundaries; interruption returns the
+/// corresponding error Status and leaves `partition->features` partially
+/// filled — callers must discard the partition state on error. Hosts the
+/// `core.allocate_features` fault point.
 Status AllocateFeatures(const GridDataset& grid, Partition* partition,
-                        ThreadPool* pool = nullptr);
+                        ThreadPool* pool = nullptr,
+                        const RunContext* ctx = nullptr);
 
 }  // namespace srp
 

@@ -20,7 +20,7 @@ constexpr size_t kGroupGrain = 64;
 /// of mean/mode over the valid cells (mirroring Algorithm 2). Group shards
 /// run on `pool` when given; each group touches only its own state.
 void AllocateHomogeneousFeatures(const GridDataset& grid, Partition* p,
-                                 ThreadPool* pool) {
+                                 ThreadPool* pool, const RunContext* ctx) {
   const size_t num_attrs = grid.num_attributes();
   p->features.assign(p->num_groups(), std::vector<double>(num_attrs, 0.0));
   p->group_null.assign(p->num_groups(), 0);
@@ -78,17 +78,19 @@ void AllocateHomogeneousFeatures(const GridDataset& grid, Partition* p,
           LocalLoss(values, mean) <= LocalLoss(values, mode) ? mean : mode;
     }
   }
-  });
+  }, ctx);
 }
 
 }  // namespace
 
 Result<Partition> HomogeneousMerge(const GridDataset& grid, size_t row_factor,
-                                   size_t col_factor, ThreadPool* pool) {
+                                   size_t col_factor, ThreadPool* pool,
+                                   const RunContext* ctx) {
   SRP_RETURN_IF_ERROR(grid.Validate());
   if (row_factor == 0 || col_factor == 0) {
     return Status::InvalidArgument("merge factors must be >= 1");
   }
+  SRP_RETURN_IF_INTERRUPTED(ctx);
   Partition p;
   p.rows = grid.rows();
   p.cols = grid.cols();
@@ -107,22 +109,28 @@ Result<Partition> HomogeneousMerge(const GridDataset& grid, size_t row_factor,
       }
     }
   }
-  AllocateHomogeneousFeatures(grid, &p, pool);
+  AllocateHomogeneousFeatures(grid, &p, pool, ctx);
+  // A mid-allocation interrupt leaves `p.features` partially filled; fail
+  // rather than hand the caller a partial partition.
+  SRP_RETURN_IF_INTERRUPTED(ctx);
   return p;
 }
 
 Result<double> HomogeneousMergeLoss(const GridDataset& grid,
                                     size_t row_factor, size_t col_factor,
-                                    ThreadPool* pool) {
-  SRP_ASSIGN_OR_RETURN(Partition p,
-                       HomogeneousMerge(grid, row_factor, col_factor, pool));
-  return InformationLoss(grid, p, pool);
+                                    ThreadPool* pool, const RunContext* ctx) {
+  SRP_ASSIGN_OR_RETURN(
+      Partition p, HomogeneousMerge(grid, row_factor, col_factor, pool, ctx));
+  const double ifl = InformationLoss(grid, p, pool, ctx);
+  SRP_RETURN_IF_INTERRUPTED(ctx);
+  return ifl;
 }
 
 Result<HomogeneousResult> HomogeneousRepartition(const GridDataset& grid,
                                                  double ifl_threshold,
-                                                 size_t num_threads) {
-  if (ifl_threshold < 0.0 || ifl_threshold > 1.0) {
+                                                 size_t num_threads,
+                                                 const RunContext* ctx) {
+  if (!(ifl_threshold >= 0.0 && ifl_threshold <= 1.0)) {  // NaN-rejecting
     return Status::InvalidArgument("ifl_threshold must lie in [0, 1]");
   }
   const std::unique_ptr<ThreadPool> pool = MaybeMakePool(num_threads);
@@ -135,9 +143,30 @@ Result<HomogeneousResult> HomogeneousRepartition(const GridDataset& grid,
   // information loss does not exceed the pre-specified threshold."
   for (size_t factor = 2; factor <= std::max(grid.rows(), grid.cols());
        ++factor) {
-    SRP_ASSIGN_OR_RETURN(Partition candidate,
-                         HomogeneousMerge(grid, factor, factor, pool.get()));
-    const double ifl = InformationLoss(grid, candidate, pool.get());
+    if (ctx != nullptr && ctx->Interrupted()) {
+      // Degradation contract: best-effort cancellations/deadlines keep the
+      // last feasible factor; injected faults and strict runs fail.
+      if (ctx->best_effort() &&
+          ctx->interrupt_kind() != InterruptKind::kInjectedFault) {
+        result.interrupted = true;
+        return result;
+      }
+      return ctx->InterruptStatus();
+    }
+    auto merged = HomogeneousMerge(grid, factor, factor, pool.get(), ctx);
+    if (!merged.ok()) {
+      if (ctx != nullptr && ctx->Interrupted() && ctx->best_effort() &&
+          ctx->interrupt_kind() != InterruptKind::kInjectedFault) {
+        result.interrupted = true;
+        return result;
+      }
+      return merged.status();
+    }
+    Partition candidate = std::move(merged).value();
+    const double ifl = InformationLoss(grid, candidate, pool.get(), ctx);
+    if (ctx != nullptr && ctx->Interrupted()) {
+      continue;  // partial IFL — re-enter the loop head to resolve the kind
+    }
     if (ifl > ifl_threshold) break;
     result.partition = std::move(candidate);
     result.information_loss = ifl;

@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "core/partition.h"
+#include "fail/cancellation.h"
 #include "grid/grid_dataset.h"
 #include "parallel/thread_pool.h"
 #include "util/status.h"
@@ -22,15 +23,21 @@ namespace srp {
 /// Feature aggregation and (for the driver below) IFL evaluation are
 /// group-/row-sharded over `pool` when one is given, with results
 /// bit-identical to the sequential path for any thread count.
+///
+/// Building-block semantics for `ctx`: an interrupt always fails with the
+/// corresponding Status (no best-effort degradation at this level — the
+/// caller owns the best-so-far state).
 Result<Partition> HomogeneousMerge(const GridDataset& grid, size_t row_factor,
                                    size_t col_factor,
-                                   ThreadPool* pool = nullptr);
+                                   ThreadPool* pool = nullptr,
+                                   const RunContext* ctx = nullptr);
 
 /// The IFL incurred by a single homogeneous merge — the quantity Table V
 /// reports for (2 rows), (2 columns) and (2 rows & 2 columns).
 Result<double> HomogeneousMergeLoss(const GridDataset& grid,
                                     size_t row_factor, size_t col_factor,
-                                    ThreadPool* pool = nullptr);
+                                    ThreadPool* pool = nullptr,
+                                    const RunContext* ctx = nullptr);
 
 /// Iterative driver: increases the merge factor 2, 3, 4, … while the IFL
 /// stays within `ifl_threshold`, returning the last feasible partition
@@ -39,12 +46,23 @@ struct HomogeneousResult {
   Partition partition;
   double information_loss = 0.0;
   size_t merge_factor = 1;  // 1 = no merging was feasible
+  /// True when a best-effort ctx interrupted the factor search: `partition`
+  /// is the last feasible merge found before the interrupt.
+  bool interrupted = false;
 };
 /// `num_threads` follows the library-wide convention: 0 = auto (SRP_THREADS
 /// env var, else hardware concurrency), 1 = sequential, N > 1 = a pool of N.
+///
+/// `ctx` is polled once per candidate factor (plus inside the sharded
+/// phases). The trivial partition seeds the search before any interruptible
+/// work, so a best-effort interrupt always has a feasible result to return;
+/// without best_effort the interrupt Status propagates. Injected faults are
+/// never degraded.
 Result<HomogeneousResult> HomogeneousRepartition(const GridDataset& grid,
                                                  double ifl_threshold,
-                                                 size_t num_threads = 0);
+                                                 size_t num_threads = 0,
+                                                 const RunContext* ctx =
+                                                     nullptr);
 
 }  // namespace srp
 

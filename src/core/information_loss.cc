@@ -34,7 +34,7 @@ double RepresentativeValue(const GridDataset& grid, const Partition& partition,
 }
 
 double InformationLoss(const GridDataset& grid, const Partition& partition,
-                       ThreadPool* pool) {
+                       ThreadPool* pool, const RunContext* ctx) {
   SRP_CHECK(!partition.features.empty())
       << "InformationLoss requires allocated features";
   const LossPartial sum = ParallelReduce(
@@ -71,7 +71,8 @@ double InformationLoss(const GridDataset& grid, const Partition& partition,
         acc.total += p.total;
         acc.terms += p.terms;
         return acc;
-      });
+      },
+      ctx);
   return sum.terms == 0 ? 0.0
                         : sum.total / static_cast<double>(sum.terms);
 }

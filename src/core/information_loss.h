@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "core/partition.h"
+#include "fail/cancellation.h"
 #include "grid/grid_dataset.h"
 #include "parallel/thread_pool.h"
 
@@ -30,8 +31,13 @@ double RepresentativeValue(const GridDataset& grid, const Partition& partition,
 /// The sum is evaluated as fixed row shards whose partials combine in
 /// ascending shard order (ParallelReduce), so the value depends only on the
 /// grid shape — bit-identical for any `pool`, including none.
+///
+/// A non-null `ctx` is polled at shard boundaries; an interrupted reduction
+/// covers only a subset of the rows, so the caller must check
+/// ctx->Interrupted() and discard the value.
 double InformationLoss(const GridDataset& grid, const Partition& partition,
-                       ThreadPool* pool = nullptr);
+                       ThreadPool* pool = nullptr,
+                       const RunContext* ctx = nullptr);
 
 }  // namespace srp
 

@@ -1,5 +1,6 @@
 #include "core/repartitioner.h"
 
+#include <cmath>
 #include <utility>
 
 #include "core/extractor.h"
@@ -7,6 +8,7 @@
 #include "core/information_loss.h"
 #include "core/variation.h"
 #include "core/variation_heap.h"
+#include "fail/fault_injection.h"
 #include "grid/normalize.h"
 #include "obs/metrics_registry.h"
 #include "obs/tracer.h"
@@ -50,16 +52,35 @@ CoreMetrics& Metrics() {
   return *metrics;
 }
 
+/// A run never benefits from more workers than this; anything larger is
+/// almost certainly a corrupted or hostile options struct.
+constexpr size_t kMaxThreads = 4096;
+
 }  // namespace
 
-Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid) const {
-  SRP_RETURN_IF_ERROR(grid.Validate());
-  if (options_.ifl_threshold < 0.0 || options_.ifl_threshold > 1.0) {
+Status RepartitionOptions::Validate() const {
+  // The negated >=/<= form rejects NaN thresholds too (any comparison with
+  // NaN is false, so the guard trips).
+  if (!(ifl_threshold >= 0.0 && ifl_threshold <= 1.0)) {
     return Status::InvalidArgument("ifl_threshold must lie in [0, 1]");
   }
-  if (options_.min_variation_step < 0.0) {
-    return Status::InvalidArgument("min_variation_step must be >= 0");
+  if (max_iterations == 0) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
   }
+  if (!(min_variation_step >= 0.0) || std::isinf(min_variation_step)) {
+    return Status::InvalidArgument(
+        "min_variation_step must be finite and >= 0");
+  }
+  if (num_threads > kMaxThreads) {
+    return Status::InvalidArgument("num_threads must be <= 4096");
+  }
+  return Status::OK();
+}
+
+Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
+                                             const RunContext* ctx) const {
+  SRP_RETURN_IF_ERROR(grid.Validate());
+  SRP_RETURN_IF_ERROR(options_.Validate());
 
   SRP_TRACE_SPAN("repartition.run");
   WallTimer timer;
@@ -81,75 +102,123 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid) const {
     phase_timer.Restart();
   };
 
-  // Pre-computation (done exactly once): normalized grid, adjacent-pair
-  // variations, and the min-adjacent-variation heap.
-  phase_timer.Restart();
-  const GridDataset normalized = [&] {
-    SRP_TRACE_SPAN("repartition.normalize");
-    return AttributeNormalized(grid);
-  }();
-  take_phase(&stats.normalize_seconds);
-
-  const PairVariations variations = [&] {
-    SRP_TRACE_SPAN("repartition.pair_variations");
-    return ComputePairVariations(normalized, pool.get());
-  }();
-  take_phase(&stats.pair_variation_seconds);
-
-  MinAdjacentVariationHeap heap;
-  {
-    SRP_TRACE_SPAN("repartition.heap_build");
-    heap.Build(variations, &normalized);
-  }
-  take_phase(&stats.heap_build_seconds);
-
-  const CellGroupExtractor extractor(variations);
-
   // Iteration 0: the original grid itself (IFL = 0) is always feasible.
+  // Seeded before any interruptible work so a best-effort run that is
+  // interrupted immediately still returns a valid partition
+  // (TrivialPartition carries the cell values as its features verbatim).
   result.partition = TrivialPartition(grid);
   result.information_loss = 0.0;
 
-  double previous_variation = -1.0;
-  while (result.iterations < options_.max_iterations) {
+  // Degradation contract (DESIGN.md §8): a cancellation or deadline under
+  // best_effort sets `degrade` and unwinds to the best-so-far partition;
+  // everything else — best_effort off, or an injected fault — fails the run
+  // with the interrupt Status. Returns non-OK only for the hard case.
+  bool degrade = false;
+  const auto interrupt_check = [&]() -> Status {
+    if (ctx == nullptr || !ctx->Interrupted()) return Status::OK();
+    if (ctx->best_effort() &&
+        ctx->interrupt_kind() != InterruptKind::kInjectedFault) {
+      degrade = true;
+      return Status::OK();
+    }
+    return ctx->InterruptStatus();
+  };
+
+  const Status run_status = [&]() -> Status {
+    // Pre-computation (done exactly once): normalized grid, adjacent-pair
+    // variations, and the min-adjacent-variation heap.
     phase_timer.Restart();
-    double variation = 0.0;
-    const bool popped = heap.PopNextGreater(
-        previous_variation + options_.min_variation_step, &variation);
-    take_phase(&stats.variation_pop_seconds);
-    if (!popped) {
-      break;  // heap drained: no coarser partition exists
-    }
-    ++stats.heap_pops;
-    previous_variation = variation;
-
-    Partition candidate = [&] {
-      SRP_TRACE_SPAN("repartition.extract");
-      return extractor.Extract(variation);
+    const GridDataset normalized = [&] {
+      SRP_TRACE_SPAN("repartition.normalize");
+      return AttributeNormalized(grid);
     }();
-    ++stats.extractions;
-    take_phase(&stats.extract_seconds, Metrics().extract_ms);
+    take_phase(&stats.normalize_seconds);
+    SRP_RETURN_IF_ERROR(interrupt_check());
+    if (degrade) return Status::OK();
 
+    SRP_INJECT_FAULT("core.pair_variations");
+    const PairVariations variations = [&] {
+      SRP_TRACE_SPAN("repartition.pair_variations");
+      return ComputePairVariations(normalized, pool.get(), ctx);
+    }();
+    take_phase(&stats.pair_variation_seconds);
+    // An interrupted variation pass leaves +inf placeholders; the heap must
+    // not be built over them.
+    SRP_RETURN_IF_ERROR(interrupt_check());
+    if (degrade) return Status::OK();
+
+    MinAdjacentVariationHeap heap;
     {
-      SRP_TRACE_SPAN("repartition.allocate_features");
-      SRP_RETURN_IF_ERROR(AllocateFeatures(grid, &candidate, pool.get()));
+      SRP_TRACE_SPAN("repartition.heap_build");
+      heap.Build(variations, &normalized);
     }
-    take_phase(&stats.allocate_seconds, Metrics().allocate_ms);
+    take_phase(&stats.heap_build_seconds);
 
-    const double ifl = [&] {
-      SRP_TRACE_SPAN("repartition.information_loss");
-      return InformationLoss(grid, candidate, pool.get());
-    }();
-    take_phase(&stats.information_loss_seconds,
-               Metrics().information_loss_ms);
+    const CellGroupExtractor extractor(variations);
 
-    if (ifl > options_.ifl_threshold) {
-      break;  // exceeded θ: keep the previous partition and exit (Fig. 2)
+    double previous_variation = -1.0;
+    while (result.iterations < options_.max_iterations) {
+      SRP_RETURN_IF_ERROR(interrupt_check());
+      if (degrade) return Status::OK();
+
+      phase_timer.Restart();
+      double variation = 0.0;
+      const bool popped = heap.PopNextGreater(
+          previous_variation + options_.min_variation_step, &variation);
+      take_phase(&stats.variation_pop_seconds);
+      if (!popped) {
+        break;  // heap drained: no coarser partition exists
+      }
+      ++stats.heap_pops;
+      previous_variation = variation;
+
+      Partition candidate = [&] {
+        SRP_TRACE_SPAN("repartition.extract");
+        return extractor.Extract(variation);
+      }();
+      ++stats.extractions;
+      take_phase(&stats.extract_seconds, Metrics().extract_ms);
+
+      {
+        SRP_TRACE_SPAN("repartition.allocate_features");
+        const Status allocated =
+            AllocateFeatures(grid, &candidate, pool.get(), ctx);
+        if (!allocated.ok()) {
+          // A mid-allocation interrupt leaves `candidate` partially filled;
+          // it is discarded either way. interrupt_check() downgrades to
+          // best-effort where the contract allows, everything else (e.g. the
+          // core.allocate_features fault point) propagates.
+          SRP_RETURN_IF_ERROR(interrupt_check());
+          if (degrade) return Status::OK();
+          return allocated;
+        }
+      }
+      take_phase(&stats.allocate_seconds, Metrics().allocate_ms);
+
+      SRP_INJECT_FAULT("core.information_loss");
+      const double ifl = [&] {
+        SRP_TRACE_SPAN("repartition.information_loss");
+        return InformationLoss(grid, candidate, pool.get(), ctx);
+      }();
+      take_phase(&stats.information_loss_seconds,
+                 Metrics().information_loss_ms);
+      // An interrupted reduction covers only part of the grid — never judge
+      // a candidate on a partial IFL.
+      SRP_RETURN_IF_ERROR(interrupt_check());
+      if (degrade) return Status::OK();
+
+      if (ifl > options_.ifl_threshold) {
+        break;  // exceeded θ: keep the previous partition and exit (Fig. 2)
+      }
+      result.partition = std::move(candidate);
+      result.information_loss = ifl;
+      result.final_min_adjacent_variation = variation;
+      ++result.iterations;
     }
-    result.partition = std::move(candidate);
-    result.information_loss = ifl;
-    result.final_min_adjacent_variation = variation;
-    ++result.iterations;
-  }
+    return Status::OK();
+  }();
+  SRP_RETURN_IF_ERROR(run_status);
+  stats.interrupted = degrade;
 
   result.elapsed_seconds = timer.ElapsedSeconds();
 

@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "core/partition.h"
+#include "fail/cancellation.h"
 #include "grid/grid_dataset.h"
 #include "util/status.h"
 
@@ -36,6 +37,13 @@ struct RepartitionOptions {
   /// runs the sequential code path with no pool at all. Results are
   /// bit-identical for every setting (DESIGN.md §7 determinism contract).
   size_t num_threads = 0;
+
+  /// Checks every field before a run touches the data: θ in [0, 1]
+  /// (NaN-rejecting), max_iterations >= 1, min_variation_step finite and
+  /// >= 0, num_threads within the sane 4096 bound. All entry points
+  /// (Repartitioner, HomogeneousRepartition, StRepartitioner, streaming)
+  /// funnel through this.
+  Status Validate() const;
 };
 
 /// Per-phase wall-time breakdown of one Repartitioner::Run, accumulated
@@ -61,6 +69,12 @@ struct RunStats {
   /// RepartitionResult::iterations + 1).
   size_t heap_pops = 0;
   size_t extractions = 0;
+
+  /// True when a best-effort RunContext was cancelled or hit its deadline
+  /// mid-run: the returned partition is the best feasible one found so far
+  /// (never a partial state — candidates in flight at the interrupt are
+  /// discarded), but coarsening stopped before convergence.
+  bool interrupted = false;
 
   double PhaseTotalSeconds() const {
     return normalize_seconds + pair_variation_seconds + heap_build_seconds +
@@ -114,8 +128,17 @@ class Repartitioner {
   explicit Repartitioner(RepartitionOptions options = RepartitionOptions())
       : options_(options) {}
 
-  /// Runs the full loop on `grid`. Fails on invalid grids or thresholds.
-  Result<RepartitionResult> Run(const GridDataset& grid) const;
+  /// Runs the full loop on `grid`. Fails on invalid grids or options.
+  ///
+  /// A non-null `ctx` makes the run cooperatively cancellable: the loop and
+  /// the parallel phases poll it and react per the degradation contract
+  /// (DESIGN.md §8). Without best-effort mode, an interrupt fails the run
+  /// with kCancelled / kDeadlineExceeded; with it, the run returns the last
+  /// accepted partition with stats.interrupted = true — the trivial
+  /// partition is seeded before any interruptible work, so a feasible
+  /// best-so-far always exists. Injected faults are never degraded.
+  Result<RepartitionResult> Run(const GridDataset& grid,
+                                const RunContext* ctx = nullptr) const;
 
   const RepartitionOptions& options() const { return options_; }
 

@@ -37,7 +37,7 @@ double AttributeVariation(const GridDataset& grid, size_t r1, size_t c1,
 }
 
 PairVariations ComputePairVariations(const GridDataset& normalized,
-                                     ThreadPool* pool) {
+                                     ThreadPool* pool, const RunContext* ctx) {
   PairVariations out;
   out.rows = normalized.rows();
   out.cols = normalized.cols();
@@ -60,7 +60,8 @@ PairVariations ComputePairVariations(const GridDataset& normalized,
                     }
                   }
                 }
-              });
+              },
+              ctx);
   return out;
 }
 

@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "fail/cancellation.h"
 #include "grid/grid_dataset.h"
 #include "parallel/thread_pool.h"
 
@@ -42,8 +43,13 @@ struct PairVariations {
 /// With a pool the rows are sharded across its workers; every cell's pair
 /// of variations is computed independently, so the result is bit-identical
 /// to the sequential path (`pool == nullptr`) for any thread count.
+///
+/// A non-null `ctx` is polled at shard boundaries; on interruption the
+/// untouched entries stay +infinity, so the caller must check
+/// ctx->Interrupted() and discard the result.
 PairVariations ComputePairVariations(const GridDataset& normalized,
-                                     ThreadPool* pool = nullptr);
+                                     ThreadPool* pool = nullptr,
+                                     const RunContext* ctx = nullptr);
 
 }  // namespace srp
 

@@ -1,0 +1,68 @@
+#include "fail/cancellation.h"
+
+#include <limits>
+
+#include "fail/fault_injection.h"
+
+namespace srp {
+namespace {
+
+constexpr int kNone = static_cast<int>(InterruptKind::kNone);
+
+}  // namespace
+
+double RunContext::RemainingSeconds() const {
+  if (!has_deadline_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(deadline_ -
+                                       std::chrono::steady_clock::now())
+      .count();
+}
+
+bool RunContext::Interrupted() const {
+  if (state_.load(std::memory_order_acquire) != kNone) return true;
+  if (token_.cancelled()) {
+    int expected = kNone;
+    state_.compare_exchange_strong(
+        expected, static_cast<int>(InterruptKind::kCancelled),
+        std::memory_order_acq_rel);
+    return true;
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    int expected = kNone;
+    state_.compare_exchange_strong(
+        expected, static_cast<int>(InterruptKind::kDeadlineExceeded),
+        std::memory_order_acq_rel);
+    return true;
+  }
+  return false;
+}
+
+bool RunContext::PollWorker() const {
+  if (Interrupted()) return true;
+#ifndef SRP_FAULT_INJECTION_DISABLED
+  if (FaultInjector::Get().Fire("parallel.task")) {
+    int expected = kNone;
+    state_.compare_exchange_strong(
+        expected, static_cast<int>(InterruptKind::kInjectedFault),
+        std::memory_order_acq_rel);
+    return true;
+  }
+#endif
+  return false;
+}
+
+Status RunContext::InterruptStatus() const {
+  switch (interrupt_kind()) {
+    case InterruptKind::kNone:
+      return Status::OK();
+    case InterruptKind::kCancelled:
+      return Status::Cancelled("run cancelled via CancellationToken");
+    case InterruptKind::kDeadlineExceeded:
+      return Status::DeadlineExceeded("run deadline exceeded");
+    case InterruptKind::kInjectedFault:
+      return Status::Internal("injected fault at parallel.task");
+  }
+  return Status::Internal("corrupt RunContext interrupt state");
+}
+
+}  // namespace srp

@@ -1,0 +1,162 @@
+#include "fail/fault_injection.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace srp {
+namespace {
+
+/// srp_fail sits below srp_util in the layering (so util/csv.cc can host the
+/// csv.read fault point); it therefore hand-rolls its tiny parsing needs
+/// instead of pulling in string_util.
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (std::numeric_limits<uint64_t>::max() - digit) / 10) {
+      return false;
+    }
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseKind(const std::string& s, FaultKind* out) {
+  if (s == "error") {
+    *out = FaultKind::kError;
+  } else if (s == "nan") {
+    *out = FaultKind::kNaN;
+  } else if (s == "inf") {
+    *out = FaultKind::kInf;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::vector<std::string>& FaultInjector::KnownPoints() {
+  static const std::vector<std::string>* points = new std::vector<std::string>{
+      "csv.read",
+      "grid.build",
+      "core.pair_variations",
+      "core.allocate_features",
+      "core.information_loss",
+      "parallel.task",
+      "ml.fit",
+      "baseline.sampling",
+      "baseline.regionalization",
+      "baseline.clustering",
+      "stream.ingest",
+      "st.run",
+  };
+  return *points;
+}
+
+FaultInjector& FaultInjector::Get() {
+  static FaultInjector* injector = [] {
+    auto* instance = new FaultInjector();
+    if (const char* spec = std::getenv("SRP_FAULT");
+        spec != nullptr && spec[0] != '\0') {
+      // status.message() rather than ToString(): srp_fail links below
+      // srp_util, so it must not pull in status.cc symbols.
+      const Status status = instance->ArmFromSpec(spec);
+      if (!status.ok()) {
+        std::fprintf(stderr, "SRP_FAULT ignored: %s\n",
+                     status.message().c_str());
+      }
+    }
+    return instance;
+  }();
+  return *injector;
+}
+
+Status FaultInjector::Arm(const std::string& point, FaultKind kind,
+                          uint64_t nth) {
+  if (nth == 0) {
+    return Status::InvalidArgument("fault nth must be >= 1");
+  }
+  bool known = false;
+  for (const std::string& p : KnownPoints()) known = known || p == point;
+  if (!known) {
+    return Status::NotFound("unknown fault point: " + point);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  point_ = point;
+  kind_ = kind;
+  nth_ = nth;
+  hits_ = 0;
+  fired_ = 0;
+  armed_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Status FaultInjector::ArmFromSpec(const std::string& spec) {
+  const size_t first = spec.find(':');
+  if (first == std::string::npos) {
+    return Status::InvalidArgument(
+        "fault spec must be point:kind[:nth], got: " + spec);
+  }
+  const size_t second = spec.find(':', first + 1);
+  const std::string point = spec.substr(0, first);
+  const std::string kind_str =
+      second == std::string::npos ? spec.substr(first + 1)
+                                  : spec.substr(first + 1, second - first - 1);
+  FaultKind kind = FaultKind::kError;
+  if (!ParseKind(kind_str, &kind)) {
+    return Status::InvalidArgument(
+        "fault kind must be one of error|nan|inf, got: " + kind_str);
+  }
+  uint64_t nth = 1;
+  if (second != std::string::npos &&
+      !ParseU64(spec.substr(second + 1), &nth)) {
+    return Status::InvalidArgument("fault nth must be a positive integer: " +
+                                   spec);
+  }
+  return Arm(point, kind, nth);
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_release);
+  point_.clear();
+  hits_ = 0;
+  fired_ = 0;
+}
+
+uint64_t FaultInjector::fired_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+bool FaultInjector::Fire(const char* point) {
+  if (!armed_.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (kind_ != FaultKind::kError || point_ != point) return false;
+  if (++hits_ != nth_) return false;
+  ++fired_;
+  return true;
+}
+
+Status FaultInjector::Check(const char* point) {
+  if (!Fire(point)) return Status::OK();
+  return Status::Internal(std::string("injected fault at ") + point);
+}
+
+double FaultInjector::Poison(const char* point, double value) {
+  if (!armed_.load(std::memory_order_relaxed)) return value;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (kind_ == FaultKind::kError || point_ != point) return value;
+  if (++hits_ != nth_) return value;
+  ++fired_;
+  return kind_ == FaultKind::kNaN
+             ? std::numeric_limits<double>::quiet_NaN()
+             : std::numeric_limits<double>::infinity();
+}
+
+}  // namespace srp

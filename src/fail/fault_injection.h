@@ -1,0 +1,125 @@
+#ifndef SRP_FAIL_FAULT_INJECTION_H_
+#define SRP_FAIL_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace srp {
+
+/// What an armed fault injects when it fires.
+enum class FaultKind {
+  kError,  ///< Status-returning sites return Status::Internal
+  kNaN,    ///< value-poisoning sites substitute a quiet NaN
+  kInf,    ///< value-poisoning sites substitute +infinity
+};
+
+/// Process-wide deterministic fault-injection registry (DESIGN.md §8).
+///
+/// The library is instrumented with named fault points — `SRP_INJECT_FAULT`
+/// at Status-returning sites and `SRP_FAULT_POISON` at value-producing sites.
+/// Arming a (point, kind, nth) triple via Arm() / the SRP_FAULT environment
+/// variable ("point:kind[:nth]") makes the nth evaluation of a matching site
+/// fire exactly once: kError sites return an error Status, kNaN/kInf sites
+/// substitute a non-finite payload that downstream input hardening
+/// (GridDataset::Validate) must catch. Everything is deterministic: the hit
+/// counter counts only evaluations whose site type matches the armed kind,
+/// so "which call fails" never depends on scheduling (the one exception is
+/// `parallel.task`, polled by concurrently racing workers — some worker
+/// fires, deterministically surfacing through RunContext).
+///
+/// Disarmed cost is one relaxed atomic load per site, mirroring the disabled
+/// tracer; `-DSRP_FAULT_INJECTION=OFF` compiles every site out entirely for
+/// production release builds.
+class FaultInjector {
+ public:
+  /// The process-wide instance. First access arms from the SRP_FAULT
+  /// environment variable when it is set (a malformed spec is reported on
+  /// stderr and ignored).
+  static FaultInjector& Get();
+
+  /// Every fault point compiled into the library, for tests and the CI
+  /// fault matrix to enumerate.
+  static const std::vector<std::string>& KnownPoints();
+
+  /// Arms one fault; replaces any previously armed one and resets counters.
+  /// Fails on unknown points (typo guard) and nth == 0.
+  Status Arm(const std::string& point, FaultKind kind, uint64_t nth = 1);
+
+  /// Parses and arms "point:kind[:nth]" with kind in {error, nan, inf},
+  /// e.g. "core.pair_variations:error:1" or "grid.build:nan:3".
+  Status ArmFromSpec(const std::string& spec);
+
+  /// Disarms and resets counters.
+  void Disarm();
+
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// How many times the armed fault has fired (0 or 1; a fault fires once).
+  uint64_t fired_count() const;
+
+  /// Error-site check: counts a hit when `point` is armed with kError and
+  /// returns the injected error on the nth hit; OK otherwise.
+  Status Check(const char* point);
+
+  /// Bool form of Check for sites that cannot return Status (worker loops).
+  bool Fire(const char* point);
+
+  /// Value-site check: counts a hit when `point` is armed with kNaN/kInf and
+  /// returns the poisoned payload on the nth hit; `value` otherwise.
+  double Poison(const char* point, double value);
+
+ private:
+  FaultInjector() = default;
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;
+  std::string point_;
+  FaultKind kind_ = FaultKind::kError;
+  uint64_t nth_ = 1;
+  uint64_t hits_ = 0;
+  uint64_t fired_ = 0;
+};
+
+/// Arms a fault for the enclosing scope and disarms on exit — the test
+/// idiom, so a failing assertion can never leak an armed fault into later
+/// tests.
+class ScopedFault {
+ public:
+  ScopedFault(const std::string& point, FaultKind kind, uint64_t nth = 1) {
+    status_ = FaultInjector::Get().Arm(point, kind, nth);
+  }
+  ~ScopedFault() { FaultInjector::Get().Disarm(); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+}  // namespace srp
+
+/// Fault-point macros. `SRP_INJECT_FAULT` goes at the top of a
+/// Status-returning operation; `SRP_FAULT_POISON` wraps a computed value
+/// where a NaN/Inf payload should be injectable. Both compile to nothing
+/// under -DSRP_FAULT_INJECTION=OFF.
+#ifdef SRP_FAULT_INJECTION_DISABLED
+#define SRP_INJECT_FAULT(point) \
+  do {                          \
+  } while (0)
+#define SRP_FAULT_POISON(point, value) (value)
+#else
+#define SRP_INJECT_FAULT(point) \
+  SRP_RETURN_IF_ERROR(::srp::FaultInjector::Get().Check(point))
+#define SRP_FAULT_POISON(point, value) \
+  (::srp::FaultInjector::Get().Poison(point, (value)))
+#endif
+
+#endif  // SRP_FAIL_FAULT_INJECTION_H_

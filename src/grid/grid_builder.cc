@@ -3,18 +3,41 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fail/fault_injection.h"
 #include "obs/metrics_registry.h"
 #include "obs/tracer.h"
 
 namespace srp {
+namespace {
+
+/// Records between cancellation polls during ingestion — large enough to
+/// keep the poll cost invisible, small enough to react within microseconds.
+constexpr size_t kIngestPollStride = 4096;
+
+/// Upper bound on rows * cols. A grid this size already needs ~GBs per
+/// attribute; anything above it is a corrupted dimension, not a dataset.
+constexpr size_t kMaxCells = 100'000'000;
+
+}  // namespace
 
 Result<GridDataset> BuildGridFromPoints(
     const std::vector<PointRecord>& records, size_t rows, size_t cols,
     const GeoExtent& extent, const std::vector<GridAttributeDef>& defs,
-    size_t* dropped) {
+    size_t* dropped, const RunContext* ctx) {
   SRP_TRACE_SPAN("grid.build_from_points");
+  SRP_INJECT_FAULT("grid.build");
   if (rows == 0 || cols == 0) {
     return Status::InvalidArgument("grid dimensions must be positive");
+  }
+  if (rows > kMaxCells / cols) {
+    return Status::InvalidArgument("grid dimensions exceed 1e8 cells");
+  }
+  if (!(std::isfinite(extent.lat_min) && std::isfinite(extent.lat_max) &&
+        std::isfinite(extent.lon_min) && std::isfinite(extent.lon_max))) {
+    return Status::InvalidArgument("grid extent must be finite");
+  }
+  if (!(extent.lat_min < extent.lat_max && extent.lon_min < extent.lon_max)) {
+    return Status::InvalidArgument("grid extent must be non-empty");
   }
   if (defs.empty()) {
     return Status::InvalidArgument("at least one attribute definition needed");
@@ -42,8 +65,17 @@ Result<GridDataset> BuildGridFromPoints(
   const double lon_span = extent.lon_max - extent.lon_min;
   size_t dropped_count = 0;
 
+  size_t since_poll = 0;
   for (const auto& rec : records) {
-    if (rec.lat < extent.lat_min || rec.lat > extent.lat_max ||
+    if (++since_poll >= kIngestPollStride) {
+      since_poll = 0;
+      SRP_RETURN_IF_INTERRUPTED(ctx);
+    }
+    // A NaN coordinate passes every < / > comparison below (all false) and
+    // would then static_cast to an out-of-range index — treat any non-finite
+    // coordinate as out-of-extent.
+    if (!std::isfinite(rec.lat) || !std::isfinite(rec.lon) ||
+        rec.lat < extent.lat_min || rec.lat > extent.lat_max ||
         rec.lon < extent.lon_min || rec.lon > extent.lon_max) {
       ++dropped_count;
       continue;
@@ -87,7 +119,7 @@ Result<GridDataset> BuildGridFromPoints(
             break;
         }
         if (def.is_integer) v = std::round(v);
-        grid.Set(r, c, k, v);
+        grid.Set(r, c, k, SRP_FAULT_POISON("grid.build", v));
       }
     }
   }

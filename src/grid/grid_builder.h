@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "fail/cancellation.h"
 #include "grid/grid_dataset.h"
 #include "util/status.h"
 
@@ -41,13 +42,23 @@ struct GridAttributeDef {
 /// Aggregates point records into an m x n GridDataset over `extent`
 /// (Section III-B: "all data objects that map to a cell are aggregated to
 /// produce the feature vector of the corresponding cell"). Cells that receive
-/// no records stay null. Records outside the extent are dropped; the count of
-/// dropped records is returned through `dropped` when non-null.
+/// no records stay null. Records outside the extent or with a non-finite
+/// lat/lon (NaN coordinates would otherwise index out of the grid) are
+/// dropped; the count of dropped records is returned through `dropped` when
+/// non-null.
+///
+/// Rejects non-finite or empty extents and cell counts above 1e8. A non-null
+/// `ctx` is polled periodically during ingestion; an interrupt always fails
+/// (a half-ingested grid is useless — there is no best-so-far to degrade
+/// to). Hosts the `grid.build` fault point, whose NaN/Inf poison mode
+/// corrupts the first aggregated cell value so the downstream
+/// GridDataset::Validate() scan must catch it.
 Result<GridDataset> BuildGridFromPoints(const std::vector<PointRecord>& records,
                                         size_t rows, size_t cols,
                                         const GeoExtent& extent,
                                         const std::vector<GridAttributeDef>& defs,
-                                        size_t* dropped = nullptr);
+                                        size_t* dropped = nullptr,
+                                        const RunContext* ctx = nullptr);
 
 }  // namespace srp
 

@@ -1,5 +1,8 @@
 #include "grid/grid_dataset.h"
 
+#include <cmath>
+#include <unordered_set>
+
 #include "util/logging.h"
 
 namespace srp {
@@ -66,9 +69,43 @@ Status GridDataset::Validate() const {
   if (null_.size() != num_cells()) {
     return Status::Internal("null mask size mismatch");
   }
+  if (!(std::isfinite(extent_.lat_min) && std::isfinite(extent_.lat_max) &&
+        std::isfinite(extent_.lon_min) && std::isfinite(extent_.lon_max))) {
+    return Status::InvalidArgument("non-finite geographic extent");
+  }
   if (extent_.lat_max <= extent_.lat_min ||
       extent_.lon_max <= extent_.lon_min) {
     return Status::InvalidArgument("degenerate geographic extent");
+  }
+  std::unordered_set<std::string> names;
+  for (const auto& attr : attrs_) {
+    if (attr.name.empty()) {
+      return Status::InvalidArgument("attribute with empty name");
+    }
+    if (!names.insert(attr.name).second) {
+      return Status::InvalidArgument("duplicate attribute name '" + attr.name +
+                                     "'");
+    }
+    // Summing category ids is meaningless and silently corrupts feature
+    // allocation (Algorithm 2 would emit the sum as a category).
+    if (attr.is_categorical && attr.agg_type == AggType::kSum) {
+      return Status::InvalidArgument("categorical attribute '" + attr.name +
+                                     "' cannot aggregate by summation");
+    }
+  }
+  // Non-finite values in valid cells poison every downstream phase (Eq. 1
+  // variations, normalization, Eq. 3) without any error surfacing — reject
+  // them at the boundary instead. Null cells hold a placeholder and are
+  // never read, so only valid cells are scanned.
+  for (size_t k = 0; k < attrs_.size(); ++k) {
+    const std::vector<double>& column = values_[k];
+    for (size_t cell = 0; cell < column.size(); ++cell) {
+      if (null_[cell] == 0 && !std::isfinite(column[cell])) {
+        return Status::InvalidArgument(
+            "non-finite value in attribute '" + attrs_[k].name + "' at cell " +
+            std::to_string(cell));
+      }
+    }
   }
   return Status::OK();
 }

@@ -104,7 +104,11 @@ class GridDataset {
   /// Geographic centroid of cell (r, c).
   Centroid CellCentroid(size_t r, size_t c) const;
 
-  /// Sanity checks (consistent sizes, at least one attribute).
+  /// Boundary validation, run by every algorithm entry point: consistent
+  /// storage sizes, at least one attribute, unique non-empty attribute
+  /// names, no categorical+kSum combination, a finite non-degenerate
+  /// extent, and no NaN/Inf in any valid cell (null-cell placeholders are
+  /// not scanned).
   Status Validate() const;
 
  private:

@@ -5,12 +5,14 @@
 #include <limits>
 #include <numeric>
 
+#include "fail/fault_injection.h"
 #include "util/logging.h"
 
 namespace srp {
 
 Status RegressionTree::Fit(const Matrix& x, const std::vector<double>& y,
                            const std::vector<size_t>& sample, Rng* rng) {
+  SRP_INJECT_FAULT("ml.fit");
   if (x.rows() != y.size()) {
     return Status::InvalidArgument("tree: X/y size mismatch");
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fail/fault_injection.h"
 #include "util/logging.h"
 
 namespace srp {
@@ -23,6 +24,7 @@ void Softmax(std::vector<double>* scores) {
 Status GradientBoostingClassifier::Fit(const Matrix& x,
                                        const std::vector<int>& labels,
                                        int num_classes) {
+  SRP_INJECT_FAULT("ml.fit");
   const size_t n = x.rows();
   if (n != labels.size() || n == 0) {
     return Status::InvalidArgument("gbt: X/labels size mismatch or empty");

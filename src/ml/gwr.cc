@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "fail/fault_injection.h"
 #include "linalg/cholesky.h"
 #include "linalg/matrix.h"
 #include "ml/ols.h"
@@ -22,6 +23,7 @@ double SquaredDistance(const Centroid& a, const Centroid& b) {
 }  // namespace
 
 Status GeographicallyWeightedRegression::Fit(const MlDataset& train) {
+  SRP_INJECT_FAULT("ml.fit");
   const size_t n = train.num_rows();
   const size_t p = train.features.cols();
   if (n < p + 5) {

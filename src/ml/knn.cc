@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fail/fault_injection.h"
 #include "linalg/stats.h"
 #include "parallel/parallel_for.h"
 #include "util/logging.h"
@@ -10,6 +11,7 @@ namespace srp {
 
 Status KnnClassifier::Fit(const Matrix& x, const std::vector<int>& labels,
                           int num_classes) {
+  SRP_INJECT_FAULT("ml.fit");
   if (x.rows() != labels.size() || x.rows() == 0) {
     return Status::InvalidArgument("knn: X/labels size mismatch or empty");
   }

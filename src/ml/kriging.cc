@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fail/fault_injection.h"
 #include "linalg/lu.h"
 #include "linalg/matrix.h"
 #include "parallel/parallel_for.h"
@@ -29,6 +30,7 @@ Matrix CoordsToMatrix(const std::vector<Centroid>& coords) {
 
 Status OrdinaryKriging::Fit(const std::vector<Centroid>& coords,
                             const std::vector<double>& values) {
+  SRP_INJECT_FAULT("ml.fit");
   if (coords.size() != values.size() || coords.size() < 3) {
     return Status::InvalidArgument("kriging needs >= 3 matched observations");
   }

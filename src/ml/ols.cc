@@ -1,5 +1,6 @@
 #include "ml/ols.h"
 
+#include "fail/fault_injection.h"
 #include "linalg/solve.h"
 #include "util/logging.h"
 
@@ -15,6 +16,7 @@ Matrix WithIntercept(const Matrix& x) {
 }
 
 Status OlsRegression::Fit(const Matrix& x, const std::vector<double>& y) {
+  SRP_INJECT_FAULT("ml.fit");
   const Matrix design = WithIntercept(x);
   SRP_ASSIGN_OR_RETURN(coef_, LeastSquares(design, y));
   return Status::OK();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fail/fault_injection.h"
 #include "parallel/parallel_for.h"
 #include "util/random.h"
 
@@ -9,6 +10,7 @@ namespace srp {
 
 Status RandomForestRegression::Fit(const Matrix& x,
                                    const std::vector<double>& y) {
+  SRP_INJECT_FAULT("ml.fit");
   if (x.rows() != y.size() || x.rows() == 0) {
     return Status::InvalidArgument("forest: X/y size mismatch or empty");
   }

@@ -5,6 +5,7 @@
 #include <queue>
 #include <unordered_set>
 
+#include "fail/fault_injection.h"
 #include "linalg/stats.h"
 #include "util/logging.h"
 
@@ -40,6 +41,7 @@ struct Candidate {
 Status SpatialHierarchicalClustering::Fit(
     const Matrix& x, const std::vector<std::vector<int32_t>>& neighbors,
     const std::vector<double>& weights) {
+  SRP_INJECT_FAULT("ml.fit");
   const size_t n = x.rows();
   if (n == 0) return Status::InvalidArgument("schc: empty input");
   if (neighbors.size() != n) {

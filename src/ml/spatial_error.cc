@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "fail/fault_injection.h"
 #include "linalg/matrix.h"
 #include "linalg/solve.h"
 #include "ml/ols.h"
@@ -33,6 +34,7 @@ double MomentObjective(double lambda, double ee, double ef, double eg,
 }  // namespace
 
 Status SpatialErrorRegression::Fit(const MlDataset& train) {
+  SRP_INJECT_FAULT("ml.fit");
   const size_t n = train.num_rows();
   const size_t p = train.features.cols();
   if (n < p + 3) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fail/fault_injection.h"
 #include "linalg/solve.h"
 #include "ml/ols.h"
 #include "util/logging.h"
@@ -10,6 +11,7 @@
 namespace srp {
 
 Status SpatialLagRegression::Fit(const MlDataset& train) {
+  SRP_INJECT_FAULT("ml.fit");
   const size_t n = train.num_rows();
   const size_t p = train.features.cols();
   if (n < p + 3) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fail/fault_injection.h"
 #include "linalg/stats.h"
 #include "util/logging.h"
 
@@ -28,6 +29,7 @@ double SvrRegression::Kernel(const Matrix& a, size_t i, const Matrix& b,
 }
 
 Status SvrRegression::Fit(const Matrix& x, const std::vector<double>& y) {
+  SRP_INJECT_FAULT("ml.fit");
   const size_t n = x.rows();
   const size_t p = x.cols();
   if (n != y.size() || n == 0) {

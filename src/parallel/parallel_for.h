@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "fail/cancellation.h"
 #include "obs/tracer.h"
 #include "parallel/thread_pool.h"
 
@@ -29,17 +30,28 @@ namespace parallel_internal {
 /// Executes chunk_fn(0 .. num_chunks-1), each exactly once. With a pool,
 /// chunks are claimed from a shared atomic cursor by up to pool->size()
 /// workers plus the calling thread; without one they run inline in order.
-/// Returns when every chunk has finished.
+/// Returns when every started chunk has finished.
+///
+/// When `ctx` is given, every worker polls it at chunk boundaries
+/// (RunContext::PollWorker — cancellation, deadline, and the
+/// `parallel.task` fault point) and stops claiming chunks once it reports
+/// interruption; chunks not yet started are skipped. The caller MUST check
+/// ctx->Interrupted() before trusting any output written by the chunks.
 template <typename ChunkFn>
-void RunChunks(ThreadPool* pool, size_t num_chunks, const ChunkFn& chunk_fn) {
+void RunChunks(ThreadPool* pool, size_t num_chunks, const ChunkFn& chunk_fn,
+               const RunContext* ctx = nullptr) {
   if (num_chunks == 0) return;
   if (pool == nullptr || pool->size() <= 1 || num_chunks == 1) {
-    for (size_t i = 0; i < num_chunks; ++i) chunk_fn(i);
+    for (size_t i = 0; i < num_chunks; ++i) {
+      if (ctx != nullptr && ctx->PollWorker()) return;
+      chunk_fn(i);
+    }
     return;
   }
   std::atomic<size_t> next{0};
-  const auto drain = [&next, num_chunks, &chunk_fn] {
+  const auto drain = [&next, num_chunks, &chunk_fn, ctx] {
     for (;;) {
+      if (ctx != nullptr && ctx->PollWorker()) return;
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= num_chunks) return;
       chunk_fn(i);
@@ -66,19 +78,27 @@ void RunChunks(ThreadPool* pool, size_t num_chunks, const ChunkFn& chunk_fn) {
 /// disjoint, so fn may write to chunk-indexed state without synchronization;
 /// it must not throw. `pool == nullptr` (the MaybeMakePool convention for
 /// num_threads <= 1) runs the chunks inline in ascending order.
+///
+/// A non-null `ctx` makes the loop cooperatively cancellable: workers poll
+/// it between chunks and stop early once interrupted, leaving the
+/// not-yet-started chunks' output untouched — callers must check
+/// ctx->Interrupted() before using the result. A never-interrupted ctx
+/// changes nothing (same chunks, same layout, bit-identical output).
 template <typename Fn>
 void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,
-                 const Fn& fn) {
+                 const Fn& fn, const RunContext* ctx = nullptr) {
   if (end <= begin) return;
   if (grain == 0) grain = 1;
   SRP_TRACE_SPAN("parallel.for");
   const size_t num_chunks = NumChunks(begin, end, grain);
   parallel_internal::RunChunks(
-      pool, num_chunks, [begin, end, grain, &fn](size_t chunk) {
+      pool, num_chunks,
+      [begin, end, grain, &fn](size_t chunk) {
         const size_t chunk_begin = begin + chunk * grain;
         const size_t chunk_end = std::min(end, chunk_begin + grain);
         fn(chunk_begin, chunk_end);
-      });
+      },
+      ctx);
 }
 
 /// Deterministic tree-shaped reduction over [begin, end):
@@ -93,20 +113,27 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,
 /// same chunks inline. Callers must therefore route their sequential path
 /// through ParallelReduce too (not a hand-rolled accumulation) when they
 /// promise threads=1 == threads=N equality.
+///
+/// With a `ctx`, interruption leaves the unclaimed chunks' partials at
+/// `identity`, so the combined value is PARTIAL — callers must check
+/// ctx->Interrupted() and discard it.
 template <typename T, typename Map, typename Combine>
 T ParallelReduce(ThreadPool* pool, size_t begin, size_t end, size_t grain,
-                 T identity, const Map& map, const Combine& combine) {
+                 T identity, const Map& map, const Combine& combine,
+                 const RunContext* ctx = nullptr) {
   if (end <= begin) return identity;
   if (grain == 0) grain = 1;
   SRP_TRACE_SPAN("parallel.reduce");
   const size_t num_chunks = NumChunks(begin, end, grain);
   std::vector<T> partials(num_chunks, identity);
   parallel_internal::RunChunks(
-      pool, num_chunks, [begin, end, grain, &map, &partials](size_t chunk) {
+      pool, num_chunks,
+      [begin, end, grain, &map, &partials](size_t chunk) {
         const size_t chunk_begin = begin + chunk * grain;
         const size_t chunk_end = std::min(end, chunk_begin + grain);
         partials[chunk] = map(chunk_begin, chunk_end);
-      });
+      },
+      ctx);
   T result = std::move(identity);
   for (T& partial : partials) result = combine(std::move(result), partial);
   return result;

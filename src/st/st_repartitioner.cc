@@ -10,6 +10,7 @@
 #include "core/information_loss.h"
 #include "core/variation.h"
 #include "core/variation_heap.h"
+#include "fail/fault_injection.h"
 #include "grid/normalize.h"
 #include "obs/metrics_registry.h"
 #include "obs/tracer.h"
@@ -51,13 +52,23 @@ PairVariations CombineVariations(const std::vector<PairVariations>& slices,
 }  // namespace
 
 Result<StRepartitionResult> StRepartitioner::Run(
-    const TemporalGridSeries& series) const {
+    const TemporalGridSeries& series, const RunContext* ctx) const {
   if (series.empty()) {
     return Status::InvalidArgument("empty temporal series");
   }
-  if (options_.ifl_threshold < 0.0 || options_.ifl_threshold > 1.0) {
+  if (!(options_.ifl_threshold >= 0.0 &&
+        options_.ifl_threshold <= 1.0)) {  // NaN-rejecting
     return Status::InvalidArgument("ifl_threshold must lie in [0, 1]");
   }
+  if (options_.max_iterations == 0) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+  if (!(options_.min_variation_step >= 0.0) ||
+      std::isinf(options_.min_variation_step)) {
+    return Status::InvalidArgument(
+        "min_variation_step must be finite and >= 0");
+  }
+  SRP_INJECT_FAULT("st.run");
   SRP_TRACE_SPAN("st.run");
   static obs::Counter* runs =
       obs::MetricsRegistry::Get().GetCounter("st.runs");
@@ -103,18 +114,25 @@ Result<StRepartitionResult> StRepartitioner::Run(
   }
   const CellGroupExtractor extractor(combined);
 
-  // Helper: allocate features per slice and compute the mean IFL.
+  // Helper: allocate features per slice and compute the mean IFL. The
+  // per-slice poll bounds reaction latency to one slice's work; an
+  // interrupted evaluation fails (the caller keeps its best-so-far).
   auto evaluate = [&](const Partition& base, StRepartitionResult* result,
-                      double* mean_loss) -> Status {
+                      double* mean_loss,
+                      const RunContext* eval_ctx) -> Status {
     SRP_TRACE_SPAN("st.evaluate");
     result->slice_features.clear();
     result->slice_group_null.clear();
     result->per_slice_loss.clear();
     double total = 0.0;
     for (size_t t = 0; t < num_slices; ++t) {
+      SRP_RETURN_IF_INTERRUPTED(eval_ctx);
       Partition per_slice = base;
-      SRP_RETURN_IF_ERROR(AllocateFeatures(series.slice(t), &per_slice));
-      const double loss = InformationLoss(series.slice(t), per_slice);
+      SRP_RETURN_IF_ERROR(
+          AllocateFeatures(series.slice(t), &per_slice, nullptr, eval_ctx));
+      const double loss =
+          InformationLoss(series.slice(t), per_slice, nullptr, eval_ctx);
+      SRP_RETURN_IF_INTERRUPTED(eval_ctx);  // partial IFL — discard
       result->per_slice_loss.push_back(loss);
       total += loss;
       result->slice_features.push_back(std::move(per_slice.features));
@@ -133,13 +151,30 @@ Result<StRepartitionResult> StRepartitioner::Run(
 
   StRepartitionResult best;
   double best_loss = 0.0;
+  // The trivial partition is evaluated WITHOUT ctx so a feasible best-so-far
+  // exists even when the run starts already cancelled or past its deadline.
   SRP_RETURN_IF_ERROR(
-      evaluate(TrivialPartition(series.slice(0)), &best, &best_loss));
+      evaluate(TrivialPartition(series.slice(0)), &best, &best_loss, nullptr));
   best.information_loss = best_loss;
+
+  // Degradation contract (DESIGN.md §8): best-effort cancellations and
+  // deadlines keep the best-so-far with interrupted = true; strict runs and
+  // injected faults fail.
+  const auto degradable = [&ctx] {
+    return ctx != nullptr && ctx->best_effort() &&
+           ctx->interrupt_kind() != InterruptKind::kInjectedFault;
+  };
 
   double previous_variation = -1.0;
   size_t iterations = 0;
   while (iterations < options_.max_iterations) {
+    if (ctx != nullptr && ctx->Interrupted()) {
+      if (degradable()) {
+        best.interrupted = true;
+        break;
+      }
+      return ctx->InterruptStatus();
+    }
     double variation = 0.0;
     if (!heap.PopNextGreater(previous_variation + options_.min_variation_step,
                              &variation)) {
@@ -150,7 +185,14 @@ Result<StRepartitionResult> StRepartitioner::Run(
     const Partition candidate = extractor.Extract(variation);
     StRepartitionResult evaluated;
     double loss = 0.0;
-    SRP_RETURN_IF_ERROR(evaluate(candidate, &evaluated, &loss));
+    const Status eval_status = evaluate(candidate, &evaluated, &loss, ctx);
+    if (!eval_status.ok()) {
+      if (ctx != nullptr && ctx->Interrupted() && degradable()) {
+        best.interrupted = true;  // half-evaluated candidate is discarded
+        break;
+      }
+      return eval_status;
+    }
     if (loss > options_.ifl_threshold) break;
     best = std::move(evaluated);
     best.information_loss = loss;

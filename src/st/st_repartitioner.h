@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/partition.h"
+#include "fail/cancellation.h"
 #include "st/temporal_grid.h"
 #include "util/status.h"
 
@@ -50,6 +51,11 @@ struct StRepartitionResult {
 
   size_t iterations = 0;
   double elapsed_seconds = 0.0;
+
+  /// True when a best-effort RunContext interrupted the loop: the result is
+  /// the last fully evaluated feasible partition (the trivial one at
+  /// minimum), not the converged one.
+  bool interrupted = false;
 };
 
 /// Spatio-temporal extension of the re-partitioning framework (the paper's
@@ -64,7 +70,13 @@ class StRepartitioner {
   explicit StRepartitioner(StRepartitionOptions options)
       : options_(options) {}
 
-  Result<StRepartitionResult> Run(const TemporalGridSeries& series) const;
+  /// `ctx` follows the core degradation contract (DESIGN.md §8): strict
+  /// interrupts fail with kCancelled / kDeadlineExceeded; best-effort ones
+  /// return the best-so-far with `interrupted = true` (the trivial partition
+  /// is evaluated without ctx first so a feasible result always exists).
+  /// Hosts the `st.run` fault point; injected faults are never degraded.
+  Result<StRepartitionResult> Run(const TemporalGridSeries& series,
+                                  const RunContext* ctx = nullptr) const;
 
  private:
   StRepartitionOptions options_;

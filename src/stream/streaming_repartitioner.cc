@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/information_loss.h"
+#include "fail/fault_injection.h"
 #include "obs/metrics_registry.h"
 #include "obs/tracer.h"
 
@@ -44,8 +45,11 @@ StreamingRepartitioner::StreamingRepartitioner(
   sums_.assign(defs_.size(), std::vector<double>(rows * cols, 0.0));
 }
 
-Status StreamingRepartitioner::Ingest(const std::vector<PointRecord>& batch) {
+Status StreamingRepartitioner::Ingest(const std::vector<PointRecord>& batch,
+                                      const RunContext* ctx) {
   SRP_TRACE_SPAN("stream.ingest");
+  SRP_INJECT_FAULT("stream.ingest");
+  SRP_RETURN_IF_INTERRUPTED(ctx);
   const size_t ingested_before = ingested_;
   const size_t dropped_before = dropped_;
   const GeoExtent& e = grid_.extent();
@@ -54,9 +58,35 @@ Status StreamingRepartitioner::Ingest(const std::vector<PointRecord>& batch) {
   const size_t rows = grid_.rows();
   const size_t cols = grid_.cols();
 
+  // Non-finite coordinates fail every in-extent comparison below and would
+  // otherwise cast to a garbage cell index; they are dropped like
+  // out-of-extent records.
+  const auto in_extent = [&e](const PointRecord& rec) {
+    return std::isfinite(rec.lat) && std::isfinite(rec.lon) &&
+           rec.lat >= e.lat_min && rec.lat <= e.lat_max &&
+           rec.lon >= e.lon_min && rec.lon <= e.lon_max;
+  };
+
+  // Pass 1 — validate only. The accumulators are untouched until the whole
+  // batch is known to be well-formed, so a rejected batch never leaves the
+  // maintained grid partially updated.
   for (const auto& rec : batch) {
-    if (rec.lat < e.lat_min || rec.lat > e.lat_max || rec.lon < e.lon_min ||
-        rec.lon > e.lon_max) {
+    if (!in_extent(rec)) continue;
+    for (size_t k = 0; k < defs_.size(); ++k) {
+      const auto& def = defs_[k];
+      if (def.source == GridAttributeDef::Source::kCount) continue;
+      const auto fi = static_cast<size_t>(def.field_index);
+      if (fi >= rec.fields.size()) {
+        return Status::InvalidArgument("record has too few fields for '" +
+                                       def.name + "'");
+      }
+    }
+  }
+  SRP_RETURN_IF_INTERRUPTED(ctx);
+
+  // Pass 2 — apply. Infallible from here on.
+  for (const auto& rec : batch) {
+    if (!in_extent(rec)) {
       ++dropped_;
       continue;
     }
@@ -73,10 +103,6 @@ Status StreamingRepartitioner::Ingest(const std::vector<PointRecord>& batch) {
       const auto& def = defs_[k];
       if (def.source == GridAttributeDef::Source::kCount) continue;
       const auto fi = static_cast<size_t>(def.field_index);
-      if (fi >= rec.fields.size()) {
-        return Status::InvalidArgument("record has too few fields for '" +
-                                       def.name + "'");
-      }
       sums_[k][cell] += rec.fields[fi];
     }
   }
@@ -152,12 +178,14 @@ bool StreamingRepartitioner::NeedsRefresh() const {
          options_.refresh_slack * options_.repartition.ifl_threshold;
 }
 
-Status StreamingRepartitioner::Refresh() {
+Status StreamingRepartitioner::Refresh(const RunContext* ctx) {
   SRP_TRACE_SPAN("stream.refresh");
   if (grid_.NumValidCells() == 0) {
     return Status::FailedPrecondition("no data ingested yet");
   }
-  auto result = Repartitioner(options_.repartition).Run(grid_);
+  auto result = Repartitioner(options_.repartition).Run(grid_, ctx);
+  // On failure (including a strict interrupt) the previously maintained
+  // partition stays installed — the stream keeps serving the last good one.
   SRP_RETURN_IF_ERROR(result.status());
   partition_ = std::move(result->partition);
   ++refreshes_;
@@ -165,9 +193,9 @@ Status StreamingRepartitioner::Refresh() {
   return Status::OK();
 }
 
-Result<bool> StreamingRepartitioner::MaybeRefresh() {
+Result<bool> StreamingRepartitioner::MaybeRefresh(const RunContext* ctx) {
   if (!NeedsRefresh()) return false;
-  SRP_RETURN_IF_ERROR(Refresh());
+  SRP_RETURN_IF_ERROR(Refresh(ctx));
   return true;
 }
 

@@ -7,6 +7,7 @@
 
 #include "core/partition.h"
 #include "core/repartitioner.h"
+#include "fail/cancellation.h"
 #include "grid/grid_builder.h"
 #include "grid/grid_dataset.h"
 #include "util/status.h"
@@ -39,9 +40,16 @@ class StreamingRepartitioner {
                          std::vector<GridAttributeDef> defs, Options options);
 
   /// Ingests one batch of records, updating the cell aggregates. Records
-  /// outside the extent are dropped (counted in dropped_records()). Does NOT
-  /// re-partition; call MaybeRefresh() (or Refresh()) afterwards.
-  Status Ingest(const std::vector<PointRecord>& batch);
+  /// outside the extent or with non-finite coordinates are dropped (counted
+  /// in dropped_records()). Does NOT re-partition; call MaybeRefresh() (or
+  /// Refresh()) afterwards.
+  ///
+  /// All-or-nothing: the batch is validated (field arity per record) before
+  /// any accumulator is touched, so a failed or interrupted Ingest leaves
+  /// the maintained grid exactly as it was. Hosts the `stream.ingest` fault
+  /// point.
+  Status Ingest(const std::vector<PointRecord>& batch,
+                const RunContext* ctx = nullptr);
 
   /// IFL of the current partition measured against the current grid — the
   /// drift signal. 0 before the first refresh when no partition exists.
@@ -50,11 +58,14 @@ class StreamingRepartitioner {
   /// True when a refresh is due: no partition yet, or drift beyond budget.
   bool NeedsRefresh() const;
 
-  /// Re-runs the full re-partitioning on the current grid.
-  Status Refresh();
+  /// Re-runs the full re-partitioning on the current grid. `ctx` is
+  /// forwarded to Repartitioner::Run (so a best-effort interrupt installs
+  /// the best-so-far partition; a strict one fails and keeps the previous
+  /// partition).
+  Status Refresh(const RunContext* ctx = nullptr);
 
   /// Refreshes only when NeedsRefresh(); returns whether a refresh ran.
-  Result<bool> MaybeRefresh();
+  Result<bool> MaybeRefresh(const RunContext* ctx = nullptr);
 
   /// Current grid snapshot (aggregates of everything ingested so far).
   const GridDataset& grid() const { return grid_; }

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "fail/fault_injection.h"
+
 namespace srp {
 namespace {
 
@@ -22,6 +24,12 @@ std::string QuoteField(const std::string& field) {
 }
 
 void WriteRow(std::ostream& os, const std::vector<std::string>& row) {
+  // A single empty field would serialize as a blank line, which readers
+  // (including ReadCsv) skip; quote it so the row survives a round trip.
+  if (row.size() == 1 && row[0].empty()) {
+    os << "\"\"\n";
+    return;
+  }
   for (size_t i = 0; i < row.size(); ++i) {
     if (i > 0) os << ',';
     os << QuoteField(row[i]);
@@ -79,22 +87,91 @@ std::vector<std::string> ParseCsvLine(const std::string& line) {
 }
 
 Result<CsvTable> ReadCsv(const std::string& path) {
-  std::ifstream is(path);
+  SRP_INJECT_FAULT("csv.read");
+  std::ifstream is(path, std::ios::binary);
   if (!is) return Status::IOError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  if (is.bad()) return Status::IOError("read failed: " + path);
+  const std::string text = buffer.str();
+
+  // Record-level state machine rather than getline + ParseCsvLine: quoted
+  // fields may span lines (WriteCsv quotes embedded '\n', so round-tripping
+  // needs this), CRLF line endings are accepted transparently, and malformed
+  // input (ragged rows, an unterminated quote) is reported as a Status with
+  // the offending row instead of being silently mis-shaped.
   CsvTable table;
-  std::string line;
-  bool first = true;
-  while (std::getline(is, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    auto fields = ParseCsvLine(line);
-    if (first) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  bool record_has_content = false;  // any char or separator seen this record
+  bool have_header = false;
+  size_t data_row = 0;  // 1-based index of the row being finished
+
+  const auto finish_record = [&]() -> Status {
+    if (!record_has_content) return Status::OK();  // blank line: skip
+    fields.push_back(std::move(current));
+    current.clear();
+    record_has_content = false;
+    if (!have_header) {
       table.header = std::move(fields);
-      first = false;
+      have_header = true;
     } else {
+      ++data_row;
+      if (fields.size() != table.header.size()) {
+        return Status::InvalidArgument(
+            "row " + std::to_string(data_row) + " has " +
+            std::to_string(fields.size()) + " fields, expected " +
+            std::to_string(table.header.size()) + ": " + path);
+      }
       table.rows.push_back(std::move(fields));
     }
+    fields.clear();
+    return Status::OK();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;  // separators and newlines are literal inside quotes
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        record_has_content = true;  // "" is a quoted empty field, not a blank
+        break;
+      case ',':
+        fields.push_back(std::move(current));
+        current.clear();
+        record_has_content = true;
+        break;
+      case '\r':
+        break;  // CRLF (or a stray CR): the '\n' ends the record
+      case '\n':
+        SRP_RETURN_IF_ERROR(finish_record());
+        break;
+      default:
+        current += c;
+        record_has_content = true;
+        break;
+    }
   }
-  if (first) return Status::IOError("empty CSV file: " + path);
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted field: " + path);
+  }
+  SRP_RETURN_IF_ERROR(finish_record());  // file may lack a trailing newline
+
+  if (!have_header) return Status::IOError("empty CSV file: " + path);
   return table;
 }
 

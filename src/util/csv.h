@@ -24,7 +24,12 @@ struct CsvTable {
 /// Writes `table` to `path`, quoting fields that contain separators.
 Status WriteCsv(const CsvTable& table, const std::string& path);
 
-/// Reads a CSV file written by WriteCsv (quoted fields, '\n' rows).
+/// Reads a CSV file written by WriteCsv (quoted fields, '\n' rows). Hardened
+/// against real-world input: quoted fields may span lines, CRLF endings and
+/// blank lines are accepted, and malformed files — ragged rows (field count
+/// differing from the header's), an unterminated quote — fail with
+/// InvalidArgument naming the offending row rather than producing a
+/// mis-shaped table. Hosts the `csv.read` fault point.
 Result<CsvTable> ReadCsv(const std::string& path);
 
 /// Parses one CSV line honoring double-quote escaping.

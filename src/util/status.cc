@@ -1,9 +1,8 @@
 #include "util/status.h"
 
 namespace srp {
-namespace {
 
-const char* CodeName(StatusCode code) {
+const char* StatusCodeToString(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:
       return "OK";
@@ -21,15 +20,17 @@ const char* CodeName(StatusCode code) {
       return "IOError";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }
 
-}  // namespace
-
 std::string Status::ToString() const {
   if (ok()) return "OK";
-  std::string out = CodeName(code_);
+  std::string out = StatusCodeToString(code_);
   out += ": ";
   out += message_;
   return out;

@@ -18,7 +18,12 @@ enum class StatusCode {
   kInternal,
   kIOError,
   kUnimplemented,
+  kCancelled,          ///< cooperatively cancelled via a CancellationToken
+  kDeadlineExceeded,   ///< a RunContext deadline passed mid-operation
 };
+
+/// Stable name of a status code ("InvalidArgument", "Cancelled", ...).
+const char* StatusCodeToString(StatusCode code);
 
 /// Outcome of an operation: a code plus a human-readable message.
 ///
@@ -51,6 +56,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,7 +1,10 @@
 #include "util/string_util.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace srp {
 
@@ -39,6 +42,24 @@ std::string FormatDouble(double value, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
   return buf;
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  const std::string trimmed = Trim(s);
+  if (trimmed.empty()) {
+    return Status::InvalidArgument("cannot parse empty string as a number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(trimmed.c_str(), &end);
+  if (end != trimmed.c_str() + trimmed.size()) {
+    return Status::InvalidArgument("not a number: '" + trimmed + "'");
+  }
+  if (errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL)) {
+    return Status::OutOfRange("number out of double range: '" + trimmed +
+                              "'");
+  }
+  return value;
 }
 
 std::string PadRight(std::string_view s, size_t width) {

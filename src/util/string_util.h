@@ -5,6 +5,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/status.h"
+
 namespace srp {
 
 /// Splits `s` on `delim`, keeping empty fields.
@@ -19,6 +21,13 @@ std::string Trim(std::string_view s);
 
 /// Fixed-precision decimal formatting (printf "%.*f").
 std::string FormatDouble(double value, int precision);
+
+/// Strict decimal parsing for untrusted input (CSV cells, CLI values):
+/// the WHOLE trimmed string must parse (strtod semantics — "1e3", "-0.5",
+/// "inf", "nan" are valid doubles). Empty or partially consumed input fails
+/// with InvalidArgument; magnitude overflow fails with OutOfRange. Contrast
+/// with std::stod, which happily accepts "12abc" and throws on errors.
+Result<double> ParseDouble(std::string_view s);
 
 /// Left-pads/truncates to `width` for aligned console tables.
 std::string PadRight(std::string_view s, size_t width);

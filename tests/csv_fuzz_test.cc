@@ -1,0 +1,146 @@
+// Randomized malformed-input regression test for the CSV reader.
+//
+// ReadCsv ingests untrusted files (the CLI's --input path), so it must never
+// crash, hang, or return a mis-shaped table: every input either parses into
+// a table whose rows all match the header arity, or fails with a clean
+// Status. The generators below throw both pure byte-noise and structurally
+// plausible-but-corrupted CSV at it; all draws come from the repo's seeded
+// Rng so a failure reproduces exactly.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+#include "util/random.h"
+
+namespace srp {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::string WriteRaw(const std::string& name, const std::string& text) {
+  const std::string path = TempPath(name);
+  std::ofstream os(path, std::ios::binary);
+  os << text;
+  return path;
+}
+
+// Every parse must uphold the reader's contract regardless of input bytes.
+void CheckContract(const std::string& text, const std::string& tag) {
+  const std::string path = WriteRaw(tag + ".csv", text);
+  const auto read = ReadCsv(path);
+  if (!read.ok()) {
+    EXPECT_FALSE(read.status().message().empty()) << tag;
+    return;
+  }
+  for (const auto& row : read->rows) {
+    ASSERT_EQ(row.size(), read->header.size())
+        << tag << ": ragged row escaped validation";
+  }
+}
+
+TEST(CsvFuzzTest, RandomByteNoiseNeverCrashes) {
+  // Bias toward CSV-significant bytes so the interesting state transitions
+  // (quotes, separators, CR/LF) actually get exercised.
+  // Explicit length: the embedded NUL would otherwise truncate the literal.
+  const std::string alphabet("\",\r\n\0ab0. ;\t", 12);
+  Rng rng(2022);
+  for (int iter = 0; iter < 300; ++iter) {
+    const size_t len = static_cast<size_t>(rng.NextBounded(200));
+    std::string text;
+    text.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      if (rng.Bernoulli(0.8)) {
+        text += alphabet[static_cast<size_t>(
+            rng.NextBounded(alphabet.size()))];
+      } else {
+        text += static_cast<char>(rng.NextBounded(256));
+      }
+    }
+    CheckContract(text, "noise_" + std::to_string(iter));
+  }
+}
+
+TEST(CsvFuzzTest, MutatedStructuredCsvNeverCrashes) {
+  Rng rng(7);
+  for (int iter = 0; iter < 200; ++iter) {
+    // Start from a well-formed table...
+    const size_t cols = 1 + static_cast<size_t>(rng.NextBounded(5));
+    const size_t rows = static_cast<size_t>(rng.NextBounded(8));
+    std::string text;
+    for (size_t c = 0; c < cols; ++c) {
+      if (c > 0) text += ',';
+      text += "col" + std::to_string(c);
+    }
+    text += '\n';
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < cols; ++c) {
+        if (c > 0) text += ',';
+        switch (rng.NextBounded(4)) {
+          case 0: text += std::to_string(rng.UniformInt(-99, 99)); break;
+          case 1: text += "\"quoted,\"\"cell\"\""; text += '"'; break;
+          case 2: text += "\"multi\nline\""; break;
+          default: break;  // empty field
+        }
+      }
+      text += rng.Bernoulli(0.3) ? "\r\n" : "\n";
+    }
+    // ...then corrupt it: delete, duplicate, or insert a random byte.
+    const size_t mutations = 1 + static_cast<size_t>(rng.NextBounded(4));
+    for (size_t m = 0; m < mutations && !text.empty(); ++m) {
+      const size_t pos = static_cast<size_t>(rng.NextBounded(text.size()));
+      switch (rng.NextBounded(3)) {
+        case 0:
+          text.erase(pos, 1);
+          break;
+        case 1:
+          text.insert(pos, 1, text[pos]);
+          break;
+        default:
+          text.insert(pos, 1, "\",\n\r x"[rng.NextBounded(6)]);
+          break;
+      }
+    }
+    CheckContract(text, "mutated_" + std::to_string(iter));
+  }
+}
+
+TEST(CsvFuzzTest, RandomTablesRoundTripExactly) {
+  // Property: WriteCsv then ReadCsv reproduces any table whose cells draw
+  // from the full tricky alphabet (separators, quotes, newlines, CRLF).
+  const std::vector<std::string> cells = {
+      "",     "plain", "has,comma",   "has\"quote", "a\nb",
+      "a\r\nb", "\"\"",  " leading",    "trailing ",  "1e-9"};
+  Rng rng(42);
+  for (int iter = 0; iter < 50; ++iter) {
+    CsvTable table;
+    const size_t cols = 1 + static_cast<size_t>(rng.NextBounded(4));
+    for (size_t c = 0; c < cols; ++c) {
+      table.header.push_back("h" + std::to_string(c));
+    }
+    const size_t rows = static_cast<size_t>(rng.NextBounded(10));
+    for (size_t r = 0; r < rows; ++r) {
+      std::vector<std::string> row;
+      for (size_t c = 0; c < cols; ++c) {
+        row.push_back(cells[static_cast<size_t>(
+            rng.NextBounded(cells.size()))]);
+      }
+      table.rows.push_back(std::move(row));
+    }
+    const std::string path =
+        TempPath("roundtrip_" + std::to_string(iter) + ".csv");
+    ASSERT_TRUE(WriteCsv(table, path).ok());
+    const auto read = ReadCsv(path);
+    ASSERT_TRUE(read.ok()) << read.status().ToString();
+    EXPECT_EQ(read->header, table.header) << "iter " << iter;
+    EXPECT_EQ(read->rows, table.rows) << "iter " << iter;
+  }
+}
+
+}  // namespace
+}  // namespace srp

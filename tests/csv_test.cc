@@ -1,6 +1,7 @@
 #include "util/csv.h"
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -10,6 +11,13 @@ namespace {
 
 std::string TempPath(const std::string& name) {
   return testing::TempDir() + "/" + name;
+}
+
+std::string WriteRaw(const std::string& name, const std::string& text) {
+  const std::string path = TempPath(name);
+  std::ofstream os(path, std::ios::binary);
+  os << text;
+  return path;
 }
 
 TEST(CsvTest, RoundTripSimpleTable) {
@@ -70,6 +78,68 @@ TEST(CsvTest, WriteToBadPathFails) {
   CsvTable table;
   table.header = {"a"};
   EXPECT_FALSE(WriteCsv(table, "/nonexistent/dir/out.csv").ok());
+}
+
+TEST(CsvTest, RoundTripEmbeddedNewlines) {
+  CsvTable table;
+  table.header = {"text", "n"};
+  table.rows = {{"line1\nline2", "1"}, {"a\r\nb", "2"}};
+  const std::string path = TempPath("newlines.csv");
+  ASSERT_TRUE(WriteCsv(table, path).ok());
+  auto read = ReadCsv(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->rows, table.rows);
+}
+
+TEST(CsvTest, AcceptsCrlfLineEndings) {
+  const std::string path =
+      WriteRaw("crlf.csv", "a,b\r\n1,2\r\n3,4\r\n");
+  auto read = ReadCsv(path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->rows.size(), 2u);
+  EXPECT_EQ(read->rows[0], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(read->rows[1], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(CsvTest, AcceptsMissingTrailingNewlineAndBlankLines) {
+  const std::string path =
+      WriteRaw("no_trailing.csv", "a,b\n\n1,2\n\n\n3,4");
+  auto read = ReadCsv(path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->rows.size(), 2u);
+  EXPECT_EQ(read->rows[1], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(CsvTest, QuotedEmptyFieldIsNotABlankLine) {
+  const std::string path = WriteRaw("quoted_empty.csv", "a\n\"\"\n");
+  auto read = ReadCsv(path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->rows.size(), 1u);
+  EXPECT_EQ(read->rows[0][0], "");
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  const std::string path = WriteRaw("ragged.csv", "a,b,c\n1,2,3\n4,5\n");
+  auto read = ReadCsv(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(read.status().message().find("row 2"), std::string::npos);
+  EXPECT_NE(read.status().message().find("expected 3"), std::string::npos);
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  const std::string path = WriteRaw("unterminated.csv", "a\n\"oops\n");
+  auto read = ReadCsv(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(read.status().message().find("unterminated"), std::string::npos);
+}
+
+TEST(CsvTest, EmptyFileFails) {
+  const std::string path = WriteRaw("empty.csv", "");
+  auto read = ReadCsv(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIOError);
 }
 
 }  // namespace

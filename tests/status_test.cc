@@ -22,7 +22,36 @@ TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
   EXPECT_EQ(Status::Internal("int").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::IOError("io").code(), StatusCode::kIOError);
   EXPECT_EQ(Status::Unimplemented("un").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Cancelled("c").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("dl").code(),
+            StatusCode::kDeadlineExceeded);
   EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
+}
+
+TEST(StatusTest, StatusCodeToStringCoversAllCodes) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "IOError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnimplemented),
+               "Unimplemented");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+}
+
+TEST(StatusTest, InterruptStatusesAreNotOk) {
+  const Status cancelled = Status::Cancelled("stop requested");
+  EXPECT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.ToString(), "Cancelled: stop requested");
+  const Status deadline = Status::DeadlineExceeded("budget spent");
+  EXPECT_FALSE(deadline.ok());
+  EXPECT_EQ(deadline.ToString(), "DeadlineExceeded: budget spent");
 }
 
 TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {

@@ -18,6 +18,7 @@
 // order. Schema entries are name:agg[:int] with agg in {sum, avg, count};
 // "count" ignores fields and counts records.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +28,7 @@
 #include "core/adjacency.h"
 #include "core/repartitioner.h"
 #include "data/datasets.h"
+#include "fail/cancellation.h"
 #include "grid/grid_builder.h"
 #include "obs/metrics_registry.h"
 #include "obs/tracer.h"
@@ -51,6 +53,11 @@ struct CliOptions {
   double min_variation_step = 2.5e-3;
   /// 0 = auto (SRP_THREADS env var, else hardware concurrency).
   size_t num_threads = 0;
+  /// Wall-clock budget for the re-partitioning run; 0 = unlimited.
+  double deadline_ms = 0.0;
+  /// With a deadline: return the best partition found so far instead of
+  /// failing when the deadline fires mid-run.
+  bool best_effort = false;
 };
 
 void Usage() {
@@ -61,12 +68,17 @@ void Usage() {
                "[--threads N]\n"
                "                       [--trace-out trace.json] "
                "[--metrics-out metrics.csv]\n"
+               "                       [--deadline-ms MS] [--best-effort]\n"
                "  KIND: taxi_uni taxi_multi home_sales vehicles earnings "
                "earnings_uni\n"
                "  S:    comma list of name:agg[:int], agg in "
                "{sum, avg, count}\n"
                "  --threads 0 (default) resolves SRP_THREADS, then hardware "
                "concurrency; 1 = sequential.\n"
+               "  --deadline-ms bounds the run's wall time (fails with "
+               "DeadlineExceeded when hit);\n"
+               "  --best-effort instead returns the best partition found "
+               "before the deadline.\n"
                "  Flags accept both --flag value and --flag=value; '_' and "
                "'-' are interchangeable.\n");
 }
@@ -141,6 +153,23 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       const char* v = next();
       if (v == nullptr) return false;
       out->metrics_out = v;
+    } else if (arg == "--deadline-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      const auto parsed = ParseDouble(v);
+      if (!parsed.ok() || !(*parsed > 0.0)) {
+        std::fprintf(stderr, "--deadline-ms needs a positive number\n");
+        return false;
+      }
+      out->deadline_ms = *parsed;
+    } else if (arg == "--best-effort") {
+      // Boolean flag: takes no value (an inline --best-effort=... is
+      // rejected as unknown usage).
+      if (has_inline_value) {
+        std::fprintf(stderr, "--best-effort takes no value\n");
+        return false;
+      }
+      out->best_effort = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -214,18 +243,40 @@ Result<GridDataset> LoadCsvGrid(const CliOptions& options) {
   double lat_max = -1e300;
   double lon_min = 1e300;
   double lon_max = -1e300;
-  for (const auto& row : table.rows) {
+  size_t skipped = 0;  // records with a NaN/Inf coordinate
+  for (size_t r = 0; r < table.rows.size(); ++r) {
+    const auto& row = table.rows[r];
+    const auto cell = [&](size_t col) -> Result<double> {
+      auto parsed = ParseDouble(row[col]);
+      if (!parsed.ok()) {
+        return Status::InvalidArgument(
+            "row " + std::to_string(r + 1) + ", column '" +
+            table.header[col] + "': " + parsed.status().message());
+      }
+      return parsed;
+    };
     PointRecord rec;
-    rec.lat = std::atof(row[0].c_str());
-    rec.lon = std::atof(row[1].c_str());
+    SRP_ASSIGN_OR_RETURN(rec.lat, cell(0));
+    SRP_ASSIGN_OR_RETURN(rec.lon, cell(1));
     for (size_t i = 2; i < row.size(); ++i) {
-      rec.fields.push_back(std::atof(row[i].c_str()));
+      SRP_ASSIGN_OR_RETURN(const double value, cell(i));
+      rec.fields.push_back(value);
+    }
+    // "nan"/"inf" are valid doubles to strtod but poison the extent
+    // min/max below; drop such records instead of corrupting the grid.
+    if (!std::isfinite(rec.lat) || !std::isfinite(rec.lon)) {
+      ++skipped;
+      continue;
     }
     lat_min = std::min(lat_min, rec.lat);
     lat_max = std::max(lat_max, rec.lat);
     lon_min = std::min(lon_min, rec.lon);
     lon_max = std::max(lon_max, rec.lon);
     records.push_back(std::move(rec));
+  }
+  if (skipped > 0) {
+    std::fprintf(stderr, "skipped %zu record(s) with non-finite coordinates\n",
+                 skipped);
   }
   if (records.empty()) return Status::InvalidArgument("no records in CSV");
   // Nudge the extent so max-edge points land inside.
@@ -280,7 +331,8 @@ Status WriteOutputs(const CliOptions& options, const GridDataset& grid,
   return WriteCsv(adjacency, options.out_dir + "/adjacency.csv");
 }
 
-void PrintRunStats(const RepartitionResult& result) {
+void PrintRunStats(const RepartitionResult& result,
+                   const CliOptions& options) {
   const RunStats& stats = result.stats;
   const double total = result.elapsed_seconds;
   std::printf("\nphase breakdown (of %.3fs total):\n", total);
@@ -298,6 +350,12 @@ void PrintRunStats(const RepartitionResult& result) {
   row("accounted", stats.PhaseTotalSeconds());
   std::printf("  heap pops %zu, extractions %zu\n", stats.heap_pops,
               stats.extractions);
+  if (options.deadline_ms > 0.0) {
+    std::printf("  deadline %.1fms (%s): %s\n", options.deadline_ms,
+                options.best_effort ? "best-effort" : "strict",
+                stats.interrupted ? "HIT - returned best partition so far"
+                                  : "met");
+  }
 }
 
 int Run(int argc, char** argv) {
@@ -336,7 +394,14 @@ int Run(int argc, char** argv) {
   ropt.ifl_threshold = options.theta;
   ropt.min_variation_step = options.min_variation_step;
   ropt.num_threads = options.num_threads;
-  auto result = Repartitioner(ropt).Run(*grid);
+  RunContext ctx;
+  const RunContext* ctx_ptr = nullptr;
+  if (options.deadline_ms > 0.0) {
+    ctx.set_deadline_after_seconds(options.deadline_ms / 1e3);
+    ctx.set_best_effort(options.best_effort);
+    ctx_ptr = &ctx;
+  }
+  auto result = Repartitioner(ropt).Run(*grid, ctx_ptr);
   if (!result.ok()) {
     std::fprintf(stderr, "repartition failed: %s\n",
                  result.status().ToString().c_str());
@@ -358,7 +423,12 @@ int Run(int argc, char** argv) {
       100.0 * (1.0 - result->CellRatio()), result->information_loss,
       options.theta, result->iterations, result->elapsed_seconds,
       ResolveThreadCount(options.num_threads), options.out_dir.c_str());
-  PrintRunStats(*result);
+  if (result->stats.interrupted) {
+    std::printf("NOTE: run interrupted by the %.1fms deadline; partition is "
+                "the best found so far\n",
+                options.deadline_ms);
+  }
+  PrintRunStats(*result, options);
 
   if (!options.trace_out.empty()) {
     obs::Tracer::Get().Disable();
