@@ -53,7 +53,7 @@ void Run() {
   ResultTable table("Ablation feature allocator mean-or-mode vs mean-only",
                     {"dataset", "theta", "ifl_mean_or_mode", "ifl_mean_only",
                      "ifl_saved"});
-  for (const auto& spec : AllDatasetSpecs()) {
+  for (const auto& spec : ActiveDatasetSpecs()) {
     const GridDataset grid = MakeBenchDataset(spec.kind, kTier);
     const GridDataset norm = AttributeNormalized(grid);
     const PairVariations variations = ComputePairVariations(norm);
@@ -70,6 +70,10 @@ void Run() {
       table.AddRow({spec.name, FormatDouble(theta, 2),
                     FormatDouble(ifl_adaptive, 4), FormatDouble(ifl_mean, 4),
                     FormatDouble(ifl_mean - ifl_adaptive, 4)});
+      AddBenchRow({kTier.label, theta, spec.name + "/ifl_mean_or_mode",
+                   ifl_adaptive, "ifl", 1, 0.0});
+      AddBenchRow({kTier.label, theta, spec.name + "/ifl_mean_only",
+                   ifl_mean, "ifl", 1, 0.0});
     }
   }
   table.Print();
@@ -80,6 +84,7 @@ void Run() {
 }  // namespace srp
 
 int main() {
+  srp::bench::ObsSession obs("ablation_feature_allocator");
   srp::bench::Run();
   return 0;
 }

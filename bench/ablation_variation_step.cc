@@ -18,7 +18,7 @@ void Run() {
   ResultTable table("Ablation min variation step",
                     {"dataset", "step", "iterations", "time", "groups",
                      "ifl"});
-  for (const auto& spec : AllDatasetSpecs()) {
+  for (const auto& spec : ActiveDatasetSpecs()) {
     const GridDataset grid = MakeBenchDataset(spec.kind, kTier);
     for (double step : {0.0, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2}) {
       RepartitionOptions options;
@@ -32,6 +32,13 @@ void Run() {
                     Seconds(result->elapsed_seconds),
                     std::to_string(result->partition.num_groups()),
                     FormatDouble(result->information_loss, 4)});
+      const std::string metric_base =
+          spec.name + "/step=" + FormatDouble(step, 4);
+      AddBenchRow({kTier.label, kTheta, metric_base + "/groups",
+                   static_cast<double>(result->partition.num_groups()),
+                   "groups", 1, 0.0});
+      AddBenchRow({kTier.label, kTheta, metric_base + "/ifl",
+                   result->information_loss, "ifl", 1, 0.0});
     }
   }
   table.Print();
@@ -42,6 +49,7 @@ void Run() {
 }  // namespace srp
 
 int main() {
+  srp::bench::ObsSession obs("ablation_variation_step");
   srp::bench::Run();
   return 0;
 }

@@ -1,6 +1,8 @@
 #include "bench_common.h"
 
+#include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -15,8 +17,10 @@
 #include "fail/cancellation.h"
 #include "grid/normalize.h"
 #include "obs/metrics_registry.h"
+#include "obs/run_report.h"
 #include "parallel/thread_pool.h"
 #include "obs/tracer.h"
+#include "util/json.h"
 #include "util/logging.h"
 #include "util/memory_tracker.h"
 #include "util/string_util.h"
@@ -24,6 +28,163 @@
 
 namespace srp {
 namespace bench {
+namespace {
+
+/// Comma-separated env filter; empty means "keep everything".
+std::vector<std::string> EnvFilters(const char* var) {
+  const char* env = std::getenv(var);
+  if (env == nullptr || *env == '\0') return {};
+  std::vector<std::string> out;
+  for (const std::string& part : Split(env, ',')) {
+    const std::string trimmed = Trim(part);
+    if (!trimmed.empty()) out.push_back(trimmed);
+  }
+  return out;
+}
+
+bool MatchesAnyFilter(const std::string& label,
+                      const std::vector<std::string>& filters) {
+  if (filters.empty()) return true;
+  for (const std::string& filter : filters) {
+    if (label.find(filter) != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// Process-wide BenchRow accumulator. Bench binaries are single-threaded at
+/// the row-recording level (rows are added between measurements, never from
+/// pool workers), so no lock is needed.
+std::vector<BenchRow>& GlobalBenchRows() {
+  static std::vector<BenchRow>* rows = new std::vector<BenchRow>();
+  return *rows;
+}
+
+Status WriteWholeFile(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open file: " + path);
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != contents.size() || !close_ok) {
+    return Status::IOError("short write to file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<GridTier> ActiveTiers() {
+  const std::vector<std::string> filters = EnvFilters("SRP_BENCH_TIERS");
+  std::vector<GridTier> out;
+  for (const GridTier& tier : kTiers) {
+    if (MatchesAnyFilter(tier.label, filters)) out.push_back(tier);
+  }
+  SRP_CHECK(!out.empty()) << "SRP_BENCH_TIERS matches no tier";
+  return out;
+}
+
+std::vector<DatasetSpec> ActiveDatasetSpecs() {
+  const std::vector<std::string> filters = EnvFilters("SRP_BENCH_DATASETS");
+  std::vector<DatasetSpec> out;
+  for (const DatasetSpec& spec : AllDatasetSpecs()) {
+    if (MatchesAnyFilter(spec.name, filters)) out.push_back(spec);
+  }
+  SRP_CHECK(!out.empty()) << "SRP_BENCH_DATASETS matches no dataset";
+  return out;
+}
+
+void AddBenchRow(BenchRow row) { GlobalBenchRows().push_back(std::move(row)); }
+
+int BenchRepeats() {
+  if (const char* env = std::getenv("SRP_BENCH_REPEATS")) {
+    const long parsed = std::atol(env);
+    if (parsed >= 1) return static_cast<int>(std::min(parsed, 1000L));
+    SRP_LOG(Warning) << "ignoring invalid SRP_BENCH_REPEATS '" << env << "'";
+  }
+  return 3;
+}
+
+RepeatTiming RepeatSamples(const std::function<double()>& sample) {
+  RepeatTiming out;
+  out.repeats = BenchRepeats();
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(out.repeats));
+  for (int i = 0; i < out.repeats; ++i) samples.push_back(sample());
+  std::sort(samples.begin(), samples.end());
+  const size_t n = samples.size();
+  out.min_seconds = samples.front();
+  out.median_seconds = (n % 2 == 1)
+                           ? samples[n / 2]
+                           : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  out.mean_seconds = sum / static_cast<double>(n);
+  if (n > 1) {
+    double sq = 0.0;
+    for (double s : samples) {
+      const double d = s - out.mean_seconds;
+      sq += d * d;
+    }
+    out.stddev_seconds = std::sqrt(sq / static_cast<double>(n - 1));
+  }
+  return out;
+}
+
+RepeatTiming RepeatSeconds(const std::function<void()>& op) {
+  return RepeatSamples([&op] {
+    WallTimer timer;
+    op();
+    return timer.ElapsedSeconds();
+  });
+}
+
+void AddBenchTiming(std::string tier, double threshold, std::string metric,
+                    const RepeatTiming& timing) {
+  BenchRow row;
+  row.tier = std::move(tier);
+  row.threshold = threshold;
+  row.metric = std::move(metric);
+  row.value = timing.median_seconds;
+  row.unit = "s";
+  row.repeats = timing.repeats;
+  row.stddev = timing.stddev_seconds;
+  AddBenchRow(std::move(row));
+}
+
+Status WriteBenchJson(const std::string& path, const std::string& bench_name) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema_version", obs::RunReport::kSchemaVersion);
+  doc.Set("bench", bench_name);
+
+  JsonValue rows = JsonValue::Array();
+  for (const BenchRow& row : GlobalBenchRows()) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("bench", bench_name);
+    entry.Set("tier", row.tier);
+    entry.Set("threshold", row.threshold);
+    entry.Set("metric", row.metric);
+    entry.Set("value", row.value);
+    entry.Set("unit", row.unit);
+    entry.Set("repeats", row.repeats);
+    entry.Set("stddev", row.stddev);
+    rows.Append(std::move(entry));
+  }
+  doc.Set("rows", std::move(rows));
+
+  obs::RunReport report(bench_name);
+  report.SetConfig("max_threads",
+                   static_cast<int64_t>(ResolveThreadCount(0)));
+  report.SetConfig("repeats", BenchRepeats());
+  if (const char* deadline = std::getenv("SRP_DEADLINE_MS")) {
+    report.SetConfig("deadline_ms", deadline);
+  }
+  report.SetOutcome(/*ok=*/true, /*interrupted=*/false, "");
+  obs::MetricsRegistry::Get().UpdateMemoryGauges();
+  report.CaptureMetrics();
+  report.CaptureTracer();
+  doc.Set("run_report", report.ToJson());
+
+  return WriteWholeFile(path, doc.Dump(2) + "\n");
+}
 
 RepartitionOptions BenchRepartitionOptions(double threshold) {
   RepartitionOptions options;
@@ -207,7 +368,8 @@ void ResultTable::Print() const {
   }
 }
 
-ObsSession::ObsSession() {
+ObsSession::ObsSession(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {
   const char* trace_out = std::getenv("SRP_TRACE_OUT");
   const char* metrics_out = std::getenv("SRP_METRICS_OUT");
   if (trace_out != nullptr) trace_out_ = trace_out;
@@ -241,6 +403,23 @@ ObsSession::~ObsSession() {
       SRP_LOG(Warning) << "metrics export failed: " << status.ToString();
     }
   }
+  // Bench JSON last: it embeds the final metrics/trace state. Written by
+  // default so every bench run leaves a diffable artifact; SRP_BENCH_JSON=0
+  // opts out.
+  if (!bench_name_.empty()) {
+    const char* toggle = std::getenv("SRP_BENCH_JSON");
+    if (toggle != nullptr && std::string(toggle) == "0") return;
+    const char* dir = std::getenv("SRP_BENCH_JSON_DIR");
+    std::string path = dir != nullptr && *dir != '\0' ? std::string(dir) : ".";
+    path += "/BENCH_" + bench_name_ + ".json";
+    const Status status = WriteBenchJson(path, bench_name_);
+    if (status.ok()) {
+      SRP_LOG(Info) << "wrote bench JSON to " << path << " ("
+                    << GlobalBenchRows().size() << " rows)";
+    } else {
+      SRP_LOG(Warning) << "bench JSON export failed: " << status.ToString();
+    }
+  }
 }
 
 namespace {
@@ -260,28 +439,30 @@ double CellsPerSecond(size_t cells, const std::function<void()>& op) {
   return static_cast<double>(cells) * static_cast<double>(runs) / elapsed;
 }
 
-}  // namespace
+/// One measured (operator, thread count) throughput sample.
+struct CorePerfRow {
+  const char* op;
+  size_t threads;
+  double cells_per_sec;
+};
 
-Status WriteCorePerfJson(const std::string& path, size_t rows, size_t cols) {
+/// Measures the three parallelizable core operators at threads=1 and
+/// threads=max on a rows×cols kHomeSalesMulti grid.
+std::vector<CorePerfRow> MeasureCorePerf(size_t rows, size_t cols) {
   const GridDataset grid = MakeBenchDataset(
       DatasetKind::kHomeSalesMulti, GridTier{"core_perf", rows, cols});
   const GridDataset norm = AttributeNormalized(grid);
   const PairVariations variations = ComputePairVariations(norm);
   const CellGroupExtractor extractor(variations);
   Partition base = extractor.Extract(0.02);
-  SRP_RETURN_IF_ERROR(AllocateFeatures(grid, &base));
+  SRP_CHECK_OK(AllocateFeatures(grid, &base));
   const size_t cells = grid.num_cells();
 
   const size_t max_threads = ResolveThreadCount(0);
   std::vector<size_t> thread_counts = {1};
   if (max_threads > 1) thread_counts.push_back(max_threads);
 
-  struct Row {
-    const char* op;
-    size_t threads;
-    double cells_per_sec;
-  };
-  std::vector<Row> results;
+  std::vector<CorePerfRow> results;
   for (size_t threads : thread_counts) {
     const std::unique_ptr<ThreadPool> pool = MaybeMakePool(threads);
     ThreadPool* p = pool.get();
@@ -297,6 +478,25 @@ Status WriteCorePerfJson(const std::string& path, size_t rows, size_t cols) {
                          InformationLoss(grid, base, p);
                        })});
   }
+  return results;
+}
+
+}  // namespace
+
+void AddCorePerfBenchRows(size_t rows, size_t cols) {
+  for (const CorePerfRow& result : MeasureCorePerf(rows, cols)) {
+    BenchRow row;
+    row.tier = "threads=" + std::to_string(result.threads);
+    row.metric = std::string(result.op) + "/cells_per_sec";
+    row.value = result.cells_per_sec;
+    row.unit = "cells/sec";
+    AddBenchRow(std::move(row));
+  }
+}
+
+Status WriteCorePerfJson(const std::string& path, size_t rows, size_t cols) {
+  const std::vector<CorePerfRow> results = MeasureCorePerf(rows, cols);
+  const size_t max_threads = ResolveThreadCount(0);
 
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -304,9 +504,9 @@ Status WriteCorePerfJson(const std::string& path, size_t rows, size_t cols) {
   }
   std::fprintf(f,
                "{\n  \"grid\": {\"rows\": %zu, \"cols\": %zu, "
-               "\"attributes\": %zu, \"dataset\": \"home_sales_multi\"},\n"
+               "\"dataset\": \"home_sales_multi\"},\n"
                "  \"max_threads\": %zu,\n  \"results\": [\n",
-               grid.rows(), grid.cols(), grid.num_attributes(), max_threads);
+               rows, cols, max_threads);
   for (size_t i = 0; i < results.size(); ++i) {
     std::fprintf(f,
                  "    {\"op\": \"%s\", \"threads\": %zu, "

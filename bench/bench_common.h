@@ -10,6 +10,7 @@
 #include "data/datasets.h"
 #include "ml/dataset.h"
 #include "util/csv.h"
+#include "util/status.h"
 #include "util/string_util.h"
 
 namespace srp {
@@ -32,6 +33,74 @@ inline constexpr GridTier kTiers[] = {
 
 /// The IFL thresholds the paper sweeps (Section IV-B).
 inline constexpr double kThresholds[] = {0.05, 0.1, 0.15};
+
+/// kTiers filtered by SRP_BENCH_TIERS — a comma-separated list of label
+/// substrings ("small,medium" keeps the first two tiers). Unset or empty
+/// keeps every tier. Lets CI's perf-smoke job run one tier in seconds while
+/// the full sweep stays the default.
+std::vector<GridTier> ActiveTiers();
+
+/// AllDatasetSpecs() filtered the same way by SRP_BENCH_DATASETS (name
+/// substrings, e.g. "home_sales").
+std::vector<DatasetSpec> ActiveDatasetSpecs();
+
+/// One row of the common bench JSON schema (DESIGN.md §9). Every bench
+/// binary appends rows via AddBenchRow(); the named ObsSession writes them
+/// to BENCH_<name>.json at exit. A row is keyed for diffing by
+/// (bench, tier, threshold, metric, unit); `value` is the measurement,
+/// `repeats`/`stddev` qualify timing rows (repeats == 1, stddev == 0 for
+/// single-shot and deterministic quantities).
+struct BenchRow {
+  std::string tier;        ///< tier label, or "" when the bench has no tier axis
+  double threshold = 0.0;  ///< IFL threshold θ; 0 when not applicable
+  std::string metric;      ///< path-style: "<dataset>/<model-or-op>/<quantity>"
+  double value = 0.0;
+  std::string unit;  ///< "s", "bytes", "cells/sec", "ifl", "f1", "groups", ...
+  int repeats = 1;
+  double stddev = 0.0;
+};
+
+/// Appends one row to the process-wide bench report.
+void AddBenchRow(BenchRow row);
+
+/// Timing aggregate over BenchRepeats() runs. The regression gate compares
+/// medians: the median is robust to one slow outlier run, and `stddev`
+/// lets the diff tool widen its tolerance on noisy rows.
+struct RepeatTiming {
+  double min_seconds = 0.0;
+  double median_seconds = 0.0;
+  double mean_seconds = 0.0;
+  double stddev_seconds = 0.0;  ///< sample stddev; 0 when repeats == 1
+  int repeats = 0;
+};
+
+/// Number of repetitions for timed measurements: SRP_BENCH_REPEATS when set
+/// (>= 1), else 3.
+int BenchRepeats();
+
+/// Runs `sample` BenchRepeats() times; each call returns one duration in
+/// seconds (e.g. a model's train_seconds).
+RepeatTiming RepeatSamples(const std::function<double()>& sample);
+
+/// Wall-times `op` BenchRepeats() times.
+RepeatTiming RepeatSeconds(const std::function<void()>& op);
+
+/// AddBenchRow() for a timing aggregate: value = median seconds, unit "s".
+void AddBenchTiming(std::string tier, double threshold, std::string metric,
+                    const RepeatTiming& timing);
+
+/// Writes the accumulated rows as one schema-versioned JSON document:
+/// {schema_version, bench, rows: [...], run_report: {...}} with an embedded
+/// obs::RunReport (provenance, metrics snapshot, span tree). Called by
+/// ObsSession at exit; exposed for tests and ad-hoc exports.
+Status WriteBenchJson(const std::string& path, const std::string& bench_name);
+
+/// Measures core-operator throughput (pair variations, extraction,
+/// information loss at threads=1 and threads=max) on a rows×cols
+/// kHomeSalesMulti grid and appends the results to the bench report as
+/// tier "threads=<n>", metric "<op>/cells_per_sec" rows — the hot-path
+/// regression anchors for the perf gate.
+void AddCorePerfBenchRows(size_t rows = 128, size_t cols = 128);
 
 /// Default options for bench re-partitioning runs: paper-faithful except
 /// for a small variation step that batches near-equal real-valued
@@ -96,17 +165,24 @@ class ResultTable {
 /// run and a Chrome trace-event JSON is written there at scope exit; when
 /// SRP_METRICS_OUT is set, a metrics snapshot (counters, histogram
 /// percentiles, memory gauges) is written there (".json" suffix selects
-/// JSON, anything else CSV). With neither variable set this is a no-op, so
-/// default bench timings stay unperturbed.
+/// JSON, anything else CSV). Those two are opt-in, so default bench timings
+/// stay unperturbed.
+///
+/// A non-empty `bench_name` additionally writes the accumulated BenchRow
+/// list (plus an embedded RunReport) to
+/// "$SRP_BENCH_JSON_DIR/BENCH_<bench_name>.json" at scope exit — the
+/// perf-regression gate's input. The directory defaults to the working
+/// directory; SRP_BENCH_JSON=0 suppresses the file.
 class ObsSession {
  public:
-  ObsSession();
+  explicit ObsSession(std::string bench_name = "");
   ~ObsSession();
 
   ObsSession(const ObsSession&) = delete;
   ObsSession& operator=(const ObsSession&) = delete;
 
  private:
+  std::string bench_name_;
   std::string trace_out_;
   std::string metrics_out_;
 };

@@ -18,8 +18,8 @@ void Run() {
   ResultTable table("Fig5 cell reduction",
                     {"dataset", "tier", "initial_cells", "theta", "groups",
                      "reduction"});
-  for (const auto& spec : AllDatasetSpecs()) {
-    for (const GridTier& tier : kTiers) {
+  for (const auto& spec : ActiveDatasetSpecs()) {
+    for (const GridTier& tier : ActiveTiers()) {
       const GridDataset grid = MakeBenchDataset(spec.kind, tier);
       for (double theta : kThresholds) {
         const RepartitionResult result = MustRepartition(grid, theta);
@@ -28,6 +28,12 @@ void Run() {
                       FormatDouble(theta, 2),
                       std::to_string(result.partition.num_groups()),
                       Percent(1.0 - result.CellRatio())});
+        // Deterministic quantities: exact-match anchors for the diff gate.
+        AddBenchRow({tier.label, theta, spec.name + "/groups",
+                     static_cast<double>(result.partition.num_groups()),
+                     "groups", 1, 0.0});
+        AddBenchRow({tier.label, theta, spec.name + "/reduction_pct",
+                     100.0 * (1.0 - result.CellRatio()), "%", 1, 0.0});
       }
     }
   }
@@ -39,7 +45,7 @@ void Run() {
 }  // namespace srp
 
 int main() {
-  srp::bench::ObsSession obs;
+  srp::bench::ObsSession obs("fig5_cell_reduction");
   srp::bench::Run();
   return 0;
 }

@@ -189,14 +189,18 @@ BENCHMARK(BM_FullRepartition)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
 }  // namespace srp
 
 // Expanded BENCHMARK_MAIN() so the ObsSession (SRP_TRACE_OUT /
-// SRP_METRICS_OUT artifacts) brackets the benchmark run and the perf
-// trajectory (SRP_BENCH_CORE_JSON) is emitted after the measured run.
+// SRP_METRICS_OUT artifacts, BENCH_micro_core_ops.json) brackets the
+// benchmark run and the perf trajectory (SRP_BENCH_CORE_JSON) is emitted
+// after the measured run.
 int main(int argc, char** argv) {
-  srp::bench::ObsSession obs;
+  srp::bench::ObsSession obs("micro_core_ops");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  // Core-operator throughput rows for BENCH_micro_core_ops.json — the
+  // stable row keys the perf-regression gate diffs across commits.
+  srp::bench::AddCorePerfBenchRows();
   srp::bench::MaybeWriteCorePerfJson();
   return 0;
 }

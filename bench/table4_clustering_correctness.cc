@@ -26,7 +26,7 @@ constexpr size_t kClusterCounts[] = {8, 12, 16};
 void Run() {
   ResultTable table("Table4 clustering correctness",
                     {"dataset", "method", "theta", "correctness"});
-  for (const auto& spec : AllDatasetSpecs()) {
+  for (const auto& spec : ActiveDatasetSpecs()) {
     const GridDataset grid = MakeBenchDataset(spec.kind, kTier);
     auto cells = PrepareFromGrid(grid, spec.target_attribute);
     SRP_CHECK_OK(cells.status());
@@ -62,8 +62,12 @@ void Run() {
           total += ClusteringCorrectnessPercent(original_labels[ki],
                                                 reduced_labels);
         }
+        const double correctness = total / std::size(kClusterCounts);
         table.AddRow({spec.name, method.method, FormatDouble(theta, 2),
-                      FormatDouble(total / std::size(kClusterCounts), 2)});
+                      FormatDouble(correctness, 2)});
+        AddBenchRow({kTier.label, theta,
+                     spec.name + "/" + method.method + "/correctness",
+                     correctness, "pct_correct", 1, 0.0});
       }
     }
   }
@@ -75,6 +79,7 @@ void Run() {
 }  // namespace srp
 
 int main() {
+  srp::bench::ObsSession obs("table4_clustering_correctness");
   srp::bench::Run();
   return 0;
 }

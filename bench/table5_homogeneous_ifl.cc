@@ -19,7 +19,7 @@ void Run() {
   ResultTable table("Table5 homogeneous grid information loss",
                     {"dataset", "merge_2_rows", "merge_2_columns",
                      "merge_2_rows_2_columns"});
-  for (const auto& spec : AllDatasetSpecs()) {
+  for (const auto& spec : ActiveDatasetSpecs()) {
     const GridDataset grid = MakeBenchDataset(spec.kind, kTier);
     auto rows2 = HomogeneousMergeLoss(grid, 2, 1);
     auto cols2 = HomogeneousMergeLoss(grid, 1, 2);
@@ -29,6 +29,12 @@ void Run() {
     SRP_CHECK_OK(both.status());
     table.AddRow({spec.name, FormatDouble(*rows2, 3), FormatDouble(*cols2, 3),
                   FormatDouble(*both, 3)});
+    AddBenchRow({kTier.label, 0.0, spec.name + "/merge_2_rows/ifl", *rows2,
+                 "ifl", 1, 0.0});
+    AddBenchRow({kTier.label, 0.0, spec.name + "/merge_2_columns/ifl", *cols2,
+                 "ifl", 1, 0.0});
+    AddBenchRow({kTier.label, 0.0, spec.name + "/merge_2_rows_2_columns/ifl",
+                 *both, "ifl", 1, 0.0});
   }
   table.Print();
 }
@@ -38,6 +44,7 @@ void Run() {
 }  // namespace srp
 
 int main() {
+  srp::bench::ObsSession obs("table5_homogeneous_ifl");
   srp::bench::Run();
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "core/repartitioner.h"
 
 #include <cmath>
+#include <optional>
 #include <utility>
 
 #include "core/extractor.h"
@@ -13,6 +14,7 @@
 #include "obs/metrics_registry.h"
 #include "obs/tracer.h"
 #include "parallel/thread_pool.h"
+#include "util/memory_tracker.h"
 #include "util/timer.h"
 
 namespace srp {
@@ -91,14 +93,28 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
   // routes every phase through its sequential path).
   const std::unique_ptr<ThreadPool> pool = MaybeMakePool(options_.num_threads);
 
-  // Accumulates the time since the last call into `*accumulator` and
-  // optionally feeds the same duration to a latency histogram.
+  // Accumulates the time since the last call into `*accumulator`, folds the
+  // phase's allocation high-water (srp_memtrack scoped delta; 0 without the
+  // hooks) into `*peak_accumulator` as a running max, and optionally feeds
+  // the duration to a latency histogram. The memory scope is re-opened for
+  // the next phase so consecutive phases never share a baseline; the
+  // nesting-safe ScopedMemoryPeak keeps any enclosing measurement (e.g.
+  // bench MeasureRun) intact.
   WallTimer phase_timer;
-  const auto take_phase = [&phase_timer](double* accumulator,
-                                         obs::Histogram* histogram = nullptr) {
+  std::optional<ScopedMemoryPeak> phase_memory;
+  phase_memory.emplace();
+  const auto take_phase = [&phase_timer, &phase_memory](
+                              double* accumulator, int64_t* peak_accumulator,
+                              obs::Histogram* histogram = nullptr) {
     const double seconds = phase_timer.ElapsedSeconds();
     *accumulator += seconds;
     if (histogram != nullptr) histogram->Observe(seconds * 1e3);
+    if (MemoryTracker::Hooked()) {
+      *peak_accumulator =
+          std::max(*peak_accumulator, phase_memory->PeakDeltaBytes());
+    }
+    phase_memory.reset();  // restore the enclosing peak before re-opening
+    phase_memory.emplace();
     phase_timer.Restart();
   };
 
@@ -132,7 +148,7 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
       SRP_TRACE_SPAN("repartition.normalize");
       return AttributeNormalized(grid);
     }();
-    take_phase(&stats.normalize_seconds);
+    take_phase(&stats.normalize_seconds, &stats.normalize_peak_bytes);
     SRP_RETURN_IF_ERROR(interrupt_check());
     if (degrade) return Status::OK();
 
@@ -141,7 +157,8 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
       SRP_TRACE_SPAN("repartition.pair_variations");
       return ComputePairVariations(normalized, pool.get(), ctx);
     }();
-    take_phase(&stats.pair_variation_seconds);
+    take_phase(&stats.pair_variation_seconds,
+               &stats.pair_variation_peak_bytes);
     // An interrupted variation pass leaves +inf placeholders; the heap must
     // not be built over them.
     SRP_RETURN_IF_ERROR(interrupt_check());
@@ -152,7 +169,7 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
       SRP_TRACE_SPAN("repartition.heap_build");
       heap.Build(variations, &normalized);
     }
-    take_phase(&stats.heap_build_seconds);
+    take_phase(&stats.heap_build_seconds, &stats.heap_build_peak_bytes);
 
     const CellGroupExtractor extractor(variations);
 
@@ -165,7 +182,8 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
       double variation = 0.0;
       const bool popped = heap.PopNextGreater(
           previous_variation + options_.min_variation_step, &variation);
-      take_phase(&stats.variation_pop_seconds);
+      take_phase(&stats.variation_pop_seconds,
+                 &stats.variation_pop_peak_bytes);
       if (!popped) {
         break;  // heap drained: no coarser partition exists
       }
@@ -177,7 +195,8 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
         return extractor.Extract(variation);
       }();
       ++stats.extractions;
-      take_phase(&stats.extract_seconds, Metrics().extract_ms);
+      take_phase(&stats.extract_seconds, &stats.extract_peak_bytes,
+                 Metrics().extract_ms);
 
       {
         SRP_TRACE_SPAN("repartition.allocate_features");
@@ -193,7 +212,8 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
           return allocated;
         }
       }
-      take_phase(&stats.allocate_seconds, Metrics().allocate_ms);
+      take_phase(&stats.allocate_seconds, &stats.allocate_peak_bytes,
+                 Metrics().allocate_ms);
 
       SRP_INJECT_FAULT("core.information_loss");
       const double ifl = [&] {
@@ -201,6 +221,7 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
         return InformationLoss(grid, candidate, pool.get(), ctx);
       }();
       take_phase(&stats.information_loss_seconds,
+                 &stats.information_loss_peak_bytes,
                  Metrics().information_loss_ms);
       // An interrupted reduction covers only part of the grid — never judge
       // a candidate on a partial IFL.
@@ -219,6 +240,15 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
   }();
   SRP_RETURN_IF_ERROR(run_status);
   stats.interrupted = degrade;
+  phase_memory.reset();  // restore any enclosing ScopedMemoryPeak's view
+
+  if (pool != nullptr) {
+    const ThreadPoolStats pool_stats = pool->Stats();
+    stats.pool_size = pool_stats.pool_size;
+    stats.pool_tasks_executed = pool_stats.tasks_executed;
+    stats.pool_queue_depth_high_water = pool_stats.queue_depth_high_water;
+    stats.pool_worker_busy_ns = pool_stats.worker_busy_ns;
+  }
 
   result.elapsed_seconds = timer.ElapsedSeconds();
 

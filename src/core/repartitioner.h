@@ -1,7 +1,10 @@
 #ifndef SRP_CORE_REPARTITIONER_H_
 #define SRP_CORE_REPARTITIONER_H_
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "core/partition.h"
 #include "fail/cancellation.h"
@@ -69,6 +72,33 @@ struct RunStats {
   /// RepartitionResult::iterations + 1).
   size_t heap_pops = 0;
   size_t extractions = 0;
+
+  /// Allocation high-water per phase: the largest number of bytes any single
+  /// pass of the phase allocated above its entry level (srp_memtrack scoped
+  /// deltas; all zero in binaries without the operator-new hooks). For the
+  /// per-iteration phases this is a max over iterations, making it the
+  /// phase's working-set footprint rather than a cumulative churn count.
+  int64_t normalize_peak_bytes = 0;
+  int64_t pair_variation_peak_bytes = 0;
+  int64_t heap_build_peak_bytes = 0;
+  int64_t variation_pop_peak_bytes = 0;
+  int64_t extract_peak_bytes = 0;
+  int64_t allocate_peak_bytes = 0;
+  int64_t information_loss_peak_bytes = 0;
+
+  /// Thread-pool utilization of this run (all zero / empty when the run was
+  /// sequential — resolved num_threads <= 1 builds no pool).
+  size_t pool_size = 0;
+  int64_t pool_tasks_executed = 0;
+  size_t pool_queue_depth_high_water = 0;
+  std::vector<int64_t> pool_worker_busy_ns;
+
+  int64_t MaxPhasePeakBytes() const {
+    return std::max({normalize_peak_bytes, pair_variation_peak_bytes,
+                     heap_build_peak_bytes, variation_pop_peak_bytes,
+                     extract_peak_bytes, allocate_peak_bytes,
+                     information_loss_peak_bytes});
+  }
 
   /// True when a best-effort RunContext was cancelled or hit its deadline
   /// mid-run: the returned partition is the best feasible one found so far

@@ -1,0 +1,268 @@
+#include "obs/run_report.h"
+
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "util/memory_tracker.h"
+
+// Stringified configure-time provenance (src/obs/CMakeLists.txt). The
+// fallbacks keep non-CMake builds (and builds from a tarball without .git)
+// compiling with honest "unknown" markers.
+#ifndef SRP_GIT_SHA
+#define SRP_GIT_SHA "unknown"
+#endif
+#ifndef SRP_BUILD_TYPE
+#define SRP_BUILD_TYPE "unknown"
+#endif
+
+namespace srp {
+namespace obs {
+namespace {
+
+Status WriteWholeFile(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open file: " + path);
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != contents.size() || !close_ok) {
+    return Status::IOError("short write to file: " + path);
+  }
+  return Status::OK();
+}
+
+std::string CompilerId() {
+#if defined(__clang__)
+  return std::string("clang ") + __VERSION__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+/// Span-tree node built over a Tracer snapshot; indices into the snapshot
+/// vector, so no events are copied.
+struct SpanNode {
+  size_t event = 0;
+  std::vector<size_t> children;  ///< indices into the node vector
+};
+
+JsonValue SpanNodeToJson(const std::vector<SpanNode>& nodes,
+                         const std::vector<SpanEvent>& events, size_t index) {
+  const SpanNode& node = nodes[index];
+  const SpanEvent& ev = events[node.event];
+  JsonValue out = JsonValue::Object();
+  out.Set("name", ev.name == nullptr ? "?" : ev.name);
+  out.Set("start_us", ev.start_us);
+  out.Set("dur_us", ev.duration_us);
+  out.Set("tid", static_cast<int64_t>(ev.tid));
+  out.Set("depth", static_cast<int64_t>(ev.depth));
+  JsonValue children = JsonValue::Array();
+  for (const size_t child : node.children) {
+    children.Append(SpanNodeToJson(nodes, events, child));
+  }
+  out.Set("children", std::move(children));
+  return out;
+}
+
+/// Rebuilds the nesting forest from the flat span list. Events arrive in
+/// chronological start order; within a thread, a span is a child of the most
+/// recent deeper-nested span whose time interval contains it. Ring-buffer
+/// eviction can orphan children (their parent's record was overwritten) —
+/// those become additional roots rather than being mis-attached.
+JsonValue BuildSpanForest(const std::vector<SpanEvent>& events) {
+  std::vector<SpanNode> nodes;
+  nodes.reserve(events.size());
+  std::vector<size_t> roots;
+  // Per-tid stack of currently "open" ancestors (indices into `nodes`).
+  std::map<uint32_t, std::vector<size_t>> stacks;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const SpanEvent& ev = events[i];
+    std::vector<size_t>& stack = stacks[ev.tid];
+    const auto is_parent_of = [&](size_t node_index) {
+      const SpanEvent& p = events[nodes[node_index].event];
+      return p.depth < ev.depth && ev.start_us >= p.start_us &&
+             ev.start_us <= p.start_us + p.duration_us;
+    };
+    while (!stack.empty() && !is_parent_of(stack.back())) {
+      stack.pop_back();
+    }
+    nodes.push_back(SpanNode{i, {}});
+    const size_t node_index = nodes.size() - 1;
+    if (stack.empty()) {
+      roots.push_back(node_index);
+    } else {
+      nodes[stack.back()].children.push_back(node_index);
+    }
+    stack.push_back(node_index);
+  }
+  JsonValue forest = JsonValue::Array();
+  for (const size_t root : roots) {
+    forest.Append(SpanNodeToJson(nodes, events, root));
+  }
+  return forest;
+}
+
+}  // namespace
+
+RunReportProvenance BuildProvenance() {
+  RunReportProvenance provenance;
+  provenance.git_sha = SRP_GIT_SHA;
+  provenance.build_type = SRP_BUILD_TYPE;
+  provenance.compiler = CompilerId();
+#ifdef SRP_FAULT_INJECTION_DISABLED
+  provenance.fault_injection_compiled = false;
+#else
+  provenance.fault_injection_compiled = true;
+#endif
+  provenance.memtrack_hooked = MemoryTracker::Hooked();
+  return provenance;
+}
+
+RunReport::RunReport(std::string tool)
+    : tool_(std::move(tool)), provenance_(BuildProvenance()) {}
+
+void RunReport::SetConfig(std::string_view key, JsonValue value) {
+  config_.Set(key, std::move(value));
+}
+
+void RunReport::SetResult(std::string_view key, JsonValue value) {
+  result_.Set(key, std::move(value));
+}
+
+void RunReport::AddPhase(std::string name, double seconds,
+                         int64_t alloc_peak_bytes) {
+  phases_.push_back(
+      RunReportPhase{std::move(name), seconds, alloc_peak_bytes});
+}
+
+void RunReport::SetPool(const RunReportPool& pool) {
+  has_pool_ = true;
+  pool_ = pool;
+}
+
+void RunReport::SetOutcome(bool ok, bool interrupted, std::string detail) {
+  has_outcome_ = true;
+  outcome_ok_ = ok;
+  outcome_interrupted_ = interrupted;
+  outcome_detail_ = std::move(detail);
+}
+
+void RunReport::CaptureMetrics(const MetricsRegistry& registry) {
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  metrics_ = JsonValue::Object();
+  JsonValue counters = JsonValue::Object();
+  for (const auto& [name, value] : snapshot.counters) {
+    counters.Set(name, value);
+  }
+  metrics_.Set("counters", std::move(counters));
+  JsonValue gauges = JsonValue::Object();
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauges.Set(name, value);
+  }
+  metrics_.Set("gauges", std::move(gauges));
+  JsonValue histograms = JsonValue::Object();
+  for (const HistogramStats& h : snapshot.histograms) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("count", h.count);
+    entry.Set("sum", h.sum);
+    entry.Set("min", h.min);
+    entry.Set("max", h.max);
+    entry.Set("p50", h.p50);
+    entry.Set("p90", h.p90);
+    entry.Set("p99", h.p99);
+    // Zero-count buckets are elided: the default latency bucketing has ~24
+    // buckets per histogram, nearly all empty in a typical run, and the
+    // report embeds every histogram.
+    JsonValue buckets = JsonValue::Array();
+    for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      if (h.bucket_counts[i] == 0) continue;
+      JsonValue bucket = JsonValue::Object();
+      if (i < h.upper_bounds.size()) {
+        bucket.Set("le", h.upper_bounds[i]);
+      } else {
+        bucket.Set("le", "inf");
+      }
+      bucket.Set("count", h.bucket_counts[i]);
+      buckets.Append(std::move(bucket));
+    }
+    entry.Set("buckets", std::move(buckets));
+    histograms.Set(h.name, std::move(entry));
+  }
+  metrics_.Set("histograms", std::move(histograms));
+  has_metrics_ = true;
+}
+
+void RunReport::CaptureTracer(const Tracer& tracer) {
+  trace_ = JsonValue::Object();
+  trace_.Set("dropped_spans", static_cast<int64_t>(tracer.dropped()));
+  trace_.Set("spans", BuildSpanForest(tracer.Snapshot()));
+  has_trace_ = true;
+}
+
+JsonValue RunReport::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("schema_version", kSchemaVersion);
+  out.Set("tool", tool_);
+
+  JsonValue provenance = JsonValue::Object();
+  provenance.Set("git_sha", provenance_.git_sha);
+  provenance.Set("build_type", provenance_.build_type);
+  provenance.Set("compiler", provenance_.compiler);
+  provenance.Set("fault_injection_compiled",
+                 provenance_.fault_injection_compiled);
+  provenance.Set("memtrack_hooked", provenance_.memtrack_hooked);
+  out.Set("provenance", std::move(provenance));
+
+  out.Set("config", config_);
+
+  JsonValue phases = JsonValue::Array();
+  for (const RunReportPhase& phase : phases_) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("name", phase.name);
+    entry.Set("seconds", phase.seconds);
+    entry.Set("alloc_peak_bytes", phase.alloc_peak_bytes);
+    phases.Append(std::move(entry));
+  }
+  out.Set("phases", std::move(phases));
+
+  if (has_pool_) {
+    JsonValue pool = JsonValue::Object();
+    pool.Set("size", static_cast<int64_t>(pool_.size));
+    pool.Set("tasks_executed", pool_.tasks_executed);
+    pool.Set("queue_depth_high_water",
+             static_cast<int64_t>(pool_.queue_depth_high_water));
+    int64_t total_busy_ns = 0;
+    JsonValue busy = JsonValue::Array();
+    for (const int64_t ns : pool_.worker_busy_ns) {
+      busy.Append(ns);
+      total_busy_ns += ns;
+    }
+    pool.Set("total_busy_ns", total_busy_ns);
+    pool.Set("worker_busy_ns", std::move(busy));
+    out.Set("pool", std::move(pool));
+  }
+
+  if (has_outcome_) {
+    JsonValue outcome = JsonValue::Object();
+    outcome.Set("ok", outcome_ok_);
+    outcome.Set("interrupted", outcome_interrupted_);
+    outcome.Set("detail", outcome_detail_);
+    out.Set("outcome", std::move(outcome));
+  }
+
+  out.Set("result", result_);
+  if (has_metrics_) out.Set("metrics", metrics_);
+  if (has_trace_) out.Set("trace", trace_);
+  return out;
+}
+
+std::string RunReport::ToJsonString() const { return ToJson().Dump(2) + "\n"; }
+
+Status RunReport::WriteJson(const std::string& path) const {
+  return WriteWholeFile(path, ToJsonString());
+}
+
+}  // namespace obs
+}  // namespace srp

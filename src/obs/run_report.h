@@ -1,0 +1,118 @@
+#ifndef SRP_OBS_RUN_REPORT_H_
+#define SRP_OBS_RUN_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "obs/tracer.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace srp {
+namespace obs {
+
+/// One phase row of a run report: wall time plus the allocation high-water
+/// the phase reached above its entry level (srp_memtrack; 0 without hooks).
+struct RunReportPhase {
+  std::string name;
+  double seconds = 0.0;
+  int64_t alloc_peak_bytes = 0;
+};
+
+/// Thread-pool utilization section (mirrors srp::ThreadPoolStats; duplicated
+/// here so srp_obs stays below srp_parallel in the dependency order).
+struct RunReportPool {
+  size_t size = 0;
+  int64_t tasks_executed = 0;
+  size_t queue_depth_high_water = 0;
+  std::vector<int64_t> worker_busy_ns;
+};
+
+/// Build/config provenance captured at construction. git_sha and build_type
+/// are baked in at CMake configure time (SRP_GIT_SHA / SRP_BUILD_TYPE
+/// compile definitions on srp_obs); re-run cmake after switching commits to
+/// refresh them.
+struct RunReportProvenance {
+  std::string git_sha;
+  std::string build_type;
+  std::string compiler;
+  bool fault_injection_compiled = false;
+  bool memtrack_hooked = false;
+};
+
+RunReportProvenance BuildProvenance();
+
+/// Aggregates everything one run of the framework leaves behind into a
+/// single versioned JSON document (DESIGN.md §9): build/config provenance,
+/// per-phase wall time and allocation high-water, thread-pool utilization,
+/// the cancellation/fault outcome, the full metrics snapshot, and the span
+/// tree reconstructed from the Tracer ring buffer.
+///
+/// Key order in the emitted JSON is stable by construction (JsonValue
+/// objects preserve insertion order and every section is emitted in a fixed
+/// sequence), so reports are diffable and the schema round-trips through
+/// JsonValue::Parse. Timing/allocation VALUES naturally vary between runs;
+/// everything else is deterministic for a fixed configuration — the
+/// run_report_test contract.
+class RunReport {
+ public:
+  static constexpr int kSchemaVersion = 1;
+
+  /// `tool` names the producing binary ("srp_repartition", a bench name...).
+  explicit RunReport(std::string tool = "unknown");
+
+  /// Configuration echo: whatever the caller considers the run's inputs
+  /// (options struct fields, dataset identity, thread count...).
+  void SetConfig(std::string_view key, JsonValue value);
+
+  /// Headline results (iterations, information loss, group count...).
+  void SetResult(std::string_view key, JsonValue value);
+
+  void AddPhase(std::string name, double seconds, int64_t alloc_peak_bytes);
+
+  void SetPool(const RunReportPool& pool);
+
+  /// `detail` carries the interrupt kind / status message; empty means a
+  /// clean uninterrupted run.
+  void SetOutcome(bool ok, bool interrupted, std::string detail);
+
+  /// Snapshot of every registered metric, embedded under "metrics".
+  void CaptureMetrics(const MetricsRegistry& registry = MetricsRegistry::Get());
+
+  /// Span tree reconstructed from the tracer's retained spans, embedded
+  /// under "trace" together with the dropped-span count. No-op content
+  /// (empty spans array) when tracing never ran.
+  void CaptureTracer(const Tracer& tracer = Tracer::Get());
+
+  JsonValue ToJson() const;
+
+  /// Pretty-printed (2-space indent) ToJson().
+  std::string ToJsonString() const;
+
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  std::string tool_;
+  RunReportProvenance provenance_;
+  JsonValue config_ = JsonValue::Object();
+  JsonValue result_ = JsonValue::Object();
+  std::vector<RunReportPhase> phases_;
+  bool has_pool_ = false;
+  RunReportPool pool_;
+  bool has_outcome_ = false;
+  bool outcome_ok_ = true;
+  bool outcome_interrupted_ = false;
+  std::string outcome_detail_;
+  bool has_metrics_ = false;
+  JsonValue metrics_ = JsonValue::Object();
+  bool has_trace_ = false;
+  JsonValue trace_ = JsonValue::Object();
+};
+
+}  // namespace obs
+}  // namespace srp
+
+#endif  // SRP_OBS_RUN_REPORT_H_

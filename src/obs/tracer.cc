@@ -95,6 +95,7 @@ size_t Tracer::dropped() const {
 
 Status Tracer::WriteChromeTrace(const std::string& path) const {
   const std::vector<SpanEvent> events = Snapshot();
+  const size_t dropped_spans = dropped();
   std::string out = "{\"traceEvents\":[\n";
   bool first = true;
   for (const SpanEvent& ev : events) {
@@ -110,7 +111,17 @@ Status Tracer::WriteChromeTrace(const std::string& path) const {
     out += std::to_string(ev.tid);
     out += "}";
   }
-  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  // Ring-buffer truncation is self-identifying: a metadata event carries the
+  // number of spans evicted by wrap-around, so a viewer (or a human reading
+  // the raw JSON) can tell a complete trace from a clipped one.
+  if (!first) out += ",\n";
+  out += "{\"name\":\"dropped_spans\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"dropped_spans\":";
+  out += std::to_string(dropped_spans);
+  out += "}}";
+  out += "\n],\"displayTimeUnit\":\"ms\",\"dropped_spans\":";
+  out += std::to_string(dropped_spans);
+  out += "}\n";
 
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {

@@ -1,5 +1,7 @@
 #include "parallel/thread_pool.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <utility>
 
@@ -13,7 +15,9 @@ struct PoolMetrics {
   obs::Counter* pools_created;
   obs::Counter* tasks_executed;
   obs::Counter* queue_waits;
+  obs::Counter* busy_ns;
   obs::Gauge* pool_size;
+  obs::Gauge* queue_depth_high_water;
 };
 
 PoolMetrics& Metrics() {
@@ -23,7 +27,10 @@ PoolMetrics& Metrics() {
     m->pools_created = registry.GetCounter("parallel.pools_created");
     m->tasks_executed = registry.GetCounter("parallel.tasks_executed");
     m->queue_waits = registry.GetCounter("parallel.queue_waits");
+    m->busy_ns = registry.GetCounter("parallel.busy_ns");
     m->pool_size = registry.GetGauge("parallel.pool_size");
+    m->queue_depth_high_water =
+        registry.GetGauge("parallel.queue_depth_high_water");
     return m;
   }();
   return *metrics;
@@ -43,9 +50,11 @@ size_t ResolveThreadCount(size_t requested) {
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
+  worker_busy_ns_ = std::make_unique<std::atomic<int64_t>[]>(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) worker_busy_ns_[i].store(0);
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
   Metrics().pools_created->Increment();
   Metrics().pool_size->Set(static_cast<double>(num_threads));
@@ -58,17 +67,43 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+
+  // Publish the utilization snapshot: the high-water gauge keeps the
+  // process-wide maximum across pools, the busy counter accumulates.
+  const ThreadPoolStats stats = Stats();
+  PoolMetrics& metrics = Metrics();
+  metrics.busy_ns->Add(stats.TotalBusyNs());
+  if (static_cast<double>(stats.queue_depth_high_water) >
+      metrics.queue_depth_high_water->Value()) {
+    metrics.queue_depth_high_water->Set(
+        static_cast<double>(stats.queue_depth_high_water));
+  }
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    queue_depth_high_water_ = std::max(queue_depth_high_water_, queue_.size());
   }
   cv_.notify_one();
 }
 
-void ThreadPool::WorkerLoop() {
+ThreadPoolStats ThreadPool::Stats() const {
+  ThreadPoolStats stats;
+  stats.pool_size = workers_.size();
+  stats.worker_busy_ns.resize(workers_.size());
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    stats.worker_busy_ns[i] =
+        worker_busy_ns_[i].load(std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  stats.tasks_executed = tasks_executed_;
+  stats.queue_depth_high_water = queue_depth_high_water_;
+  return stats;
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
   for (;;) {
     std::function<void()> task;
     {
@@ -82,8 +117,17 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    const auto task_start = std::chrono::steady_clock::now();
     task();
+    const auto busy = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - task_start)
+                          .count();
+    worker_busy_ns_[worker_index].fetch_add(busy, std::memory_order_relaxed);
     Metrics().tasks_executed->Increment();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++tasks_executed_;
+    }
   }
 }
 

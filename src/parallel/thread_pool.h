@@ -1,8 +1,10 @@
 #ifndef SRP_PARALLEL_THREAD_POOL_H_
 #define SRP_PARALLEL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -11,6 +13,25 @@
 #include <vector>
 
 namespace srp {
+
+/// Point-in-time utilization snapshot of one ThreadPool, consumed by the
+/// RunReport aggregator (DESIGN.md §9) and the pool gauges.
+struct ThreadPoolStats {
+  size_t pool_size = 0;
+  /// Tasks this pool has finished executing.
+  int64_t tasks_executed = 0;
+  /// Largest queue length observed at submit time — sustained values far
+  /// above pool_size mean submission outruns the workers.
+  size_t queue_depth_high_water = 0;
+  /// Nanoseconds each worker spent inside tasks (index = worker).
+  std::vector<int64_t> worker_busy_ns;
+
+  int64_t TotalBusyNs() const {
+    int64_t total = 0;
+    for (int64_t ns : worker_busy_ns) total += ns;
+    return total;
+  }
+};
 
 /// Resolves a requested worker count to the effective one:
 ///   requested > 0  -> requested;
@@ -35,7 +56,11 @@ size_t ResolveThreadCount(size_t requested);
 /// Observability (srp_obs): construction sets the "parallel.pool_size"
 /// gauge and bumps "parallel.pools_created"; every executed task bumps
 /// "parallel.tasks_executed"; every time a worker goes to sleep on an empty
-/// queue "parallel.queue_waits" is bumped.
+/// queue "parallel.queue_waits" is bumped. Destruction publishes the
+/// utilization snapshot: the "parallel.queue_depth_high_water" gauge keeps
+/// the largest value any pool has seen and the "parallel.busy_ns" counter
+/// accumulates worker busy time, so a metrics dump after a run shows how
+/// saturated the pools were.
 class ThreadPool {
  public:
   /// Spawns exactly `num_threads` workers (clamped to >= 1).
@@ -52,14 +77,23 @@ class ThreadPool {
   /// Enqueues one task. Safe from any thread, including pool workers.
   void Submit(std::function<void()> task);
 
+  /// Utilization so far. Safe to call at any time; counters for tasks still
+  /// in flight land once they finish.
+  ThreadPoolStats Stats() const;
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
+  int64_t tasks_executed_ = 0;        // guarded by mu_
+  size_t queue_depth_high_water_ = 0; // guarded by mu_
+  /// Busy-time per worker. unique_ptr keeps the atomics at stable addresses;
+  /// each slot is written only by its worker and read by Stats().
+  std::unique_ptr<std::atomic<int64_t>[]> worker_busy_ns_;
 };
 
 /// Builds a pool of ResolveThreadCount(requested) workers, or returns null

@@ -1,0 +1,444 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace srp {
+namespace {
+
+/// Parser recursion guard: report artifacts nest a handful of levels; any
+/// input deeper than this is hostile or corrupt.
+constexpr int kMaxDepth = 128;
+
+void AppendEscaped(std::string* out, std::string_view s) {
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          *out += buf;
+        } else {
+          out->push_back(ch);
+        }
+    }
+  }
+}
+
+void AppendNumber(std::string* out, double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no Infinity/NaN; null is the conventional stand-in and the
+    // diff tool treats it as "value absent".
+    *out += "null";
+    return;
+  }
+  // Integral values within the exact-double range print without a fraction
+  // so counters round-trip as integers.
+  if (value == std::floor(value) && std::fabs(value) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    *out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  *out += buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Run() {
+    SkipWhitespace();
+    JsonValue value;
+    SRP_RETURN_IF_ERROR(ParseValue(&value, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("JSON parse error at byte " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        SRP_RETURN_IF_ERROR(ParseString(&s));
+        *out = JsonValue(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        if (ConsumeLiteral("true")) {
+          *out = JsonValue(true);
+          return Status::OK();
+        }
+        return Error("invalid literal");
+      case 'f':
+        if (ConsumeLiteral("false")) {
+          *out = JsonValue(false);
+          return Status::OK();
+        }
+        return Error("invalid literal");
+      case 'n':
+        if (ConsumeLiteral("null")) {
+          *out = JsonValue();
+          return Status::OK();
+        }
+        return Error("invalid literal");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    *out = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      std::string key;
+      SRP_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      JsonValue value;
+      SRP_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->Set(key, std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    *out = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    for (;;) {
+      JsonValue value;
+      SRP_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->Append(std::move(value));
+      SkipWhitespace();
+      if (Consume(']')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          unsigned code = 0;
+          SRP_RETURN_IF_ERROR(ParseHex4(&code));
+          // Surrogate pair → one code point.
+          if (code >= 0xD800 && code <= 0xDBFF &&
+              text_.substr(pos_, 2) == "\\u") {
+            pos_ += 2;
+            unsigned low = 0;
+            SRP_RETURN_IF_ERROR(ParseHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          }
+          AppendUtf8(out, code);
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseHex4(unsigned* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return Error("invalid hex digit in \\u escape");
+      }
+    }
+    *out = value;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(std::string* out, unsigned code) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a JSON value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Error("malformed number '" + token + "'");
+    }
+    *out = JsonValue(value);
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue& JsonValue::Append(JsonValue value) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  items_.push_back(std::move(value));
+  return items_.back();
+}
+
+JsonValue& JsonValue::Set(std::string_view key, JsonValue value) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  for (Member& member : members_) {
+    if (member.first == key) {
+      member.second = std::move(value);
+      return member.second;
+    }
+  }
+  members_.emplace_back(std::string(key), std::move(value));
+  return members_.back().second;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const Member& member : members_) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+const JsonValue* JsonValue::FindPath(std::string_view dotted_path) const {
+  const JsonValue* node = this;
+  while (!dotted_path.empty()) {
+    const size_t dot = dotted_path.find('.');
+    const std::string_view key = dotted_path.substr(0, dot);
+    node = node->Find(key);
+    if (node == nullptr) return nullptr;
+    if (dot == std::string_view::npos) break;
+    dotted_path.remove_prefix(dot + 1);
+  }
+  return node;
+}
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const auto newline_pad = [&](int d) {
+    if (!pretty) return;
+    out->push_back('\n');
+    out->append(static_cast<size_t>(indent * d), ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      break;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber:
+      AppendNumber(out, number_);
+      break;
+    case Kind::kString:
+      out->push_back('"');
+      AppendEscaped(out, string_);
+      out->push_back('"');
+      break;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        *out += "[]";
+        break;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        newline_pad(depth + 1);
+        items_[i].DumpTo(out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out->push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        break;
+      }
+      out->push_back('{');
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        newline_pad(depth + 1);
+        out->push_back('"');
+        AppendEscaped(out, members_[i].first);
+        *out += pretty ? "\": " : "\":";
+        members_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  return Parser(text).Run();
+}
+
+bool JsonValue::operator==(const JsonValue& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kNull:
+      return true;
+    case Kind::kBool:
+      return bool_ == other.bool_;
+    case Kind::kNumber:
+      return number_ == other.number_;
+    case Kind::kString:
+      return string_ == other.string_;
+    case Kind::kArray:
+      return items_ == other.items_;
+    case Kind::kObject:
+      return members_ == other.members_;
+  }
+  return false;
+}
+
+}  // namespace srp

@@ -46,8 +46,21 @@ void MemoryTracker::RecordFree(size_t bytes) {
   g_current.fetch_sub(static_cast<int64_t>(bytes), std::memory_order_relaxed);
 }
 
-ScopedMemoryPeak::ScopedMemoryPeak() : base_bytes_(MemoryTracker::CurrentBytes()) {
+ScopedMemoryPeak::ScopedMemoryPeak()
+    : base_bytes_(MemoryTracker::CurrentBytes()),
+      saved_peak_bytes_(MemoryTracker::PeakBytes()) {
   MemoryTracker::ResetPeak();
+}
+
+ScopedMemoryPeak::~ScopedMemoryPeak() {
+  // Restore the enclosing scope's view: the peak it would have observed is
+  // the larger of what it had seen before this scope and what happened
+  // inside it. Racy nested scopes on other threads can only make the
+  // restored value conservative (never an under-report).
+  const int64_t inner_peak = MemoryTracker::PeakBytes();
+  if (saved_peak_bytes_ > inner_peak) {
+    g_peak.store(saved_peak_bytes_, std::memory_order_relaxed);
+  }
 }
 
 int64_t ScopedMemoryPeak::PeakDeltaBytes() const {

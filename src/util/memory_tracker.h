@@ -37,15 +37,27 @@ class MemoryTracker {
 
 /// RAII scope that measures the peak number of *additional* bytes allocated
 /// while it is alive.
+///
+/// Scopes nest correctly: construction saves the enclosing peak and resets
+/// the tracker so the scope observes only its own high-water; destruction
+/// restores the enclosing scope's view as max(saved peak, inner peak). An
+/// outer ScopedMemoryPeak (e.g. bench MeasureRun) therefore still reports
+/// the true overall peak even when the code it measures opens per-phase
+/// scopes of its own (Repartitioner phase accounting, DESIGN.md §9).
 class ScopedMemoryPeak {
  public:
   ScopedMemoryPeak();
+  ~ScopedMemoryPeak();
+
+  ScopedMemoryPeak(const ScopedMemoryPeak&) = delete;
+  ScopedMemoryPeak& operator=(const ScopedMemoryPeak&) = delete;
 
   /// Peak bytes above the level at construction, so far.
   int64_t PeakDeltaBytes() const;
 
  private:
   int64_t base_bytes_;
+  int64_t saved_peak_bytes_;
 };
 
 }  // namespace srp

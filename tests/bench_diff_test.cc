@@ -1,0 +1,217 @@
+#include "bench_diff.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace srp {
+namespace benchdiff {
+namespace {
+
+ParsedBenchRow MakeRow(const std::string& metric, double value,
+                       const std::string& unit, double stddev = 0.0) {
+  ParsedBenchRow row;
+  row.bench = "fig6";
+  row.tier = "small";
+  row.threshold = 0.1;
+  row.metric = metric;
+  row.unit = unit;
+  row.value = value;
+  row.repeats = 3;
+  row.stddev = stddev;
+  return row;
+}
+
+TEST(BenchDiffTest, DirectionFollowsTheUnit) {
+  EXPECT_EQ(DirectionForUnit("s"), Direction::kLowerIsBetter);
+  EXPECT_EQ(DirectionForUnit("bytes"), Direction::kLowerIsBetter);
+  EXPECT_EQ(DirectionForUnit("mae"), Direction::kLowerIsBetter);
+  EXPECT_EQ(DirectionForUnit("ifl"), Direction::kLowerIsBetter);
+  EXPECT_EQ(DirectionForUnit("cells/sec"), Direction::kHigherIsBetter);
+  EXPECT_EQ(DirectionForUnit("f1"), Direction::kHigherIsBetter);
+  EXPECT_EQ(DirectionForUnit("pct_correct"), Direction::kHigherIsBetter);
+  EXPECT_EQ(DirectionForUnit("groups"), Direction::kInfoOnly);
+  EXPECT_EQ(DirectionForUnit("%"), Direction::kInfoOnly);
+  EXPECT_EQ(DirectionForUnit(""), Direction::kInfoOnly);
+}
+
+TEST(BenchDiffTest, IdenticalRowsPass) {
+  const std::vector<ParsedBenchRow> rows = {
+      MakeRow("taxi/reduction_time", 1.0, "s"),
+      MakeRow("taxi/train/f1", 0.9, "f1"),
+      MakeRow("taxi/groups", 120.0, "groups")};
+  const DiffReport report = DiffBenchRows(rows, rows, BenchDiffOptions());
+  EXPECT_FALSE(report.failed);
+  EXPECT_EQ(report.ok, 2u);
+  EXPECT_EQ(report.info, 1u);
+  EXPECT_EQ(report.regressed, 0u);
+  EXPECT_EQ(report.rows.size(), 3u);
+}
+
+TEST(BenchDiffTest, TwoTimesSlowdownRegresses) {
+  const auto base = {MakeRow("taxi/reduction_time", 1.0, "s")};
+  const auto cand = {MakeRow("taxi/reduction_time", 2.0, "s")};
+  const DiffReport report = DiffBenchRows(base, cand, BenchDiffOptions());
+  ASSERT_EQ(report.rows.size(), 1u);
+  EXPECT_EQ(report.rows[0].verdict, RowVerdict::kRegressed);
+  EXPECT_NEAR(report.rows[0].delta_pct, 100.0, 1e-9);
+  EXPECT_TRUE(report.failed);
+}
+
+TEST(BenchDiffTest, JitterWithinRelativeToleranceIsOk) {
+  const auto base = {MakeRow("taxi/reduction_time", 1.0, "s")};
+  const auto cand = {MakeRow("taxi/reduction_time", 1.2, "s")};
+  const DiffReport report = DiffBenchRows(base, cand, BenchDiffOptions());
+  EXPECT_EQ(report.rows[0].verdict, RowVerdict::kOk);
+  EXPECT_FALSE(report.failed);
+}
+
+TEST(BenchDiffTest, RecordedStddevWidensTheGate) {
+  // +80% would trip the 25% relative gate, but the baseline itself is noisy:
+  // 2 x stddev(0.05) = 0.1 > the 0.08 delta.
+  const auto base = {MakeRow("taxi/reduction_time", 0.1, "s", 0.05)};
+  const auto cand = {MakeRow("taxi/reduction_time", 0.18, "s", 0.0)};
+  const DiffReport report = DiffBenchRows(base, cand, BenchDiffOptions());
+  EXPECT_EQ(report.rows[0].verdict, RowVerdict::kOk);
+  EXPECT_FALSE(report.failed);
+}
+
+TEST(BenchDiffTest, MicroTimingsAreShieldedByTheAbsoluteFloor) {
+  // +100% on a 2ms row stays under the 5ms absolute floor.
+  const auto base = {MakeRow("taxi/reduction_time", 0.002, "s")};
+  const auto cand = {MakeRow("taxi/reduction_time", 0.004, "s")};
+  const DiffReport report = DiffBenchRows(base, cand, BenchDiffOptions());
+  EXPECT_EQ(report.rows[0].verdict, RowVerdict::kOk);
+  EXPECT_FALSE(report.failed);
+}
+
+TEST(BenchDiffTest, ImprovementIsReportedAndPasses) {
+  const auto base = {MakeRow("taxi/reduction_time", 2.0, "s")};
+  const auto cand = {MakeRow("taxi/reduction_time", 1.0, "s")};
+  const DiffReport report = DiffBenchRows(base, cand, BenchDiffOptions());
+  EXPECT_EQ(report.rows[0].verdict, RowVerdict::kImproved);
+  EXPECT_EQ(report.improved, 1u);
+  EXPECT_FALSE(report.failed);
+}
+
+TEST(BenchDiffTest, ThroughputDropRegresses) {
+  const auto base = {MakeRow("extract/cells_per_sec", 1000.0, "cells/sec")};
+  const auto cand = {MakeRow("extract/cells_per_sec", 500.0, "cells/sec")};
+  const DiffReport report = DiffBenchRows(base, cand, BenchDiffOptions());
+  EXPECT_EQ(report.rows[0].verdict, RowVerdict::kRegressed);
+  EXPECT_TRUE(report.failed);
+}
+
+TEST(BenchDiffTest, ThroughputGainIsAnImprovement) {
+  const auto base = {MakeRow("extract/cells_per_sec", 500.0, "cells/sec")};
+  const auto cand = {MakeRow("extract/cells_per_sec", 1000.0, "cells/sec")};
+  const DiffReport report = DiffBenchRows(base, cand, BenchDiffOptions());
+  EXPECT_EQ(report.rows[0].verdict, RowVerdict::kImproved);
+  EXPECT_FALSE(report.failed);
+}
+
+TEST(BenchDiffTest, MissingBaselineRowFailsByDefault) {
+  const auto base = {MakeRow("taxi/reduction_time", 1.0, "s"),
+                     MakeRow("taxi/train/f1", 0.9, "f1")};
+  const auto cand = {MakeRow("taxi/reduction_time", 1.0, "s")};
+  DiffReport report = DiffBenchRows(base, cand, BenchDiffOptions());
+  EXPECT_EQ(report.missing, 1u);
+  EXPECT_TRUE(report.failed);
+
+  BenchDiffOptions lenient;
+  lenient.fail_on_missing = false;
+  report = DiffBenchRows(base, cand, lenient);
+  EXPECT_EQ(report.missing, 1u);
+  EXPECT_FALSE(report.failed);
+}
+
+TEST(BenchDiffTest, CandidateOnlyRowsNeverFail) {
+  const auto base = {MakeRow("taxi/reduction_time", 1.0, "s")};
+  const auto cand = {MakeRow("taxi/reduction_time", 1.0, "s"),
+                     MakeRow("taxi/new_metric", 5.0, "s")};
+  const DiffReport report = DiffBenchRows(base, cand, BenchDiffOptions());
+  EXPECT_EQ(report.added, 1u);
+  EXPECT_FALSE(report.failed);
+  ASSERT_EQ(report.rows.size(), 2u);
+  EXPECT_EQ(report.rows[1].verdict, RowVerdict::kNew);
+}
+
+TEST(BenchDiffTest, InfoUnitsNeverGateHoweverLargeTheDelta) {
+  const auto base = {MakeRow("taxi/groups", 10.0, "groups")};
+  const auto cand = {MakeRow("taxi/groups", 1000.0, "groups")};
+  const DiffReport report = DiffBenchRows(base, cand, BenchDiffOptions());
+  EXPECT_EQ(report.rows[0].verdict, RowVerdict::kInfo);
+  EXPECT_FALSE(report.failed);
+}
+
+TEST(BenchDiffTest, RowsAreMatchedByFullKeyNotJustMetric) {
+  auto base_row = MakeRow("taxi/reduction_time", 1.0, "s");
+  auto cand_row = base_row;
+  cand_row.tier = "medium";  // different tier → no match
+  const DiffReport report =
+      DiffBenchRows({base_row}, {cand_row}, BenchDiffOptions());
+  EXPECT_EQ(report.missing, 1u);
+  EXPECT_EQ(report.added, 1u);
+}
+
+TEST(BenchDiffTest, RowsFromBenchJsonReadsTheSchema) {
+  auto doc = JsonValue::Parse(R"({
+    "schema_version": 1,
+    "bench": "fig6",
+    "rows": [
+      {"bench": "fig6", "tier": "small", "threshold": 0.1,
+       "metric": "taxi/reduction_time", "value": 0.5, "unit": "s",
+       "repeats": 3, "stddev": 0.01}
+    ],
+    "run_report": {}
+  })");
+  ASSERT_TRUE(doc.ok());
+  auto rows = RowsFromBenchJson(*doc);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ(rows->front().metric, "taxi/reduction_time");
+  EXPECT_EQ(rows->front().repeats, 3);
+  EXPECT_DOUBLE_EQ(rows->front().stddev, 0.01);
+}
+
+TEST(BenchDiffTest, RowsFromBenchJsonRejectsMissingSchemaVersion) {
+  auto doc = JsonValue::Parse(R"({"rows": []})");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(RowsFromBenchJson(*doc).ok());
+}
+
+TEST(BenchDiffTest, LoadBenchRowsReadsAFileAndADirectory) {
+  const std::string dir = testing::TempDir() + "/bench_diff_load";
+  ASSERT_EQ(std::system(("mkdir -p " + dir).c_str()), 0);
+  const auto write = [&](const std::string& name, const std::string& metric) {
+    std::ofstream out(dir + "/" + name);
+    out << R"({"schema_version": 1, "bench": "b", "rows": [{"bench": "b",)"
+        << R"( "tier": "t", "threshold": 0, "metric": ")" << metric
+        << R"(", "value": 1, "unit": "s"}]})";
+  };
+  write("BENCH_b.json", "m1");
+  write("BENCH_a.json", "m0");
+  write("not_a_bench.json", "ignored");
+
+  auto single = LoadBenchRows(dir + "/BENCH_a.json");
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single->size(), 1u);
+
+  auto both = LoadBenchRows(dir);
+  ASSERT_TRUE(both.ok()) << both.status().ToString();
+  ASSERT_EQ(both->size(), 2u);
+  // Sorted by filename: BENCH_a before BENCH_b.
+  EXPECT_EQ(both->at(0).metric, "m0");
+  EXPECT_EQ(both->at(1).metric, "m1");
+
+  EXPECT_FALSE(LoadBenchRows(dir + "/absent.json").ok());
+}
+
+}  // namespace
+}  // namespace benchdiff
+}  // namespace srp

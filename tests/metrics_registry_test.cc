@@ -182,6 +182,48 @@ TEST(MetricsRegistryTest, CsvRoundTripsThroughTheCsvReader) {
   std::remove(path.c_str());
 }
 
+TEST(MetricsRegistryTest, CsvEscapesAwkwardMetricNames) {
+  // Names with the CSV metacharacters — separator, quote, newline — must
+  // survive WriteCsv → ReadCsv byte-for-byte.
+  MetricsRegistry registry;
+  const std::string comma_name = "latency,phase=extract";
+  const std::string quote_name = "gauge \"peak\"";
+  const std::string newline_name = "multi\nline";
+  registry.GetCounter(comma_name)->Add(3);
+  registry.GetGauge(quote_name)->Set(1.5);
+  registry.GetHistogram(newline_name, {1.0})->Observe(0.5);
+
+  const std::string path = TempPath("metrics_escaped.csv");
+  ASSERT_TRUE(registry.WriteCsv(path).ok());
+  auto table = ReadCsv(path);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+
+  bool saw_comma = false;
+  bool saw_quote = false;
+  bool saw_newline = false;
+  for (const auto& row : table->rows) {
+    ASSERT_EQ(row.size(), 10u);
+    if (row[1] == comma_name) {
+      saw_comma = true;
+      EXPECT_EQ(row[0], "counter");
+      EXPECT_EQ(row[2], "3");
+    }
+    if (row[1] == quote_name) {
+      saw_quote = true;
+      EXPECT_EQ(row[0], "gauge");
+    }
+    if (row[1] == newline_name) {
+      saw_newline = true;
+      EXPECT_EQ(row[0], "histogram");
+      EXPECT_EQ(row[3], "1");
+    }
+  }
+  EXPECT_TRUE(saw_comma);
+  EXPECT_TRUE(saw_quote);
+  EXPECT_TRUE(saw_newline);
+  std::remove(path.c_str());
+}
+
 TEST(MetricsRegistryTest, JsonExportIsWellFormed) {
   MetricsRegistry registry;
   registry.GetCounter("runs")->Add(1);

@@ -167,6 +167,44 @@ TEST_F(TracerTest, WriteChromeTraceProducesWellFormedJson) {
   std::remove(path.c_str());
 }
 
+TEST_F(TracerTest, WriteChromeTraceReportsDroppedSpans) {
+  Tracer::Get().Enable(/*capacity=*/3);
+  for (int i = 0; i < 8; ++i) {
+    SRP_TRACE_SPAN("wrapped");
+  }
+  Tracer::Get().Disable();
+  ASSERT_EQ(Tracer::Get().dropped(), 5u);
+
+  const std::string path = TempPath("trace_dropped.json");
+  ASSERT_TRUE(Tracer::Get().WriteChromeTrace(path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+
+  // Truncated traces are self-identifying: the drop count appears both as a
+  // metadata event and as a top-level key.
+  EXPECT_NE(json.find("\"dropped_spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_spans\":5"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(TracerTest, WriteChromeTraceReportsZeroDropsOnCompleteTrace) {
+  Tracer::Get().Enable();
+  { SRP_TRACE_SPAN("kept"); }
+  Tracer::Get().Disable();
+
+  const std::string path = TempPath("trace_kept.json");
+  ASSERT_TRUE(Tracer::Get().WriteChromeTrace(path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"dropped_spans\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
 TEST_F(TracerTest, WriteChromeTraceFailsOnBadPath) {
   EXPECT_FALSE(
       Tracer::Get().WriteChromeTrace("/nonexistent-dir/trace.json").ok());

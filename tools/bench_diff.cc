@@ -1,0 +1,288 @@
+#include "bench_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace srp {
+namespace benchdiff {
+namespace {
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open file: " + path);
+  std::string out;
+  char buffer[1 << 14];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    out.append(buffer, n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Status::IOError("read error on file: " + path);
+  return out;
+}
+
+/// Baseline/candidate rows are matched on this composite key. The threshold
+/// is formatted with fixed precision so 0.1 and 0.1000000001 (a re-parsed
+/// double) still match.
+std::string RowKey(const ParsedBenchRow& row) {
+  return row.bench + "\x1f" + row.tier + "\x1f" +
+         FormatDouble(row.threshold, 6) + "\x1f" + row.metric + "\x1f" +
+         row.unit;
+}
+
+double AbsFloorForUnit(const std::string& unit,
+                       const BenchDiffOptions& options) {
+  if (unit == "s" || unit == "seconds") return options.abs_floor_seconds;
+  if (unit == "ms") return options.abs_floor_seconds * 1e3;
+  if (unit == "bytes") return options.abs_floor_bytes;
+  return 0.0;
+}
+
+}  // namespace
+
+Direction DirectionForUnit(const std::string& unit) {
+  if (unit == "s" || unit == "seconds" || unit == "ms" || unit == "bytes" ||
+      unit == "MiB" || unit == "mae" || unit == "rmse" || unit == "se" ||
+      unit == "ifl") {
+    return Direction::kLowerIsBetter;
+  }
+  if (unit == "cells/sec" || unit == "items/sec" || unit == "f1" ||
+      unit == "r2" || unit == "pct_correct") {
+    return Direction::kHigherIsBetter;
+  }
+  return Direction::kInfoOnly;
+}
+
+const char* RowVerdictName(RowVerdict verdict) {
+  switch (verdict) {
+    case RowVerdict::kOk:
+      return "ok";
+    case RowVerdict::kImproved:
+      return "improved";
+    case RowVerdict::kRegressed:
+      return "REGRESSED";
+    case RowVerdict::kMissing:
+      return "MISSING";
+    case RowVerdict::kNew:
+      return "new";
+    case RowVerdict::kInfo:
+      return "info";
+  }
+  return "?";
+}
+
+Result<std::vector<ParsedBenchRow>> RowsFromBenchJson(const JsonValue& doc) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("bench JSON root is not an object");
+  }
+  const JsonValue* schema = doc.Find("schema_version");
+  if (schema == nullptr || !schema->is_number()) {
+    return Status::InvalidArgument("bench JSON lacks a schema_version");
+  }
+  const JsonValue* rows = doc.Find("rows");
+  if (rows == nullptr || !rows->is_array()) {
+    return Status::InvalidArgument("bench JSON lacks a rows array");
+  }
+  std::vector<ParsedBenchRow> out;
+  out.reserve(rows->size());
+  for (const JsonValue& entry : rows->items()) {
+    if (!entry.is_object()) {
+      return Status::InvalidArgument("bench row is not an object");
+    }
+    const JsonValue* metric = entry.Find("metric");
+    const JsonValue* value = entry.Find("value");
+    if (metric == nullptr || !metric->is_string() || value == nullptr ||
+        !value->is_number()) {
+      return Status::InvalidArgument(
+          "bench row lacks a string metric / numeric value");
+    }
+    ParsedBenchRow row;
+    const auto string_field = [&entry](const char* key) {
+      const JsonValue* v = entry.Find(key);
+      return v != nullptr && v->is_string() ? v->string_value()
+                                            : std::string();
+    };
+    const auto number_field = [&entry](const char* key) {
+      const JsonValue* v = entry.Find(key);
+      return v != nullptr ? v->number_value() : 0.0;
+    };
+    row.bench = string_field("bench");
+    row.tier = string_field("tier");
+    row.threshold = number_field("threshold");
+    row.metric = metric->string_value();
+    row.unit = string_field("unit");
+    row.value = value->number_value();
+    row.repeats = std::max(1, static_cast<int>(number_field("repeats")));
+    row.stddev = number_field("stddev");
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<std::vector<ParsedBenchRow>> LoadBenchRows(const std::string& path) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::vector<std::string> files;
+  if (fs::is_directory(path, ec)) {
+    for (const auto& entry : fs::directory_iterator(path, ec)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+          name.compare(name.size() - 5, 5, ".json") == 0) {
+        files.push_back(entry.path().string());
+      }
+    }
+    if (ec) return Status::IOError("cannot list directory: " + path);
+    if (files.empty()) {
+      return Status::InvalidArgument("no BENCH_*.json files in " + path);
+    }
+    std::sort(files.begin(), files.end());
+  } else {
+    files.push_back(path);
+  }
+
+  std::vector<ParsedBenchRow> out;
+  for (const std::string& file : files) {
+    auto contents = ReadWholeFile(file);
+    SRP_RETURN_IF_ERROR(contents.status());
+    auto doc = JsonValue::Parse(*contents);
+    if (!doc.ok()) {
+      return Status::InvalidArgument(file + ": " +
+                                     doc.status().message());
+    }
+    auto rows = RowsFromBenchJson(*doc);
+    if (!rows.ok()) {
+      return Status::InvalidArgument(file + ": " + rows.status().message());
+    }
+    out.insert(out.end(), rows->begin(), rows->end());
+  }
+  return out;
+}
+
+DiffReport DiffBenchRows(const std::vector<ParsedBenchRow>& baseline,
+                         const std::vector<ParsedBenchRow>& candidate,
+                         const BenchDiffOptions& options) {
+  DiffReport report;
+  std::map<std::string, const ParsedBenchRow*> candidate_by_key;
+  for (const ParsedBenchRow& row : candidate) {
+    candidate_by_key[RowKey(row)] = &row;
+  }
+
+  std::map<std::string, bool> baseline_keys;
+  for (const ParsedBenchRow& base : baseline) {
+    baseline_keys[RowKey(base)] = true;
+    DiffRow diff;
+    diff.bench = base.bench;
+    diff.tier = base.tier;
+    diff.threshold = base.threshold;
+    diff.metric = base.metric;
+    diff.unit = base.unit;
+    diff.base_value = base.value;
+
+    const auto it = candidate_by_key.find(RowKey(base));
+    if (it == candidate_by_key.end()) {
+      diff.verdict = RowVerdict::kMissing;
+      ++report.missing;
+      report.rows.push_back(std::move(diff));
+      continue;
+    }
+    const ParsedBenchRow& cand = *it->second;
+    diff.cand_value = cand.value;
+    diff.delta_pct = std::abs(base.value) < 1e-300
+                         ? 0.0
+                         : 100.0 * (cand.value - base.value) /
+                               std::abs(base.value);
+
+    const Direction direction = DirectionForUnit(base.unit);
+    if (direction == Direction::kInfoOnly) {
+      diff.verdict = RowVerdict::kInfo;
+      ++report.info;
+      report.rows.push_back(std::move(diff));
+      continue;
+    }
+
+    // Positive = moved in the bad direction.
+    const double worse_by = direction == Direction::kLowerIsBetter
+                                ? cand.value - base.value
+                                : base.value - cand.value;
+    const double tolerance =
+        std::max({options.rel_tolerance * std::abs(base.value),
+                  AbsFloorForUnit(base.unit, options),
+                  options.stddev_mult * std::max(base.stddev, cand.stddev)});
+    if (worse_by > tolerance) {
+      diff.verdict = RowVerdict::kRegressed;
+      ++report.regressed;
+    } else if (-worse_by > tolerance) {
+      diff.verdict = RowVerdict::kImproved;
+      ++report.improved;
+    } else {
+      diff.verdict = RowVerdict::kOk;
+      ++report.ok;
+    }
+    report.rows.push_back(std::move(diff));
+  }
+
+  // Candidate-only rows: informational (a new benchmark is progress, not a
+  // regression).
+  for (const ParsedBenchRow& cand : candidate) {
+    if (baseline_keys.count(RowKey(cand)) != 0) continue;
+    DiffRow diff;
+    diff.verdict = RowVerdict::kNew;
+    diff.bench = cand.bench;
+    diff.tier = cand.tier;
+    diff.threshold = cand.threshold;
+    diff.metric = cand.metric;
+    diff.unit = cand.unit;
+    diff.cand_value = cand.value;
+    ++report.added;
+    report.rows.push_back(std::move(diff));
+  }
+
+  report.failed = report.regressed > 0 ||
+                  (options.fail_on_missing && report.missing > 0);
+  return report;
+}
+
+void PrintDiffReport(const DiffReport& report, std::FILE* out) {
+  std::vector<std::vector<std::string>> cells;
+  cells.push_back({"verdict", "bench", "tier", "theta", "metric", "unit",
+                   "baseline", "candidate", "delta"});
+  for (const DiffRow& row : report.rows) {
+    const bool has_base = row.verdict != RowVerdict::kNew;
+    const bool has_cand = row.verdict != RowVerdict::kMissing;
+    cells.push_back(
+        {RowVerdictName(row.verdict), row.bench, row.tier,
+         FormatDouble(row.threshold, 2), row.metric, row.unit,
+         has_base ? FormatDouble(row.base_value, 6) : "-",
+         has_cand ? FormatDouble(row.cand_value, 6) : "-",
+         has_base && has_cand ? FormatDouble(row.delta_pct, 1) + "%" : "-"});
+  }
+  std::vector<size_t> widths(cells.front().size(), 0);
+  for (const auto& row : cells) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  for (const auto& row : cells) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s  ", PadRight(row[c], widths[c]).c_str());
+    }
+    std::fprintf(out, "\n");
+  }
+  std::fprintf(out,
+               "\n%zu rows: %zu ok, %zu improved, %zu regressed, %zu "
+               "missing, %zu new, %zu info -> %s\n",
+               report.rows.size(), report.ok, report.improved,
+               report.regressed, report.missing, report.added, report.info,
+               report.failed ? "FAIL" : "PASS");
+}
+
+}  // namespace benchdiff
+}  // namespace srp

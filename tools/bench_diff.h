@@ -1,0 +1,104 @@
+#ifndef SRP_TOOLS_BENCH_DIFF_H_
+#define SRP_TOOLS_BENCH_DIFF_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/status.h"
+
+namespace srp {
+namespace benchdiff {
+
+/// One measurement row loaded from a BENCH_*.json artifact. Rows are matched
+/// between baseline and candidate by (bench, tier, threshold, metric, unit).
+struct ParsedBenchRow {
+  std::string bench;
+  std::string tier;
+  double threshold = 0.0;
+  std::string metric;
+  std::string unit;
+  double value = 0.0;
+  int repeats = 1;
+  double stddev = 0.0;
+};
+
+/// Whether a larger value of a row is worse, better, or neither. Inferred
+/// from the row's unit so the diff gate never misreads a throughput gain as
+/// a latency regression.
+enum class Direction {
+  kLowerIsBetter,   ///< durations, bytes, error metrics
+  kHigherIsBetter,  ///< throughput, accuracy scores
+  kInfoOnly,        ///< counts and shares: reported, never gated
+};
+
+Direction DirectionForUnit(const std::string& unit);
+
+/// Noise-aware gate policy. A matched row REGRESSES only when it moved in
+/// the bad direction by more than ALL of: rel_tolerance × |baseline|, the
+/// unit's absolute floor, and stddev_mult × the larger of the two recorded
+/// stddevs. The absolute floors keep micro-rows (a 2 ms → 3 ms run is +50%
+/// but meaningless) from tripping the relative check.
+struct BenchDiffOptions {
+  double rel_tolerance = 0.25;
+  double abs_floor_seconds = 0.005;      ///< rows with unit "s"
+  double abs_floor_bytes = 1 << 20;      ///< rows with unit "bytes" (1 MiB)
+  double stddev_mult = 2.0;
+  /// Fail when a baseline row has no candidate counterpart (a silently
+  /// dropped benchmark is itself a regression). Candidate-only rows are
+  /// always reported as "new" and never fail.
+  bool fail_on_missing = true;
+};
+
+enum class RowVerdict { kOk, kImproved, kRegressed, kMissing, kNew, kInfo };
+
+const char* RowVerdictName(RowVerdict verdict);
+
+/// One row of the printed diff table.
+struct DiffRow {
+  RowVerdict verdict = RowVerdict::kOk;
+  std::string bench;
+  std::string tier;
+  double threshold = 0.0;
+  std::string metric;
+  std::string unit;
+  double base_value = 0.0;
+  double cand_value = 0.0;
+  double delta_pct = 0.0;  ///< signed (candidate - baseline) / |baseline|
+};
+
+struct DiffReport {
+  std::vector<DiffRow> rows;
+  size_t ok = 0;
+  size_t improved = 0;
+  size_t regressed = 0;
+  size_t missing = 0;
+  size_t added = 0;
+  size_t info = 0;
+
+  /// True when the gate should fail the build per `options.fail_on_missing`.
+  bool failed = false;
+};
+
+/// Extracts the rows array from one parsed BENCH_*.json document.
+Result<std::vector<ParsedBenchRow>> RowsFromBenchJson(const JsonValue& doc);
+
+/// Loads rows from `path`: a single BENCH_*.json file, or a directory whose
+/// immediate BENCH_*.json children are all loaded (sorted by filename so
+/// row order is deterministic).
+Result<std::vector<ParsedBenchRow>> LoadBenchRows(const std::string& path);
+
+/// Matches baseline rows against candidate rows by key and applies the
+/// gate policy. Row order follows the baseline (then candidate-only rows).
+DiffReport DiffBenchRows(const std::vector<ParsedBenchRow>& baseline,
+                         const std::vector<ParsedBenchRow>& candidate,
+                         const BenchDiffOptions& options);
+
+/// Per-row table plus a one-line summary.
+void PrintDiffReport(const DiffReport& report, std::FILE* out);
+
+}  // namespace benchdiff
+}  // namespace srp
+
+#endif  // SRP_TOOLS_BENCH_DIFF_H_

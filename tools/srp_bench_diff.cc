@@ -1,0 +1,103 @@
+// Perf-regression diff gate: compares candidate BENCH_*.json artifacts
+// against a committed baseline and exits non-zero when a row moved in the
+// bad direction by more than the noise-aware tolerance.
+//
+// Usage:
+//   srp_bench_diff [flags] <baseline> <candidate>
+//
+// <baseline> and <candidate> are each a BENCH_*.json file or a directory of
+// them. Exit codes: 0 pass, 1 regression (or missing baseline row), 2 bad
+// usage / IO error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_diff.h"
+
+namespace {
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: srp_bench_diff [flags] <baseline> <candidate>\n"
+               "  <baseline>/<candidate>: BENCH_*.json file or directory\n"
+               "flags:\n"
+               "  --rel-tolerance=F     relative regression tolerance "
+               "(default 0.25)\n"
+               "  --abs-floor-seconds=F ignore timing deltas below F seconds "
+               "(default 0.005)\n"
+               "  --abs-floor-bytes=F   ignore byte deltas below F bytes "
+               "(default 1048576)\n"
+               "  --stddev-mult=F       ignore deltas within F x recorded "
+               "stddev (default 2.0)\n"
+               "  --no-fail-on-missing  report baseline rows absent from the "
+               "candidate without failing\n");
+}
+
+bool ParseDoubleFlag(const char* arg, const char* name, double* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  char* end = nullptr;
+  const double value = std::strtod(arg + len + 1, &end);
+  if (end == arg + len + 1 || *end != '\0') {
+    std::fprintf(stderr, "srp_bench_diff: bad value for %s: %s\n", name, arg);
+    std::exit(2);
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  srp::benchdiff::BenchDiffOptions options;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      PrintUsage(stdout);
+      return 0;
+    }
+    if (std::strcmp(arg, "--no-fail-on-missing") == 0) {
+      options.fail_on_missing = false;
+    } else if (ParseDoubleFlag(arg, "--rel-tolerance",
+                               &options.rel_tolerance) ||
+               ParseDoubleFlag(arg, "--abs-floor-seconds",
+                               &options.abs_floor_seconds) ||
+               ParseDoubleFlag(arg, "--abs-floor-bytes",
+                               &options.abs_floor_bytes) ||
+               ParseDoubleFlag(arg, "--stddev-mult", &options.stddev_mult)) {
+      // handled
+    } else if (arg[0] == '-' && arg[1] != '\0') {
+      std::fprintf(stderr, "srp_bench_diff: unknown flag: %s\n", arg);
+      PrintUsage(stderr);
+      return 2;
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    PrintUsage(stderr);
+    return 2;
+  }
+
+  auto baseline = srp::benchdiff::LoadBenchRows(paths[0]);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "srp_bench_diff: baseline: %s\n",
+                 baseline.status().ToString().c_str());
+    return 2;
+  }
+  auto candidate = srp::benchdiff::LoadBenchRows(paths[1]);
+  if (!candidate.ok()) {
+    std::fprintf(stderr, "srp_bench_diff: candidate: %s\n",
+                 candidate.status().ToString().c_str());
+    return 2;
+  }
+
+  const srp::benchdiff::DiffReport report =
+      srp::benchdiff::DiffBenchRows(*baseline, *candidate, options);
+  srp::benchdiff::PrintDiffReport(report, stdout);
+  return report.failed ? 1 : 0;
+}

@@ -31,6 +31,7 @@
 #include "fail/cancellation.h"
 #include "grid/grid_builder.h"
 #include "obs/metrics_registry.h"
+#include "obs/run_report.h"
 #include "obs/tracer.h"
 #include "parallel/thread_pool.h"
 #include "util/csv.h"
@@ -46,6 +47,7 @@ struct CliOptions {
   std::string out_dir = ".";
   std::string trace_out;    ///< Chrome trace-event JSON (empty = no tracing)
   std::string metrics_out;  ///< metrics snapshot; ".json" → JSON, else CSV
+  std::string report_out;   ///< unified run report JSON (DESIGN.md §9)
   size_t rows = 64;
   size_t cols = 64;
   double theta = 0.1;
@@ -68,7 +70,8 @@ void Usage() {
                "[--threads N]\n"
                "                       [--trace-out trace.json] "
                "[--metrics-out metrics.csv]\n"
-               "                       [--deadline-ms MS] [--best-effort]\n"
+               "                       [--report-out report.json] "
+               "[--deadline-ms MS] [--best-effort]\n"
                "  KIND: taxi_uni taxi_multi home_sales vehicles earnings "
                "earnings_uni\n"
                "  S:    comma list of name:agg[:int], agg in "
@@ -153,6 +156,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       const char* v = next();
       if (v == nullptr) return false;
       out->metrics_out = v;
+    } else if (arg == "--report-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->report_out = v;
     } else if (arg == "--deadline-ms") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -335,19 +342,27 @@ void PrintRunStats(const RepartitionResult& result,
                    const CliOptions& options) {
   const RunStats& stats = result.stats;
   const double total = result.elapsed_seconds;
+  // The alloc column is each phase's allocation high-water above its entry
+  // level (srp_memtrack); all zeros when the hooks are not linked in.
   std::printf("\nphase breakdown (of %.3fs total):\n", total);
-  const auto row = [total](const char* name, double seconds) {
-    std::printf("  %-18s %9.4fs %5.1f%%\n", name, seconds,
-                total > 0.0 ? 100.0 * seconds / total : 0.0);
+  std::printf("  %-18s %10s %6s %12s\n", "phase", "time", "share", "alloc");
+  const auto row = [total](const char* name, double seconds,
+                           int64_t peak_bytes) {
+    std::printf("  %-18s %9.4fs %5.1f%% %9.2fMiB\n", name, seconds,
+                total > 0.0 ? 100.0 * seconds / total : 0.0,
+                static_cast<double>(peak_bytes) / (1024.0 * 1024.0));
   };
-  row("normalize", stats.normalize_seconds);
-  row("pair variations", stats.pair_variation_seconds);
-  row("heap build", stats.heap_build_seconds);
-  row("variation pop", stats.variation_pop_seconds);
-  row("extract", stats.extract_seconds);
-  row("allocate features", stats.allocate_seconds);
-  row("information loss", stats.information_loss_seconds);
-  row("accounted", stats.PhaseTotalSeconds());
+  row("normalize", stats.normalize_seconds, stats.normalize_peak_bytes);
+  row("pair variations", stats.pair_variation_seconds,
+      stats.pair_variation_peak_bytes);
+  row("heap build", stats.heap_build_seconds, stats.heap_build_peak_bytes);
+  row("variation pop", stats.variation_pop_seconds,
+      stats.variation_pop_peak_bytes);
+  row("extract", stats.extract_seconds, stats.extract_peak_bytes);
+  row("allocate features", stats.allocate_seconds, stats.allocate_peak_bytes);
+  row("information loss", stats.information_loss_seconds,
+      stats.information_loss_peak_bytes);
+  row("accounted", stats.PhaseTotalSeconds(), stats.MaxPhasePeakBytes());
   std::printf("  heap pops %zu, extractions %zu\n", stats.heap_pops,
               stats.extractions);
   if (options.deadline_ms > 0.0) {
@@ -356,6 +371,72 @@ void PrintRunStats(const RepartitionResult& result,
                 stats.interrupted ? "HIT - returned best partition so far"
                                   : "met");
   }
+}
+
+/// --report-out: one JSON document holding everything this run produced —
+/// provenance, config echo, per-phase time + allocation high-water, pool
+/// utilization, outcome, headline results, metrics, span tree.
+Status WriteRunReport(const CliOptions& options, const GridDataset& grid,
+                      const RepartitionResult& result) {
+  obs::RunReport report("srp_repartition");
+  if (!options.demo.empty()) {
+    report.SetConfig("demo", options.demo);
+  } else {
+    report.SetConfig("input", options.input);
+    report.SetConfig("schema", options.schema);
+  }
+  report.SetConfig("rows", static_cast<uint64_t>(options.rows));
+  report.SetConfig("cols", static_cast<uint64_t>(options.cols));
+  report.SetConfig("theta", options.theta);
+  report.SetConfig("seed", options.seed);
+  report.SetConfig("min_variation_step", options.min_variation_step);
+  report.SetConfig("num_threads",
+                   static_cast<uint64_t>(ResolveThreadCount(
+                       options.num_threads)));
+  report.SetConfig("deadline_ms", options.deadline_ms);
+  report.SetConfig("best_effort", options.best_effort);
+
+  const RunStats& stats = result.stats;
+  report.AddPhase("normalize", stats.normalize_seconds,
+                  stats.normalize_peak_bytes);
+  report.AddPhase("pair_variations", stats.pair_variation_seconds,
+                  stats.pair_variation_peak_bytes);
+  report.AddPhase("heap_build", stats.heap_build_seconds,
+                  stats.heap_build_peak_bytes);
+  report.AddPhase("variation_pop", stats.variation_pop_seconds,
+                  stats.variation_pop_peak_bytes);
+  report.AddPhase("extract", stats.extract_seconds, stats.extract_peak_bytes);
+  report.AddPhase("allocate_features", stats.allocate_seconds,
+                  stats.allocate_peak_bytes);
+  report.AddPhase("information_loss", stats.information_loss_seconds,
+                  stats.information_loss_peak_bytes);
+  if (stats.pool_size > 0) {
+    obs::RunReportPool pool;
+    pool.size = stats.pool_size;
+    pool.tasks_executed = stats.pool_tasks_executed;
+    pool.queue_depth_high_water = stats.pool_queue_depth_high_water;
+    pool.worker_busy_ns = stats.pool_worker_busy_ns;
+    report.SetPool(pool);
+  }
+  report.SetOutcome(
+      true, stats.interrupted,
+      stats.interrupted ? "deadline hit - best partition so far" : "");
+
+  report.SetResult("grid_rows", static_cast<uint64_t>(grid.rows()));
+  report.SetResult("grid_cols", static_cast<uint64_t>(grid.cols()));
+  report.SetResult("valid_cells",
+                   static_cast<uint64_t>(grid.NumValidCells()));
+  report.SetResult("groups",
+                   static_cast<uint64_t>(result.partition.num_groups()));
+  report.SetResult("iterations", static_cast<uint64_t>(result.iterations));
+  report.SetResult("information_loss", result.information_loss);
+  report.SetResult("cell_ratio", result.CellRatio());
+  report.SetResult("elapsed_seconds", result.elapsed_seconds);
+
+  obs::MetricsRegistry::Get().UpdateMemoryGauges();
+  report.CaptureMetrics();
+  report.CaptureTracer();
+  return report.WriteJson(options.report_out);
 }
 
 int Run(int argc, char** argv) {
@@ -456,6 +537,16 @@ int Run(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote metrics snapshot to %s\n", path.c_str());
+  }
+  if (!options.report_out.empty()) {
+    // After the trace-out block so an enabled tracer is already disabled
+    // and its ring is stable when the report captures the span tree.
+    if (auto s = WriteRunReport(options, *grid, *result); !s.ok()) {
+      std::fprintf(stderr, "report export failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote run report to %s\n", options.report_out.c_str());
   }
   return 0;
 }
