@@ -59,6 +59,22 @@ std::vector<BenchRow>& GlobalBenchRows() {
   return *rows;
 }
 
+/// Process-wide hardware-counter session driven by SRP_HW_COUNTERS=1. The
+/// group lives here (not in ObsSession) because WriteBenchJson embeds the
+/// totals into the bench JSON's RunReport after the session stops counting.
+struct HwSessionState {
+  bool requested = false;
+  bool collected = false;
+  std::string unavailable_reason;
+  obs::HwCounterValues totals;
+  obs::HwCounterGroup group;
+};
+
+HwSessionState& HwSession() {
+  static HwSessionState* state = new HwSessionState();
+  return *state;
+}
+
 Status WriteWholeFile(const std::string& path, const std::string& contents) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return Status::IOError("cannot open file: " + path);
@@ -178,6 +194,15 @@ Status WriteBenchJson(const std::string& path, const std::string& bench_name) {
     report.SetConfig("deadline_ms", deadline);
   }
   report.SetOutcome(/*ok=*/true, /*interrupted=*/false, "");
+  const HwSessionState& hw = HwSession();
+  if (hw.requested) {
+    report.SetHwCounterStatus(hw.collected, hw.unavailable_reason);
+    if (hw.collected) {
+      // Totals were frozen by ObsSession's destructor when the session is
+      // driving the write; a direct WriteBenchJson call reads live counts.
+      report.SetHwTotals(hw.totals.cycles != 0 ? hw.totals : hw.group.Read());
+    }
+  }
   obs::MetricsRegistry::Get().UpdateMemoryGauges();
   report.CaptureMetrics();
   report.CaptureTracer();
@@ -372,12 +397,52 @@ ObsSession::ObsSession(std::string bench_name)
     : bench_name_(std::move(bench_name)) {
   const char* trace_out = std::getenv("SRP_TRACE_OUT");
   const char* metrics_out = std::getenv("SRP_METRICS_OUT");
+  const char* profile_out = std::getenv("SRP_PROFILE_OUT");
   if (trace_out != nullptr) trace_out_ = trace_out;
   if (metrics_out != nullptr) metrics_out_ = metrics_out;
+  if (profile_out != nullptr) profile_out_ = profile_out;
   if (!trace_out_.empty()) obs::Tracer::Get().Enable();
+  if (!profile_out_.empty()) {
+    profiler_ = std::make_unique<obs::SamplingProfiler>();
+    const Status status = profiler_->Start();
+    if (!status.ok()) {
+      SRP_LOG(Warning) << "sampling profiler failed to start: "
+                       << status.ToString();
+      profiler_.reset();
+    }
+  }
+  const char* hw = std::getenv("SRP_HW_COUNTERS");
+  if (hw != nullptr && std::string(hw) == "1") {
+    HwSessionState& session = HwSession();
+    session.requested = true;
+    if (session.group.available()) {
+      (void)session.group.Start();
+      session.collected = true;
+    } else {
+      session.unavailable_reason = session.group.unavailable_reason();
+      SRP_LOG(Warning) << "hw counters unavailable: "
+                       << session.unavailable_reason;
+    }
+  }
 }
 
 ObsSession::~ObsSession() {
+  if (profiler_ != nullptr) {
+    (void)profiler_->Stop();
+    const Status status = profiler_->WriteFolded(profile_out_);
+    if (status.ok()) {
+      SRP_LOG(Info) << "wrote " << profiler_->CollectedSamples()
+                    << " folded stack sample(s) to " << profile_out_ << " ("
+                    << profiler_->DroppedSamples() << " dropped)";
+    } else {
+      SRP_LOG(Warning) << "profile export failed: " << status.ToString();
+    }
+  }
+  // Freeze the hw totals before the bench JSON embeds them.
+  if (HwSession().collected) {
+    HwSession().group.Stop();
+    HwSession().totals = HwSession().group.Read();
+  }
   if (!trace_out_.empty()) {
     obs::Tracer::Get().Disable();
     const Status status = obs::Tracer::Get().WriteChromeTrace(trace_out_);

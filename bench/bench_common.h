@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/repartitioner.h"
+#include "obs/profiler.h"
 #include "data/datasets.h"
 #include "ml/dataset.h"
 #include "util/csv.h"
@@ -165,8 +167,12 @@ class ResultTable {
 /// run and a Chrome trace-event JSON is written there at scope exit; when
 /// SRP_METRICS_OUT is set, a metrics snapshot (counters, histogram
 /// percentiles, memory gauges) is written there (".json" suffix selects
-/// JSON, anything else CSV). Those two are opt-in, so default bench timings
-/// stay unperturbed.
+/// JSON, anything else CSV); when SRP_PROFILE_OUT is set, the sampling
+/// profiler runs for the whole bench and folded collapsed stacks (ready for
+/// flamegraph.pl / speedscope) are written there; when SRP_HW_COUNTERS=1,
+/// hardware counters cover the whole bench and the totals (or the explicit
+/// unavailable_reason) land in the bench JSON's embedded RunReport. All are
+/// opt-in, so default bench timings stay unperturbed.
 ///
 /// A non-empty `bench_name` additionally writes the accumulated BenchRow
 /// list (plus an embedded RunReport) to
@@ -185,6 +191,8 @@ class ObsSession {
   std::string bench_name_;
   std::string trace_out_;
   std::string metrics_out_;
+  std::string profile_out_;
+  std::unique_ptr<obs::SamplingProfiler> profiler_;
 };
 
 /// Perf trajectory of the core operators: measures cells/sec of the

@@ -129,7 +129,8 @@ Result<double> HomogeneousMergeLoss(const GridDataset& grid,
 Result<HomogeneousResult> HomogeneousRepartition(const GridDataset& grid,
                                                  double ifl_threshold,
                                                  size_t num_threads,
-                                                 const RunContext* ctx) {
+                                                 const RunContext* ctx,
+                                                 obs::IntrospectionSink* sink) {
   if (!(ifl_threshold >= 0.0 && ifl_threshold <= 1.0)) {  // NaN-rejecting
     return Status::InvalidArgument("ifl_threshold must lie in [0, 1]");
   }
@@ -166,6 +167,10 @@ Result<HomogeneousResult> HomogeneousRepartition(const GridDataset& grid,
     const double ifl = InformationLoss(grid, candidate, pool.get(), ctx);
     if (ctx != nullptr && ctx->Interrupted()) {
       continue;  // partial IFL — re-enter the loop head to resolve the kind
+    }
+    if (sink != nullptr) {
+      sink->OnMergeRound(factor, ifl, candidate.num_groups(),
+                         ifl <= ifl_threshold);
     }
     if (ifl > ifl_threshold) break;
     result.partition = std::move(candidate);

@@ -6,6 +6,7 @@
 #include "core/partition.h"
 #include "fail/cancellation.h"
 #include "grid/grid_dataset.h"
+#include "obs/introspect.h"
 #include "parallel/thread_pool.h"
 #include "util/status.h"
 
@@ -58,11 +59,13 @@ struct HomogeneousResult {
 /// work, so a best-effort interrupt always has a feasible result to return;
 /// without best_effort the interrupt Status propagates. Injected faults are
 /// never degraded.
-Result<HomogeneousResult> HomogeneousRepartition(const GridDataset& grid,
-                                                 double ifl_threshold,
-                                                 size_t num_threads = 0,
-                                                 const RunContext* ctx =
-                                                     nullptr);
+///
+/// A non-null `sink` observes every merge round via OnMergeRound(factor,
+/// ifl, groups, accepted) — including the final rejected factor — in
+/// driver-thread order (DESIGN.md §10).
+Result<HomogeneousResult> HomogeneousRepartition(
+    const GridDataset& grid, double ifl_threshold, size_t num_threads = 0,
+    const RunContext* ctx = nullptr, obs::IntrospectionSink* sink = nullptr);
 
 }  // namespace srp
 

@@ -93,25 +93,52 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
   // routes every phase through its sequential path).
   const std::unique_ptr<ThreadPool> pool = MaybeMakePool(options_.num_threads);
 
+  // Hardware counters over the driver thread, opened only on request; an
+  // unavailable group (denied syscall, no PMU) degrades to a recorded
+  // reason, never a failed run (DESIGN.md §10).
+  std::optional<obs::HwCounterGroup> hw_group;
+  obs::HwCounterValues hw_last;
+  if (options_.hw_counters) {
+    hw_group.emplace();
+    if (hw_group->available()) {
+      SRP_RETURN_IF_ERROR(hw_group->Start());
+      stats.hw_counters_collected = true;
+    } else {
+      stats.hw_unavailable_reason = hw_group->unavailable_reason();
+    }
+  }
+
+  // The introspection observer; null stays null for the whole run, so each
+  // callback site is one pointer test (the zero-overhead default).
+  obs::IntrospectionSink* const sink = options_.introspection;
+
   // Accumulates the time since the last call into `*accumulator`, folds the
   // phase's allocation high-water (srp_memtrack scoped delta; 0 without the
-  // hooks) into `*peak_accumulator` as a running max, and optionally feeds
-  // the duration to a latency histogram. The memory scope is re-opened for
-  // the next phase so consecutive phases never share a baseline; the
-  // nesting-safe ScopedMemoryPeak keeps any enclosing measurement (e.g.
-  // bench MeasureRun) intact.
+  // hooks) into `*peak_accumulator` as a running max, accumulates the
+  // phase's hardware-counter delta when collection is on, and optionally
+  // feeds the duration to a latency histogram. The memory scope is
+  // re-opened for the next phase so consecutive phases never share a
+  // baseline; the nesting-safe ScopedMemoryPeak keeps any enclosing
+  // measurement (e.g. bench MeasureRun) intact.
   WallTimer phase_timer;
   std::optional<ScopedMemoryPeak> phase_memory;
   phase_memory.emplace();
-  const auto take_phase = [&phase_timer, &phase_memory](
-                              double* accumulator, int64_t* peak_accumulator,
-                              obs::Histogram* histogram = nullptr) {
+  const auto take_phase = [&phase_timer, &phase_memory, &hw_group, &hw_last,
+                           &stats](double* accumulator,
+                                   int64_t* peak_accumulator,
+                                   obs::HwCounterValues* hw_accumulator,
+                                   obs::Histogram* histogram = nullptr) {
     const double seconds = phase_timer.ElapsedSeconds();
     *accumulator += seconds;
     if (histogram != nullptr) histogram->Observe(seconds * 1e3);
     if (MemoryTracker::Hooked()) {
       *peak_accumulator =
           std::max(*peak_accumulator, phase_memory->PeakDeltaBytes());
+    }
+    if (stats.hw_counters_collected && hw_accumulator != nullptr) {
+      const obs::HwCounterValues now = hw_group->Read();
+      *hw_accumulator += now - hw_last;
+      hw_last = now;
     }
     phase_memory.reset();  // restore the enclosing peak before re-opening
     phase_memory.emplace();
@@ -148,7 +175,8 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
       SRP_TRACE_SPAN("repartition.normalize");
       return AttributeNormalized(grid);
     }();
-    take_phase(&stats.normalize_seconds, &stats.normalize_peak_bytes);
+    take_phase(&stats.normalize_seconds, &stats.normalize_peak_bytes,
+               &stats.normalize_hw);
     SRP_RETURN_IF_ERROR(interrupt_check());
     if (degrade) return Status::OK();
 
@@ -157,19 +185,21 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
       SRP_TRACE_SPAN("repartition.pair_variations");
       return ComputePairVariations(normalized, pool.get(), ctx);
     }();
-    take_phase(&stats.pair_variation_seconds,
-               &stats.pair_variation_peak_bytes);
+    take_phase(&stats.pair_variation_seconds, &stats.pair_variation_peak_bytes,
+               &stats.pair_variation_hw);
     // An interrupted variation pass leaves +inf placeholders; the heap must
     // not be built over them.
     SRP_RETURN_IF_ERROR(interrupt_check());
     if (degrade) return Status::OK();
 
     MinAdjacentVariationHeap heap;
+    heap.set_introspection_sink(sink);
     {
       SRP_TRACE_SPAN("repartition.heap_build");
       heap.Build(variations, &normalized);
     }
-    take_phase(&stats.heap_build_seconds, &stats.heap_build_peak_bytes);
+    take_phase(&stats.heap_build_seconds, &stats.heap_build_peak_bytes,
+               &stats.heap_build_hw);
 
     const CellGroupExtractor extractor(variations);
 
@@ -182,8 +212,8 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
       double variation = 0.0;
       const bool popped = heap.PopNextGreater(
           previous_variation + options_.min_variation_step, &variation);
-      take_phase(&stats.variation_pop_seconds,
-                 &stats.variation_pop_peak_bytes);
+      take_phase(&stats.variation_pop_seconds, &stats.variation_pop_peak_bytes,
+                 &stats.variation_pop_hw);
       if (!popped) {
         break;  // heap drained: no coarser partition exists
       }
@@ -196,7 +226,7 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
       }();
       ++stats.extractions;
       take_phase(&stats.extract_seconds, &stats.extract_peak_bytes,
-                 Metrics().extract_ms);
+                 &stats.extract_hw, Metrics().extract_ms);
 
       {
         SRP_TRACE_SPAN("repartition.allocate_features");
@@ -213,7 +243,7 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
         }
       }
       take_phase(&stats.allocate_seconds, &stats.allocate_peak_bytes,
-                 Metrics().allocate_ms);
+                 &stats.allocate_hw, Metrics().allocate_ms);
 
       SRP_INJECT_FAULT("core.information_loss");
       const double ifl = [&] {
@@ -222,13 +252,18 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
       }();
       take_phase(&stats.information_loss_seconds,
                  &stats.information_loss_peak_bytes,
-                 Metrics().information_loss_ms);
+                 &stats.information_loss_hw, Metrics().information_loss_ms);
       // An interrupted reduction covers only part of the grid — never judge
       // a candidate on a partial IFL.
       SRP_RETURN_IF_ERROR(interrupt_check());
       if (degrade) return Status::OK();
 
-      if (ifl > options_.ifl_threshold) {
+      const bool accepted = ifl <= options_.ifl_threshold;
+      if (sink != nullptr) {
+        sink->OnIteration(result.iterations, variation, ifl,
+                          candidate.num_groups(), accepted);
+      }
+      if (!accepted) {
         break;  // exceeded θ: keep the previous partition and exit (Fig. 2)
       }
       result.partition = std::move(candidate);
@@ -241,6 +276,7 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
   SRP_RETURN_IF_ERROR(run_status);
   stats.interrupted = degrade;
   phase_memory.reset();  // restore any enclosing ScopedMemoryPeak's view
+  if (hw_group.has_value()) hw_group->Stop();
 
   if (pool != nullptr) {
     const ThreadPoolStats pool_stats = pool->Stats();

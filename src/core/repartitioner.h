@@ -4,11 +4,14 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/partition.h"
 #include "fail/cancellation.h"
 #include "grid/grid_dataset.h"
+#include "obs/introspect.h"
+#include "obs/profiler.h"
 #include "util/status.h"
 
 namespace srp {
@@ -40,6 +43,20 @@ struct RepartitionOptions {
   /// runs the sequential code path with no pool at all. Results are
   /// bit-identical for every setting (DESIGN.md §7 determinism contract).
   size_t num_threads = 0;
+
+  /// Collect per-phase hardware-counter deltas (cycles, instructions, cache
+  /// and branch misses) via a perf_event group over the driver thread
+  /// (DESIGN.md §10). Off by default: the flag costs one grouped read per
+  /// phase boundary when on, nothing when off. When the syscall is denied
+  /// the run still succeeds and RunStats::hw_unavailable_reason records why.
+  bool hw_counters = false;
+
+  /// Algorithm-introspection observer (DESIGN.md §10): receives the
+  /// candidate-variation population, every accepted heap pop, and every
+  /// iteration's (variation, IFL, groups, accepted) tuple, all invoked from
+  /// the driver thread in deterministic order. Null (the default) compiles
+  /// down to skipped pointer tests. Not owned; must outlive the run.
+  obs::IntrospectionSink* introspection = nullptr;
 
   /// Checks every field before a run touches the data: θ in [0, 1]
   /// (NaN-rejecting), max_iterations >= 1, min_variation_step finite and
@@ -85,6 +102,34 @@ struct RunStats {
   int64_t extract_peak_bytes = 0;
   int64_t allocate_peak_bytes = 0;
   int64_t information_loss_peak_bytes = 0;
+
+  /// Hardware-counter deltas per phase (RepartitionOptions::hw_counters;
+  /// all zero when off or unavailable). Counters cover the driver thread
+  /// only — work sharded to pool workers shows up in the sampling profiler's
+  /// per-worker stacks instead, so the per-phase cycles are comparable
+  /// across thread counts. Like the *_seconds fields, the per-iteration
+  /// entries accumulate across iterations.
+  bool hw_counters_collected = false;
+  std::string hw_unavailable_reason;  ///< set when requested but unavailable
+  obs::HwCounterValues normalize_hw;
+  obs::HwCounterValues pair_variation_hw;
+  obs::HwCounterValues heap_build_hw;
+  obs::HwCounterValues variation_pop_hw;
+  obs::HwCounterValues extract_hw;
+  obs::HwCounterValues allocate_hw;
+  obs::HwCounterValues information_loss_hw;
+
+  obs::HwCounterValues TotalHwCounters() const {
+    obs::HwCounterValues total;
+    total += normalize_hw;
+    total += pair_variation_hw;
+    total += heap_build_hw;
+    total += variation_pop_hw;
+    total += extract_hw;
+    total += allocate_hw;
+    total += information_loss_hw;
+    return total;
+  }
 
   /// Thread-pool utilization of this run (all zero / empty when the run was
   /// sequential — resolved num_threads <= 1 builds no pool).

@@ -28,6 +28,9 @@ void MinAdjacentVariationHeap::Build(const PairVariations& variations,
       }
     }
   }
+  if (sink_ != nullptr) {
+    sink_->OnCandidateVariations(heap_.data(), heap_.size());
+  }
   // Floyd heap construction: O(n).
   if (heap_.empty()) return;
   for (size_t i = heap_.size() / 2; i-- > 0;) SiftDown(i);
@@ -57,6 +60,7 @@ bool MinAdjacentVariationHeap::PopNextGreater(double previous, double* value) {
     const double v = PopMin();
     if (v > previous) {
       *value = v;
+      if (sink_ != nullptr) sink_->OnHeapPop(v);
       return true;
     }
   }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/variation.h"
+#include "obs/introspect.h"
 
 namespace srp {
 
@@ -49,11 +50,19 @@ class MinAdjacentVariationHeap {
   /// exist.
   bool PopNextGreater(double previous, double* value);
 
+  /// Optional introspection observer (DESIGN.md §10): Build reports the
+  /// collected candidate variations (OnCandidateVariations, pre-heapify scan
+  /// order, so the series is thread-count independent) and every successful
+  /// PopNextGreater reports the accepted value (OnHeapPop). Null disables
+  /// both at the cost of one pointer test.
+  void set_introspection_sink(obs::IntrospectionSink* sink) { sink_ = sink; }
+
  private:
   void SiftUp(size_t i);
   void SiftDown(size_t i);
 
   std::vector<double> heap_;
+  obs::IntrospectionSink* sink_ = nullptr;
 };
 
 }  // namespace srp

@@ -1,0 +1,135 @@
+#include "obs/introspect.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace srp {
+namespace obs {
+
+IntrospectionSink::~IntrospectionSink() = default;
+
+void IntrospectionSink::OnCandidateVariations(const double* /*values*/,
+                                              size_t /*count*/) {}
+
+void IntrospectionSink::OnHeapPop(double /*variation*/) {}
+
+void IntrospectionSink::OnIteration(size_t /*iteration*/, double /*variation*/,
+                                    double /*information_loss*/,
+                                    size_t /*groups*/, bool /*accepted*/) {}
+
+void IntrospectionSink::OnMergeRound(size_t /*factor*/,
+                                     double /*information_loss*/,
+                                     size_t /*groups*/, bool /*accepted*/) {}
+
+void RecordingIntrospectionSink::OnCandidateVariations(const double* values,
+                                                       size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    const double value = values[i];
+    if (!std::isfinite(value)) continue;
+    ++record_.variation_count;
+    if (value > 1.0) {
+      ++record_.variation_overflow;
+      continue;
+    }
+    size_t bucket = value < 0.0
+                        ? 0
+                        : static_cast<size_t>(value *
+                                              kVariationHistogramBuckets);
+    if (bucket >= kVariationHistogramBuckets) {
+      bucket = kVariationHistogramBuckets - 1;  // value == 1.0
+    }
+    ++record_.variation_histogram[bucket];
+  }
+}
+
+void RecordingIntrospectionSink::OnHeapPop(double variation) {
+  record_.variation_series.push_back(variation);
+}
+
+void RecordingIntrospectionSink::OnIteration(size_t /*iteration*/,
+                                             double /*variation*/,
+                                             double information_loss,
+                                             size_t /*groups*/,
+                                             bool accepted) {
+  record_.ifl_series.push_back(information_loss);
+  record_.ifl_accepted.push_back(accepted);
+}
+
+void RecordingIntrospectionSink::OnMergeRound(size_t factor,
+                                              double information_loss,
+                                              size_t groups, bool accepted) {
+  record_.merge_rounds.push_back(
+      IntrospectionMergeRound{factor, information_loss, groups, accepted});
+}
+
+JsonValue IntrospectionRecord::ToJson() const {
+  JsonValue doc = JsonValue::Object();
+
+  JsonValue ifl = JsonValue::Array();
+  for (double value : ifl_series) ifl.Append(value);
+  doc.Set("ifl_series", std::move(ifl));
+
+  JsonValue accepted = JsonValue::Array();
+  for (bool value : ifl_accepted) accepted.Append(value);
+  doc.Set("ifl_accepted", std::move(accepted));
+
+  JsonValue variations = JsonValue::Array();
+  for (double value : variation_series) variations.Append(value);
+  doc.Set("variation_series", std::move(variations));
+
+  JsonValue histogram = JsonValue::Object();
+  histogram.Set("buckets", JsonValue(static_cast<int64_t>(
+                               kVariationHistogramBuckets)));
+  histogram.Set("count", JsonValue(variation_count));
+  histogram.Set("overflow", JsonValue(variation_overflow));
+  JsonValue counts = JsonValue::Array();
+  for (int64_t count : variation_histogram) counts.Append(count);
+  histogram.Set("counts", std::move(counts));
+  doc.Set("variation_histogram", std::move(histogram));
+
+  if (!merge_rounds.empty()) {
+    JsonValue rounds = JsonValue::Array();
+    for (const IntrospectionMergeRound& round : merge_rounds) {
+      JsonValue entry = JsonValue::Object();
+      entry.Set("factor", JsonValue(static_cast<int64_t>(round.factor)));
+      entry.Set("information_loss", JsonValue(round.information_loss));
+      entry.Set("groups", JsonValue(static_cast<int64_t>(round.groups)));
+      entry.Set("accepted", JsonValue(round.accepted));
+      rounds.Append(std::move(entry));
+    }
+    doc.Set("merge_rounds", std::move(rounds));
+  }
+  return doc;
+}
+
+Status IntrospectionRecord::WriteCsv(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IOError("cannot open introspection output file: " + path);
+  }
+  std::fputs("series,index,value,accepted\n", file);
+  for (size_t i = 0; i < ifl_series.size(); ++i) {
+    const bool accepted = i < ifl_accepted.size() && ifl_accepted[i];
+    std::fprintf(file, "ifl,%zu,%.17g,%d\n", i, ifl_series[i],
+                 accepted ? 1 : 0);
+  }
+  for (size_t i = 0; i < variation_series.size(); ++i) {
+    std::fprintf(file, "variation,%zu,%.17g,1\n", i, variation_series[i]);
+  }
+  for (size_t i = 0; i < variation_histogram.size(); ++i) {
+    std::fprintf(file, "variation_histogram,%zu,%lld,1\n", i,
+                 static_cast<long long>(variation_histogram[i]));
+  }
+  for (size_t i = 0; i < merge_rounds.size(); ++i) {
+    std::fprintf(file, "merge_round_ifl,%zu,%.17g,%d\n",
+                 merge_rounds[i].factor, merge_rounds[i].information_loss,
+                 merge_rounds[i].accepted ? 1 : 0);
+  }
+  if (std::fclose(file) != 0) {
+    return Status::IOError("error writing introspection output file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace srp

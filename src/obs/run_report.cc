@@ -104,6 +104,19 @@ JsonValue BuildSpanForest(const std::vector<SpanEvent>& events) {
   return forest;
 }
 
+JsonValue HwCountersToJson(const HwCounterValues& hw) {
+  JsonValue out = JsonValue::Object();
+  out.Set("cycles", hw.cycles);
+  out.Set("instructions", hw.instructions);
+  out.Set("ipc", hw.InstructionsPerCycle());
+  out.Set("cache_references", hw.cache_references);
+  out.Set("cache_misses", hw.cache_misses);
+  out.Set("branch_misses", hw.branch_misses);
+  out.Set("time_enabled_ns", hw.time_enabled_ns);
+  out.Set("time_running_ns", hw.time_running_ns);
+  return out;
+}
+
 }  // namespace
 
 RunReportProvenance BuildProvenance() {
@@ -133,8 +146,39 @@ void RunReport::SetResult(std::string_view key, JsonValue value) {
 
 void RunReport::AddPhase(std::string name, double seconds,
                          int64_t alloc_peak_bytes) {
-  phases_.push_back(
-      RunReportPhase{std::move(name), seconds, alloc_peak_bytes});
+  RunReportPhase phase;
+  phase.name = std::move(name);
+  phase.seconds = seconds;
+  phase.alloc_peak_bytes = alloc_peak_bytes;
+  phases_.push_back(std::move(phase));
+}
+
+void RunReport::AddPhase(std::string name, double seconds,
+                         int64_t alloc_peak_bytes, const HwCounterValues& hw) {
+  RunReportPhase phase;
+  phase.name = std::move(name);
+  phase.seconds = seconds;
+  phase.alloc_peak_bytes = alloc_peak_bytes;
+  phase.has_hw = true;
+  phase.hw = hw;
+  phases_.push_back(std::move(phase));
+}
+
+void RunReport::SetHwCounterStatus(bool collected,
+                                   std::string unavailable_reason) {
+  has_hw_status_ = true;
+  hw_collected_ = collected;
+  hw_unavailable_reason_ = std::move(unavailable_reason);
+}
+
+void RunReport::SetHwTotals(const HwCounterValues& totals) {
+  has_hw_totals_ = true;
+  hw_totals_ = totals;
+}
+
+void RunReport::SetIntrospection(JsonValue introspection) {
+  has_introspection_ = true;
+  introspection_ = std::move(introspection);
 }
 
 void RunReport::SetPool(const RunReportPool& pool) {
@@ -223,9 +267,18 @@ JsonValue RunReport::ToJson() const {
     entry.Set("name", phase.name);
     entry.Set("seconds", phase.seconds);
     entry.Set("alloc_peak_bytes", phase.alloc_peak_bytes);
+    if (phase.has_hw) entry.Set("hw", HwCountersToJson(phase.hw));
     phases.Append(std::move(entry));
   }
   out.Set("phases", std::move(phases));
+
+  if (has_hw_status_) {
+    JsonValue hw = JsonValue::Object();
+    hw.Set("collected", hw_collected_);
+    hw.Set("unavailable_reason", hw_unavailable_reason_);
+    if (has_hw_totals_) hw.Set("totals", HwCountersToJson(hw_totals_));
+    out.Set("hw_counters", std::move(hw));
+  }
 
   if (has_pool_) {
     JsonValue pool = JsonValue::Object();
@@ -253,12 +306,98 @@ JsonValue RunReport::ToJson() const {
   }
 
   out.Set("result", result_);
+  if (has_introspection_) out.Set("introspection", introspection_);
   if (has_metrics_) out.Set("metrics", metrics_);
   if (has_trace_) out.Set("trace", trace_);
   return out;
 }
 
 std::string RunReport::ToJsonString() const { return ToJson().Dump(2) + "\n"; }
+
+Status ValidateRunReportJson(const JsonValue& doc) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("run report: document is not an object");
+  }
+  const JsonValue* version = doc.Find("schema_version");
+  if (version == nullptr || !version->is_number()) {
+    return Status::InvalidArgument(
+        "run report: missing numeric schema_version");
+  }
+  const double raw = version->number_value();
+  const int v = static_cast<int>(raw);
+  if (static_cast<double>(v) != raw ||
+      v < RunReport::kMinSupportedSchemaVersion ||
+      v > RunReport::kSchemaVersion) {
+    return Status::InvalidArgument(
+        "run report: unsupported schema_version " + std::to_string(raw) +
+        " (supported: " + std::to_string(RunReport::kMinSupportedSchemaVersion) +
+        ".." + std::to_string(RunReport::kSchemaVersion) + ")");
+  }
+  const JsonValue* tool = doc.Find("tool");
+  if (tool == nullptr || !tool->is_string()) {
+    return Status::InvalidArgument("run report: missing string \"tool\"");
+  }
+  const JsonValue* provenance = doc.Find("provenance");
+  if (provenance == nullptr || !provenance->is_object()) {
+    return Status::InvalidArgument(
+        "run report: missing object \"provenance\"");
+  }
+  for (const char* key : {"git_sha", "build_type", "compiler"}) {
+    const JsonValue* field = provenance->Find(key);
+    if (field == nullptr || !field->is_string()) {
+      return Status::InvalidArgument(
+          std::string("run report: provenance missing string \"") + key +
+          "\"");
+    }
+  }
+  const JsonValue* phases = doc.Find("phases");
+  if (phases == nullptr || !phases->is_array()) {
+    return Status::InvalidArgument("run report: missing array \"phases\"");
+  }
+  for (const JsonValue& phase : phases->items()) {
+    if (!phase.is_object() || phase.Find("name") == nullptr ||
+        phase.Find("seconds") == nullptr ||
+        phase.Find("alloc_peak_bytes") == nullptr) {
+      return Status::InvalidArgument(
+          "run report: phase rows need name/seconds/alloc_peak_bytes");
+    }
+    const JsonValue* hw = phase.Find("hw");
+    if (hw != nullptr && (!hw->is_object() || hw->Find("cycles") == nullptr ||
+                          hw->Find("instructions") == nullptr)) {
+      return Status::InvalidArgument(
+          "run report: phase \"hw\" needs cycles/instructions");
+    }
+  }
+  // The v2 sections are optional, but when present they must be well-formed
+  // (a v1 document simply never carries them).
+  const JsonValue* hw_counters = doc.Find("hw_counters");
+  if (hw_counters != nullptr) {
+    if (!hw_counters->is_object()) {
+      return Status::InvalidArgument(
+          "run report: \"hw_counters\" is not an object");
+    }
+    const JsonValue* collected = hw_counters->Find("collected");
+    if (collected == nullptr || !collected->is_bool()) {
+      return Status::InvalidArgument(
+          "run report: hw_counters missing bool \"collected\"");
+    }
+    const JsonValue* reason = hw_counters->Find("unavailable_reason");
+    if (reason == nullptr || !reason->is_string()) {
+      return Status::InvalidArgument(
+          "run report: hw_counters missing string \"unavailable_reason\"");
+    }
+    if (!collected->bool_value() && reason->string_value().empty()) {
+      return Status::InvalidArgument(
+          "run report: uncollected hw_counters need an unavailable_reason");
+    }
+  }
+  const JsonValue* introspection = doc.Find("introspection");
+  if (introspection != nullptr && !introspection->is_object()) {
+    return Status::InvalidArgument(
+        "run report: \"introspection\" is not an object");
+  }
+  return Status::OK();
+}
 
 Status RunReport::WriteJson(const std::string& path) const {
   return WriteWholeFile(path, ToJsonString());

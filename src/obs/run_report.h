@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/metrics_registry.h"
+#include "obs/profiler.h"
 #include "obs/tracer.h"
 #include "util/json.h"
 #include "util/status.h"
@@ -15,11 +16,15 @@ namespace srp {
 namespace obs {
 
 /// One phase row of a run report: wall time plus the allocation high-water
-/// the phase reached above its entry level (srp_memtrack; 0 without hooks).
+/// the phase reached above its entry level (srp_memtrack; 0 without hooks),
+/// and — since schema v2 — the phase's hardware-counter deltas when the run
+/// collected them (`has_hw`).
 struct RunReportPhase {
   std::string name;
   double seconds = 0.0;
   int64_t alloc_peak_bytes = 0;
+  bool has_hw = false;
+  HwCounterValues hw;
 };
 
 /// Thread-pool utilization section (mirrors srp::ThreadPoolStats; duplicated
@@ -59,7 +64,11 @@ RunReportProvenance BuildProvenance();
 /// run_report_test contract.
 class RunReport {
  public:
-  static constexpr int kSchemaVersion = 1;
+  /// v2 added the optional "hw_counters" section, per-phase "hw" objects and
+  /// the optional "introspection" section — all purely additive, so v1
+  /// documents stay valid (ValidateRunReportJson accepts both).
+  static constexpr int kSchemaVersion = 2;
+  static constexpr int kMinSupportedSchemaVersion = 1;
 
   /// `tool` names the producing binary ("srp_repartition", a bench name...).
   explicit RunReport(std::string tool = "unknown");
@@ -72,6 +81,23 @@ class RunReport {
   void SetResult(std::string_view key, JsonValue value);
 
   void AddPhase(std::string name, double seconds, int64_t alloc_peak_bytes);
+
+  /// Phase row with hardware-counter deltas (schema v2).
+  void AddPhase(std::string name, double seconds, int64_t alloc_peak_bytes,
+                const HwCounterValues& hw);
+
+  /// Records whether hardware counters were collected for this run; emits
+  /// the top-level "hw_counters" section. `unavailable_reason` explains a
+  /// collected=false (empty when counters simply were not requested — then
+  /// skip this call and the section is omitted entirely).
+  void SetHwCounterStatus(bool collected, std::string unavailable_reason);
+
+  /// Whole-run counter totals, embedded under "hw_counters.totals".
+  void SetHwTotals(const HwCounterValues& totals);
+
+  /// Algorithm-introspection section (IntrospectionRecord::ToJson()),
+  /// embedded under "introspection" (schema v2).
+  void SetIntrospection(JsonValue introspection);
 
   void SetPool(const RunReportPool& pool);
 
@@ -110,7 +136,21 @@ class RunReport {
   JsonValue metrics_ = JsonValue::Object();
   bool has_trace_ = false;
   JsonValue trace_ = JsonValue::Object();
+  bool has_hw_status_ = false;
+  bool hw_collected_ = false;
+  std::string hw_unavailable_reason_;
+  bool has_hw_totals_ = false;
+  HwCounterValues hw_totals_;
+  bool has_introspection_ = false;
+  JsonValue introspection_ = JsonValue::Object();
 };
+
+/// Structural validation of a parsed run-report document: accepts any schema
+/// version in [RunReport::kMinSupportedSchemaVersion, kSchemaVersion]
+/// (v2 readers keep reading v1 artifacts — the committed bench baselines),
+/// rejects unknown versions, and checks the invariant sections
+/// (tool/provenance/phases) plus the v2 sections when present.
+Status ValidateRunReportJson(const JsonValue& doc);
 
 }  // namespace obs
 }  // namespace srp

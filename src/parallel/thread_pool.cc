@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <utility>
 
 #include "obs/metrics_registry.h"
+#include "obs/profiler.h"
 
 namespace srp {
 namespace {
@@ -104,6 +106,11 @@ ThreadPoolStats ThreadPool::Stats() const {
 }
 
 void ThreadPool::WorkerLoop(size_t worker_index) {
+  // Attribute this worker's sampling-profiler stacks (DESIGN.md §10); the
+  // label index matches ThreadPoolStats::worker_busy_ns.
+  char label[32];
+  std::snprintf(label, sizeof(label), "pool-worker-%zu", worker_index);
+  obs::SetProfilerThreadLabel(label);
   for (;;) {
     std::function<void()> task;
     {

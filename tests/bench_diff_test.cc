@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_trend.h"
 #include "util/json.h"
 
 namespace srp {
@@ -49,8 +50,43 @@ TEST(BenchDiffTest, IdenticalRowsPass) {
   EXPECT_FALSE(report.failed);
   EXPECT_EQ(report.ok, 2u);
   EXPECT_EQ(report.info, 1u);
+  EXPECT_EQ(report.info_skipped, 1u);
   EXPECT_EQ(report.regressed, 0u);
   EXPECT_EQ(report.rows.size(), 3u);
+}
+
+TEST(BenchDiffTest, InfoSkippedCountsEveryUngatedRow) {
+  // Two matched info-unit rows plus one candidate-only info-unit row are all
+  // outside the gate; the candidate-only timing row is "new" but gateable,
+  // so it does not count as skipped.
+  const std::vector<ParsedBenchRow> base = {
+      MakeRow("taxi/reduction_time", 1.0, "s"),
+      MakeRow("taxi/groups", 120.0, "groups"),
+      MakeRow("taxi/share", 40.0, "%")};
+  const std::vector<ParsedBenchRow> cand = {
+      MakeRow("taxi/reduction_time", 1.0, "s"),
+      MakeRow("taxi/groups", 140.0, "groups"),
+      MakeRow("taxi/share", 45.0, "%"),
+      MakeRow("taxi/cells", 2304.0, "cells"),
+      MakeRow("taxi/train_time", 0.5, "s")};
+  const DiffReport report = DiffBenchRows(base, cand, BenchDiffOptions());
+  EXPECT_FALSE(report.failed);
+  EXPECT_EQ(report.info, 2u);
+  EXPECT_EQ(report.added, 2u);
+  EXPECT_EQ(report.info_skipped, 3u);
+}
+
+TEST(BenchDiffTest, RowKeyMatchesOnAllFiveFields) {
+  ParsedBenchRow row = MakeRow("taxi/reduction_time", 1.0, "s");
+  ParsedBenchRow same = row;
+  same.value = 99.0;  // the value is a measurement, not part of the key
+  EXPECT_EQ(BenchRowKey(row), BenchRowKey(same));
+  ParsedBenchRow other_tier = row;
+  other_tier.tier = "large";
+  EXPECT_NE(BenchRowKey(row), BenchRowKey(other_tier));
+  ParsedBenchRow reparsed = row;
+  reparsed.threshold = row.threshold + 1e-10;  // survives a JSON round trip
+  EXPECT_EQ(BenchRowKey(row), BenchRowKey(reparsed));
 }
 
 TEST(BenchDiffTest, TwoTimesSlowdownRegresses) {
@@ -210,6 +246,52 @@ TEST(BenchDiffTest, LoadBenchRowsReadsAFileAndADirectory) {
   EXPECT_EQ(both->at(1).metric, "m1");
 
   EXPECT_FALSE(LoadBenchRows(dir + "/absent.json").ok());
+}
+
+TEST(BenchTrendTest, MergesRunsByRowKeyInFirstSeenOrder) {
+  const std::vector<TrendRun> runs = {
+      {"r1",
+       {MakeRow("taxi/reduction_time", 1.0, "s"),
+        MakeRow("taxi/groups", 120.0, "groups")}},
+      {"r2",
+       {MakeRow("taxi/reduction_time", 1.1, "s"),
+        MakeRow("taxi/train/f1", 0.9, "f1")}},
+  };
+  const TrendTable table = BuildTrendTable(runs);
+  ASSERT_EQ(table.run_labels, (std::vector<std::string>{"r1", "r2"}));
+  ASSERT_EQ(table.rows.size(), 3u);
+  EXPECT_EQ(table.rows[0].metric, "taxi/reduction_time");
+  EXPECT_EQ(table.rows[0].values, (std::vector<double>{1.0, 1.1}));
+  EXPECT_EQ(table.rows[0].present, (std::vector<bool>{true, true}));
+  // Rows missing from a run stay visible with an absent cell.
+  EXPECT_EQ(table.rows[1].metric, "taxi/groups");
+  EXPECT_EQ(table.rows[1].present, (std::vector<bool>{true, false}));
+  EXPECT_EQ(table.rows[2].metric, "taxi/train/f1");
+  EXPECT_EQ(table.rows[2].present, (std::vector<bool>{false, true}));
+}
+
+TEST(BenchTrendTest, MarkdownHasHeaderRulerAndDelta) {
+  const std::vector<TrendRun> runs = {
+      {"old", {MakeRow("taxi/reduction_time", 1.0, "s")}},
+      {"new", {MakeRow("taxi/reduction_time", 1.5, "s")}},
+  };
+  const TrendTable table = BuildTrendTable(runs);
+
+  const std::string path = ::testing::TempDir() + "/trend_test.md";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  ASSERT_NE(out, nullptr);
+  PrintTrendMarkdown(table, out);
+  std::fclose(out);
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "| bench | tier | theta | metric | unit | old | new | delta |");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "| --- | --- | --- | --- | --- | ---: | ---: | ---: |");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("taxi/reduction_time"), std::string::npos);
+  EXPECT_NE(line.find("50.0%"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -232,6 +232,78 @@ TEST(RunReportTest, WriteJsonFailsOnBadPath) {
   EXPECT_FALSE(report.WriteJson("/nonexistent-dir/report.json").ok());
 }
 
+TEST(RunReportTest, HwSectionsAreEmittedWhenSet) {
+  RunReport report = FullReport();
+  HwCounterValues hw;
+  hw.cycles = 1000;
+  hw.instructions = 2500;
+  hw.cache_references = 40;
+  hw.cache_misses = 4;
+  hw.branch_misses = 2;
+  report.AddPhase("allocate", 0.1, 512, hw);
+  report.SetHwCounterStatus(/*collected=*/true, "");
+  report.SetHwTotals(hw);
+  report.SetIntrospection(JsonValue::Object());
+
+  const JsonValue doc = report.ToJson();
+  const JsonValue* phases = doc.Find("phases");
+  ASSERT_NE(phases, nullptr);
+  // Earlier phases added without counters carry no hw object.
+  EXPECT_EQ(phases->at(0).Find("hw"), nullptr);
+  const JsonValue* phase_hw = phases->at(2).Find("hw");
+  ASSERT_NE(phase_hw, nullptr);
+  EXPECT_EQ(phase_hw->Find("cycles")->number_value(), 1000.0);
+  EXPECT_EQ(phase_hw->Find("ipc")->number_value(), 2.5);
+
+  EXPECT_EQ(doc.FindPath("hw_counters.collected")->bool_value(), true);
+  EXPECT_EQ(doc.FindPath("hw_counters.totals.instructions")->number_value(),
+            2500.0);
+  ASSERT_NE(doc.Find("introspection"), nullptr);
+}
+
+TEST(RunReportTest, ValidateAcceptsBothSupportedSchemaVersions) {
+  const JsonValue v2 = FullReport().ToJson();
+  EXPECT_TRUE(ValidateRunReportJson(v2).ok());
+
+  // A v1 document is a v2 document without the additive hw/introspection
+  // sections — exactly what older readers produced.
+  JsonValue v1 = v2;
+  v1.Set("schema_version", 1);
+  EXPECT_TRUE(ValidateRunReportJson(v1).ok());
+}
+
+TEST(RunReportTest, ValidateRejectsUnsupportedSchemaVersions) {
+  JsonValue doc = FullReport().ToJson();
+  doc.Set("schema_version", 3);
+  EXPECT_FALSE(ValidateRunReportJson(doc).ok());
+  doc.Set("schema_version", 0);
+  EXPECT_FALSE(ValidateRunReportJson(doc).ok());
+  doc.Set("schema_version", 1.5);
+  EXPECT_FALSE(ValidateRunReportJson(doc).ok());
+  doc.Set("schema_version", "2");
+  EXPECT_FALSE(ValidateRunReportJson(doc).ok());
+}
+
+TEST(RunReportTest, ValidateRejectsMalformedDocuments) {
+  EXPECT_FALSE(ValidateRunReportJson(JsonValue::Array()).ok());
+  EXPECT_FALSE(ValidateRunReportJson(JsonValue::Object()).ok());
+
+  // An unavailable hw_counters section must say why.
+  RunReport report = FullReport();
+  report.SetHwCounterStatus(/*collected=*/false, "");
+  EXPECT_FALSE(ValidateRunReportJson(report.ToJson()).ok());
+
+  RunReport explained = FullReport();
+  explained.SetHwCounterStatus(/*collected=*/false, "perf_event denied");
+  EXPECT_TRUE(ValidateRunReportJson(explained.ToJson()).ok());
+}
+
+TEST(RunReportTest, ValidateAcceptsTheCliShapedReport) {
+  const RunReport report = ReportForRun(1);
+  const Status status = ValidateRunReportJson(report.ToJson());
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace srp

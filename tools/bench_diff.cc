@@ -28,15 +28,6 @@ Result<std::string> ReadWholeFile(const std::string& path) {
   return out;
 }
 
-/// Baseline/candidate rows are matched on this composite key. The threshold
-/// is formatted with fixed precision so 0.1 and 0.1000000001 (a re-parsed
-/// double) still match.
-std::string RowKey(const ParsedBenchRow& row) {
-  return row.bench + "\x1f" + row.tier + "\x1f" +
-         FormatDouble(row.threshold, 6) + "\x1f" + row.metric + "\x1f" +
-         row.unit;
-}
-
 double AbsFloorForUnit(const std::string& unit,
                        const BenchDiffOptions& options) {
   if (unit == "s" || unit == "seconds") return options.abs_floor_seconds;
@@ -46,6 +37,12 @@ double AbsFloorForUnit(const std::string& unit,
 }
 
 }  // namespace
+
+std::string BenchRowKey(const ParsedBenchRow& row) {
+  return row.bench + "\x1f" + row.tier + "\x1f" +
+         FormatDouble(row.threshold, 6) + "\x1f" + row.metric + "\x1f" +
+         row.unit;
+}
 
 Direction DirectionForUnit(const std::string& unit) {
   if (unit == "s" || unit == "seconds" || unit == "ms" || unit == "bytes" ||
@@ -172,12 +169,12 @@ DiffReport DiffBenchRows(const std::vector<ParsedBenchRow>& baseline,
   DiffReport report;
   std::map<std::string, const ParsedBenchRow*> candidate_by_key;
   for (const ParsedBenchRow& row : candidate) {
-    candidate_by_key[RowKey(row)] = &row;
+    candidate_by_key[BenchRowKey(row)] = &row;
   }
 
   std::map<std::string, bool> baseline_keys;
   for (const ParsedBenchRow& base : baseline) {
-    baseline_keys[RowKey(base)] = true;
+    baseline_keys[BenchRowKey(base)] = true;
     DiffRow diff;
     diff.bench = base.bench;
     diff.tier = base.tier;
@@ -186,7 +183,7 @@ DiffReport DiffBenchRows(const std::vector<ParsedBenchRow>& baseline,
     diff.unit = base.unit;
     diff.base_value = base.value;
 
-    const auto it = candidate_by_key.find(RowKey(base));
+    const auto it = candidate_by_key.find(BenchRowKey(base));
     if (it == candidate_by_key.end()) {
       diff.verdict = RowVerdict::kMissing;
       ++report.missing;
@@ -204,6 +201,7 @@ DiffReport DiffBenchRows(const std::vector<ParsedBenchRow>& baseline,
     if (direction == Direction::kInfoOnly) {
       diff.verdict = RowVerdict::kInfo;
       ++report.info;
+      ++report.info_skipped;
       report.rows.push_back(std::move(diff));
       continue;
     }
@@ -232,7 +230,7 @@ DiffReport DiffBenchRows(const std::vector<ParsedBenchRow>& baseline,
   // Candidate-only rows: informational (a new benchmark is progress, not a
   // regression).
   for (const ParsedBenchRow& cand : candidate) {
-    if (baseline_keys.count(RowKey(cand)) != 0) continue;
+    if (baseline_keys.count(BenchRowKey(cand)) != 0) continue;
     DiffRow diff;
     diff.verdict = RowVerdict::kNew;
     diff.bench = cand.bench;
@@ -242,6 +240,9 @@ DiffReport DiffBenchRows(const std::vector<ParsedBenchRow>& baseline,
     diff.unit = cand.unit;
     diff.cand_value = cand.value;
     ++report.added;
+    if (DirectionForUnit(cand.unit) == Direction::kInfoOnly) {
+      ++report.info_skipped;
+    }
     report.rows.push_back(std::move(diff));
   }
 
@@ -278,10 +279,11 @@ void PrintDiffReport(const DiffReport& report, std::FILE* out) {
   }
   std::fprintf(out,
                "\n%zu rows: %zu ok, %zu improved, %zu regressed, %zu "
-               "missing, %zu new, %zu info -> %s\n",
+               "missing, %zu new, %zu info (%zu info-unit rows skipped by "
+               "gate) -> %s\n",
                report.rows.size(), report.ok, report.improved,
                report.regressed, report.missing, report.added, report.info,
-               report.failed ? "FAIL" : "PASS");
+               report.info_skipped, report.failed ? "FAIL" : "PASS");
 }
 
 }  // namespace benchdiff

@@ -35,6 +35,11 @@ enum class Direction {
 
 Direction DirectionForUnit(const std::string& unit);
 
+/// Composite match key for a row: (bench, tier, threshold, metric, unit).
+/// The threshold is formatted with fixed precision so 0.1 and a re-parsed
+/// 0.1000000001 still match. Shared by the diff gate and the trend table.
+std::string BenchRowKey(const ParsedBenchRow& row);
+
 /// Noise-aware gate policy. A matched row REGRESSES only when it moved in
 /// the bad direction by more than ALL of: rel_tolerance × |baseline|, the
 /// unit's absolute floor, and stddev_mult × the larger of the two recorded
@@ -76,6 +81,11 @@ struct DiffReport {
   size_t missing = 0;
   size_t added = 0;
   size_t info = 0;
+  /// Every row the gate skipped for having an info-only unit — the matched
+  /// `info` rows plus candidate-only rows with info-only units (counted in
+  /// `added` too). Printed in the summary so skipped rows are never silent
+  /// (the "no silent caps" rule, DESIGN.md §9).
+  size_t info_skipped = 0;
 
   /// True when the gate should fail the build per `options.fail_on_missing`.
   bool failed = false;

@@ -1,0 +1,114 @@
+#include "bench_trend.h"
+
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace srp {
+namespace benchdiff {
+
+TrendTable BuildTrendTable(const std::vector<TrendRun>& runs) {
+  TrendTable table;
+  table.run_labels.reserve(runs.size());
+  for (const TrendRun& run : runs) table.run_labels.push_back(run.label);
+
+  std::map<std::string, size_t> row_index;
+  for (size_t r = 0; r < runs.size(); ++r) {
+    for (const ParsedBenchRow& row : runs[r].rows) {
+      const std::string key = BenchRowKey(row);
+      auto [it, inserted] = row_index.emplace(key, table.rows.size());
+      if (inserted) {
+        TrendTable::Row out;
+        out.bench = row.bench;
+        out.tier = row.tier;
+        out.threshold = row.threshold;
+        out.metric = row.metric;
+        out.unit = row.unit;
+        out.values.assign(runs.size(), 0.0);
+        out.present.assign(runs.size(), false);
+        table.rows.push_back(std::move(out));
+      }
+      TrendTable::Row& out = table.rows[it->second];
+      out.values[r] = row.value;  // last value wins, as in DiffBenchRows
+      out.present[r] = true;
+    }
+  }
+  return table;
+}
+
+namespace {
+
+/// Markdown cells may not contain pipes; bench/tier names are simple
+/// identifiers today, but keep the table well-formed regardless.
+std::string MarkdownEscape(const std::string& cell) {
+  std::string out;
+  out.reserve(cell.size());
+  for (char c : cell) {
+    if (c == '|') {
+      out += "\\|";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void PrintTrendMarkdown(const TrendTable& table, std::FILE* out) {
+  const size_t num_runs = table.run_labels.size();
+  const bool with_delta = num_runs >= 2;
+
+  std::fprintf(out, "| bench | tier | theta | metric | unit |");
+  for (const std::string& label : table.run_labels) {
+    std::fprintf(out, " %s |", MarkdownEscape(label).c_str());
+  }
+  if (with_delta) std::fprintf(out, " delta |");
+  std::fprintf(out, "\n");
+
+  std::fprintf(out, "| --- | --- | --- | --- | --- |");
+  for (size_t r = 0; r < num_runs; ++r) std::fprintf(out, " ---: |");
+  if (with_delta) std::fprintf(out, " ---: |");
+  std::fprintf(out, "\n");
+
+  for (const TrendTable::Row& row : table.rows) {
+    std::fprintf(out, "| %s | %s | %s | %s | %s |",
+                 MarkdownEscape(row.bench).c_str(),
+                 MarkdownEscape(row.tier).c_str(),
+                 FormatDouble(row.threshold, 2).c_str(),
+                 MarkdownEscape(row.metric).c_str(),
+                 MarkdownEscape(row.unit).c_str());
+    for (size_t r = 0; r < num_runs; ++r) {
+      if (row.present[r]) {
+        std::fprintf(out, " %s |", FormatDouble(row.values[r], 6).c_str());
+      } else {
+        std::fprintf(out, " - |");
+      }
+    }
+    if (with_delta) {
+      // First-to-last percent change across the runs that actually recorded
+      // the row, so a metric added mid-series still gets a trend.
+      size_t first = num_runs;
+      size_t last = num_runs;
+      for (size_t r = 0; r < num_runs; ++r) {
+        if (!row.present[r]) continue;
+        if (first == num_runs) first = r;
+        last = r;
+      }
+      if (first == num_runs || first == last ||
+          std::abs(row.values[first]) < 1e-300) {
+        std::fprintf(out, " - |");
+      } else {
+        const double pct = 100.0 * (row.values[last] - row.values[first]) /
+                           std::abs(row.values[first]);
+        std::fprintf(out, " %s%% |", FormatDouble(pct, 1).c_str());
+      }
+    }
+    std::fprintf(out, "\n");
+  }
+}
+
+}  // namespace benchdiff
+}  // namespace srp

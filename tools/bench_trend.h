@@ -1,0 +1,49 @@
+#ifndef SRP_TOOLS_BENCH_TREND_H_
+#define SRP_TOOLS_BENCH_TREND_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_diff.h"
+
+namespace srp {
+namespace benchdiff {
+
+/// One labelled set of bench rows, typically one BENCH_*.json artifact (or
+/// a directory of them) from one CI run.
+struct TrendRun {
+  std::string label;
+  std::vector<ParsedBenchRow> rows;
+};
+
+/// A metric-vs-run matrix: one row per distinct BenchRowKey across all runs
+/// (first-seen order), one value column per run.
+struct TrendTable {
+  struct Row {
+    std::string bench;
+    std::string tier;
+    double threshold = 0.0;
+    std::string metric;
+    std::string unit;
+    std::vector<double> values;  ///< one slot per run, valid iff present
+    std::vector<bool> present;
+  };
+  std::vector<std::string> run_labels;
+  std::vector<Row> rows;
+};
+
+/// Merges the runs into a trend table. Rows are matched across runs with the
+/// same BenchRowKey the diff gate uses; when a run records the same key more
+/// than once the last value wins (matching DiffBenchRows' candidate map).
+TrendTable BuildTrendTable(const std::vector<TrendRun>& runs);
+
+/// Renders the table as GitHub-flavored markdown. Missing cells print "-";
+/// the trailing delta column compares each row's last present value against
+/// its first (omitted with fewer than two runs).
+void PrintTrendMarkdown(const TrendTable& table, std::FILE* out);
+
+}  // namespace benchdiff
+}  // namespace srp
+
+#endif  // SRP_TOOLS_BENCH_TREND_H_

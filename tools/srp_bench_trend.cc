@@ -1,0 +1,117 @@
+// Bench trend table: merges N BENCH_*.json artifacts (one per CI run) into
+// a single markdown metric-vs-run table, so a slow drift that never trips
+// the srp_bench_diff gate in any single step is still visible.
+//
+// Usage:
+//   srp_bench_trend [--out=FILE] <artifact> [<artifact>...]
+//
+// Each <artifact> is a BENCH_*.json file or a directory of them; column
+// order follows the command line (pass runs oldest-first so the delta
+// column reads first-to-last). Labels default to the file basename with
+// the BENCH_ prefix and .json suffix stripped; override per-artifact with
+// label=path. Exit codes: 0 ok, 2 bad usage / IO error.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_trend.h"
+
+namespace {
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: srp_bench_trend [--out=FILE] <artifact> "
+               "[<artifact>...]\n"
+               "  <artifact>: BENCH_*.json file or directory, optionally "
+               "prefixed label=\n"
+               "flags:\n"
+               "  --out=FILE  write the markdown table to FILE instead of "
+               "stdout\n");
+}
+
+/// BENCH_fig5.json -> fig5; bench/ -> bench; label= prefixes win outright.
+std::string LabelForArtifact(const std::string& spec, std::string* path) {
+  const size_t eq = spec.find('=');
+  if (eq != std::string::npos && eq > 0) {
+    *path = spec.substr(eq + 1);
+    return spec.substr(0, eq);
+  }
+  *path = spec;
+  std::string label = spec;
+  const size_t slash = label.find_last_of('/');
+  if (slash != std::string::npos && slash + 1 < label.size()) {
+    label = label.substr(slash + 1);
+  }
+  if (label.rfind("BENCH_", 0) == 0) label = label.substr(6);
+  if (label.size() > 5 &&
+      label.compare(label.size() - 5, 5, ".json") == 0) {
+    label = label.substr(0, label.size() - 5);
+  }
+  return label;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::vector<std::string> specs;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      PrintUsage(stdout);
+      return 0;
+    }
+    if (std::strncmp(arg, "--out=", 6) == 0) {
+      out_path = arg + 6;
+      if (out_path.empty()) {
+        std::fprintf(stderr, "srp_bench_trend: --out needs a path\n");
+        return 2;
+      }
+    } else if (arg[0] == '-' && arg[1] != '\0') {
+      std::fprintf(stderr, "srp_bench_trend: unknown flag: %s\n", arg);
+      PrintUsage(stderr);
+      return 2;
+    } else {
+      specs.emplace_back(arg);
+    }
+  }
+  if (specs.empty()) {
+    PrintUsage(stderr);
+    return 2;
+  }
+
+  std::vector<srp::benchdiff::TrendRun> runs;
+  runs.reserve(specs.size());
+  for (const std::string& spec : specs) {
+    srp::benchdiff::TrendRun run;
+    std::string path;
+    run.label = LabelForArtifact(spec, &path);
+    auto rows = srp::benchdiff::LoadBenchRows(path);
+    if (!rows.ok()) {
+      std::fprintf(stderr, "srp_bench_trend: %s: %s\n", path.c_str(),
+                   rows.status().ToString().c_str());
+      return 2;
+    }
+    run.rows = std::move(*rows);
+    runs.push_back(std::move(run));
+  }
+
+  const srp::benchdiff::TrendTable table =
+      srp::benchdiff::BuildTrendTable(runs);
+
+  std::FILE* out = stdout;
+  if (!out_path.empty()) {
+    out = std::fopen(out_path.c_str(), "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "srp_bench_trend: cannot open %s\n",
+                   out_path.c_str());
+      return 2;
+    }
+  }
+  srp::benchdiff::PrintTrendMarkdown(table, out);
+  if (out != stdout) std::fclose(out);
+  return 0;
+}

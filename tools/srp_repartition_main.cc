@@ -30,7 +30,9 @@
 #include "data/datasets.h"
 #include "fail/cancellation.h"
 #include "grid/grid_builder.h"
+#include "obs/introspect.h"
 #include "obs/metrics_registry.h"
+#include "obs/profiler.h"
 #include "obs/run_report.h"
 #include "obs/tracer.h"
 #include "parallel/thread_pool.h"
@@ -48,6 +50,12 @@ struct CliOptions {
   std::string trace_out;    ///< Chrome trace-event JSON (empty = no tracing)
   std::string metrics_out;  ///< metrics snapshot; ".json" → JSON, else CSV
   std::string report_out;   ///< unified run report JSON (DESIGN.md §9)
+  std::string profile_out;  ///< folded sampling-profiler stacks (§10)
+  std::string introspect_out;  ///< algorithm-introspection series CSV (§10)
+  /// Collect per-phase hardware counters (perf_event; degrades to a printed
+  /// unavailable_reason when the syscall is denied).
+  bool hw_counters = false;
+  bool print_version = false;  ///< --version: print provenance and exit 0
   size_t rows = 64;
   size_t cols = 64;
   double theta = 0.1;
@@ -72,6 +80,10 @@ void Usage() {
                "[--metrics-out metrics.csv]\n"
                "                       [--report-out report.json] "
                "[--deadline-ms MS] [--best-effort]\n"
+               "                       [--profile-out prof.folded] "
+               "[--hw-counters]\n"
+               "                       [--introspect-out series.csv] "
+               "[--version]\n"
                "  KIND: taxi_uni taxi_multi home_sales vehicles earnings "
                "earnings_uni\n"
                "  S:    comma list of name:agg[:int], agg in "
@@ -82,6 +94,14 @@ void Usage() {
                "DeadlineExceeded when hit);\n"
                "  --best-effort instead returns the best partition found "
                "before the deadline.\n"
+               "  --profile-out samples wall-clock stacks into a folded "
+               "file (flamegraph.pl / speedscope);\n"
+               "  --hw-counters adds per-phase cycle/instruction/cache "
+               "counts (perf_event) to the\n"
+               "  breakdown and the run report; --introspect-out exports "
+               "the per-iteration IFL and\n"
+               "  variation series as CSV. --version prints build "
+               "provenance and exits.\n"
                "  Flags accept both --flag value and --flag=value; '_' and "
                "'-' are interchangeable.\n");
 }
@@ -160,6 +180,26 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       const char* v = next();
       if (v == nullptr) return false;
       out->report_out = v;
+    } else if (arg == "--profile-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->profile_out = v;
+    } else if (arg == "--introspect-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->introspect_out = v;
+    } else if (arg == "--hw-counters") {
+      if (has_inline_value) {
+        std::fprintf(stderr, "--hw-counters takes no value\n");
+        return false;
+      }
+      out->hw_counters = true;
+    } else if (arg == "--version") {
+      if (has_inline_value) {
+        std::fprintf(stderr, "--version takes no value\n");
+        return false;
+      }
+      out->print_version = true;
     } else if (arg == "--deadline-ms") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -182,6 +222,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       return false;
     }
   }
+  if (out->print_version) return true;  // no dataset needed to print and exit
   if (out->demo.empty() == out->input.empty()) {
     std::fprintf(stderr, "exactly one of --demo / --input is required\n");
     return false;
@@ -343,28 +384,46 @@ void PrintRunStats(const RepartitionResult& result,
   const RunStats& stats = result.stats;
   const double total = result.elapsed_seconds;
   // The alloc column is each phase's allocation high-water above its entry
-  // level (srp_memtrack); all zeros when the hooks are not linked in.
+  // level (srp_memtrack); all zeros when the hooks are not linked in. With
+  // --hw-counters and a live perf group, an instructions-per-cycle column
+  // shows where the driver thread stalls.
+  const bool hw = stats.hw_counters_collected;
   std::printf("\nphase breakdown (of %.3fs total):\n", total);
-  std::printf("  %-18s %10s %6s %12s\n", "phase", "time", "share", "alloc");
-  const auto row = [total](const char* name, double seconds,
-                           int64_t peak_bytes) {
-    std::printf("  %-18s %9.4fs %5.1f%% %9.2fMiB\n", name, seconds,
+  std::printf("  %-18s %10s %6s %12s%s\n", "phase", "time", "share", "alloc",
+              hw ? "    ipc" : "");
+  const auto row = [total, hw](const char* name, double seconds,
+                               int64_t peak_bytes,
+                               const obs::HwCounterValues& counters) {
+    std::printf("  %-18s %9.4fs %5.1f%% %9.2fMiB", name, seconds,
                 total > 0.0 ? 100.0 * seconds / total : 0.0,
                 static_cast<double>(peak_bytes) / (1024.0 * 1024.0));
+    if (hw) {
+      std::printf(" %6.2f", counters.InstructionsPerCycle());
+    }
+    std::printf("\n");
   };
-  row("normalize", stats.normalize_seconds, stats.normalize_peak_bytes);
+  row("normalize", stats.normalize_seconds, stats.normalize_peak_bytes,
+      stats.normalize_hw);
   row("pair variations", stats.pair_variation_seconds,
-      stats.pair_variation_peak_bytes);
-  row("heap build", stats.heap_build_seconds, stats.heap_build_peak_bytes);
+      stats.pair_variation_peak_bytes, stats.pair_variation_hw);
+  row("heap build", stats.heap_build_seconds, stats.heap_build_peak_bytes,
+      stats.heap_build_hw);
   row("variation pop", stats.variation_pop_seconds,
-      stats.variation_pop_peak_bytes);
-  row("extract", stats.extract_seconds, stats.extract_peak_bytes);
-  row("allocate features", stats.allocate_seconds, stats.allocate_peak_bytes);
+      stats.variation_pop_peak_bytes, stats.variation_pop_hw);
+  row("extract", stats.extract_seconds, stats.extract_peak_bytes,
+      stats.extract_hw);
+  row("allocate features", stats.allocate_seconds, stats.allocate_peak_bytes,
+      stats.allocate_hw);
   row("information loss", stats.information_loss_seconds,
-      stats.information_loss_peak_bytes);
-  row("accounted", stats.PhaseTotalSeconds(), stats.MaxPhasePeakBytes());
+      stats.information_loss_peak_bytes, stats.information_loss_hw);
+  row("accounted", stats.PhaseTotalSeconds(), stats.MaxPhasePeakBytes(),
+      stats.TotalHwCounters());
   std::printf("  heap pops %zu, extractions %zu\n", stats.heap_pops,
               stats.extractions);
+  if (options.hw_counters && !hw) {
+    std::printf("  hw counters unavailable: %s\n",
+                stats.hw_unavailable_reason.c_str());
+  }
   if (options.deadline_ms > 0.0) {
     std::printf("  deadline %.1fms (%s): %s\n", options.deadline_ms,
                 options.best_effort ? "best-effort" : "strict",
@@ -374,10 +433,12 @@ void PrintRunStats(const RepartitionResult& result,
 }
 
 /// --report-out: one JSON document holding everything this run produced —
-/// provenance, config echo, per-phase time + allocation high-water, pool
-/// utilization, outcome, headline results, metrics, span tree.
+/// provenance, config echo, per-phase time + allocation high-water (+ hw
+/// counters when collected), pool utilization, outcome, headline results,
+/// introspection series, metrics, span tree.
 Status WriteRunReport(const CliOptions& options, const GridDataset& grid,
-                      const RepartitionResult& result) {
+                      const RepartitionResult& result,
+                      const obs::IntrospectionRecord* introspection) {
   obs::RunReport report("srp_repartition");
   if (!options.demo.empty()) {
     report.SetConfig("demo", options.demo);
@@ -396,20 +457,48 @@ Status WriteRunReport(const CliOptions& options, const GridDataset& grid,
   report.SetConfig("deadline_ms", options.deadline_ms);
   report.SetConfig("best_effort", options.best_effort);
 
+  report.SetConfig("hw_counters", options.hw_counters);
+
   const RunStats& stats = result.stats;
-  report.AddPhase("normalize", stats.normalize_seconds,
-                  stats.normalize_peak_bytes);
-  report.AddPhase("pair_variations", stats.pair_variation_seconds,
-                  stats.pair_variation_peak_bytes);
-  report.AddPhase("heap_build", stats.heap_build_seconds,
-                  stats.heap_build_peak_bytes);
-  report.AddPhase("variation_pop", stats.variation_pop_seconds,
-                  stats.variation_pop_peak_bytes);
-  report.AddPhase("extract", stats.extract_seconds, stats.extract_peak_bytes);
-  report.AddPhase("allocate_features", stats.allocate_seconds,
-                  stats.allocate_peak_bytes);
-  report.AddPhase("information_loss", stats.information_loss_seconds,
-                  stats.information_loss_peak_bytes);
+  if (stats.hw_counters_collected) {
+    report.AddPhase("normalize", stats.normalize_seconds,
+                    stats.normalize_peak_bytes, stats.normalize_hw);
+    report.AddPhase("pair_variations", stats.pair_variation_seconds,
+                    stats.pair_variation_peak_bytes, stats.pair_variation_hw);
+    report.AddPhase("heap_build", stats.heap_build_seconds,
+                    stats.heap_build_peak_bytes, stats.heap_build_hw);
+    report.AddPhase("variation_pop", stats.variation_pop_seconds,
+                    stats.variation_pop_peak_bytes, stats.variation_pop_hw);
+    report.AddPhase("extract", stats.extract_seconds, stats.extract_peak_bytes,
+                    stats.extract_hw);
+    report.AddPhase("allocate_features", stats.allocate_seconds,
+                    stats.allocate_peak_bytes, stats.allocate_hw);
+    report.AddPhase("information_loss", stats.information_loss_seconds,
+                    stats.information_loss_peak_bytes,
+                    stats.information_loss_hw);
+  } else {
+    report.AddPhase("normalize", stats.normalize_seconds,
+                    stats.normalize_peak_bytes);
+    report.AddPhase("pair_variations", stats.pair_variation_seconds,
+                    stats.pair_variation_peak_bytes);
+    report.AddPhase("heap_build", stats.heap_build_seconds,
+                    stats.heap_build_peak_bytes);
+    report.AddPhase("variation_pop", stats.variation_pop_seconds,
+                    stats.variation_pop_peak_bytes);
+    report.AddPhase("extract", stats.extract_seconds,
+                    stats.extract_peak_bytes);
+    report.AddPhase("allocate_features", stats.allocate_seconds,
+                    stats.allocate_peak_bytes);
+    report.AddPhase("information_loss", stats.information_loss_seconds,
+                    stats.information_loss_peak_bytes);
+  }
+  if (options.hw_counters) {
+    report.SetHwCounterStatus(stats.hw_counters_collected,
+                              stats.hw_unavailable_reason);
+    if (stats.hw_counters_collected) {
+      report.SetHwTotals(stats.TotalHwCounters());
+    }
+  }
   if (stats.pool_size > 0) {
     obs::RunReportPool pool;
     pool.size = stats.pool_size;
@@ -433,6 +522,10 @@ Status WriteRunReport(const CliOptions& options, const GridDataset& grid,
   report.SetResult("cell_ratio", result.CellRatio());
   report.SetResult("elapsed_seconds", result.elapsed_seconds);
 
+  if (introspection != nullptr) {
+    report.SetIntrospection(introspection->ToJson());
+  }
+
   obs::MetricsRegistry::Get().UpdateMemoryGauges();
   report.CaptureMetrics();
   report.CaptureTracer();
@@ -444,6 +537,14 @@ int Run(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &options)) {
     Usage();
     return 2;
+  }
+
+  if (options.print_version) {
+    const obs::RunReportProvenance provenance = obs::BuildProvenance();
+    std::printf("srp_repartition %s (%s build, %s)\n",
+                provenance.git_sha.c_str(), provenance.build_type.c_str(),
+                provenance.compiler.c_str());
+    return 0;
   }
 
   Result<GridDataset> grid = Status::Internal("unset");
@@ -475,6 +576,13 @@ int Run(int argc, char** argv) {
   ropt.ifl_threshold = options.theta;
   ropt.min_variation_step = options.min_variation_step;
   ropt.num_threads = options.num_threads;
+  ropt.hw_counters = options.hw_counters;
+  // Recording costs a few appends per iteration, so it is attached only
+  // when some output will carry the series (CSV export or the v2 report).
+  obs::RecordingIntrospectionSink introspection;
+  const bool record_introspection =
+      !options.introspect_out.empty() || !options.report_out.empty();
+  if (record_introspection) ropt.introspection = &introspection;
   RunContext ctx;
   const RunContext* ctx_ptr = nullptr;
   if (options.deadline_ms > 0.0) {
@@ -482,7 +590,19 @@ int Run(int argc, char** argv) {
     ctx.set_best_effort(options.best_effort);
     ctx_ptr = &ctx;
   }
+
+  // The sampling profiler covers exactly the re-partitioning run (grid
+  // building and CSV export stay out of the profile).
+  obs::SamplingProfiler profiler;
+  if (!options.profile_out.empty()) {
+    if (const Status s = profiler.Start(); !s.ok()) {
+      std::fprintf(stderr, "profiler start failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+  }
   auto result = Repartitioner(ropt).Run(*grid, ctx_ptr);
+  if (profiler.running()) (void)profiler.Stop();
   if (!result.ok()) {
     std::fprintf(stderr, "repartition failed: %s\n",
                  result.status().ToString().c_str());
@@ -538,10 +658,35 @@ int Run(int argc, char** argv) {
     }
     std::printf("wrote metrics snapshot to %s\n", path.c_str());
   }
+  if (!options.profile_out.empty()) {
+    if (const Status s = profiler.WriteFolded(options.profile_out); !s.ok()) {
+      std::fprintf(stderr, "profile export failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu folded stack sample(s) to %s (%zu dropped)\n",
+                profiler.CollectedSamples(), options.profile_out.c_str(),
+                profiler.DroppedSamples());
+  }
+  if (!options.introspect_out.empty()) {
+    if (const Status s =
+            introspection.record().WriteCsv(options.introspect_out);
+        !s.ok()) {
+      std::fprintf(stderr, "introspection export failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote introspection series to %s (%zu iterations)\n",
+                options.introspect_out.c_str(),
+                introspection.record().ifl_series.size());
+  }
   if (!options.report_out.empty()) {
     // After the trace-out block so an enabled tracer is already disabled
     // and its ring is stable when the report captures the span tree.
-    if (auto s = WriteRunReport(options, *grid, *result); !s.ok()) {
+    if (auto s = WriteRunReport(
+            options, *grid, *result,
+            record_introspection ? &introspection.record() : nullptr);
+        !s.ok()) {
       std::fprintf(stderr, "report export failed: %s\n",
                    s.ToString().c_str());
       return 1;
