@@ -16,6 +16,7 @@
 #include "core/variation.h"
 #include "fail/cancellation.h"
 #include "grid/normalize.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
 #include "obs/run_report.h"
 #include "parallel/thread_pool.h"
@@ -395,6 +396,16 @@ void ResultTable::Print() const {
 
 ObsSession::ObsSession(std::string bench_name)
     : bench_name_(std::move(bench_name)) {
+  // Every bench binary honors SRP_LOG_LEVEL / SRP_LOG_OUT and arms the
+  // flight recorder (postmortems to $SRP_POSTMORTEM_DIR). Once per process:
+  // bench mains build one ObsSession per benchmark, and env config must not
+  // reopen the log file (or re-stack sinks) on each of them.
+  static const bool obs_env_applied = [] {
+    ConfigureLoggingFromEnv();
+    SRP_CHECK_OK(obs::FlightRecorder::Install());
+    return true;
+  }();
+  (void)obs_env_applied;
   const char* trace_out = std::getenv("SRP_TRACE_OUT");
   const char* metrics_out = std::getenv("SRP_METRICS_OUT");
   const char* profile_out = std::getenv("SRP_PROFILE_OUT");

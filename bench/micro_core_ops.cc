@@ -12,6 +12,7 @@
 #include "core/variation.h"
 #include "core/variation_heap.h"
 #include "grid/normalize.h"
+#include "obs/journal.h"
 #include "parallel/thread_pool.h"
 #include "util/logging.h"
 
@@ -183,6 +184,30 @@ void BM_FullRepartition(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullRepartition)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// Flight-recorder journal overhead (DESIGN.md §11): one Append is the unit
+// cost every journaled milestone pays (phase changes, span begin/end, log
+// records). The recorder ships always-on, so this bounds what "always-on"
+// costs — tens of nanoseconds, far below the bench-diff gate's noise floor
+// for the operator benchmarks above.
+void BM_JournalAppend(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::Journal::Append(obs::JournalEventKind::kLog, 1,
+                         "journal overhead probe");
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_JournalAppend);
+
+void BM_JournalPhaseFlip(benchmark::State& state) {
+  bool flip = false;
+  for (auto _ : state) {
+    obs::Journal::SetPhase(flip ? "bench.phase_a" : "bench.phase_b");
+    flip = !flip;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_JournalPhaseFlip);
 
 }  // namespace
 }  // namespace bench

@@ -11,6 +11,7 @@
 #include "core/variation_heap.h"
 #include "fail/fault_injection.h"
 #include "grid/normalize.h"
+#include "obs/journal.h"
 #include "obs/metrics_registry.h"
 #include "obs/tracer.h"
 #include "parallel/thread_pool.h"
@@ -85,6 +86,11 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
   SRP_RETURN_IF_ERROR(options_.Validate());
 
   SRP_TRACE_SPAN("repartition.run");
+  // Last-known phase for crash forensics: each sub-phase below updates the
+  // process-wide marker (an atomic pointer swap plus one journal event on
+  // change — cold next to the O(cells) work it brackets); the scope restores
+  // the caller's phase on every exit path.
+  obs::JournalPhaseScope journal_phase("repartition.run");
   WallTimer timer;
   RepartitionResult result;
   RunStats& stats = result.stats;
@@ -173,6 +179,7 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
     phase_timer.Restart();
     const GridDataset normalized = [&] {
       SRP_TRACE_SPAN("repartition.normalize");
+      obs::Journal::SetPhase("repartition.normalize");
       return AttributeNormalized(grid);
     }();
     take_phase(&stats.normalize_seconds, &stats.normalize_peak_bytes,
@@ -183,6 +190,7 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
     SRP_INJECT_FAULT("core.pair_variations");
     const PairVariations variations = [&] {
       SRP_TRACE_SPAN("repartition.pair_variations");
+      obs::Journal::SetPhase("repartition.pair_variations");
       return ComputePairVariations(normalized, pool.get(), ctx);
     }();
     take_phase(&stats.pair_variation_seconds, &stats.pair_variation_peak_bytes,
@@ -196,6 +204,7 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
     heap.set_introspection_sink(sink);
     {
       SRP_TRACE_SPAN("repartition.heap_build");
+      obs::Journal::SetPhase("repartition.heap_build");
       heap.Build(variations, &normalized);
     }
     take_phase(&stats.heap_build_seconds, &stats.heap_build_peak_bytes,
@@ -209,6 +218,7 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
       if (degrade) return Status::OK();
 
       phase_timer.Restart();
+      obs::Journal::SetPhase("repartition.variation_pop");
       double variation = 0.0;
       const bool popped = heap.PopNextGreater(
           previous_variation + options_.min_variation_step, &variation);
@@ -222,6 +232,7 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
 
       Partition candidate = [&] {
         SRP_TRACE_SPAN("repartition.extract");
+        obs::Journal::SetPhase("repartition.extract");
         return extractor.Extract(variation);
       }();
       ++stats.extractions;
@@ -230,6 +241,7 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
 
       {
         SRP_TRACE_SPAN("repartition.allocate_features");
+        obs::Journal::SetPhase("repartition.allocate_features");
         const Status allocated =
             AllocateFeatures(grid, &candidate, pool.get(), ctx);
         if (!allocated.ok()) {
@@ -248,6 +260,7 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
       SRP_INJECT_FAULT("core.information_loss");
       const double ifl = [&] {
         SRP_TRACE_SPAN("repartition.information_loss");
+        obs::Journal::SetPhase("repartition.information_loss");
         return InformationLoss(grid, candidate, pool.get(), ctx);
       }();
       take_phase(&stats.information_loss_seconds,

@@ -3,11 +3,19 @@
 #include <limits>
 
 #include "fail/fault_injection.h"
+#include "obs/journal.h"
 
 namespace srp {
 namespace {
 
 constexpr int kNone = static_cast<int>(InterruptKind::kNone);
+
+/// Journals the sticky first-interrupt transition and lets the flight
+/// recorder (if installed) write an interrupt postmortem. Only the thread
+/// whose CAS won reports, so each RunContext notifies at most once.
+void NotifyFirstInterrupt(InterruptKind kind, const char* detail) {
+  obs::Journal::NotifyInterrupt(static_cast<int>(kind), detail);
+}
 
 }  // namespace
 
@@ -22,16 +30,22 @@ bool RunContext::Interrupted() const {
   if (state_.load(std::memory_order_acquire) != kNone) return true;
   if (token_.cancelled()) {
     int expected = kNone;
-    state_.compare_exchange_strong(
-        expected, static_cast<int>(InterruptKind::kCancelled),
-        std::memory_order_acq_rel);
+    if (state_.compare_exchange_strong(
+            expected, static_cast<int>(InterruptKind::kCancelled),
+            std::memory_order_acq_rel)) {
+      NotifyFirstInterrupt(InterruptKind::kCancelled,
+                           "run cancelled via CancellationToken");
+    }
     return true;
   }
   if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
     int expected = kNone;
-    state_.compare_exchange_strong(
-        expected, static_cast<int>(InterruptKind::kDeadlineExceeded),
-        std::memory_order_acq_rel);
+    if (state_.compare_exchange_strong(
+            expected, static_cast<int>(InterruptKind::kDeadlineExceeded),
+            std::memory_order_acq_rel)) {
+      NotifyFirstInterrupt(InterruptKind::kDeadlineExceeded,
+                           "run deadline exceeded");
+    }
     return true;
   }
   return false;
@@ -42,9 +56,12 @@ bool RunContext::PollWorker() const {
 #ifndef SRP_FAULT_INJECTION_DISABLED
   if (FaultInjector::Get().Fire("parallel.task")) {
     int expected = kNone;
-    state_.compare_exchange_strong(
-        expected, static_cast<int>(InterruptKind::kInjectedFault),
-        std::memory_order_acq_rel);
+    if (state_.compare_exchange_strong(
+            expected, static_cast<int>(InterruptKind::kInjectedFault),
+            std::memory_order_acq_rel)) {
+      NotifyFirstInterrupt(InterruptKind::kInjectedFault,
+                           "injected fault at parallel.task");
+    }
     return true;
   }
 #endif

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <limits>
 
+#include "obs/journal.h"
+
 namespace srp {
 namespace {
 
@@ -140,6 +142,8 @@ bool FaultInjector::Fire(const char* point) {
   if (kind_ != FaultKind::kError || point_ != point) return false;
   if (++hits_ != nth_) return false;
   ++fired_;
+  obs::Journal::Appendf(obs::JournalEventKind::kFault, 0, "fired %s (error)",
+                        point);
   return true;
 }
 
@@ -154,6 +158,8 @@ double FaultInjector::Poison(const char* point, double value) {
   if (kind_ == FaultKind::kError || point_ != point) return value;
   if (++hits_ != nth_) return value;
   ++fired_;
+  obs::Journal::Appendf(obs::JournalEventKind::kFault, 0, "fired %s (%s)",
+                        point, kind_ == FaultKind::kNaN ? "nan" : "inf");
   return kind_ == FaultKind::kNaN
              ? std::numeric_limits<double>::quiet_NaN()
              : std::numeric_limits<double>::infinity();

@@ -1,0 +1,84 @@
+#ifndef SRP_OBS_FLIGHT_RECORDER_H_
+#define SRP_OBS_FLIGHT_RECORDER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/status.h"
+
+namespace srp {
+namespace obs {
+
+/// Version stamped into every postmortem document ("postmortem_schema_
+/// version"). Bump on breaking changes; additions are fine within a version.
+inline constexpr int kPostmortemSchemaVersion = 1;
+
+struct FlightRecorderOptions {
+  /// Directory postmortem dumps land in. Empty → $SRP_POSTMORTEM_DIR;
+  /// still empty → handlers stay armed but nothing is written to disk.
+  /// Created (one level) if missing.
+  std::string postmortem_dir;
+  /// Arm the SIGSEGV/SIGABRT/SIGBUS/SIGFPE crash handler (on an alternate
+  /// stack; the previous disposition is chained to after the dump).
+  bool install_signal_handlers = true;
+  /// Dump a postmortem when a RunContext observes its first interrupt
+  /// (deadline, cancellation, injected fault).
+  bool dump_on_interrupt = true;
+  /// Interrupt dumps are capped per process so a pathological loop of
+  /// deadline-bounded runs cannot fill the disk.
+  int max_interrupt_dumps = 8;
+  /// Journal thread label applied to the installing thread (nullptr skips).
+  const char* thread_label = "main";
+};
+
+/// The crash-forensics half of the flight recorder (DESIGN.md §11): a
+/// signal-safe crash handler plus an interrupt hook, both of which dump a
+/// versioned postmortem JSON — merged journal, backtrace, build provenance,
+/// last-known phase, metrics snapshot — for `tools/srp_inspect`.
+///
+/// Signal-safety rules for the crash path (everything reachable from
+/// CrashHandler): static buffers only, no allocation, no locks, no stdio —
+/// the JSON is hand-formatted and written with write(2). The journal's raw
+/// read path upholds the same rules. Interrupt dumps run in normal context
+/// and use the full JsonValue/metrics machinery (which is why only they
+/// carry a "metrics" section — the registry mutex is off-limits in a signal
+/// handler).
+class FlightRecorder {
+ public:
+  /// Idempotent; the first call wins and later calls are no-ops (OK).
+  static Status Install(const FlightRecorderOptions& options = {});
+  static bool installed();
+
+  /// Restores the previous signal dispositions and interrupt hook and
+  /// resets the interrupt-dump budget. Tests only.
+  static void Uninstall();
+
+  /// The effective dump directory ("" when dumps are disabled).
+  static std::string postmortem_dir();
+
+  /// Builds an interrupt-kind postmortem document in normal context.
+  /// `interrupt_kind` is the numeric fail::InterruptKind value.
+  static JsonValue BuildInterruptPostmortem(int interrupt_kind,
+                                            const char* cause);
+
+  /// Builds and writes an interrupt postmortem to the dump directory,
+  /// returning the path written. Fails when no directory is configured.
+  static Result<std::string> WriteInterruptPostmortem(int interrupt_kind,
+                                                      const char* cause);
+
+  /// Paths of interrupt postmortems written since Install (signal-path
+  /// dumps are not tracked here — the process is dying when they happen;
+  /// their filename is printed to stderr instead).
+  static std::vector<std::string> written_postmortems();
+};
+
+/// Structural validation of a parsed postmortem document (both the
+/// signal-path and interrupt-path shapes). Returns InvalidArgument naming
+/// the first violated invariant.
+Status ValidatePostmortemJson(const JsonValue& doc);
+
+}  // namespace obs
+}  // namespace srp
+
+#endif  // SRP_OBS_FLIGHT_RECORDER_H_

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/journal.h"
 #include "obs/json_util.h"
+#include "obs/metrics_registry.h"
 #include "util/string_util.h"
 
 namespace srp {
@@ -13,6 +15,7 @@ namespace {
 constexpr uint32_t kUnassignedTid = 0xffffffffu;
 
 std::atomic<uint32_t> g_next_tid{0};
+std::atomic<uint64_t> g_next_span_id{0};
 thread_local uint32_t t_tid = kUnassignedTid;
 thread_local uint32_t t_depth = 0;
 
@@ -64,6 +67,11 @@ void Tracer::Record(const SpanEvent& event) {
   if (!Enabled() || capacity_ == 0) return;
   if (size_ == capacity_) {
     ++dropped_;  // the slot at next_ holds the oldest span; overwrite it
+    // Also surfaced as a registry counter so run reports and metric dumps
+    // flag a clipped ring without consulting the trace export.
+    static Counter* dropped_spans =
+        MetricsRegistry::Get().GetCounter("trace.dropped_spans");
+    dropped_spans->Increment();
   } else {
     ++size_;
   }
@@ -140,12 +148,21 @@ void ScopedSpan::Begin(const char* name) {
   event_.name = name;
   event_.tid = Tracer::CurrentThreadId();
   event_.depth = t_depth++;
+  // Journal correlation: every span gets a process-unique id; while it is
+  // open it is the thread's "active span", stamped into structured log
+  // records produced inside it.
+  span_id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed) + 1;
+  parent_span_id_ = Journal::ActiveSpanId();
+  Journal::SetActiveSpanId(span_id_);
+  Journal::Append(JournalEventKind::kSpanBegin, 0, name);
   event_.start_us = Tracer::Get().NowMicros();
 }
 
 void ScopedSpan::End() {
   --t_depth;
   event_.duration_us = Tracer::Get().NowMicros() - event_.start_us;
+  Journal::Append(JournalEventKind::kSpanEnd, 0, event_.name);
+  Journal::SetActiveSpanId(parent_span_id_);
   Tracer::Get().Record(event_);
 }
 

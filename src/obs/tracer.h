@@ -112,6 +112,8 @@ class ScopedSpan {
 
   bool active_ = false;
   SpanEvent event_{};
+  uint64_t span_id_ = 0;         ///< process-unique id, journal-correlated
+  uint64_t parent_span_id_ = 0;  ///< restored as the thread's active span
 };
 
 }  // namespace obs

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "obs/journal.h"
 #include "obs/metrics_registry.h"
 #include "obs/profiler.h"
 
@@ -60,6 +61,8 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
   Metrics().pools_created->Increment();
   Metrics().pool_size->Set(static_cast<double>(num_threads));
+  obs::Journal::Appendf(obs::JournalEventKind::kTask, 0,
+                        "pool created size=%zu", num_threads);
 }
 
 ThreadPool::~ThreadPool() {
@@ -80,6 +83,9 @@ ThreadPool::~ThreadPool() {
     metrics.queue_depth_high_water->Set(
         static_cast<double>(stats.queue_depth_high_water));
   }
+  obs::Journal::Appendf(obs::JournalEventKind::kTask, 0,
+                        "pool destroyed tasks=%lld",
+                        static_cast<long long>(stats.tasks_executed));
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
@@ -111,6 +117,11 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
   char label[32];
   std::snprintf(label, sizeof(label), "pool-worker-%zu", worker_index);
   obs::SetProfilerThreadLabel(label);
+  // The same label attributes this worker's flight-recorder journal ring.
+  // Lifecycle milestones are journaled per worker, never per task — the
+  // journal must stay cold on the task hot path.
+  obs::Journal::SetThreadLabel(label);
+  obs::Journal::Append(obs::JournalEventKind::kTask, 0, "worker started");
   for (;;) {
     std::function<void()> task;
     {
@@ -120,7 +131,11 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
         cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       }
       // Drain remaining tasks even after stop so queued work is never lost.
-      if (queue_.empty()) return;
+      if (queue_.empty()) {
+        obs::Journal::Append(obs::JournalEventKind::kTask, 0,
+                             "worker exiting");
+        return;
+      }
       task = std::move(queue_.front());
       queue_.pop_front();
     }

@@ -1,0 +1,257 @@
+// Tests for the lock-free per-thread flight-recorder journal (DESIGN.md
+// §11): append/snapshot ordering, ring wrap-around, thread labels, the
+// process-wide phase, the per-thread active span id, the crash-cause buffer
+// and the interrupt hook the fail layer fires through.
+
+#include "obs/journal.h"
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace srp {
+namespace obs {
+namespace {
+
+/// Resets the journal around every test so cases are independent. The
+/// journal ships enabled; restore that on the way out.
+class JournalTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    Journal::ResetForTesting();
+    Journal::SetEnabled(true);
+  }
+  void TearDown() override {
+    Journal::ResetForTesting();
+    Journal::SetEnabled(true);
+  }
+};
+
+TEST_F(JournalTest, AppendShowsUpInMergedSnapshotInOrder) {
+  Journal::Append(JournalEventKind::kLog, 1, "first");
+  Journal::Append(JournalEventKind::kFault, 0, "second");
+  const std::vector<JournalEvent> merged = Journal::SnapshotMerged();
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_LT(merged[0].seq, merged[1].seq);
+  EXPECT_LE(merged[0].ts_ns, merged[1].ts_ns);
+  EXPECT_STREQ(merged[0].text, "first");
+  EXPECT_EQ(merged[0].kind, JournalEventKind::kLog);
+  EXPECT_EQ(merged[0].level, 1);
+  EXPECT_STREQ(merged[1].text, "second");
+  EXPECT_EQ(merged[1].kind, JournalEventKind::kFault);
+  EXPECT_EQ(Journal::total_events(), 2u);
+}
+
+TEST_F(JournalTest, RingWrapKeepsTheNewestEvents) {
+  const size_t appended = kJournalEventsPerThread + 50;
+  for (size_t i = 0; i < appended; ++i) {
+    Journal::Appendf(JournalEventKind::kLog, 0, "event %zu", i);
+  }
+  const std::vector<JournalThreadSnapshot> threads = Journal::SnapshotThreads();
+  ASSERT_EQ(threads.size(), 1u);
+  const JournalThreadSnapshot& snap = threads[0];
+  EXPECT_EQ(snap.total_appends, appended);
+  ASSERT_EQ(snap.events.size(), kJournalEventsPerThread);
+  // Oldest retained event is the one right after the overwritten prefix.
+  EXPECT_EQ(std::string(snap.events.front().text), "event 50");
+  EXPECT_EQ(std::string(snap.events.back().text),
+            "event " + std::to_string(appended - 1));
+  // Snapshot order is append order.
+  for (size_t i = 1; i < snap.events.size(); ++i) {
+    EXPECT_LT(snap.events[i - 1].seq, snap.events[i].seq);
+  }
+}
+
+TEST_F(JournalTest, ThreadLabelIsCopiedAndTruncated) {
+  Journal::SetThreadLabel("main");
+  EXPECT_STREQ(Journal::ThreadLabel(), "main");
+  Journal::Append(JournalEventKind::kLog, 1, "labelled");
+  const auto threads = Journal::SnapshotThreads();
+  ASSERT_EQ(threads.size(), 1u);
+  EXPECT_EQ(threads[0].label, "main");
+  EXPECT_TRUE(threads[0].live);
+
+  const std::string longer(2 * kJournalThreadLabelCapacity, 'x');
+  Journal::SetThreadLabel(longer.c_str());
+  EXPECT_EQ(std::strlen(Journal::ThreadLabel()),
+            kJournalThreadLabelCapacity - 1);
+}
+
+TEST_F(JournalTest, PhaseScopeRestoresPreviousPhase) {
+  EXPECT_STREQ(Journal::CurrentPhase(), "");
+  {
+    JournalPhaseScope outer("test.outer");
+    EXPECT_STREQ(Journal::CurrentPhase(), "test.outer");
+    {
+      JournalPhaseScope inner("test.inner");
+      EXPECT_STREQ(Journal::CurrentPhase(), "test.inner");
+    }
+    EXPECT_STREQ(Journal::CurrentPhase(), "test.outer");
+  }
+  EXPECT_STREQ(Journal::CurrentPhase(), "");
+}
+
+TEST_F(JournalTest, PhaseChangeAppendsOneEventOnlyWhenItChanges) {
+  Journal::SetPhase("test.phase_a");
+  Journal::SetPhase("test.phase_a");  // no-op: unchanged
+  Journal::SetPhase("test.phase_b");
+  const std::vector<JournalEvent> merged = Journal::SnapshotMerged();
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].kind, JournalEventKind::kPhase);
+  EXPECT_STREQ(merged[0].text, "test.phase_a");
+  EXPECT_STREQ(merged[1].text, "test.phase_b");
+  Journal::SetPhase("");
+}
+
+TEST_F(JournalTest, ActiveSpanIdIsPerThread) {
+  Journal::SetActiveSpanId(42);
+  EXPECT_EQ(Journal::ActiveSpanId(), 42u);
+  uint64_t seen_in_other_thread = 99;
+  std::thread other([&] { seen_in_other_thread = Journal::ActiveSpanId(); });
+  other.join();
+  EXPECT_EQ(seen_in_other_thread, 0u);
+  Journal::SetActiveSpanId(0);
+}
+
+TEST_F(JournalTest, DisabledJournalDropsAppends) {
+  Journal::SetEnabled(false);
+  EXPECT_FALSE(Journal::Enabled());
+  Journal::Append(JournalEventKind::kLog, 1, "dropped");
+  EXPECT_EQ(Journal::total_events(), 0u);
+  Journal::SetEnabled(true);
+  Journal::Append(JournalEventKind::kLog, 1, "kept");
+  EXPECT_EQ(Journal::total_events(), 1u);
+}
+
+TEST_F(JournalTest, AppendfTruncatesOverlongText) {
+  const std::string longer(2 * kJournalTextCapacity, 'y');
+  Journal::Appendf(JournalEventKind::kLog, 0, "%s", longer.c_str());
+  const std::vector<JournalEvent> merged = Journal::SnapshotMerged();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(std::strlen(merged[0].text), kJournalTextCapacity - 1);
+}
+
+TEST_F(JournalTest, CrashCauseIsStoredAndTruncated) {
+  EXPECT_STREQ(Journal::crash_cause(), "");
+  Journal::SetCrashCause("Check failed: invariant");
+  EXPECT_STREQ(Journal::crash_cause(), "Check failed: invariant");
+  const std::string longer(1024, 'z');
+  Journal::SetCrashCause(longer.c_str());
+  EXPECT_LT(std::strlen(Journal::crash_cause()), 1024u);
+  EXPECT_GT(std::strlen(Journal::crash_cause()), 0u);
+}
+
+struct HookCapture {
+  static int last_kind;
+  static std::string last_detail;
+  static void Hook(int kind, const char* detail) {
+    last_kind = kind;
+    last_detail = detail;
+  }
+};
+int HookCapture::last_kind = -1;
+std::string HookCapture::last_detail;
+
+TEST_F(JournalTest, NotifyInterruptJournalsAndInvokesHook) {
+  JournalInterruptHook previous = Journal::SetInterruptHook(&HookCapture::Hook);
+  Journal::NotifyInterrupt(2, "run deadline exceeded");
+  Journal::SetInterruptHook(previous);
+
+  EXPECT_EQ(HookCapture::last_kind, 2);
+  EXPECT_EQ(HookCapture::last_detail, "run deadline exceeded");
+  const std::vector<JournalEvent> merged = Journal::SnapshotMerged();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].kind, JournalEventKind::kInterrupt);
+  EXPECT_STREQ(merged[0].text, "run deadline exceeded");
+}
+
+TEST_F(JournalTest, NotifyInterruptWithoutHookStillJournals) {
+  JournalInterruptHook previous = Journal::SetInterruptHook(nullptr);
+  Journal::NotifyInterrupt(1, "run cancelled via CancellationToken");
+  Journal::SetInterruptHook(previous);
+  EXPECT_EQ(Journal::total_events(), 1u);
+}
+
+TEST_F(JournalTest, RawThreadViewsCoverTheStaticArena) {
+  Journal::SetThreadLabel("raw-reader");
+  Journal::Append(JournalEventKind::kLog, 1, "raw");
+  JournalRawThreadView views[kJournalMaxThreads];
+  const size_t count = Journal::ReadRawThreads(views, kJournalMaxThreads);
+  ASSERT_GE(count, 1u);
+  bool found = false;
+  for (size_t i = 0; i < count; ++i) {
+    ASSERT_NE(views[i].ring, nullptr);
+    EXPECT_EQ(views[i].capacity, kJournalEventsPerThread);
+    if (views[i].live && std::strcmp(views[i].label, "raw-reader") == 0) {
+      found = true;
+      EXPECT_EQ(views[i].total_appends, 1u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(JournalTest, ConcurrentAppendersAreAllRetained) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;  // < ring capacity: nothing is evicted
+  std::vector<std::thread> workers;
+  std::atomic<int> go{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&go, t] {
+      go.fetch_add(1);
+      while (go.load() < kThreads) std::this_thread::yield();
+      for (int i = 0; i < kPerThread; ++i) {
+        Journal::Appendf(JournalEventKind::kTask, 0, "worker %d event %d", t,
+                         i);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(Journal::total_events(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  const std::vector<JournalEvent> merged = Journal::SnapshotMerged();
+  EXPECT_EQ(merged.size(), static_cast<size_t>(kThreads * kPerThread));
+  for (size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_LT(merged[i - 1].seq, merged[i].seq);
+  }
+  EXPECT_EQ(Journal::dropped_thread_events(), 0u);
+}
+
+TEST_F(JournalTest, DeadThreadRingsSurviveForThePostmortem) {
+  // Sequentially-exiting threads must not recycle (and wipe) each other's
+  // rings while virgin slots remain — the postmortem wants dead workers'
+  // history.
+  for (int t = 0; t < 3; ++t) {
+    std::thread worker([t] {
+      Journal::Appendf(JournalEventKind::kTask, 0, "short-lived %d", t);
+    });
+    worker.join();
+  }
+  const std::vector<JournalEvent> merged = Journal::SnapshotMerged();
+  ASSERT_EQ(merged.size(), 3u);
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_EQ(std::string(merged[static_cast<size_t>(t)].text),
+              "short-lived " + std::to_string(t));
+  }
+}
+
+TEST_F(JournalTest, EventKindNamesAreStable) {
+  EXPECT_STREQ(JournalEventKindName(JournalEventKind::kLog), "log");
+  EXPECT_STREQ(JournalEventKindName(JournalEventKind::kSpanBegin),
+               "span_begin");
+  EXPECT_STREQ(JournalEventKindName(JournalEventKind::kSpanEnd), "span_end");
+  EXPECT_STREQ(JournalEventKindName(JournalEventKind::kFault), "fault");
+  EXPECT_STREQ(JournalEventKindName(JournalEventKind::kInterrupt),
+               "interrupt");
+  EXPECT_STREQ(JournalEventKindName(JournalEventKind::kTask), "task");
+  EXPECT_STREQ(JournalEventKindName(JournalEventKind::kPhase), "phase");
+  EXPECT_STREQ(JournalEventKindName(JournalEventKind::kCheckFail),
+               "check_fail");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace srp

@@ -1,7 +1,15 @@
 #include "util/logging.h"
 
+#include <cstdlib>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
 #include <gtest/gtest.h>
 
+#include "util/json.h"
 #include "util/status.h"
 #include "util/timer.h"
 
@@ -108,6 +116,177 @@ TEST(LogSinkTest, SetLogSinkReturnsPreviousAndNullRestoresDefault) {
   EXPECT_EQ(SetLogSink(nullptr), &second);
   SetLogSink(original);
 }
+
+TEST(LoggingTest, LevelNamesAndParsingRoundTrip) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kTrace), "trace");
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "debug");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "info");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarning), "warn");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "error");
+
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevel("WARN", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("Warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("trace", &level));
+  EXPECT_EQ(level, LogLevel::kTrace);
+  EXPECT_FALSE(ParseLogLevel("loud", &level));
+  EXPECT_EQ(level, LogLevel::kTrace);  // untouched on failure
+}
+
+TEST(LoggingTest, ModuleIsDerivedFromThePath) {
+  EXPECT_EQ(LogModuleFromFile("src/core/repartitioner.cc"), "core");
+  EXPECT_EQ(LogModuleFromFile("/root/repo/src/obs/tracer.cc"), "obs");
+  EXPECT_EQ(LogModuleFromFile("tests/logging_test.cc"), "tests");
+  EXPECT_EQ(LogModuleFromFile("/x/y/bench/bench_common.cc"), "bench");
+  EXPECT_EQ(LogModuleFromFile("tools/srp_inspect.cc"), "tools");
+  EXPECT_EQ(LogModuleFromFile("scratch/notes.cc"), "notes");
+  EXPECT_EQ(LogModuleFromFile(""), "unknown");
+}
+
+TEST(LoggingTest, JsonEncodingHasTheFixedKeyOrderAndEscapes) {
+  LogRecord record;
+  record.level = LogLevel::kWarning;
+  record.file = "src/core/x.cc";
+  record.line = 12;
+  record.module = "core";
+  record.ts_ns = 1234567;
+  record.tid = 3;
+  record.thread_label = "main";
+  record.span_id = 9;
+  record.message = "quote \" and\nnewline";
+
+  const std::string json = FormatLogRecordJson(record);
+  EXPECT_EQ(json,
+            "{\"ts_ns\":1234567,\"level\":\"warn\",\"tid\":3,"
+            "\"thread\":\"main\",\"module\":\"core\","
+            "\"file\":\"src/core/x.cc\",\"line\":12,\"span_id\":9,"
+            "\"msg\":\"quote \\\" and\\nnewline\"}");
+  // The line is valid JSON and round-trips the escaped message.
+  const Result<JsonValue> parsed = JsonValue::Parse(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("msg")->string_value(), "quote \" and\nnewline");
+}
+
+TEST(LogSinkTest, RecordsCarryTheDerivedModule) {
+  CaptureLogSink sink;
+  LogSink* previous = SetLogSink(&sink);
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  SRP_LOG(Info) << "module probe";
+  SetLogLevel(before);
+  SetLogSink(previous);
+  ASSERT_EQ(sink.records().size(), 1u);
+  EXPECT_EQ(sink.records()[0].module, "tests");
+}
+
+TEST(LogSinkTest, InstalledJsonFileSinkWritesOneJsonObjectPerLine) {
+  const std::string path = testing::TempDir() + "/logging_test_out.jsonl";
+  std::remove(path.c_str());
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  ASSERT_TRUE(InstallLogFile(path).ok());
+  SRP_LOG(Info) << "first json line";
+  SRP_LOG(Warning) << "second json line";
+  ASSERT_TRUE(InstallLogFile("-").ok());  // restore the stderr sink
+  SetLogLevel(before);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    const Result<JsonValue> doc = JsonValue::Parse(line);
+    ASSERT_TRUE(doc.ok()) << line;
+    ASSERT_NE(doc->Find("msg"), nullptr);
+    ASSERT_NE(doc->Find("level"), nullptr);
+    EXPECT_EQ(doc->Find("module")->string_value(), "tests");
+  }
+  EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+}
+
+TEST(LogSinkTest, RateLimitSuppressesFloodsAndSummarizesOnResume) {
+  CaptureLogSink sink;
+  LogSink* previous = SetLogSink(&sink);
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  SetLogRateLimit(2);
+
+  for (int i = 0; i < 5; ++i) SRP_LOG(Info) << "flood " << i;
+  SRP_LOG(Warning) << "warnings are never suppressed";
+  ASSERT_EQ(sink.records().size(), 3u);
+  EXPECT_EQ(sink.records()[2].level, LogLevel::kWarning);
+
+  // The first allowed record of the next window is preceded by a synthetic
+  // warning counting what the limiter dropped.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1100));
+  SRP_LOG(Info) << "after the window";
+  SetLogRateLimit(0);
+  SetLogLevel(before);
+  SetLogSink(previous);
+
+  const auto records = sink.records();
+  ASSERT_EQ(records.size(), 5u);
+  EXPECT_EQ(records[3].level, LogLevel::kWarning);
+  EXPECT_NE(records[3].text.find("suppressed 3"), std::string::npos)
+      << records[3].text;
+  EXPECT_NE(records[4].text.find("after the window"), std::string::npos);
+}
+
+TEST(LoggingTest, EnvironmentConfigurationIsApplied) {
+  const LogLevel before = GetLogLevel();
+  ASSERT_EQ(::setenv("SRP_LOG_LEVEL", "error", 1), 0);
+  ConfigureLoggingFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+
+  // Invalid values are ignored (reported as a warning, level unchanged).
+  ASSERT_EQ(::setenv("SRP_LOG_LEVEL", "shouting", 1), 0);
+  ConfigureLoggingFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+
+  ::unsetenv("SRP_LOG_LEVEL");
+  SetLogLevel(before);
+}
+
+#if defined(NDEBUG) && !defined(SRP_FORCE_TRACE_LOGGING)
+TEST(VlogTest, ReleaseBuildCompilesVlogOutEntirely) {
+  CaptureLogSink sink;
+  LogSink* previous = SetLogSink(&sink);
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kTrace);
+  int evaluations = 0;
+  auto operand = [&evaluations] {
+    ++evaluations;
+    return 1;
+  };
+  SRP_VLOG() << "never emitted " << operand();
+  SetLogLevel(before);
+  SetLogSink(previous);
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_TRUE(sink.records().empty());
+}
+#else
+TEST(VlogTest, DebugBuildEmitsVlogOnlyAtTraceThreshold) {
+  CaptureLogSink sink;
+  LogSink* previous = SetLogSink(&sink);
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  SRP_VLOG() << "dropped above trace";
+  SetLogLevel(LogLevel::kTrace);
+  SRP_VLOG() << "traced";
+  SetLogLevel(before);
+  SetLogSink(previous);
+  const auto records = sink.records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].level, LogLevel::kTrace);
+  EXPECT_NE(records[0].text.find("traced"), std::string::npos);
+}
+#endif
 
 TEST(TimerTest, ElapsedIsMonotoneNonNegative) {
   WallTimer timer;

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/journal.h"
+#include "obs/metrics_registry.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -203,6 +206,66 @@ TEST_F(TracerTest, WriteChromeTraceReportsZeroDropsOnCompleteTrace) {
   EXPECT_NE(json.find("\"dropped_spans\":0"), std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
   std::remove(path.c_str());
+}
+
+TEST_F(TracerTest, EvictedSpansBumpTheDroppedSpansCounter) {
+  Counter* dropped =
+      MetricsRegistry::Get().GetCounter("trace.dropped_spans");
+  const int64_t before = dropped->Value();
+  Tracer::Get().Enable(/*capacity=*/2);
+  {
+    SRP_TRACE_SPAN("one");
+  }
+  {
+    SRP_TRACE_SPAN("two");
+  }
+  {
+    SRP_TRACE_SPAN("three");  // evicts the oldest recorded span
+  }
+  Tracer::Get().Disable();
+  EXPECT_GE(Tracer::Get().dropped(), 1u);
+  EXPECT_EQ(dropped->Value() - before,
+            static_cast<int64_t>(Tracer::Get().dropped()));
+}
+
+TEST_F(TracerTest, SpansMaintainTheJournalActiveSpanId) {
+  Journal::ResetForTesting();
+  ASSERT_EQ(Journal::ActiveSpanId(), 0u);
+  Tracer::Get().Enable();
+  {
+    SRP_TRACE_SPAN("outer");
+    const uint64_t outer_id = Journal::ActiveSpanId();
+    EXPECT_NE(outer_id, 0u);
+    {
+      SRP_TRACE_SPAN("inner");
+      EXPECT_NE(Journal::ActiveSpanId(), 0u);
+      EXPECT_NE(Journal::ActiveSpanId(), outer_id);
+    }
+    // Closing the inner span restores the parent's id.
+    EXPECT_EQ(Journal::ActiveSpanId(), outer_id);
+  }
+  EXPECT_EQ(Journal::ActiveSpanId(), 0u);
+  Tracer::Get().Disable();
+
+  // The journal saw balanced span_begin/span_end events naming the spans.
+  int begins = 0;
+  int ends = 0;
+  for (const JournalEvent& event : Journal::SnapshotMerged()) {
+    if (event.kind == JournalEventKind::kSpanBegin) ++begins;
+    if (event.kind == JournalEventKind::kSpanEnd) ++ends;
+  }
+  EXPECT_EQ(begins, 2);
+  EXPECT_EQ(ends, 2);
+  Journal::ResetForTesting();
+}
+
+TEST_F(TracerTest, DisabledTracerLeavesTheJournalUntouched) {
+  Journal::ResetForTesting();
+  {
+    SRP_TRACE_SPAN("invisible");
+    EXPECT_EQ(Journal::ActiveSpanId(), 0u);
+  }
+  EXPECT_EQ(Journal::total_events(), 0u);
 }
 
 TEST_F(TracerTest, WriteChromeTraceFailsOnBadPath) {

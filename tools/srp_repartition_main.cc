@@ -30,6 +30,7 @@
 #include "data/datasets.h"
 #include "fail/cancellation.h"
 #include "grid/grid_builder.h"
+#include "obs/flight_recorder.h"
 #include "obs/introspect.h"
 #include "obs/metrics_registry.h"
 #include "obs/profiler.h"
@@ -37,6 +38,7 @@
 #include "obs/tracer.h"
 #include "parallel/thread_pool.h"
 #include "util/csv.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace srp {
@@ -52,6 +54,8 @@ struct CliOptions {
   std::string report_out;   ///< unified run report JSON (DESIGN.md §9)
   std::string profile_out;  ///< folded sampling-profiler stacks (§10)
   std::string introspect_out;  ///< algorithm-introspection series CSV (§10)
+  std::string log_level;  ///< overrides SRP_LOG_LEVEL when non-empty
+  std::string log_out;    ///< overrides SRP_LOG_OUT when non-empty
   /// Collect per-phase hardware counters (perf_event; degrades to a printed
   /// unavailable_reason when the syscall is denied).
   bool hw_counters = false;
@@ -84,6 +88,8 @@ void Usage() {
                "[--hw-counters]\n"
                "                       [--introspect-out series.csv] "
                "[--version]\n"
+               "                       [--log-level LEVEL] "
+               "[--log-out FILE]\n"
                "  KIND: taxi_uni taxi_multi home_sales vehicles earnings "
                "earnings_uni\n"
                "  S:    comma list of name:agg[:int], agg in "
@@ -102,6 +108,12 @@ void Usage() {
                "the per-iteration IFL and\n"
                "  variation series as CSV. --version prints build "
                "provenance and exits.\n"
+               "  --log-level in {trace, debug, info, warn, error} "
+               "(default info; env SRP_LOG_LEVEL);\n"
+               "  --log-out writes log records to FILE — '.json'/'.jsonl' "
+               "→ JSON lines, '-' → stderr\n"
+               "  (env SRP_LOG_OUT). Crash/interrupt postmortems land in "
+               "$SRP_POSTMORTEM_DIR (srp_inspect).\n"
                "  Flags accept both --flag value and --flag=value; '_' and "
                "'-' are interchangeable.\n");
 }
@@ -188,6 +200,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       const char* v = next();
       if (v == nullptr) return false;
       out->introspect_out = v;
+    } else if (arg == "--log-level") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->log_level = v;
+    } else if (arg == "--log-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->log_out = v;
     } else if (arg == "--hw-counters") {
       if (has_inline_value) {
         std::fprintf(stderr, "--hw-counters takes no value\n");
@@ -538,6 +558,27 @@ int Run(int argc, char** argv) {
     Usage();
     return 2;
   }
+
+  // Env first, flags override; then arm the flight recorder so any crash or
+  // interrupt from here on leaves a postmortem in $SRP_POSTMORTEM_DIR.
+  ConfigureLoggingFromEnv();
+  if (!options.log_level.empty()) {
+    LogLevel level;
+    if (!ParseLogLevel(options.log_level, &level)) {
+      std::fprintf(stderr, "invalid --log-level: %s\n",
+                   options.log_level.c_str());
+      return 2;
+    }
+    SetLogLevel(level);
+  }
+  if (!options.log_out.empty()) {
+    const Status status = InstallLogFile(options.log_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 2;
+    }
+  }
+  SRP_CHECK_OK(obs::FlightRecorder::Install());
 
   if (options.print_version) {
     const obs::RunReportProvenance provenance = obs::BuildProvenance();
