@@ -12,7 +12,9 @@
 
 #include "core/extractor.h"
 #include "core/feature_allocator.h"
+#include "core/ifl_engine.h"
 #include "core/information_loss.h"
+#include "core/kernels/kernels.h"
 #include "core/variation.h"
 #include "fail/cancellation.h"
 #include "grid/normalize.h"
@@ -552,6 +554,52 @@ std::vector<CorePerfRow> MeasureCorePerf(size_t rows, size_t cols) {
     results.push_back({"information_loss", threads,
                        CellsPerSecond(cells, [&] {
                          InformationLoss(grid, base, p);
+                       })});
+  }
+
+  // Forced-scalar reference rows (threads=1): the same operators with the
+  // SIMD dispatcher pinned to the portable tier — the gap to the rows above
+  // is the vectorization win, tracked so a dispatch regression (silently
+  // falling back to scalar) trips the bench-diff gate.
+  {
+    kernels::ScopedSimdLevel forced(kernels::SimdLevel::kScalar);
+    results.push_back({"pair_variations_scalar", 1,
+                       CellsPerSecond(cells, [&] {
+                         ComputePairVariations(norm);
+                       })});
+    results.push_back({"information_loss_scalar", 1,
+                       CellsPerSecond(cells, [&] {
+                         InformationLoss(grid, base);
+                       })});
+  }
+
+  // Incremental engine: steady-state cost of re-evaluating a slightly
+  // different candidate (alternating extraction thresholds), the repartition
+  // loop's inner pattern. Only the dirty row shards recompute, so effective
+  // cells/sec is far above the full information_loss row — that gap is the
+  // sublinearity the engine exists for.
+  {
+    IflEngine engine(grid);
+    Partition candidates[2];
+    std::vector<uint8_t> visited;
+    // Tiny threshold step: near-identical tilings, so only a few shards go
+    // dirty per update — the loop's actual steady state.
+    extractor.ExtractInto(0.02, &candidates[0], &visited);
+    extractor.ExtractInto(0.0201, &candidates[1], &visited);
+    // Prime both shapes so every measured update sees a committed baseline.
+    for (Partition& candidate : candidates) {
+      SRP_CHECK_OK(engine.AllocateCandidateFeatures(&candidate, nullptr,
+                                                    nullptr));
+      engine.ComputeInformationLoss(candidate, nullptr, nullptr);
+    }
+    size_t flip = 0;
+    results.push_back({"incremental_ifl_update", 1,
+                       CellsPerSecond(cells, [&] {
+                         Partition& candidate = candidates[flip ^= 1];
+                         SRP_CHECK_OK(engine.AllocateCandidateFeatures(
+                             &candidate, nullptr, nullptr));
+                         engine.ComputeInformationLoss(candidate, nullptr,
+                                                       nullptr);
                        })});
   }
   return results;

@@ -8,7 +8,9 @@
 #include "core/adjacency.h"
 #include "core/extractor.h"
 #include "core/feature_allocator.h"
+#include "core/ifl_engine.h"
 #include "core/information_loss.h"
+#include "core/kernels/kernels.h"
 #include "core/variation.h"
 #include "core/variation_heap.h"
 #include "grid/normalize.h"
@@ -104,6 +106,84 @@ void BM_InformationLoss(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_InformationLoss)->Arg(32)->Arg(64)->Arg(96);
+
+/// Second arg selects the forced SimdLevel (0 = scalar, 1 = avx2; an
+/// unsupported request degrades to scalar inside the dispatcher).
+kernels::SimdLevel LevelArg(int64_t arg) {
+  return arg == 0 ? kernels::SimdLevel::kScalar : kernels::SimdLevel::kAvx2;
+}
+
+void SimdComparisonArgs(benchmark::internal::Benchmark* b) {
+  for (int64_t side : {64, 128}) {
+    b->Args({side, 0});
+    b->Args({side, 1});
+  }
+}
+
+void BM_PairVariationsSimd(benchmark::State& state) {
+  const GridDataset norm = AttributeNormalized(GridForSize(state.range(0)));
+  kernels::ScopedSimdLevel forced(LevelArg(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputePairVariations(norm));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(norm.num_cells()));
+}
+BENCHMARK(BM_PairVariationsSimd)->Apply(SimdComparisonArgs);
+
+void BM_InformationLossSimd(benchmark::State& state) {
+  const GridDataset grid = GridForSize(state.range(0));
+  const GridDataset norm = AttributeNormalized(grid);
+  const PairVariations variations = ComputePairVariations(norm);
+  Partition p = CellGroupExtractor(variations).Extract(0.02);
+  (void)AllocateFeatures(grid, &p);
+  kernels::ScopedSimdLevel forced(LevelArg(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InformationLoss(grid, p));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(grid.num_cells()));
+}
+BENCHMARK(BM_InformationLossSimd)->Apply(SimdComparisonArgs);
+
+/// Steady-state incremental allocate+IFL update between two alternating
+/// near-identical candidates — the repartition loop's per-iteration pattern.
+/// items/sec is nominal grid cells/sec; the gap to BM_InformationLossSimd is
+/// the incremental win (only dirty row shards recompute).
+void BM_IncrementalIflUpdate(benchmark::State& state) {
+  const GridDataset grid = GridForSize(state.range(0));
+  const GridDataset norm = AttributeNormalized(grid);
+  const PairVariations variations = ComputePairVariations(norm);
+  const CellGroupExtractor extractor(variations);
+  IflEngine engine(grid);
+  Partition candidates[2];
+  std::vector<uint8_t> visited;
+  // A tiny threshold step: the two extractions re-tile almost the whole
+  // grid identically, so only the few row shards holding a changed group go
+  // dirty — the repartition loop's actual steady state (check the
+  // dirty_shards counter stays well under total_shards).
+  extractor.ExtractInto(0.02, &candidates[0], &visited);
+  extractor.ExtractInto(0.0201, &candidates[1], &visited);
+  for (Partition& candidate : candidates) {
+    SRP_CHECK_OK(engine.AllocateCandidateFeatures(&candidate, nullptr,
+                                                  nullptr));
+    engine.ComputeInformationLoss(candidate, nullptr, nullptr);
+  }
+  size_t flip = 0;
+  for (auto _ : state) {
+    Partition& candidate = candidates[flip ^= 1];
+    SRP_CHECK_OK(
+        engine.AllocateCandidateFeatures(&candidate, nullptr, nullptr));
+    benchmark::DoNotOptimize(
+        engine.ComputeInformationLoss(candidate, nullptr, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(grid.num_cells()));
+  state.counters["dirty_shards"] =
+      static_cast<double>(engine.last_dirty_shards());
+  state.counters["total_shards"] = static_cast<double>(engine.num_shards());
+}
+BENCHMARK(BM_IncrementalIflUpdate)->Arg(64)->Arg(128);
 
 void BM_PairVariationsThreads(benchmark::State& state) {
   const GridDataset norm = AttributeNormalized(GridForSize(state.range(0)));

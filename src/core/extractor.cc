@@ -14,13 +14,23 @@ struct Rect {
 }  // namespace
 
 Partition CellGroupExtractor::Extract(double t) const {
+  Partition p;
+  std::vector<uint8_t> visited;
+  ExtractInto(t, &p, &visited);
+  return p;
+}
+
+void CellGroupExtractor::ExtractInto(double t, Partition* out,
+                                     std::vector<uint8_t>* visited_scratch) const {
   const size_t rows = var_.rows;
   const size_t cols = var_.cols;
-  Partition p;
+  Partition& p = *out;
   p.rows = rows;
   p.cols = cols;
+  p.groups.clear();
   p.cell_to_group.assign(rows * cols, -1);
-  std::vector<uint8_t> visited(rows * cols, 0);
+  std::vector<uint8_t>& visited = *visited_scratch;
+  visited.assign(rows * cols, 0);
 
   auto is_free = [&](size_t r, size_t c) { return visited[r * cols + c] == 0; };
 
@@ -107,7 +117,6 @@ Partition CellGroupExtractor::Extract(double t) const {
       p.groups.push_back(group);
     }
   }
-  return p;
 }
 
 }  // namespace srp

@@ -32,6 +32,14 @@ class CellGroupExtractor {
 
   Partition Extract(double min_adjacent_variation) const;
 
+  /// Buffer-reusing variant: fills `out` in place (groups/cell_to_group are
+  /// cleared and rewritten, feature fields are left untouched for the caller
+  /// to refresh) and uses `visited_scratch` for the visit map. The
+  /// repartition loop calls this once per iteration, so reusing the
+  /// allocations removes the per-candidate O(cells) allocation spike.
+  void ExtractInto(double min_adjacent_variation, Partition* out,
+                   std::vector<uint8_t>* visited_scratch) const;
+
  private:
   const PairVariations& var_;
 };

@@ -41,6 +41,58 @@ constexpr size_t kGroupGrain = 64;
 
 }  // namespace
 
+void AllocateGroupFeatures(const GridDataset& grid, const CellGroup& group,
+                           std::vector<double>* scratch,
+                           std::vector<double>* features, uint8_t* group_null,
+                           uint32_t* valid_count) {
+  const size_t p = grid.num_attributes();
+  features->assign(p, 0.0);
+  *group_null = 0;
+  *valid_count = 0;
+  // The extractor never mixes null and valid cells, so group nullness can
+  // be read off the first cell.
+  if (grid.IsNull(group.r_beg, group.c_beg)) {
+    *group_null = 1;
+    return;
+  }
+  *valid_count = static_cast<uint32_t>(group.NumCells());
+  const size_t cols = grid.cols();
+  std::vector<double>& values = *scratch;
+  for (size_t k = 0; k < p; ++k) {
+    const AttributeSpec& attr = grid.attributes()[k];
+    // Hoisted plane pointer: same doubles as grid.At(r, c, k), read in the
+    // same order, without re-deriving the cell index per read.
+    const double* plane = grid.AttributeValues(k).data();
+    values.clear();
+    values.reserve(group.NumCells());
+    double sum = 0.0;
+    for (size_t r = group.r_beg; r <= group.r_end; ++r) {
+      const double* row = plane + r * cols;
+      for (size_t c = group.c_beg; c <= group.c_end; ++c) {
+        const double v = row[c];
+        values.push_back(v);
+        sum += v;
+      }
+    }
+    if (attr.is_categorical) {
+      // The mean of category ids is meaningless; the mode is the only
+      // sensible representative.
+      (*features)[k] = ModeOf(values);
+      continue;
+    }
+    if (attr.agg_type == AggType::kSum) {
+      (*features)[k] = sum;
+      continue;
+    }
+    double mean = sum / static_cast<double>(values.size());
+    if (attr.is_integer) mean = std::round(mean);
+    const double mode = ModeOf(values);
+    const double loss_mean = LocalLoss(values, mean);
+    const double loss_mode = LocalLoss(values, mode);
+    (*features)[k] = loss_mean <= loss_mode ? mean : mode;
+  }
+}
+
 Status AllocateFeatures(const GridDataset& grid, Partition* partition,
                         ThreadPool* pool, const RunContext* ctx) {
   if (partition->rows != grid.rows() || partition->cols != grid.cols()) {
@@ -57,46 +109,13 @@ Status AllocateFeatures(const GridDataset& grid, Partition* partition,
   // Group shards write disjoint entries of features/group_null/
   // group_valid_count, and each group reads only its own cells.
   ParallelFor(pool, 0, partition->num_groups(), kGroupGrain,
-              [&grid, partition, p](size_t g_beg, size_t g_end) {
+              [&grid, partition](size_t g_beg, size_t g_end) {
     std::vector<double> values;
     for (size_t g = g_beg; g < g_end; ++g) {
-      const CellGroup& group = partition->groups[g];
-      // The extractor never mixes null and valid cells, so group nullness
-      // can be read off the first cell.
-      if (grid.IsNull(group.r_beg, group.c_beg)) {
-        partition->group_null[g] = 1;
-        continue;
-      }
-      partition->group_valid_count[g] = static_cast<uint32_t>(group.NumCells());
-      for (size_t k = 0; k < p; ++k) {
-        const AttributeSpec& attr = grid.attributes()[k];
-        values.clear();
-        values.reserve(group.NumCells());
-        double sum = 0.0;
-        for (size_t r = group.r_beg; r <= group.r_end; ++r) {
-          for (size_t c = group.c_beg; c <= group.c_end; ++c) {
-            const double v = grid.At(r, c, k);
-            values.push_back(v);
-            sum += v;
-          }
-        }
-        if (attr.is_categorical) {
-          // The mean of category ids is meaningless; the mode is the only
-          // sensible representative.
-          partition->features[g][k] = ModeOf(values);
-          continue;
-        }
-        if (attr.agg_type == AggType::kSum) {
-          partition->features[g][k] = sum;
-          continue;
-        }
-        double mean = sum / static_cast<double>(values.size());
-        if (attr.is_integer) mean = std::round(mean);
-        const double mode = ModeOf(values);
-        const double loss_mean = LocalLoss(values, mean);
-        const double loss_mode = LocalLoss(values, mode);
-        partition->features[g][k] = loss_mean <= loss_mode ? mean : mode;
-      }
+      AllocateGroupFeatures(grid, partition->groups[g], &values,
+                            &partition->features[g],
+                            &partition->group_null[g],
+                            &partition->group_valid_count[g]);
     }
   }, ctx);
   SRP_RETURN_IF_INTERRUPTED(ctx);

@@ -16,6 +16,16 @@ namespace srp {
 /// values from `representative`.
 double LocalLoss(const std::vector<double>& cell_values, double representative);
 
+/// One group's slice of the Feature Allocator — the per-group body of
+/// AllocateFeatures, shared with the incremental engine so both paths
+/// produce the same doubles for the same group rectangle. Fills the group's
+/// feature row (resized to the attribute count), null flag and valid-cell
+/// count. `scratch` is a reusable cell-value buffer.
+void AllocateGroupFeatures(const GridDataset& grid, const CellGroup& group,
+                           std::vector<double>* scratch,
+                           std::vector<double>* features, uint8_t* group_null,
+                           uint32_t* valid_count);
+
 /// Feature Allocator (paper Section III-A3, Algorithm 2).
 ///
 /// Fills `partition->features` / `partition->group_null` from the ORIGINAL

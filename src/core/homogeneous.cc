@@ -26,15 +26,21 @@ void AllocateHomogeneousFeatures(const GridDataset& grid, Partition* p,
   p->group_null.assign(p->num_groups(), 0);
   p->group_valid_count.assign(p->num_groups(), 0);
 
+  // Hoisted row pointers below read the same doubles grid.At / grid.IsNull
+  // would, in the same order, without re-deriving the cell index per read.
+  const uint8_t* null_mask = grid.null_mask().data();
+  const size_t cols = grid.cols();
   ParallelFor(pool, 0, p->num_groups(), kGroupGrain,
-              [&grid, p, num_attrs](size_t g_beg, size_t g_end) {
+              [&grid, p, num_attrs, null_mask, cols](size_t g_beg,
+                                                     size_t g_end) {
   std::vector<double> values;
   for (size_t g = g_beg; g < g_end; ++g) {
     const CellGroup& cg = p->groups[g];
     size_t valid = 0;
     for (size_t r = cg.r_beg; r <= cg.r_end; ++r) {
+      const uint8_t* null_row = null_mask + r * cols;
       for (size_t c = cg.c_beg; c <= cg.c_end; ++c) {
-        if (!grid.IsNull(r, c)) ++valid;
+        if (null_row[c] == 0) ++valid;
       }
     }
     p->group_valid_count[g] = static_cast<uint32_t>(valid);
@@ -44,12 +50,15 @@ void AllocateHomogeneousFeatures(const GridDataset& grid, Partition* p,
     }
     for (size_t k = 0; k < num_attrs; ++k) {
       const AttributeSpec& attr = grid.attributes()[k];
+      const double* plane = grid.AttributeValues(k).data();
       values.clear();
       double sum = 0.0;
       for (size_t r = cg.r_beg; r <= cg.r_end; ++r) {
+        const uint8_t* null_row = null_mask + r * cols;
+        const double* value_row = plane + r * cols;
         for (size_t c = cg.c_beg; c <= cg.c_end; ++c) {
-          if (grid.IsNull(r, c)) continue;
-          const double v = grid.At(r, c, k);
+          if (null_row[c] != 0) continue;
+          const double v = value_row[c];
           values.push_back(v);
           sum += v;
         }

@@ -1,0 +1,185 @@
+#include "core/ifl_engine.h"
+
+#include <algorithm>
+
+#include "core/feature_allocator.h"
+#include "core/information_loss.h"
+#include "fail/fault_injection.h"
+#include "parallel/parallel_for.h"
+#include "util/logging.h"
+
+namespace srp {
+namespace {
+
+/// Groups per ParallelFor chunk — matches AllocateFeatures.
+constexpr size_t kGroupGrain = 64;
+
+}  // namespace
+
+IflEngine::IflEngine(const GridDataset& grid)
+    : grid_(grid),
+      view_(grid),
+      num_shards_((grid.rows() + kernels::kIflRowGrain - 1) /
+                  kernels::kIflRowGrain) {
+  partials_.resize(num_shards_);
+  shard_dirty_.resize(num_shards_);
+}
+
+Status IflEngine::AllocateCandidateFeatures(Partition* candidate,
+                                            ThreadPool* pool,
+                                            const RunContext* ctx) {
+  if (candidate->rows != grid_.rows() || candidate->cols != grid_.cols()) {
+    return Status::InvalidArgument("partition/grid dimension mismatch");
+  }
+  SRP_INJECT_FAULT("core.allocate_features");
+  SRP_RETURN_IF_INTERRUPTED(ctx);
+  const size_t num_groups = candidate->num_groups();
+  candidate->features.resize(num_groups);
+  candidate->group_null.resize(num_groups);
+  candidate->group_valid_count.resize(num_groups);
+  reused_.assign(num_groups, 0);
+  const bool have_prev = prev_valid_;
+
+  // Group shards write disjoint entries; the reuse decision for a group
+  // depends only on the previous committed partition, so the output is
+  // thread-count independent. Reused rows are copies of doubles the
+  // recompute branch would produce identically (AllocateGroupFeatures is a
+  // pure function of the group rectangle).
+  const size_t p = grid_.num_attributes();
+  const size_t cols = grid_.cols();
+  ParallelFor(pool, 0, num_groups, kGroupGrain,
+              [this, candidate, have_prev, p, cols](size_t g_beg,
+                                                    size_t g_end) {
+                std::vector<double> values;
+                for (size_t g = g_beg; g < g_end; ++g) {
+                  const CellGroup& rect = candidate->groups[g];
+                  if (have_prev) {
+                    const int32_t pg =
+                        prev_cell_to_group_[rect.r_beg * cols + rect.c_beg];
+                    if (pg >= 0 &&
+                        prev_groups_[static_cast<size_t>(pg)] == rect) {
+                      const auto prev_id = static_cast<size_t>(pg);
+                      const double* row = prev_features_.data() + prev_id * p;
+                      candidate->features[g].assign(row, row + p);
+                      candidate->group_null[g] = prev_group_null_[prev_id];
+                      candidate->group_valid_count[g] =
+                          prev_group_valid_count_[prev_id];
+                      reused_[g] = 1;
+                      continue;
+                    }
+                  }
+                  AllocateGroupFeatures(grid_, rect, &values,
+                                        &candidate->features[g],
+                                        &candidate->group_null[g],
+                                        &candidate->group_valid_count[g]);
+                }
+              },
+              ctx);
+  SRP_RETURN_IF_INTERRUPTED(ctx);
+  return Status::OK();
+}
+
+double IflEngine::ComputeInformationLoss(const Partition& candidate,
+                                         ThreadPool* pool,
+                                         const RunContext* ctx) {
+  SRP_CHECK(!candidate.features.empty())
+      << "ComputeInformationLoss requires allocated features";
+  SRP_DCHECK(reused_.size() == candidate.num_groups())
+      << "candidate was not run through AllocateCandidateFeatures";
+  const kernels::GroupFeatureView feat(candidate);
+  const kernels::KernelTable& kern = kernels::ActiveKernels();
+
+  // A shard is clean iff every one of its cells kept both its group
+  // rectangle and that group's representative values — i.e. every group
+  // intersecting the shard was reused. Sweep the changed groups and mark
+  // their row ranges (single-threaded: the bitmap is tiny).
+  if (prev_valid_) {
+    std::fill(shard_dirty_.begin(), shard_dirty_.end(), uint8_t{0});
+    for (size_t g = 0; g < candidate.num_groups(); ++g) {
+      if (reused_[g] != 0) continue;
+      const CellGroup& rect = candidate.groups[g];
+      const size_t s_beg = rect.r_beg / kernels::kIflRowGrain;
+      const size_t s_end = rect.r_end / kernels::kIflRowGrain;
+      for (size_t s = s_beg; s <= s_end; ++s) shard_dirty_[s] = 1;
+    }
+  } else {
+    std::fill(shard_dirty_.begin(), shard_dirty_.end(), uint8_t{1});
+  }
+
+  std::vector<size_t> dirty;
+  dirty.reserve(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    if (shard_dirty_[s] != 0) dirty.push_back(s);
+  }
+  last_dirty_shards_ = dirty.size();
+
+  // Recompute the dirty shards with the active kernel. Shard writes are
+  // disjoint and each partial is a pure function of (grid, candidate,
+  // shard), so scheduling cannot affect the stored values.
+  const int32_t* cell_to_group = candidate.cell_to_group.data();
+  const size_t rows = grid_.rows();
+  const size_t cols = grid_.cols();
+  ParallelFor(pool, 0, dirty.size(), 1,
+              [this, &dirty, &kern, &feat, cell_to_group, rows,
+               cols](size_t i_beg, size_t i_end) {
+                for (size_t i = i_beg; i < i_end; ++i) {
+                  const size_t s = dirty[i];
+                  const size_t r_beg = s * kernels::kIflRowGrain;
+                  const size_t r_end =
+                      std::min(r_beg + kernels::kIflRowGrain, rows);
+                  partials_[s] = kern.ifl_cells(view_, feat, cell_to_group,
+                                                r_beg * cols, r_end * cols);
+                }
+              },
+              ctx);
+  if (ctx != nullptr && ctx->Interrupted()) {
+    // The partial cache is torn; fall back to a full recompute next time.
+    // The caller discards the value (same contract as InformationLoss).
+    prev_valid_ = false;
+    return 0.0;
+  }
+
+  // Ascending-shard combine: exactly the ParallelReduce order of
+  // InformationLoss, so incremental == full, bit for bit.
+  kernels::IflPartial sum;
+  for (const kernels::IflPartial& p : partials_) {
+    sum.total += p.total;
+    sum.terms += p.terms;
+  }
+  const double value =
+      sum.terms == 0 ? 0.0 : sum.total / static_cast<double>(sum.terms);
+
+  // Commit the candidate as the next reuse baseline (flattened: bulk
+  // copies, no per-group vector churn).
+  const size_t p = grid_.num_attributes();
+  prev_groups_ = candidate.groups;
+  prev_cell_to_group_ = candidate.cell_to_group;
+  prev_group_null_ = candidate.group_null;
+  prev_group_valid_count_ = candidate.group_valid_count;
+  prev_features_.resize(candidate.num_groups() * p);
+  for (size_t g = 0; g < candidate.num_groups(); ++g) {
+    const std::vector<double>& row = candidate.features[g];
+    SRP_DCHECK(row.size() == p) << "feature row arity mismatch";
+    std::copy(row.begin(), row.end(), prev_features_.begin() + g * p);
+  }
+  prev_valid_ = true;
+  ++evaluations_;
+
+#if !defined(NDEBUG)
+  // Periodic audit: the incremental result must equal the full recompute
+  // exactly. Every call early on (when reuse paths first engage), then
+  // every 16th.
+  if (evaluations_ <= 4 || evaluations_ % 16 == 0) {
+    const double full = InformationLoss(grid_, candidate, pool, ctx);
+    if (ctx == nullptr || !ctx->Interrupted()) {
+      SRP_CHECK(value == full)
+          << "incremental IFL diverged from full recompute: " << value
+          << " vs " << full << " (" << last_dirty_shards_ << "/"
+          << num_shards_ << " dirty shards)";
+    }
+  }
+#endif
+  return value;
+}
+
+}  // namespace srp

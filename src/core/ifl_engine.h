@@ -1,0 +1,93 @@
+#ifndef SRP_CORE_IFL_ENGINE_H_
+#define SRP_CORE_IFL_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/kernels/kernels.h"
+#include "core/partition.h"
+#include "fail/cancellation.h"
+#include "grid/grid_dataset.h"
+#include "grid/soa_view.h"
+#include "parallel/thread_pool.h"
+#include "util/status.h"
+
+namespace srp {
+
+/// Incremental feature-allocation + information-loss engine for the
+/// repartition loop (DESIGN.md §12).
+///
+/// Successive candidates of the coarsening loop differ by the few
+/// cell-groups whose extraction changed when minAdjacentVariation stepped;
+/// the rest of the grid re-tiles identically. The engine exploits that:
+///
+///  - AllocateCandidateFeatures reuses the feature row / null flag /
+///    valid-cell count of every group whose rectangle already existed in the
+///    previously evaluated partition (detected by rect equality through the
+///    previous cIndex), and recomputes only the changed groups via the same
+///    per-group routine AllocateFeatures uses.
+///  - ComputeInformationLoss caches the per-shard IFL partials of the fixed
+///    kIflRowGrain row shards and recomputes only the shards containing a
+///    changed group, then combines all partials in ascending shard order.
+///
+/// Because reused values are copies of doubles the full path would
+/// recompute identically, and the shard layout/combine order are the same
+/// as InformationLoss, the result is BIT-IDENTICAL to the non-incremental
+/// path — for any thread count — which debug builds assert with a periodic
+/// full-recompute audit (SRP_DCHECK).
+///
+/// The grid must outlive the engine. Not thread-safe; one engine per run.
+class IflEngine {
+ public:
+  explicit IflEngine(const GridDataset& grid);
+
+  /// Same contract and result as AllocateFeatures(grid, candidate, ...):
+  /// fills features/group_null/group_valid_count of `candidate` (whose
+  /// groups/cell_to_group come from the extractor), reusing unchanged
+  /// groups. Hosts the `core.allocate_features` fault point. On error or
+  /// interruption the candidate is partially filled and must be discarded.
+  Status AllocateCandidateFeatures(Partition* candidate, ThreadPool* pool,
+                                   const RunContext* ctx);
+
+  /// Same value as InformationLoss(grid, *candidate, ...), recomputing only
+  /// the dirty row shards. Must follow a successful
+  /// AllocateCandidateFeatures on the same candidate. Commits the candidate
+  /// as the next reuse baseline. A non-null interrupted `ctx` makes the
+  /// return value meaningless (caller discards it, as with
+  /// InformationLoss); the engine then falls back to a full recompute on
+  /// the next call.
+  double ComputeInformationLoss(const Partition& candidate, ThreadPool* pool,
+                                const RunContext* ctx);
+
+  /// Row shards recomputed by the last ComputeInformationLoss (equals the
+  /// total shard count on the first call or after an interrupt).
+  size_t last_dirty_shards() const { return last_dirty_shards_; }
+  size_t num_shards() const { return num_shards_; }
+
+ private:
+  const GridDataset& grid_;
+  const GridSoAView view_;
+  const size_t num_shards_;
+
+  std::vector<kernels::IflPartial> partials_;  // [shard]
+  std::vector<uint8_t> reused_;     // [group], 1 = copied from the baseline
+  std::vector<uint8_t> shard_dirty_;           // [shard] scratch
+
+  // Flattened snapshot of the last committed candidate (the reuse
+  // baseline). Flat arrays commit with a handful of bulk copies where a
+  // deep Partition copy would assign one inner vector per group — at
+  // 128x128 that is the difference between ~1 MB of memcpy and ~14k
+  // individual vector assignments per evaluation.
+  std::vector<CellGroup> prev_groups_;
+  std::vector<int32_t> prev_cell_to_group_;
+  std::vector<double> prev_features_;  // [group * num_attributes + k]
+  std::vector<uint8_t> prev_group_null_;
+  std::vector<uint32_t> prev_group_valid_count_;
+  bool prev_valid_ = false;
+  size_t last_dirty_shards_ = 0;
+  uint64_t evaluations_ = 0;
+};
+
+}  // namespace srp
+
+#endif  // SRP_CORE_IFL_ENGINE_H_

@@ -1,30 +1,16 @@
 #include "core/information_loss.h"
 
-#include <cmath>
-
+#include "core/kernels/kernels.h"
+#include "grid/soa_view.h"
 #include "parallel/parallel_for.h"
 #include "util/logging.h"
 
 namespace srp {
-namespace {
-
-/// Rows per reduction shard. Fixed (never derived from the thread count) so
-/// the shard layout — and therefore the floating-point combine order — is a
-/// pure function of the grid shape.
-constexpr size_t kRowGrain = 8;
-
-/// Partial IFL sum of one row shard.
-struct LossPartial {
-  double total = 0.0;
-  size_t terms = 0;
-};
-
-}  // namespace
 
 double RepresentativeValue(const GridDataset& grid, const Partition& partition,
                            size_t r, size_t c, size_t k) {
   const int32_t g = partition.GroupOf(r, c);
-  SRP_CHECK(g >= 0) << "cell not assigned to any group";
+  SRP_DCHECK(g >= 0) << "cell not assigned to any group";
   const auto group_id = static_cast<size_t>(g);
   double value = partition.features[group_id][k];
   if (grid.attributes()[k].agg_type == AggType::kSum) {
@@ -37,44 +23,24 @@ double InformationLoss(const GridDataset& grid, const Partition& partition,
                        ThreadPool* pool, const RunContext* ctx) {
   SRP_CHECK(!partition.features.empty())
       << "InformationLoss requires allocated features";
-  const LossPartial sum = ParallelReduce(
-      pool, 0, grid.rows(), kRowGrain, LossPartial{},
-      [&grid, &partition](size_t r_beg, size_t r_end) {
-        LossPartial partial;
-        for (size_t r = r_beg; r < r_end; ++r) {
-          for (size_t c = 0; c < grid.cols(); ++c) {
-            if (grid.IsNull(r, c)) continue;
-            for (size_t k = 0; k < grid.num_attributes(); ++k) {
-              const double original = grid.At(r, c, k);
-              if (grid.attributes()[k].is_categorical) {
-                // Categorical extension: a 0/1 mismatch against the group's
-                // representative (its mode).
-                partial.total +=
-                    (RepresentativeValue(grid, partition, r, c, k) == original)
-                        ? 0.0
-                        : 1.0;
-                ++partial.terms;
-                continue;
-              }
-              if (original == 0.0) continue;  // relative error undefined
-              const double representative =
-                  RepresentativeValue(grid, partition, r, c, k);
-              partial.total +=
-                  std::fabs(original - representative) / std::fabs(original);
-              ++partial.terms;
-            }
-          }
-        }
-        return partial;
+  const GridSoAView view(grid);
+  const kernels::GroupFeatureView feat(partition);
+  const kernels::KernelTable& kern = kernels::ActiveKernels();
+  const int32_t* cell_to_group = partition.cell_to_group.data();
+  const size_t cols = grid.cols();
+  const kernels::IflPartial sum = ParallelReduce(
+      pool, 0, grid.rows(), kernels::kIflRowGrain, kernels::IflPartial{},
+      [&view, &kern, &feat, cell_to_group, cols](size_t r_beg, size_t r_end) {
+        return kern.ifl_cells(view, feat, cell_to_group, r_beg * cols,
+                              r_end * cols);
       },
-      [](LossPartial acc, const LossPartial& p) {
+      [](kernels::IflPartial acc, const kernels::IflPartial& p) {
         acc.total += p.total;
         acc.terms += p.terms;
         return acc;
       },
       ctx);
-  return sum.terms == 0 ? 0.0
-                        : sum.total / static_cast<double>(sum.terms);
+  return sum.terms == 0 ? 0.0 : sum.total / static_cast<double>(sum.terms);
 }
 
 }  // namespace srp

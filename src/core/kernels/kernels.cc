@@ -1,0 +1,87 @@
+#include "core/kernels/kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "core/kernels/kernels_internal.h"
+#include "util/logging.h"
+
+namespace srp {
+namespace kernels {
+namespace {
+
+bool CpuHasAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+/// SRP_SIMD=scalar|avx2|auto (unset == auto). An explicit request for an
+/// unsupported tier — and an unrecognized value — degrades to the best
+/// supported tier with one warning, never a failed run.
+SimdLevel ResolveInitialLevel() {
+  const SimdLevel best = Avx2Supported() ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+  const char* env = std::getenv("SRP_SIMD");
+  if (env == nullptr || *env == '\0') return best;
+  const std::string value(env);
+  if (value == "scalar") return SimdLevel::kScalar;
+  if (value == "avx2") {
+    if (Avx2Supported()) return SimdLevel::kAvx2;
+    SRP_LOG(Warning) << "SRP_SIMD=avx2 requested but AVX2 is "
+                     << (Avx2KernelsOrNull() == nullptr ? "not compiled in"
+                                                        : "not supported by this CPU")
+                     << "; using scalar kernels";
+    return SimdLevel::kScalar;
+  }
+  if (value != "auto") {
+    SRP_LOG(Warning) << "unrecognized SRP_SIMD value \"" << value
+                     << "\" (want scalar|avx2|auto); using auto";
+  }
+  return best;
+}
+
+std::atomic<const KernelTable*>& ActiveTable() {
+  static std::atomic<const KernelTable*> active{
+      &KernelsFor(ResolveInitialLevel())};
+  return active;
+}
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool Avx2Supported() {
+  static const bool supported = Avx2KernelsOrNull() != nullptr && CpuHasAvx2();
+  return supported;
+}
+
+const KernelTable& KernelsFor(SimdLevel level) {
+  if (level == SimdLevel::kAvx2 && Avx2Supported()) {
+    return *Avx2KernelsOrNull();
+  }
+  return kScalarKernels;
+}
+
+const KernelTable& ActiveKernels() {
+  return *ActiveTable().load(std::memory_order_relaxed);
+}
+
+SimdLevel ActiveSimdLevel() { return ActiveKernels().level; }
+
+void SetSimdLevel(SimdLevel level) {
+  ActiveTable().store(&KernelsFor(level), std::memory_order_relaxed);
+}
+
+}  // namespace kernels
+}  // namespace srp

@@ -5,8 +5,7 @@
 #include <utility>
 
 #include "core/extractor.h"
-#include "core/feature_allocator.h"
-#include "core/information_loss.h"
+#include "core/ifl_engine.h"
 #include "core/variation.h"
 #include "core/variation_heap.h"
 #include "fail/fault_injection.h"
@@ -212,6 +211,15 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
 
     const CellGroupExtractor extractor(variations);
 
+    // Loop-persistent state: the candidate partition and the extractor's
+    // visit map are reused across iterations (no per-candidate O(cells)
+    // allocation spike), and the incremental engine carries the previous
+    // evaluation's per-group features and per-shard IFL partials so each
+    // iteration recomputes only what the extraction actually changed.
+    IflEngine ifl_engine(grid);
+    Partition candidate;
+    std::vector<uint8_t> visited_scratch;
+
     double previous_variation = -1.0;
     while (result.iterations < options_.max_iterations) {
       SRP_RETURN_IF_ERROR(interrupt_check());
@@ -230,11 +238,11 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
       ++stats.heap_pops;
       previous_variation = variation;
 
-      Partition candidate = [&] {
+      {
         SRP_TRACE_SPAN("repartition.extract");
         obs::Journal::SetPhase("repartition.extract");
-        return extractor.Extract(variation);
-      }();
+        extractor.ExtractInto(variation, &candidate, &visited_scratch);
+      }
       ++stats.extractions;
       take_phase(&stats.extract_seconds, &stats.extract_peak_bytes,
                  &stats.extract_hw, Metrics().extract_ms);
@@ -243,7 +251,7 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
         SRP_TRACE_SPAN("repartition.allocate_features");
         obs::Journal::SetPhase("repartition.allocate_features");
         const Status allocated =
-            AllocateFeatures(grid, &candidate, pool.get(), ctx);
+            ifl_engine.AllocateCandidateFeatures(&candidate, pool.get(), ctx);
         if (!allocated.ok()) {
           // A mid-allocation interrupt leaves `candidate` partially filled;
           // it is discarded either way. interrupt_check() downgrades to
@@ -261,7 +269,7 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
       const double ifl = [&] {
         SRP_TRACE_SPAN("repartition.information_loss");
         obs::Journal::SetPhase("repartition.information_loss");
-        return InformationLoss(grid, candidate, pool.get(), ctx);
+        return ifl_engine.ComputeInformationLoss(candidate, pool.get(), ctx);
       }();
       take_phase(&stats.information_loss_seconds,
                  &stats.information_loss_peak_bytes,
@@ -279,7 +287,7 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
       if (!accepted) {
         break;  // exceeded θ: keep the previous partition and exit (Fig. 2)
       }
-      result.partition = std::move(candidate);
+      result.partition = candidate;  // copy: the buffer is reused next round
       result.information_loss = ifl;
       result.final_min_adjacent_variation = variation;
       ++result.iterations;

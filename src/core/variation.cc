@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "core/kernels/kernels.h"
+#include "grid/soa_view.h"
 #include "parallel/parallel_for.h"
 
 namespace srp {
@@ -46,20 +48,14 @@ PairVariations ComputePairVariations(const GridDataset& normalized,
   out.down.assign(out.rows * out.cols, inf);
   // Row shards write disjoint ranges of `right`/`down`, so no
   // synchronization is needed and the output is thread-count independent.
+  // The kernel leaves the last column / last row untouched, so those stay at
+  // the +inf pre-fill (same for shards skipped after an interrupt).
+  const GridSoAView view(normalized);
+  const kernels::KernelTable& kern = kernels::ActiveKernels();
   ParallelFor(pool, 0, out.rows, kRowGrain,
-              [&normalized, &out](size_t r_beg, size_t r_end) {
-                for (size_t r = r_beg; r < r_end; ++r) {
-                  for (size_t c = 0; c < out.cols; ++c) {
-                    if (c + 1 < out.cols) {
-                      out.right[r * out.cols + c] =
-                          AttributeVariation(normalized, r, c, r, c + 1);
-                    }
-                    if (r + 1 < out.rows) {
-                      out.down[r * out.cols + c] =
-                          AttributeVariation(normalized, r, c, r + 1, c);
-                    }
-                  }
-                }
+              [&view, &kern, &out](size_t r_beg, size_t r_end) {
+                kern.pair_variation_rows(view, r_beg, r_end, out.right.data(),
+                                         out.down.data());
               },
               ctx);
   return out;

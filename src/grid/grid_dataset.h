@@ -98,6 +98,10 @@ class GridDataset {
     return values_[k];
   }
 
+  /// Flat per-cell null byte mask (row-major cells, 1 = null FV). Exposed
+  /// for the SoA hot-path view (grid/soa_view.h); prefer IsNull elsewhere.
+  const std::vector<uint8_t>& null_mask() const { return null_; }
+
   /// Attribute index by name; -1 when absent.
   int AttributeIndex(const std::string& name) const;
 

@@ -1,0 +1,72 @@
+#include "grid/soa_view.h"
+
+#include <cstring>
+
+namespace srp {
+namespace {
+
+/// One bit per byte of an 8-byte chunk, set when the byte is non-zero.
+/// Standard movemask emulation: collapse each byte to its high bit, then a
+/// carry-free multiply gathers the eight high bits into the top byte (8 and
+/// 7 are coprime, so every product bit position receives at most one term).
+inline uint64_t NonzeroByteMask(uint64_t chunk) {
+  const uint64_t msb =
+      (((chunk & 0x7f7f7f7f7f7f7f7fULL) + 0x7f7f7f7f7f7f7f7fULL) | chunk) &
+      0x8080808080808080ULL;
+  return (msb * 0x0002040810204081ULL) >> 56;
+}
+
+}  // namespace
+
+GridSoAView::GridSoAView(const GridDataset& grid)
+    : rows_(grid.rows()),
+      cols_(grid.cols()),
+      cells_(grid.num_cells()),
+      null_(grid.null_mask().data()) {
+  const size_t p = grid.num_attributes();
+  planes_.resize(p);
+  for (size_t k = 0; k < p; ++k) {
+    const AttributeSpec& attr = grid.attributes()[k];
+    planes_[k].values = grid.AttributeValues(k).data();
+    planes_[k].is_categorical = attr.is_categorical ? 1 : 0;
+    planes_[k].is_sum = attr.agg_type == AggType::kSum ? 1 : 0;
+  }
+  // Pack the byte mask 8 bytes at a time; all-zero chunks (the common case)
+  // cost one load and one compare.
+  null_words_.assign((cells_ + 63) / 64, 0);
+  const size_t full_words = cells_ / 64;
+  for (size_t w = 0; w < full_words; ++w) {
+    uint64_t bits = 0;
+    for (size_t b = 0; b < 8; ++b) {
+      uint64_t chunk;
+      std::memcpy(&chunk, null_ + w * 64 + b * 8, 8);
+      if (chunk != 0) bits |= NonzeroByteMask(chunk) << (b * 8);
+    }
+    null_words_[w] = bits;
+  }
+  for (size_t cell = full_words * 64; cell < cells_; ++cell) {
+    if (null_[cell] != 0) null_words_[cell >> 6] |= uint64_t{1} << (cell & 63);
+  }
+}
+
+bool GridSoAView::AnyNullInRange(size_t beg, size_t end) const {
+  if (beg >= end) return false;
+  const size_t first_word = beg >> 6;
+  const size_t last_word = (end - 1) >> 6;
+  if (first_word == last_word) {
+    // Bits [beg & 63, ((end - 1) & 63)] of the single covering word.
+    const uint64_t lo = ~uint64_t{0} << (beg & 63);
+    const uint64_t hi = ~uint64_t{0} >> (63 - ((end - 1) & 63));
+    return (null_words_[first_word] & lo & hi) != 0;
+  }
+  if ((null_words_[first_word] & (~uint64_t{0} << (beg & 63))) != 0) {
+    return true;
+  }
+  for (size_t w = first_word + 1; w < last_word; ++w) {
+    if (null_words_[w] != 0) return true;
+  }
+  return (null_words_[last_word] &
+          (~uint64_t{0} >> (63 - ((end - 1) & 63)))) != 0;
+}
+
+}  // namespace srp

@@ -1,0 +1,55 @@
+#ifndef SRP_GRID_SOA_VIEW_H_
+#define SRP_GRID_SOA_VIEW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "grid/grid_dataset.h"
+
+namespace srp {
+
+/// One attribute's contiguous value plane plus the two flags the hot loops
+/// branch on, hoisted out of the std::string-bearing AttributeSpec so a
+/// kernel walks one small POD array instead of chasing specs per element.
+struct SoAAttrPlane {
+  const double* values = nullptr;  ///< [num_cells], row-major cell order
+  uint8_t is_categorical = 0;
+  uint8_t is_sum = 0;  ///< AggType::kSum
+};
+
+/// Zero-copy structure-of-arrays view of a GridDataset for the vectorized
+/// core kernels (DESIGN.md §12): per-attribute contiguous value planes, the
+/// raw per-cell null byte mask, and a packed 64-cells-per-word null bitmask
+/// for cheap "any null in this range" tests (the kernels' fast path skips
+/// null fix-ups entirely on fully valid rows).
+///
+/// The view borrows the dataset's storage — the grid must outlive the view
+/// and must not be mutated while the view is alive.
+class GridSoAView {
+ public:
+  explicit GridSoAView(const GridDataset& grid);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t num_cells() const { return cells_; }
+  size_t num_attributes() const { return planes_.size(); }
+  const SoAAttrPlane* planes() const { return planes_.data(); }
+  const uint8_t* null_mask() const { return null_; }
+  bool IsNull(size_t cell) const { return null_[cell] != 0; }
+
+  /// True when any cell of [beg, end) is null. O(range / 64) word scans.
+  bool AnyNullInRange(size_t beg, size_t end) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  size_t cells_ = 0;
+  const uint8_t* null_ = nullptr;
+  std::vector<SoAAttrPlane> planes_;
+  std::vector<uint64_t> null_words_;  ///< bit (cell & 63) of word (cell >> 6)
+};
+
+}  // namespace srp
+
+#endif  // SRP_GRID_SOA_VIEW_H_

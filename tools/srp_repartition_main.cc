@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/adjacency.h"
+#include "core/kernels/kernels.h"
 #include "core/repartitioner.h"
 #include "data/datasets.h"
 #include "fail/cancellation.h"
@@ -585,6 +586,9 @@ int Run(int argc, char** argv) {
     std::printf("srp_repartition %s (%s build, %s)\n",
                 provenance.git_sha.c_str(), provenance.build_type.c_str(),
                 provenance.compiler.c_str());
+    std::printf("simd: %s (avx2 %s; override with SRP_SIMD=scalar|avx2)\n",
+                kernels::SimdLevelName(kernels::ActiveSimdLevel()),
+                kernels::Avx2Supported() ? "supported" : "unavailable");
     return 0;
   }
 
