@@ -1,0 +1,43 @@
+#include "core/checkpoint_hooks.h"
+
+#include <cmath>
+
+namespace srp {
+
+Status RepartitionCheckpoint::ValidateFor(const GridDataset& grid) const {
+  if (partition.rows != grid.rows() || partition.cols != grid.cols()) {
+    return Status::InvalidArgument(
+        "checkpoint partition dimensions do not match the grid");
+  }
+  if (partition.features.size() != partition.num_groups() ||
+      partition.group_null.size() != partition.num_groups() ||
+      partition.group_valid_count.size() != partition.num_groups()) {
+    return Status::InvalidArgument(
+        "checkpoint partition is missing allocated features");
+  }
+  // Eq. 3 values live in [0, 1]; variations are normalized and non-negative
+  // (the -1.0 sentinel marks "no iteration accepted yet"). The negated
+  // comparisons reject NaN.
+  if (!(information_loss >= 0.0 && information_loss <= 1.0)) {
+    return Status::InvalidArgument(
+        "checkpoint information_loss outside [0, 1]");
+  }
+  if (std::isnan(previous_variation) || std::isinf(previous_variation) ||
+      (previous_variation < 0.0 && previous_variation != -1.0)) {
+    return Status::InvalidArgument("checkpoint previous_variation invalid");
+  }
+  if (iterations == 0) {
+    if (previous_variation != -1.0) {
+      return Status::InvalidArgument(
+          "checkpoint with zero iterations must carry the -1.0 variation "
+          "sentinel");
+    }
+  } else if (!(final_min_adjacent_variation >= 0.0) ||
+             std::isinf(final_min_adjacent_variation)) {
+    return Status::InvalidArgument(
+        "checkpoint final_min_adjacent_variation invalid");
+  }
+  return partition.Validate(grid);
+}
+
+}  // namespace srp

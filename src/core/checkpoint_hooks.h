@@ -1,0 +1,81 @@
+#ifndef SRP_CORE_CHECKPOINT_HOOKS_H_
+#define SRP_CORE_CHECKPOINT_HOOKS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/partition.h"
+#include "grid/grid_dataset.h"
+#include "util/status.h"
+
+namespace srp {
+
+/// The repartitioner's committed state at one iteration boundary — exactly
+/// what Repartitioner::Run needs to continue bit-identically to an
+/// uninterrupted run (DESIGN.md §13).
+///
+/// Deliberately small: the heap, the pair variations, and the normalized
+/// grid are NOT snapshotted. They are pure deterministic functions of
+/// (grid, options) and are rebuilt on resume; the rebuilt heap still holds
+/// values the original run already consumed, but PopNextGreater discards
+/// everything <= previous_variation + min_variation_step before returning,
+/// and every previously consumed value is <= previous_variation, so the
+/// first post-resume pop returns the same value the uninterrupted run would
+/// have popped.
+struct RepartitionCheckpoint {
+  /// Monotonic snapshot counter, assigned by the durable writer (the core
+  /// leaves it 0 when building the snapshot; a loaded checkpoint carries
+  /// the generation it was stored under).
+  uint64_t generation = 0;
+
+  /// Accepted coarsening iterations committed so far.
+  size_t iterations = 0;
+
+  /// Heap-pop threshold state: the min-adjacent variation of the last
+  /// accepted iteration, or -1.0 before the first (the loop's initial
+  /// sentinel).
+  double previous_variation = -1.0;
+
+  /// IFL of `partition` (Eq. 3) and the last accepted variation — the
+  /// committed halves of RepartitionResult.
+  double information_loss = 0.0;
+  double final_min_adjacent_variation = 0.0;
+
+  /// The last accepted partition, features allocated. Also the IflEngine
+  /// reuse baseline the resumed run re-seeds from.
+  Partition partition;
+
+  /// Structural validation against the grid a resume would run on: matching
+  /// dimensions, a fully allocated feature table of the grid's arity, and
+  /// Partition::Validate's cell/group consistency checks. Fingerprint
+  /// checks (same dataset bytes, same merge-relevant options) live in the
+  /// durable layer (fail/checkpoint.h), which knows what was stored.
+  Status ValidateFor(const GridDataset& grid) const;
+};
+
+/// Observer the repartitioner hands committed snapshots to (the durable
+/// writer in fail/checkpoint.h, or a test recorder). Like the introspection
+/// sink, a null pointer in RepartitionOptions compiles down to skipped
+/// pointer tests; unlike it, a failing sink FAILS the run — a checkpoint
+/// the caller asked for but could not be persisted must not be silently
+/// dropped mid-run (interrupt-time snapshots are best-effort, see
+/// Repartitioner::Run).
+class CheckpointSink {
+ public:
+  /// Why the repartitioner is snapshotting.
+  enum class SnapshotReason {
+    kPeriodic,   ///< checkpoint_every accepted iterations elapsed
+    kInterrupt,  ///< the RunContext observed its sticky interrupt
+  };
+
+  virtual ~CheckpointSink() = default;
+
+  /// Called from the driver thread with the committed state. The snapshot
+  /// borrows nothing: `state.partition` is a copy the sink may keep.
+  virtual Status OnCheckpoint(const RepartitionCheckpoint& state,
+                              SnapshotReason reason) = 0;
+};
+
+}  // namespace srp
+
+#endif  // SRP_CORE_CHECKPOINT_HOOKS_H_

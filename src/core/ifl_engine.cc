@@ -79,6 +79,49 @@ Status IflEngine::AllocateCandidateFeatures(Partition* candidate,
   return Status::OK();
 }
 
+void IflEngine::SeedBaseline(const Partition& committed, ThreadPool* pool,
+                             const RunContext* ctx) {
+  prev_valid_ = false;
+  SRP_CHECK(committed.rows == grid_.rows() && committed.cols == grid_.cols())
+      << "seed partition/grid dimension mismatch";
+  SRP_CHECK(committed.features.size() == committed.num_groups())
+      << "SeedBaseline requires allocated features";
+
+  const kernels::GroupFeatureView feat(committed);
+  const kernels::KernelTable& kern = kernels::ActiveKernels();
+  const int32_t* cell_to_group = committed.cell_to_group.data();
+  const size_t rows = grid_.rows();
+  const size_t cols = grid_.cols();
+  ParallelFor(pool, 0, num_shards_, 1,
+              [this, &kern, &feat, cell_to_group, rows, cols](size_t s_beg,
+                                                              size_t s_end) {
+                for (size_t s = s_beg; s < s_end; ++s) {
+                  const size_t r_beg = s * kernels::kIflRowGrain;
+                  const size_t r_end =
+                      std::min(r_beg + kernels::kIflRowGrain, rows);
+                  partials_[s] = kern.ifl_cells(view_, feat, cell_to_group,
+                                                r_beg * cols, r_end * cols);
+                }
+              },
+              ctx);
+  if (ctx != nullptr && ctx->Interrupted()) {
+    return;  // partial cache torn; the next evaluation recomputes in full
+  }
+
+  const size_t p = grid_.num_attributes();
+  prev_groups_ = committed.groups;
+  prev_cell_to_group_ = committed.cell_to_group;
+  prev_group_null_ = committed.group_null;
+  prev_group_valid_count_ = committed.group_valid_count;
+  prev_features_.resize(committed.num_groups() * p);
+  for (size_t g = 0; g < committed.num_groups(); ++g) {
+    const std::vector<double>& row = committed.features[g];
+    SRP_CHECK(row.size() == p) << "seed feature row arity mismatch";
+    std::copy(row.begin(), row.end(), prev_features_.begin() + g * p);
+  }
+  prev_valid_ = true;
+}
+
 double IflEngine::ComputeInformationLoss(const Partition& candidate,
                                          ThreadPool* pool,
                                          const RunContext* ctx) {

@@ -59,6 +59,18 @@ class IflEngine {
   double ComputeInformationLoss(const Partition& candidate, ThreadPool* pool,
                                 const RunContext* ctx);
 
+  /// Commits `committed` — an already-evaluated partition with allocated
+  /// features, e.g. one restored from a durable checkpoint — as the reuse
+  /// baseline, recomputing every per-shard IFL partial, exactly as if the
+  /// engine had just evaluated it. Purely a performance seed for resumed
+  /// runs: the partials are the same pure function of (grid, partition,
+  /// shard) the uninterrupted run had cached, so the next evaluation's
+  /// incremental result is bit-identical with or without the call. On a
+  /// mid-seed interrupt the engine simply stays un-seeded (the next
+  /// evaluation falls back to a full recompute).
+  void SeedBaseline(const Partition& committed, ThreadPool* pool,
+                    const RunContext* ctx);
+
   /// Row shards recomputed by the last ComputeInformationLoss (equals the
   /// total shard count on the first call or after an interrupt).
   size_t last_dirty_shards() const { return last_dirty_shards_; }

@@ -76,6 +76,10 @@ Status RepartitionOptions::Validate() const {
   if (num_threads > kMaxThreads) {
     return Status::InvalidArgument("num_threads must be <= 4096");
   }
+  if (checkpoint_every > 0 && checkpoint == nullptr) {
+    return Status::InvalidArgument(
+        "checkpoint_every requires a checkpoint sink");
+  }
   return Status::OK();
 }
 
@@ -157,6 +161,28 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
   result.partition = TrivialPartition(grid);
   result.information_loss = 0.0;
 
+  // Resume fast-forward: replace the trivial seed with the snapshot's
+  // committed state. The pre-computation below (normalize, pair variations,
+  // heap build) is recomputed — each is a pure deterministic function of
+  // (grid, options) — and the loop picks up at the snapshot's pop threshold,
+  // so the continuation is bit-identical to the uninterrupted run
+  // (core/checkpoint_hooks.h explains why the rebuilt heap agrees).
+  const RepartitionCheckpoint* const resume = options_.resume_from;
+  if (resume != nullptr) {
+    SRP_RETURN_IF_ERROR(resume->ValidateFor(grid));
+    result.partition = resume->partition;
+    result.information_loss = resume->information_loss;
+    result.iterations = resume->iterations;
+    result.final_min_adjacent_variation =
+        resume->iterations > 0 ? resume->final_min_adjacent_variation : 0.0;
+    stats.resumed = true;
+    stats.resumed_iterations = resume->iterations;
+    obs::Journal::Appendf(obs::JournalEventKind::kCheckpoint, 0,
+                          "resume from generation %llu at iteration %zu",
+                          static_cast<unsigned long long>(resume->generation),
+                          resume->iterations);
+  }
+
   // Degradation contract (DESIGN.md §8): a cancellation or deadline under
   // best_effort sets `degrade` and unwinds to the best-so-far partition;
   // everything else — best_effort off, or an injected fault — fails the run
@@ -170,6 +196,22 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
       return Status::OK();
     }
     return ctx->InterruptStatus();
+  };
+
+  // Snapshot of the committed state for the durable checkpoint sink. The
+  // stored pop threshold is derivable from the committed result (the last
+  // accepted variation, or the -1.0 loop sentinel before the first accept) —
+  // which is exactly why the heap itself needs no snapshotting
+  // (core/checkpoint_hooks.h).
+  const auto snapshot_state = [&](CheckpointSink::SnapshotReason reason) {
+    RepartitionCheckpoint state;
+    state.iterations = result.iterations;
+    state.previous_variation =
+        result.iterations > 0 ? result.final_min_adjacent_variation : -1.0;
+    state.information_loss = result.information_loss;
+    state.final_min_adjacent_variation = result.final_min_adjacent_variation;
+    state.partition = result.partition;
+    return options_.checkpoint->OnCheckpoint(state, reason);
   };
 
   const Status run_status = [&]() -> Status {
@@ -220,7 +262,22 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
     Partition candidate;
     std::vector<uint8_t> visited_scratch;
 
-    double previous_variation = -1.0;
+    if (resume != nullptr) {
+      // Re-seed the incremental engine's reuse baseline from the snapshot so
+      // the resumed run's first evaluation reuses exactly what the
+      // uninterrupted run's next evaluation would have. A pure perf
+      // optimization: the engine's incremental path is bit-identical to the
+      // full recompute either way, so skipping this (e.g. after a mid-seed
+      // interrupt) cannot change the result.
+      SRP_TRACE_SPAN("repartition.resume_seed");
+      obs::Journal::SetPhase("repartition.resume_seed");
+      ifl_engine.SeedBaseline(result.partition, pool.get(), ctx);
+      SRP_RETURN_IF_ERROR(interrupt_check());
+      if (degrade) return Status::OK();
+    }
+
+    double previous_variation =
+        resume != nullptr ? resume->previous_variation : -1.0;
     while (result.iterations < options_.max_iterations) {
       SRP_RETURN_IF_ERROR(interrupt_check());
       if (degrade) return Status::OK();
@@ -291,9 +348,38 @@ Result<RepartitionResult> Repartitioner::Run(const GridDataset& grid,
       result.information_loss = ifl;
       result.final_min_adjacent_variation = variation;
       ++result.iterations;
+
+      if (options_.checkpoint_every > 0 &&
+          result.iterations % options_.checkpoint_every == 0) {
+        // Periodic durable snapshot of the just-committed state. A failed
+        // write fails the run: the caller asked for durability, and
+        // silently continuing would turn a full disk into lost work at the
+        // next crash. (Iterations restored by a resume count toward the
+        // modulo, keeping snapshot points aligned with the original run.)
+        obs::Journal::SetPhase("repartition.checkpoint");
+        SRP_RETURN_IF_ERROR(
+            snapshot_state(CheckpointSink::SnapshotReason::kPeriodic));
+      }
     }
     return Status::OK();
   }();
+  // Interrupt-time snapshot: an interrupted run — best-effort or strict —
+  // leaves its last committed state durable, so a deadline or cancel
+  // degrades to "resumable" rather than merely "best-so-far". Best-effort:
+  // a write failure must not mask the successfully degraded result, so it
+  // is journaled (kWarning) and dropped. Injected-fault interrupts are
+  // excluded: they exercise error paths, not operator-visible interrupts.
+  if (options_.checkpoint != nullptr && ctx != nullptr && ctx->Interrupted() &&
+      ctx->interrupt_kind() != InterruptKind::kInjectedFault) {
+    obs::Journal::SetPhase("repartition.checkpoint");
+    const Status ckpt =
+        snapshot_state(CheckpointSink::SnapshotReason::kInterrupt);
+    if (!ckpt.ok()) {
+      obs::Journal::Appendf(obs::JournalEventKind::kLog, 2,
+                            "interrupt checkpoint failed: %s",
+                            ckpt.message().c_str());
+    }
+  }
   SRP_RETURN_IF_ERROR(run_status);
   stats.interrupted = degrade;
   phase_memory.reset();  // restore any enclosing ScopedMemoryPeak's view

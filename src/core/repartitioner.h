@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/checkpoint_hooks.h"
 #include "core/partition.h"
 #include "fail/cancellation.h"
 #include "grid/grid_dataset.h"
@@ -58,11 +59,36 @@ struct RepartitionOptions {
   /// down to skipped pointer tests. Not owned; must outlive the run.
   obs::IntrospectionSink* introspection = nullptr;
 
+  /// Durable-checkpoint observer (DESIGN.md §13): receives a snapshot of
+  /// the committed state every `checkpoint_every` accepted iterations and
+  /// once when an interrupted run unwinds, so `--deadline-ms`/cancel
+  /// degrade to "resumable" rather than merely "best-so-far". Null (the
+  /// default) disables snapshotting entirely. Not owned; must outlive the
+  /// run. A periodic snapshot failure fails the run (the caller asked for
+  /// durability); the interrupt-time snapshot is best-effort.
+  CheckpointSink* checkpoint = nullptr;
+
+  /// Accepted iterations between periodic snapshots. 0 = interrupt-time
+  /// snapshots only (still requires `checkpoint` to be set).
+  size_t checkpoint_every = 0;
+
+  /// Resume state from a previously persisted checkpoint. When set, Run
+  /// skips straight past the first `resume_from->iterations` accepted
+  /// iterations: it seeds the committed partition/IFL from the snapshot,
+  /// re-seeds the incremental engine's reuse baseline, rebuilds the heap
+  /// (deterministic pre-computation), and continues bit-identically to the
+  /// uninterrupted run at any thread count and SIMD tier. The snapshot must
+  /// match the grid (ValidateFor) — fingerprint validation against the
+  /// stored dataset/options happens in the durable layer before this is
+  /// populated. Not owned; must outlive the run.
+  const RepartitionCheckpoint* resume_from = nullptr;
+
   /// Checks every field before a run touches the data: θ in [0, 1]
   /// (NaN-rejecting), max_iterations >= 1, min_variation_step finite and
-  /// >= 0, num_threads within the sane 4096 bound. All entry points
-  /// (Repartitioner, HomogeneousRepartition, StRepartitioner, streaming)
-  /// funnel through this.
+  /// >= 0, num_threads within the sane 4096 bound, checkpoint_every only
+  /// used with a sink. All entry points (Repartitioner,
+  /// HomogeneousRepartition, StRepartitioner, streaming) funnel through
+  /// this.
   Status Validate() const;
 };
 
@@ -150,6 +176,13 @@ struct RunStats {
   /// (never a partial state — candidates in flight at the interrupt are
   /// discarded), but coarsening stopped before convergence.
   bool interrupted = false;
+
+  /// Set when the run was seeded from RepartitionOptions::resume_from:
+  /// `resumed_iterations` accepted iterations were restored from the
+  /// snapshot instead of being re-run (they are included in
+  /// RepartitionResult::iterations).
+  bool resumed = false;
+  size_t resumed_iterations = 0;
 
   double PhaseTotalSeconds() const {
     return normalize_seconds + pair_variation_seconds + heap_build_seconds +

@@ -1,0 +1,168 @@
+#ifndef SRP_FAIL_CHECKPOINT_H_
+#define SRP_FAIL_CHECKPOINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint_hooks.h"
+#include "core/repartitioner.h"
+#include "grid/grid_dataset.h"
+#include "util/status.h"
+
+namespace srp {
+
+/// Durable, crash-consistent persistence for RepartitionCheckpoint
+/// snapshots (DESIGN.md §13). Lives beside the fault injector because
+/// torn-write robustness is only believable under injected write/fsync/
+/// rename failures and truncation — library `srp_checkpoint`, ABOVE
+/// srp_core in the layering (the srp_fail library itself stays below
+/// srp_util; only the header directory is shared).
+///
+/// On-disk format ("SRPCKPT1"): a magic, then framed sections in fixed
+/// order — META, GRPS (gIndex), CMAP (cIndex), FEAT (feature rows), GMET
+/// (null flags + valid counts), END — each carrying its own CRC32, so any
+/// torn or bit-flipped byte is pinpointed to a section and the file
+/// rejected with a descriptive error. Doubles are stored as raw IEEE-754
+/// bits: a round-trip is bit-exact, which the resume determinism contract
+/// requires. The format is fixed-width little-endian; this library targets
+/// the repo's x86_64 baseline.
+
+/// CRC32 (ISO 3309 / zlib polynomial, bit-reflected), seedable for
+/// incremental use over discontiguous buffers.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+/// 64-bit FNV-1a content fingerprint of everything that determines the
+/// coarsening trajectory on the data side: dimensions, extent, attribute
+/// schema, every attribute's raw value bits, and the null mask. Two grids
+/// with equal fingerprints produce identical runs.
+uint64_t GridFingerprint(const GridDataset& grid);
+
+/// Fingerprint of the merge-relevant options: θ and min_variation_step.
+/// Deliberately EXCLUDES max_iterations (a resumed run may extend the
+/// budget), num_threads, and the SIMD tier (results are bit-identical
+/// across both — DESIGN.md §7), and the checkpoint/observability knobs.
+uint64_t OptionsFingerprint(const RepartitionOptions& options);
+
+/// Sleep dependency of the writer's bounded retry loop, injectable so
+/// tests drive retry exhaustion and backoff accounting without real
+/// waiting.
+class RetryClock {
+ public:
+  virtual ~RetryClock() = default;
+  virtual void SleepMillis(uint64_t millis) = 0;
+};
+
+/// The process RetryClock backed by a real nanosleep.
+RetryClock* RealRetryClock();
+
+/// A checkpoint as persisted: the repartitioner state plus the identity of
+/// the (dataset, options) pair it belongs to.
+struct StoredCheckpoint {
+  RepartitionCheckpoint state;
+  uint64_t grid_fingerprint = 0;
+  uint64_t options_fingerprint = 0;
+};
+
+/// Serializes `stored` to `path` in one pass: temp file in the same
+/// directory + fsync + atomic rename + directory fsync, so a reader never
+/// observes a partially written checkpoint under any crash point. Hosts
+/// the checkpoint.write / checkpoint.fsync / checkpoint.rename /
+/// checkpoint.truncate fault points (the last truncates AFTER the rename,
+/// simulating a torn write the reader must catch by CRC).
+Status WriteCheckpointFile(const std::string& path,
+                           const StoredCheckpoint& stored);
+
+/// Strict deserialization: wrong magic, out-of-order or missing sections,
+/// length overruns, CRC mismatches, trailing bytes, and
+/// structurally-impossible META counts all fail with a message naming the
+/// offending section. Never crashes on arbitrary bytes (fuzzed in
+/// tests/checkpoint_fuzz_test.cc).
+Result<StoredCheckpoint> ReadCheckpointFile(const std::string& path);
+
+/// Fingerprint + structural validation of a loaded checkpoint against the
+/// grid/options a resume would run with.
+Status ValidateStoredCheckpoint(const StoredCheckpoint& stored,
+                                const GridDataset& grid,
+                                const RepartitionOptions& options);
+
+/// `<directory>/ckpt-<generation, zero-padded>.srpckpt`.
+std::string CheckpointFileName(uint64_t generation);
+std::string CheckpointFilePath(const std::string& directory,
+                               uint64_t generation);
+
+/// Checkpoint files present in `directory`, as (generation, path) sorted by
+/// ascending generation. Unparseable file names are ignored; a missing
+/// directory is an empty list, not an error.
+std::vector<std::pair<uint64_t, std::string>> ListCheckpointFiles(
+    const std::string& directory);
+
+/// Loads the newest VALID checkpoint in `directory`: tries generations in
+/// descending order and falls back past corrupt or torn files (each
+/// rejection is journaled), so a crash mid-write — or the injected
+/// truncation — degrades to the previous durable generation. NotFound when
+/// the directory holds no valid checkpoint.
+Result<StoredCheckpoint> LoadLatestCheckpoint(const std::string& directory);
+
+/// The durable CheckpointSink (DESIGN.md §13). Each OnCheckpoint call
+/// assigns the next generation (monotonic, resuming above any generation
+/// already present in the directory), writes crash-consistently via
+/// WriteCheckpointFile with bounded retry + exponential backoff on
+/// transient I/O errors, journals a kCheckpoint event, publishes the
+/// generation to Journal::SetCheckpointGeneration (so postmortems can
+/// point at the newest resumable state), and prunes generations older
+/// than `keep_generations`. Driver-thread use only, like the repartition
+/// loop that calls it.
+class CheckpointWriter : public CheckpointSink {
+ public:
+  struct Options {
+    std::string directory;  ///< required; created if absent
+
+    /// Identity stamped into every file; ValidateStoredCheckpoint checks
+    /// these on resume.
+    uint64_t grid_fingerprint = 0;
+    uint64_t options_fingerprint = 0;
+
+    /// Newest generations kept on disk. >= 2 so the previous generation
+    /// survives a torn write of the current one.
+    size_t keep_generations = 2;
+
+    /// Bounded retry on write/fsync/rename failure: total attempts, and
+    /// the backoff before the 2nd attempt (doubled each further attempt).
+    size_t max_attempts = 3;
+    uint64_t backoff_millis = 10;
+
+    /// Null = RealRetryClock(). Tests inject a recording fake.
+    RetryClock* clock = nullptr;
+  };
+
+  explicit CheckpointWriter(Options options);
+
+  /// Prepares the directory and seeds the generation counter above any
+  /// existing checkpoint. Must be called (and succeed) before the first
+  /// OnCheckpoint.
+  Status Init();
+
+  Status OnCheckpoint(const RepartitionCheckpoint& state,
+                      SnapshotReason reason) override;
+
+  /// Generation of the last successful write; -1 before the first.
+  int64_t latest_generation() const { return latest_generation_; }
+  /// Successful writes by this writer.
+  uint64_t writes() const { return writes_; }
+  /// Write attempts that failed and were retried or given up on.
+  uint64_t failed_attempts() const { return failed_attempts_; }
+
+ private:
+  Options options_;
+  uint64_t next_generation_ = 0;
+  int64_t latest_generation_ = -1;
+  uint64_t writes_ = 0;
+  uint64_t failed_attempts_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace srp
+
+#endif  // SRP_FAIL_CHECKPOINT_H_

@@ -56,6 +56,10 @@ const std::vector<std::string>& FaultInjector::KnownPoints() {
       "baseline.clustering",
       "stream.ingest",
       "st.run",
+      "checkpoint.write",
+      "checkpoint.fsync",
+      "checkpoint.rename",
+      "checkpoint.truncate",
   };
   return *points;
 }
@@ -78,6 +82,36 @@ FaultInjector& FaultInjector::Get() {
   return *injector;
 }
 
+namespace {
+
+/// Parses one "point:kind[:nth]" entry.
+Status ParseOneSpec(const std::string& spec, std::string* point,
+                    FaultKind* kind, uint64_t* nth) {
+  const size_t first = spec.find(':');
+  if (first == std::string::npos) {
+    return Status::InvalidArgument(
+        "fault spec must be point:kind[:nth], got: " + spec);
+  }
+  const size_t second = spec.find(':', first + 1);
+  *point = spec.substr(0, first);
+  const std::string kind_str =
+      second == std::string::npos ? spec.substr(first + 1)
+                                  : spec.substr(first + 1, second - first - 1);
+  if (!ParseKind(kind_str, kind)) {
+    return Status::InvalidArgument(
+        "fault kind must be one of error|nan|inf, got: " + kind_str);
+  }
+  *nth = 1;
+  if (second != std::string::npos &&
+      !ParseU64(spec.substr(second + 1), nth)) {
+    return Status::InvalidArgument("fault nth must be a positive integer: " +
+                                   spec);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Status FaultInjector::Arm(const std::string& point, FaultKind kind,
                           uint64_t nth) {
   if (nth == 0) {
@@ -89,59 +123,79 @@ Status FaultInjector::Arm(const std::string& point, FaultKind kind,
     return Status::NotFound("unknown fault point: " + point);
   }
   std::lock_guard<std::mutex> lock(mu_);
-  point_ = point;
-  kind_ = kind;
-  nth_ = nth;
-  hits_ = 0;
-  fired_ = 0;
+  faults_.clear();
+  ArmedFault fault;
+  fault.point = point;
+  fault.kind = kind;
+  fault.nth = nth;
+  faults_.push_back(std::move(fault));
   armed_.store(true, std::memory_order_release);
   return Status::OK();
 }
 
 Status FaultInjector::ArmFromSpec(const std::string& spec) {
-  const size_t first = spec.find(':');
-  if (first == std::string::npos) {
-    return Status::InvalidArgument(
-        "fault spec must be point:kind[:nth], got: " + spec);
+  // Parse-then-commit: the previously armed set survives a malformed list.
+  std::vector<ArmedFault> parsed;
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (entry.empty()) {
+      return Status::InvalidArgument("empty entry in fault spec list: " +
+                                     spec);
+    }
+    ArmedFault fault;
+    SRP_RETURN_IF_ERROR(
+        ParseOneSpec(entry, &fault.point, &fault.kind, &fault.nth));
+    if (fault.nth == 0) {
+      return Status::InvalidArgument("fault nth must be >= 1");
+    }
+    bool known = false;
+    for (const std::string& p : KnownPoints()) known = known || p == fault.point;
+    if (!known) {
+      return Status::NotFound("unknown fault point: " + fault.point);
+    }
+    parsed.push_back(std::move(fault));
   }
-  const size_t second = spec.find(':', first + 1);
-  const std::string point = spec.substr(0, first);
-  const std::string kind_str =
-      second == std::string::npos ? spec.substr(first + 1)
-                                  : spec.substr(first + 1, second - first - 1);
-  FaultKind kind = FaultKind::kError;
-  if (!ParseKind(kind_str, &kind)) {
-    return Status::InvalidArgument(
-        "fault kind must be one of error|nan|inf, got: " + kind_str);
+  if (parsed.empty()) {
+    return Status::InvalidArgument("empty fault spec");
   }
-  uint64_t nth = 1;
-  if (second != std::string::npos &&
-      !ParseU64(spec.substr(second + 1), &nth)) {
-    return Status::InvalidArgument("fault nth must be a positive integer: " +
-                                   spec);
-  }
-  return Arm(point, kind, nth);
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_ = std::move(parsed);
+  armed_.store(true, std::memory_order_release);
+  return Status::OK();
 }
 
 void FaultInjector::Disarm() {
   std::lock_guard<std::mutex> lock(mu_);
   armed_.store(false, std::memory_order_release);
-  point_.clear();
-  hits_ = 0;
-  fired_ = 0;
+  faults_.clear();
 }
 
 uint64_t FaultInjector::fired_count() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return fired_;
+  uint64_t fired = 0;
+  for (const ArmedFault& fault : faults_) fired += fault.fired ? 1 : 0;
+  return fired;
 }
 
 bool FaultInjector::Fire(const char* point) {
   if (!armed_.load(std::memory_order_relaxed)) return false;
   std::lock_guard<std::mutex> lock(mu_);
-  if (kind_ != FaultKind::kError || point_ != point) return false;
-  if (++hits_ != nth_) return false;
-  ++fired_;
+  // Every error-kind spec on this point counts the evaluation; the first
+  // spec reaching its nth hit fires (ascending-nth multi-specs therefore
+  // fail consecutive evaluations, one spec each).
+  bool fire = false;
+  for (ArmedFault& fault : faults_) {
+    if (fault.kind != FaultKind::kError || fault.point != point) continue;
+    if (++fault.hits == fault.nth && !fire) {
+      fault.fired = true;
+      fire = true;
+    }
+  }
+  if (!fire) return false;
   obs::Journal::Appendf(obs::JournalEventKind::kFault, 0, "fired %s (error)",
                         point);
   return true;
@@ -155,12 +209,20 @@ Status FaultInjector::Check(const char* point) {
 double FaultInjector::Poison(const char* point, double value) {
   if (!armed_.load(std::memory_order_relaxed)) return value;
   std::lock_guard<std::mutex> lock(mu_);
-  if (kind_ == FaultKind::kError || point_ != point) return value;
-  if (++hits_ != nth_) return value;
-  ++fired_;
+  FaultKind fired_kind = FaultKind::kError;
+  bool fire = false;
+  for (ArmedFault& fault : faults_) {
+    if (fault.kind == FaultKind::kError || fault.point != point) continue;
+    if (++fault.hits == fault.nth && !fire) {
+      fault.fired = true;
+      fired_kind = fault.kind;
+      fire = true;
+    }
+  }
+  if (!fire) return value;
   obs::Journal::Appendf(obs::JournalEventKind::kFault, 0, "fired %s (%s)",
-                        point, kind_ == FaultKind::kNaN ? "nan" : "inf");
-  return kind_ == FaultKind::kNaN
+                        point, fired_kind == FaultKind::kNaN ? "nan" : "inf");
+  return fired_kind == FaultKind::kNaN
              ? std::numeric_limits<double>::quiet_NaN()
              : std::numeric_limits<double>::infinity();
 }

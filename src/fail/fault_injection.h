@@ -23,12 +23,16 @@ enum class FaultKind {
 /// The library is instrumented with named fault points — `SRP_INJECT_FAULT`
 /// at Status-returning sites and `SRP_FAULT_POISON` at value-producing sites.
 /// Arming a (point, kind, nth) triple via Arm() / the SRP_FAULT environment
-/// variable ("point:kind[:nth]") makes the nth evaluation of a matching site
-/// fire exactly once: kError sites return an error Status, kNaN/kInf sites
-/// substitute a non-finite payload that downstream input hardening
-/// (GridDataset::Validate) must catch. Everything is deterministic: the hit
-/// counter counts only evaluations whose site type matches the armed kind,
-/// so "which call fails" never depends on scheduling (the one exception is
+/// variable (a comma-separated list of "point:kind[:nth]" specs) makes the
+/// nth evaluation of a matching site fire exactly once per armed spec:
+/// kError sites return an error Status, kNaN/kInf sites substitute a
+/// non-finite payload that downstream input hardening
+/// (GridDataset::Validate) must catch. Arming the same point several times
+/// with ascending nth ("checkpoint.write:error:1,checkpoint.write:error:2")
+/// fails that many consecutive evaluations — the idiom for exhausting a
+/// bounded retry loop. Everything is deterministic: each spec's hit counter
+/// counts only evaluations whose site type matches its armed kind, so
+/// "which call fails" never depends on scheduling (the one exception is
 /// `parallel.task`, polled by concurrently racing workers — some worker
 /// fires, deterministically surfacing through RunContext).
 ///
@@ -46,43 +50,53 @@ class FaultInjector {
   /// fault matrix to enumerate.
   static const std::vector<std::string>& KnownPoints();
 
-  /// Arms one fault; replaces any previously armed one and resets counters.
-  /// Fails on unknown points (typo guard) and nth == 0.
+  /// Arms one fault; replaces everything previously armed and resets
+  /// counters. Fails on unknown points (typo guard) and nth == 0.
   Status Arm(const std::string& point, FaultKind kind, uint64_t nth = 1);
 
-  /// Parses and arms "point:kind[:nth]" with kind in {error, nan, inf},
-  /// e.g. "core.pair_variations:error:1" or "grid.build:nan:3".
+  /// Parses and arms a comma-separated list of "point:kind[:nth]" specs
+  /// with kind in {error, nan, inf}, e.g. "core.pair_variations:error:1" or
+  /// "checkpoint.write:error:1,checkpoint.fsync:error". The whole list is
+  /// validated before anything is armed: a malformed entry leaves the
+  /// previously armed set untouched.
   Status ArmFromSpec(const std::string& spec);
 
-  /// Disarms and resets counters.
+  /// Disarms everything and resets counters.
   void Disarm();
 
   bool armed() const { return armed_.load(std::memory_order_relaxed); }
 
-  /// How many times the armed fault has fired (0 or 1; a fault fires once).
+  /// Total firings across all armed specs (each spec fires at most once).
   uint64_t fired_count() const;
 
-  /// Error-site check: counts a hit when `point` is armed with kError and
-  /// returns the injected error on the nth hit; OK otherwise.
+  /// Error-site check: counts a hit on every spec arming `point` with
+  /// kError and returns the injected error when one reaches its nth hit;
+  /// OK otherwise.
   Status Check(const char* point);
 
   /// Bool form of Check for sites that cannot return Status (worker loops).
   bool Fire(const char* point);
 
-  /// Value-site check: counts a hit when `point` is armed with kNaN/kInf and
-  /// returns the poisoned payload on the nth hit; `value` otherwise.
+  /// Value-site check: counts a hit on every spec arming `point` with
+  /// kNaN/kInf and returns the poisoned payload when one reaches its nth
+  /// hit; `value` otherwise.
   double Poison(const char* point, double value);
 
  private:
   FaultInjector() = default;
 
+  /// One armed "point:kind[:nth]" spec with its private hit counter.
+  struct ArmedFault {
+    std::string point;
+    FaultKind kind = FaultKind::kError;
+    uint64_t nth = 1;
+    uint64_t hits = 0;
+    bool fired = false;
+  };
+
   std::atomic<bool> armed_{false};
   mutable std::mutex mu_;
-  std::string point_;
-  FaultKind kind_ = FaultKind::kError;
-  uint64_t nth_ = 1;
-  uint64_t hits_ = 0;
-  uint64_t fired_ = 0;
+  std::vector<ArmedFault> faults_;
 };
 
 /// Arms a fault for the enclosing scope and disarms on exit — the test

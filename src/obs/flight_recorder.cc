@@ -293,7 +293,17 @@ void WriteSignalPostmortem(int sig, siginfo_t* info) {
   SigEscaped(&b, Journal::ThreadLabel());
   SigStr(&b, "\"},\"phase\":\"");
   SigEscaped(&b, Journal::CurrentPhase());
-  SigStr(&b, "\",\"provenance\":{\"git_sha\":\"");
+  SigChar(&b, '"');
+  // Newest durable checkpoint generation, when one was committed: the
+  // postmortem's pointer to the resumable state (one relaxed load —
+  // signal-safe). Additive within schema version 1.
+  const int64_t ckpt_gen = Journal::checkpoint_generation();
+  if (ckpt_gen >= 0) {
+    SigStr(&b, ",\"checkpoint\":{\"generation\":");
+    SigI64(&b, ckpt_gen);
+    SigChar(&b, '}');
+  }
+  SigStr(&b, ",\"provenance\":{\"git_sha\":\"");
   SigEscaped(&b, g_state.git_sha);
   SigStr(&b, "\",\"build_type\":\"");
   SigEscaped(&b, g_state.build_type);
@@ -519,6 +529,15 @@ JsonValue FlightRecorder::BuildInterruptPostmortem(int interrupt_kind,
   doc.Set("thread", std::move(thread));
   doc.Set("phase", std::string(Journal::CurrentPhase()));
 
+  // Matches the signal path: present only when a durable checkpoint was
+  // committed this process, so the operator knows resume is on the table.
+  const int64_t ckpt_gen = Journal::checkpoint_generation();
+  if (ckpt_gen >= 0) {
+    JsonValue checkpoint = JsonValue::Object();
+    checkpoint.Set("generation", ckpt_gen);
+    doc.Set("checkpoint", std::move(checkpoint));
+  }
+
   const RunReportProvenance provenance = BuildProvenance();
   JsonValue prov = JsonValue::Object();
   prov.Set("git_sha", provenance.git_sha);
@@ -620,6 +639,15 @@ Status ValidatePostmortemJson(const JsonValue& doc) {
 
   const JsonValue* phase = doc.Find("phase");
   if (phase == nullptr || !phase->is_string()) return invalid("missing phase");
+
+  // Optional (written only when a durable checkpoint exists), but when
+  // present it must point at a concrete generation.
+  const JsonValue* checkpoint = doc.Find("checkpoint");
+  if (checkpoint != nullptr &&
+      (!checkpoint->is_object() || checkpoint->Find("generation") == nullptr ||
+       !checkpoint->Find("generation")->is_number())) {
+    return invalid("checkpoint section must carry a numeric generation");
+  }
 
   const JsonValue* provenance = doc.Find("provenance");
   if (provenance == nullptr || !provenance->is_object()) {

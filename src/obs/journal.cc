@@ -32,6 +32,7 @@ std::atomic<uint64_t> g_dropped_thread_events{0};
 std::atomic<const char*> g_phase{""};
 std::atomic<JournalInterruptHook> g_interrupt_hook{nullptr};
 char g_crash_cause[256] = {};
+std::atomic<int64_t> g_checkpoint_generation{-1};
 
 /// Copies `text` into `dst` (capacity `cap`), always NUL-terminating.
 /// memcpy-based so it stays async-signal-safe.
@@ -114,6 +115,8 @@ const char* JournalEventKindName(JournalEventKind kind) {
       return "phase";
     case JournalEventKind::kCheckFail:
       return "check_fail";
+    case JournalEventKind::kCheckpoint:
+      return "checkpoint";
   }
   return "?";
 }
@@ -200,6 +203,14 @@ void Journal::SetCrashCause(const char* text) {
 }
 
 const char* Journal::crash_cause() { return g_crash_cause; }
+
+void Journal::SetCheckpointGeneration(int64_t generation) {
+  g_checkpoint_generation.store(generation, std::memory_order_relaxed);
+}
+
+int64_t Journal::checkpoint_generation() {
+  return g_checkpoint_generation.load(std::memory_order_relaxed);
+}
 
 JournalInterruptHook Journal::SetInterruptHook(JournalInterruptHook hook) {
   return g_interrupt_hook.exchange(hook, std::memory_order_acq_rel);
@@ -298,6 +309,7 @@ void Journal::ResetForTesting() {
   g_dropped_thread_events.store(0, std::memory_order_relaxed);
   g_phase.store("", std::memory_order_relaxed);
   g_crash_cause[0] = '\0';
+  g_checkpoint_generation.store(-1, std::memory_order_relaxed);
 }
 
 }  // namespace obs

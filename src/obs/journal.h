@@ -35,8 +35,9 @@ enum class JournalEventKind : uint8_t {
   kFault = 3,      ///< fault-injection point fired
   kInterrupt = 4,  ///< RunContext observed its first interrupt
   kTask = 5,       ///< ThreadPool lifecycle milestone
-  kPhase = 6,      ///< algorithm phase transition (Journal::SetPhase)
-  kCheckFail = 7,  ///< SRP_CHECK / SRP_DCHECK failure text, pre-abort
+  kPhase = 6,       ///< algorithm phase transition (Journal::SetPhase)
+  kCheckFail = 7,   ///< SRP_CHECK / SRP_DCHECK failure text, pre-abort
+  kCheckpoint = 8,  ///< durable checkpoint generation committed to disk
 };
 
 const char* JournalEventKindName(JournalEventKind kind);
@@ -140,6 +141,14 @@ class Journal {
   /// name the failed check. `crash_cause()` returns "" when never set.
   static void SetCrashCause(const char* text);
   static const char* crash_cause();
+
+  /// Latest durable checkpoint generation committed by this process,
+  /// published by the checkpoint writer after every successful atomic
+  /// rename so crash/interrupt postmortems can point the operator at the
+  /// newest resumable state. Signal-safe to read (one relaxed load);
+  /// `checkpoint_generation()` returns -1 when no checkpoint was written.
+  static void SetCheckpointGeneration(int64_t generation);
+  static int64_t checkpoint_generation();
 
   /// Installs the interrupt hook, returning the previous one. The fail
   /// layer calls NotifyInterrupt at the first sticky interrupt transition;

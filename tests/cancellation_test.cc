@@ -9,12 +9,14 @@
 
 #include <chrono>
 #include <cmath>
+#include <filesystem>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "baselines/clustering_reduction.h"
+#include "fail/checkpoint.h"
 #include "baselines/regionalization.h"
 #include "baselines/sampling.h"
 #include "core/homogeneous.h"
@@ -145,6 +147,42 @@ TEST(CancellationTest, BestEffortReturnsConsistentBestSoFar) {
   EXPECT_TRUE(result->partition.Validate(grid).ok());
   EXPECT_NEAR(InformationLoss(grid, result->partition),
               result->information_loss, 1e-12);
+}
+
+TEST(CancellationTest, ZeroBudgetBestEffortStillSeedsAndCheckpointsTrivially) {
+  // Regression: a deadline-ms=0 run (the deadline expires before the first
+  // poll) must still degrade to the seeded trivial partition with
+  // interrupted=true AND leave a generation-0 checkpoint of it — zero
+  // iterations of progress is still resumable state (DESIGN.md §13).
+  const GridDataset grid = SmoothGrid(10, 10);
+  const std::string dir = testing::TempDir() + "/cancel_ckpt_zero_budget";
+  std::filesystem::remove_all(dir);
+
+  CheckpointWriter::Options wopt;
+  wopt.directory = dir;
+  wopt.grid_fingerprint = GridFingerprint(grid);
+  CheckpointWriter writer(wopt);
+  ASSERT_TRUE(writer.Init().ok());
+
+  RunContext ctx;
+  ctx.set_deadline_after_seconds(0.0);
+  ctx.set_best_effort(true);
+  RepartitionOptions options;
+  options.checkpoint = &writer;  // checkpoint_every = 0: interrupt-time only
+  auto result = Repartitioner(options).Run(grid, &ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->stats.interrupted);
+  EXPECT_EQ(result->iterations, 0u);
+  EXPECT_EQ(result->partition.num_groups(), grid.rows() * grid.cols());
+  EXPECT_DOUBLE_EQ(result->information_loss, 0.0);
+
+  EXPECT_EQ(writer.latest_generation(), 0);
+  auto stored = LoadLatestCheckpoint(dir);
+  ASSERT_TRUE(stored.ok()) << stored.status().ToString();
+  EXPECT_EQ(stored->state.generation, 0u);
+  EXPECT_EQ(stored->state.iterations, 0u);
+  EXPECT_DOUBLE_EQ(stored->state.previous_variation, -1.0);
+  EXPECT_TRUE(stored->state.ValidateFor(grid).ok());
 }
 
 TEST(CancellationTest, MidRunCancelKeepsInvariants) {

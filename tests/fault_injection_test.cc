@@ -17,6 +17,7 @@
 #include "baselines/sampling.h"
 #include "core/repartitioner.h"
 #include "fail/cancellation.h"
+#include "fail/checkpoint.h"
 #include "grid/grid_builder.h"
 #include "ml/ols.h"
 #include "st/st_repartitioner.h"
@@ -120,6 +121,23 @@ Status ExercisePoint(const std::string& point) {
     SRP_RETURN_IF_ERROR(series.AddSlice(SmoothGrid(6, 6)));
     return StRepartitioner().Run(series).status();
   }
+  if (point.rfind("checkpoint.", 0) == 0) {
+    // One durable write/read cycle hosts all four checkpoint points.
+    // write/fsync/rename fail the write itself; truncate by design fires
+    // AFTER the reported success (the torn-write simulation) and surfaces
+    // at the reader as a CRC/framing rejection — map that back onto the
+    // injected fault so the generic loop sees one uniform failure shape.
+    StoredCheckpoint stored;
+    const std::string path = testing::TempDir() + "/fault_ckpt.srpckpt";
+    SRP_RETURN_IF_ERROR(WriteCheckpointFile(path, stored));
+    const auto read = ReadCheckpointFile(path);
+    if (!read.ok()) {
+      return Status::Internal("injected fault at " + point +
+                              " (torn file rejected: " +
+                              read.status().message() + ")");
+    }
+    return Status::OK();
+  }
   return Status::NotFound("no driver for fault point " + point);
 }
 
@@ -202,6 +220,52 @@ TEST(FaultInjectionTest, ArmFromSpecParsesAllForms) {
   EXPECT_FALSE(injector.ArmFromSpec("csv.read:error:0").ok());
   EXPECT_FALSE(injector.ArmFromSpec("csv.read:error:x").ok());
   EXPECT_FALSE(injector.armed());
+}
+
+TEST(FaultInjectionTest, ArmFromSpecParsesCommaSeparatedLists) {
+  auto& injector = FaultInjector::Get();
+  EXPECT_TRUE(injector.ArmFromSpec("csv.read:error:1,grid.build:nan:2").ok());
+  EXPECT_TRUE(injector.armed());
+  injector.Disarm();
+  EXPECT_TRUE(injector
+                  .ArmFromSpec("checkpoint.write:error:1,"
+                               "checkpoint.fsync:error,checkpoint.rename:inf:3")
+                  .ok());
+  injector.Disarm();
+
+  // Malformed lists: empty entries, a bad member anywhere in the list.
+  EXPECT_FALSE(injector.ArmFromSpec("csv.read:error,,grid.build:nan").ok());
+  EXPECT_FALSE(injector.ArmFromSpec(",csv.read:error").ok());
+  EXPECT_FALSE(injector.ArmFromSpec("csv.read:error,").ok());
+  EXPECT_FALSE(injector.ArmFromSpec("csv.read:error,bogus.point:error").ok());
+  EXPECT_FALSE(injector.ArmFromSpec("csv.read:error,grid.build:nan:0").ok());
+  EXPECT_FALSE(injector.armed());
+}
+
+TEST(FaultInjectionTest, MultiSpecEntriesFireIndependently) {
+  // Two specs on the same point with ascending nth: consecutive evaluations
+  // 1 and 2 both fail — the idiom that exhausts a bounded retry loop.
+  auto& injector = FaultInjector::Get();
+  ASSERT_TRUE(injector.ArmFromSpec("csv.read:error:1,csv.read:error:2").ok());
+  EXPECT_FALSE(ReadCsv(SampleCsvPath()).ok());
+  EXPECT_EQ(injector.fired_count(), 1u);
+  EXPECT_FALSE(ReadCsv(SampleCsvPath()).ok());
+  EXPECT_EQ(injector.fired_count(), 2u);
+  // Both specs spent: the third evaluation is clean.
+  EXPECT_TRUE(ReadCsv(SampleCsvPath()).ok());
+  EXPECT_EQ(injector.fired_count(), 2u);
+  injector.Disarm();
+}
+
+TEST(FaultInjectionTest, MalformedListLeavesThePreviousArmingIntact) {
+  // Parse-then-commit: a bad list must not disturb what is already armed.
+  auto& injector = FaultInjector::Get();
+  ASSERT_TRUE(injector.ArmFromSpec("csv.read:error:1").ok());
+  EXPECT_FALSE(injector.ArmFromSpec("grid.build:nan,bogus.point:error").ok());
+  EXPECT_TRUE(injector.armed());
+  EXPECT_FALSE(ReadCsv(SampleCsvPath()).ok())
+      << "the previously armed csv.read spec should still fire";
+  injector.Disarm();
 }
 
 TEST(FaultInjectionTest, DisarmedInjectorIsInert) {

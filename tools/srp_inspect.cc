@@ -1,10 +1,16 @@
-// Postmortem inspector (DESIGN.md §11): pretty-prints, merges, validates,
-// and re-exports the flight recorder's postmortem dumps.
+// Postmortem + checkpoint inspector (DESIGN.md §11, §13): pretty-prints,
+// merges, validates, and re-exports the flight recorder's postmortem dumps,
+// and summarizes/validates durable checkpoint files.
 //
 //   srp_inspect dump.json...                 # per-file summary + journal tail
-//   srp_inspect --validate dump.json...      # schema check only; exit 1 on fail
+//   srp_inspect --validate dump.json...      # schema check only
 //   srp_inspect --merge dump.json...         # one seq-ordered timeline
 //   srp_inspect --trace-out t.json dump.json # journal events as a Chrome trace
+//   srp_inspect --checkpoint ckpt-*.srpckpt  # checkpoint summary + CRC check
+//   srp_inspect --version                    # build provenance, exit 0
+//
+// Exit codes: 0 = everything valid, 2 = usage error or unreadable/invalid
+// input, 1 = an output (e.g. --trace-out) could not be written.
 //
 // The Chrome trace export turns every journal event into an instant event on
 // its thread's track, so a postmortem can be laid side by side with a
@@ -18,7 +24,9 @@
 #include <string>
 #include <vector>
 
+#include "fail/checkpoint.h"
 #include "obs/flight_recorder.h"
+#include "obs/run_report.h"
 #include "util/json.h"
 #include "util/status.h"
 
@@ -28,6 +36,8 @@ namespace {
 struct InspectOptions {
   bool validate_only = false;
   bool merge = false;
+  bool checkpoint_mode = false;  ///< inputs are .srpckpt checkpoint files
+  bool print_version = false;    ///< print provenance and exit 0
   std::string trace_out;
   std::vector<std::string> files;
   size_t tail = 20;  ///< journal events shown per summary
@@ -47,8 +57,10 @@ struct ParsedEvent {
 int UsageError(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--validate] [--merge] [--tail N] "
-               "[--trace-out out.json] postmortem.json...\n",
-               argv0);
+               "[--trace-out out.json] postmortem.json...\n"
+               "       %s --checkpoint [--validate] ckpt-*.srpckpt...\n"
+               "       %s --version\n",
+               argv0, argv0, argv0);
   return 2;
 }
 
@@ -59,6 +71,10 @@ bool ParseArgs(int argc, char** argv, InspectOptions* options) {
       options->validate_only = true;
     } else if (arg == "--merge") {
       options->merge = true;
+    } else if (arg == "--checkpoint") {
+      options->checkpoint_mode = true;
+    } else if (arg == "--version") {
+      options->print_version = true;
     } else if (arg == "--tail") {
       if (++i >= argc) return false;
       options->tail = static_cast<size_t>(std::atol(argv[i]));
@@ -71,7 +87,7 @@ bool ParseArgs(int argc, char** argv, InspectOptions* options) {
       options->files.push_back(arg);
     }
   }
-  return !options->files.empty();
+  return options->print_version || !options->files.empty();
 }
 
 Result<JsonValue> LoadPostmortem(const std::string& path) {
@@ -164,6 +180,12 @@ void PrintSummary(const std::string& path, const JsonValue& doc,
               FieldString(doc, "thread.label").empty() ? "" : " ",
               FieldString(doc, "thread.label").c_str());
   std::printf("  phase:      %s\n", FieldString(doc, "phase").c_str());
+  if (doc.Find("checkpoint") != nullptr) {
+    std::printf("  checkpoint: generation %lld durable at dump time "
+                "(resume candidate)\n",
+                static_cast<long long>(
+                    FieldNumber(doc, "checkpoint.generation")));
+  }
   std::printf("  build:      %s %s (%s)\n",
               FieldString(doc, "provenance.git_sha").c_str(),
               FieldString(doc, "provenance.build_type").c_str(),
@@ -258,9 +280,61 @@ Status WriteTrace(const std::string& path,
   return Status::OK();
 }
 
+/// --checkpoint mode: per-file summary (or --validate one-liners). A file
+/// failing magic/framing/CRC checks, or carrying structurally impossible
+/// state, is reported and counts as invalid input (exit 2).
+int RunCheckpointMode(const InspectOptions& options) {
+  bool all_valid = true;
+  for (const std::string& path : options.files) {
+    Result<StoredCheckpoint> loaded = ReadCheckpointFile(path);
+    if (!loaded.ok()) {
+      if (options.validate_only) {
+        std::printf("%s: %s\n", path.c_str(),
+                    loaded.status().ToString().c_str());
+      } else {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                     loaded.status().ToString().c_str());
+      }
+      all_valid = false;
+      continue;
+    }
+    const StoredCheckpoint& stored = *loaded;
+    if (options.validate_only) {
+      std::printf("%s: OK\n", path.c_str());
+      continue;
+    }
+    const RepartitionCheckpoint& state = stored.state;
+    std::printf("== %s\n", path.c_str());
+    std::printf("  generation:       %llu\n",
+                static_cast<unsigned long long>(state.generation));
+    std::printf("  iterations:       %zu\n", state.iterations);
+    std::printf("  partition:        %zux%zu cells -> %zu groups\n",
+                state.partition.rows, state.partition.cols,
+                state.partition.num_groups());
+    std::printf("  information loss: %.6f\n", state.information_loss);
+    std::printf("  last variation:   %.6f (pop threshold state %.6f)\n",
+                state.final_min_adjacent_variation, state.previous_variation);
+    std::printf("  grid fp:          %016llx\n",
+                static_cast<unsigned long long>(stored.grid_fingerprint));
+    std::printf("  options fp:       %016llx\n",
+                static_cast<unsigned long long>(stored.options_fingerprint));
+    std::printf("  sections:         CRC-verified (META GRPS CMAP FEAT GMET "
+                "END)\n");
+  }
+  return all_valid ? 0 : 2;
+}
+
 int Run(int argc, char** argv) {
   InspectOptions options;
   if (!ParseArgs(argc, argv, &options)) return UsageError(argv[0]);
+
+  if (options.print_version) {
+    const obs::RunReportProvenance provenance = obs::BuildProvenance();
+    std::printf("srp_inspect %s (%s build, %s)\n", provenance.git_sha.c_str(),
+                provenance.build_type.c_str(), provenance.compiler.c_str());
+    return 0;
+  }
+  if (options.checkpoint_mode) return RunCheckpointMode(options);
 
   std::vector<JsonValue> docs;
   std::vector<std::string> valid_paths;
@@ -325,7 +399,10 @@ int Run(int argc, char** argv) {
     std::printf("wrote %s\n", options.trace_out.c_str());
   }
 
-  return all_valid ? 0 : 1;
+  // 2, not 1: unreadable or schema-invalid INPUT is the caller's problem
+  // (same class as a usage error); 1 is reserved for failures producing
+  // OUTPUT (the --trace-out branch above).
+  return all_valid ? 0 : 2;
 }
 
 }  // namespace

@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,9 +31,11 @@
 #include "core/repartitioner.h"
 #include "data/datasets.h"
 #include "fail/cancellation.h"
+#include "fail/checkpoint.h"
 #include "grid/grid_builder.h"
 #include "obs/flight_recorder.h"
 #include "obs/introspect.h"
+#include "obs/journal.h"
 #include "obs/metrics_registry.h"
 #include "obs/profiler.h"
 #include "obs/run_report.h"
@@ -73,6 +76,13 @@ struct CliOptions {
   /// With a deadline: return the best partition found so far instead of
   /// failing when the deadline fires mid-run.
   bool best_effort = false;
+  /// Durable checkpoint/resume (DESIGN.md §13). Empty dir = off.
+  std::string checkpoint_dir;
+  /// Accepted iterations between periodic snapshots (interrupt-time
+  /// snapshots happen regardless once a dir is set).
+  size_t checkpoint_every = 64;
+  /// Continue from the newest valid checkpoint in --checkpoint-dir.
+  bool resume = false;
 };
 
 void Usage() {
@@ -89,6 +99,8 @@ void Usage() {
                "[--hw-counters]\n"
                "                       [--introspect-out series.csv] "
                "[--version]\n"
+               "                       [--checkpoint-dir D] "
+               "[--checkpoint-every N] [--resume]\n"
                "                       [--log-level LEVEL] "
                "[--log-out FILE]\n"
                "  KIND: taxi_uni taxi_multi home_sales vehicles earnings "
@@ -109,6 +121,14 @@ void Usage() {
                "the per-iteration IFL and\n"
                "  variation series as CSV. --version prints build "
                "provenance and exits.\n"
+               "  --checkpoint-dir makes the run durably resumable: a "
+               "crash-consistent snapshot is\n"
+               "  written every --checkpoint-every accepted iterations "
+               "(default 64) and on interrupt;\n"
+               "  --resume continues from the newest valid checkpoint, "
+               "bit-identically to an\n"
+               "  uninterrupted run (validate/inspect with srp_inspect "
+               "--checkpoint).\n"
                "  --log-level in {trace, debug, info, warn, error} "
                "(default info; env SRP_LOG_LEVEL);\n"
                "  --log-out writes log records to FILE — '.json'/'.jsonl' "
@@ -238,12 +258,35 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
         return false;
       }
       out->best_effort = true;
+    } else if (arg == "--checkpoint-dir") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->checkpoint_dir = v;
+    } else if (arg == "--checkpoint-every") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      const long long parsed = std::atoll(v);
+      if (parsed <= 0) {
+        std::fprintf(stderr, "--checkpoint-every needs a positive integer\n");
+        return false;
+      }
+      out->checkpoint_every = static_cast<size_t>(parsed);
+    } else if (arg == "--resume") {
+      if (has_inline_value) {
+        std::fprintf(stderr, "--resume takes no value\n");
+        return false;
+      }
+      out->resume = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
     }
   }
   if (out->print_version) return true;  // no dataset needed to print and exit
+  if (out->resume && out->checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
+    return false;
+  }
   if (out->demo.empty() == out->input.empty()) {
     std::fprintf(stderr, "exactly one of --demo / --input is required\n");
     return false;
@@ -477,6 +520,12 @@ Status WriteRunReport(const CliOptions& options, const GridDataset& grid,
                        options.num_threads)));
   report.SetConfig("deadline_ms", options.deadline_ms);
   report.SetConfig("best_effort", options.best_effort);
+  if (!options.checkpoint_dir.empty()) {
+    report.SetConfig("checkpoint_dir", options.checkpoint_dir);
+    report.SetConfig("checkpoint_every",
+                     static_cast<uint64_t>(options.checkpoint_every));
+    report.SetConfig("resume", options.resume);
+  }
 
   report.SetConfig("hw_counters", options.hw_counters);
 
@@ -542,6 +591,15 @@ Status WriteRunReport(const CliOptions& options, const GridDataset& grid,
   report.SetResult("information_loss", result.information_loss);
   report.SetResult("cell_ratio", result.CellRatio());
   report.SetResult("elapsed_seconds", result.elapsed_seconds);
+  if (stats.resumed) {
+    report.SetResult("resumed_iterations",
+                     static_cast<uint64_t>(stats.resumed_iterations));
+  }
+  const int64_t checkpoint_generation = obs::Journal::checkpoint_generation();
+  if (checkpoint_generation >= 0) {
+    report.SetResult("checkpoint_generation",
+                     static_cast<uint64_t>(checkpoint_generation));
+  }
 
   if (introspection != nullptr) {
     report.SetIntrospection(introspection->ToJson());
@@ -636,6 +694,47 @@ int Run(int argc, char** argv) {
     ctx_ptr = &ctx;
   }
 
+  // Durable checkpointing: the writer stamps every snapshot with the
+  // (dataset, merge-options) fingerprints so --resume can refuse a
+  // checkpoint from a different run setup.
+  std::optional<CheckpointWriter> checkpoint_writer;
+  StoredCheckpoint resume_state;
+  if (!options.checkpoint_dir.empty()) {
+    CheckpointWriter::Options ckpt;
+    ckpt.directory = options.checkpoint_dir;
+    ckpt.grid_fingerprint = GridFingerprint(*grid);
+    ckpt.options_fingerprint = OptionsFingerprint(ropt);
+    checkpoint_writer.emplace(ckpt);
+    if (const Status s = checkpoint_writer->Init(); !s.ok()) {
+      std::fprintf(stderr, "checkpoint setup failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    ropt.checkpoint = &*checkpoint_writer;
+    ropt.checkpoint_every = options.checkpoint_every;
+    if (options.resume) {
+      auto loaded = LoadLatestCheckpoint(options.checkpoint_dir);
+      if (loaded.ok()) {
+        if (const Status s = ValidateStoredCheckpoint(*loaded, *grid, ropt);
+            !s.ok()) {
+          std::fprintf(stderr, "cannot resume: %s\n", s.ToString().c_str());
+          return 1;
+        }
+        resume_state = std::move(*loaded);
+        ropt.resume_from = &resume_state.state;
+        std::printf(
+            "resuming from checkpoint generation %llu "
+            "(iteration %zu, %zu groups)\n",
+            static_cast<unsigned long long>(resume_state.state.generation),
+            resume_state.state.iterations,
+            resume_state.state.partition.num_groups());
+      } else {
+        std::printf("no resumable checkpoint (%s); starting fresh\n",
+                    loaded.status().message().c_str());
+      }
+    }
+  }
+
   // The sampling profiler covers exactly the re-partitioning run (grid
   // building and CSV export stay out of the profile).
   obs::SamplingProfiler profiler;
@@ -673,6 +772,13 @@ int Run(int argc, char** argv) {
     std::printf("NOTE: run interrupted by the %.1fms deadline; partition is "
                 "the best found so far\n",
                 options.deadline_ms);
+  }
+  if (checkpoint_writer.has_value() &&
+      checkpoint_writer->latest_generation() >= 0) {
+    std::printf("checkpoint generation %lld durable in %s (resume with "
+                "--resume)\n",
+                static_cast<long long>(checkpoint_writer->latest_generation()),
+                options.checkpoint_dir.c_str());
   }
   PrintRunStats(*result, options);
 
